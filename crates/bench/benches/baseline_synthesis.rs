@@ -1,0 +1,41 @@
+//! Table 1, "Verification by [2] (s)" comparison column: proof *search*.
+//!
+//! The coupling-based verifier the paper compares against synthesizes its
+//! proof rather than checking a supplied one; this bench reproduces that
+//! workload's shape by searching the §6.4 annotation space until the
+//! pipeline verifies. Expect one to three orders of magnitude over the
+//! direct check — the gap Table 1 reports as seconds vs. minutes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shadowdp::corpus;
+use shadowdp_bench::parsed;
+use shadowdp_synth::{synthesize, SynthOptions};
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/baseline-synthesis");
+    group.sample_size(10);
+
+    let laplace = parsed(&corpus::laplace_mechanism());
+    group.bench_function("Laplace Mechanism (search)", |b| {
+        b.iter(|| {
+            let r = synthesize(std::hint::black_box(&laplace), &SynthOptions::default());
+            assert!(r.annotations.is_some());
+            r.attempts
+        })
+    });
+
+    let svt1 = parsed(&corpus::svt_n1());
+    group.sample_size(10);
+    group.bench_function("Sparse Vector Technique N=1 (search)", |b| {
+        b.iter(|| {
+            let r = synthesize(std::hint::black_box(&svt1), &SynthOptions::default());
+            assert!(r.annotations.is_some());
+            r.attempts
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_synthesis);
+criterion_main!(benches);

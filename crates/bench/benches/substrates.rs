@@ -1,0 +1,93 @@
+//! Microbenchmarks of the home-grown substrates: the QF-LRA solver (the
+//! reproduction's Z3 stand-in) and the probabilistic interpreter (the
+//! runtime behind the empirical DP tester).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shadowdp::corpus;
+use shadowdp_bench::parsed;
+use shadowdp_semantics::{Interp, Value};
+use shadowdp_solver::{Solver, Term};
+
+fn bench_solver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates/solver");
+
+    // A NoisyMax-shaped entailment: branch assert under Ψ bounds.
+    group.bench_function("noisy-max-branch-vc", |b| {
+        let solver = Solver::new();
+        let q = Term::real_var("q");
+        let hq = Term::real_var("hq");
+        let eta = Term::real_var("eta");
+        let bq = Term::real_var("bq");
+        let sbq = Term::real_var("sbq");
+        let hyps = vec![
+            hq.clone().ge(Term::int(-1)),
+            hq.clone().le(Term::int(1)),
+            sbq.clone().le(Term::int(1)),
+            q.clone().add(eta.clone()).gt(bq.clone()),
+        ];
+        let goal = q
+            .add(hq)
+            .add(eta)
+            .add(Term::int(2))
+            .gt(bq.add(sbq));
+        b.iter(|| {
+            assert!(solver
+                .prove(std::hint::black_box(&hyps), std::hint::black_box(&goal))
+                .is_proved())
+        });
+    });
+
+    // Fourier–Motzkin elimination over a chain of inequalities.
+    group.bench_function("transitive-chain-12", |b| {
+        let solver = Solver::new();
+        let mut hyps = Vec::new();
+        for i in 0..12 {
+            hyps.push(
+                Term::real_var(format!("x{i}")).le(Term::real_var(format!("x{}", i + 1))),
+            );
+        }
+        let goal = Term::real_var("x0").le(Term::real_var("x12"));
+        b.iter(|| assert!(solver.prove(&hyps, &goal).is_proved()));
+    });
+
+    // Abs case-splitting (triangle inequality).
+    group.bench_function("triangle-inequality", |b| {
+        let solver = Solver::new();
+        let x = Term::real_var("x");
+        let y = Term::real_var("y");
+        let goal = x
+            .clone()
+            .add(y.clone())
+            .abs()
+            .le(x.abs().add(y.abs()));
+        b.iter(|| assert!(solver.prove(&[], &goal).is_proved()));
+    });
+
+    group.finish();
+}
+
+fn bench_interpreter(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrates/interpreter");
+    let f = parsed(&corpus::noisy_max());
+    let queries: Vec<f64> = (0..64).map(|i| (i % 7) as f64).collect();
+    group.bench_function("noisy-max-64-queries", |b| {
+        let mut interp = Interp::with_seed(11);
+        b.iter(|| {
+            interp
+                .run(
+                    &f,
+                    [
+                        ("eps", Value::num(1.0)),
+                        ("size", Value::num(64.0)),
+                        ("q", Value::num_list(queries.clone())),
+                    ],
+                )
+                .unwrap()
+                .output
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solver, bench_interpreter);
+criterion_main!(benches);

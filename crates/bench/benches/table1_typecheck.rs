@@ -1,0 +1,24 @@
+//! Table 1, "Type Check (s)" column: parse + flow-sensitive type check +
+//! transformation for every benchmark algorithm.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shadowdp::corpus::table1_algorithms;
+use shadowdp_syntax::parse_function;
+use shadowdp_typing::check_function;
+
+fn bench_typecheck(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/typecheck");
+    group.sample_size(20);
+    for alg in table1_algorithms() {
+        group.bench_function(alg.name, |b| {
+            b.iter(|| {
+                let f = parse_function(std::hint::black_box(alg.source)).unwrap();
+                check_function(&f).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_typecheck);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Table 1, "Verification by ShadowDP (s)" columns: target lowering plus
+//! the inductive (Houdini) proof, in both cost-linearization modes — the
+//! paper's "Rewrite" (here: automatic rescaling) and "Fix ε" variants.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shadowdp::corpus::table1_algorithms;
+use shadowdp_bench::transformed;
+use shadowdp_num::Rat;
+use shadowdp_verify::{verify, Engine, Options, Verdict, VerifyMode};
+
+fn options(mode: VerifyMode) -> Options {
+    Options {
+        mode,
+        engine: Engine::Inductive,
+        ..Options::default()
+    }
+}
+
+fn bench_mode(c: &mut Criterion, label: &str, mode: VerifyMode) {
+    let mut group = c.benchmark_group(format!("table1/verify-{label}"));
+    group.sample_size(10);
+    for alg in table1_algorithms() {
+        let t = transformed(&alg);
+        let opts = options(mode.clone());
+        // Sanity: the proof must succeed, otherwise timing is meaningless.
+        assert!(
+            matches!(verify(&t, &opts).verdict, Verdict::Proved),
+            "{} does not prove in mode {label}",
+            alg.name
+        );
+        group.bench_function(alg.name, |b| {
+            b.iter(|| verify(std::hint::black_box(&t), &opts))
+        });
+    }
+    group.finish();
+}
+
+fn bench_verification(c: &mut Criterion) {
+    bench_mode(c, "scaled", VerifyMode::Scaled);
+    bench_mode(c, "fix-eps", VerifyMode::FixEps(Rat::ONE));
+}
+
+criterion_group!(benches, bench_verification);
+criterion_main!(benches);

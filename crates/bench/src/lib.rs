@@ -1,0 +1,29 @@
+//! Shared helpers for the Table 1 benchmark harness.
+//!
+//! The benches (one per Table 1 column group) live in `benches/`:
+//!
+//! - `table1_typecheck` — the "Type Check (s)" column: parse + type check
+//!   + transformation for each of the nine algorithms;
+//! - `table1_verification` — the "Verification by ShadowDP (s)" columns:
+//!   lowering + inductive proof, in both the scaled ("Rewrite") and fixed-ε
+//!   modes;
+//! - `baseline_synthesis` — the "Verification by [2] (s)" comparison
+//!   column: proof *search* over the §6.4 annotation space;
+//! - `substrates` — microbenchmarks of the home-grown substrates (QF-LRA
+//!   solver, interpreter) so regressions are visible independently of the
+//!   pipeline.
+
+use shadowdp::corpus::Algorithm;
+use shadowdp_syntax::{parse_function, Function};
+use shadowdp_typing::check_function;
+
+/// Parses a corpus algorithm (panicking on failure — bench inputs are
+/// trusted).
+pub fn parsed(alg: &Algorithm) -> Function {
+    parse_function(alg.source).expect("corpus parses")
+}
+
+/// Parses and transforms a corpus algorithm.
+pub fn transformed(alg: &Algorithm) -> Function {
+    check_function(&parsed(alg)).expect("corpus type checks").function
+}

@@ -1,0 +1,39 @@
+//! **ShadowDP** — a reproduction of *Proving Differential Privacy with
+//! Shadow Execution* (Wang, Ding, Wang, Kifer, Zhang — PLDI 2019) as a
+//! Rust library.
+//!
+//! ShadowDP proves pure ε-differential privacy of randomized algorithms by
+//! randomness alignment with a *shadow execution*: a flow-sensitive type
+//! system checks programmer-annotated alignments and emits a
+//! non-probabilistic program whose explicit privacy cost `v_eps` is then
+//! bounded by an off-the-shelf-style model checker.
+//!
+//! This crate is the user-facing entry point:
+//!
+//! - [`Pipeline`] — parse → type-check/transform → lower → verify, with
+//!   wall-clock timings per phase (the measurements behind the paper's
+//!   Table 1);
+//! - [`corpus`] — the paper's complete benchmark suite (Report Noisy Max,
+//!   Sparse Vector and its numerical/gap variants, Partial/Prefix/Smart
+//!   Sum) plus classic *incorrect* Sparse Vector variants that must be
+//!   rejected;
+//! - [`table1`] — the harness regenerating Table 1.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use shadowdp::{corpus, Pipeline};
+//! use shadowdp_verify::Verdict;
+//!
+//! let alg = corpus::laplace_mechanism();
+//! let report = Pipeline::new().run(alg.source).expect("pipeline runs");
+//! assert!(matches!(report.verdict, Verdict::Proved));
+//! ```
+
+pub mod corpus;
+pub mod pipeline;
+pub mod table1;
+
+pub use corpus::{Algorithm, Expected};
+pub use pipeline::{Phase, Pipeline, PipelineError, PipelineReport};
+pub use table1::{run_table1, Table1Row};

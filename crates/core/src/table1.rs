@@ -1,0 +1,138 @@
+//! The Table 1 harness: runs the full pipeline on every benchmark and
+//! reports per-phase timings alongside the paper's reference numbers.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+use shadowdp_num::Rat;
+use shadowdp_verify::{BmcOptions, Engine, Options, Verdict, VerifyMode};
+
+use crate::corpus::{table1_algorithms, Algorithm};
+use crate::pipeline::Pipeline;
+
+/// One row of the regenerated Table 1.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Algorithm name.
+    pub name: String,
+    /// Measured type-check + transformation time.
+    pub typecheck: Duration,
+    /// Measured verification time, scaled-cost mode (≈ the paper's
+    /// "Rewrite" column).
+    pub verify_scaled: Option<Duration>,
+    /// Measured verification time, fixed-ε mode (the paper's "Fix ε").
+    pub verify_fix_eps: Option<Duration>,
+    /// Whether the proof succeeded in each mode.
+    pub proved_scaled: bool,
+    /// Whether the fixed-ε proof succeeded.
+    pub proved_fix_eps: bool,
+    /// Paper reference times (type check, rewrite, fix ε, coupling
+    /// verifier), seconds.
+    pub paper_typecheck: Option<f64>,
+    /// Paper "Rewrite" verification seconds.
+    pub paper_verify: Option<f64>,
+    /// Paper "Fix ε" verification seconds.
+    pub paper_verify_fix: Option<f64>,
+    /// Paper coupling-verifier seconds ([2]).
+    pub paper_coupling: Option<f64>,
+}
+
+fn bmc_options(alg: &Algorithm) -> BmcOptions {
+    BmcOptions {
+        list_len: 3,
+        max_unroll: None,
+        assumptions: alg
+            .bmc_assumptions
+            .iter()
+            .map(|s| shadowdp_syntax::parse_expr(s).expect("corpus assumption parses"))
+            .collect(),
+    }
+}
+
+/// Runs one benchmark in the given mode; returns (time, proved).
+fn run_mode(alg: &Algorithm, mode: VerifyMode) -> (Duration, Duration, bool) {
+    let pipeline = Pipeline::with_options(Options {
+        mode,
+        engine: Engine::Inductive,
+        bmc: bmc_options(alg),
+        inductive: Default::default(),
+    });
+    match pipeline.run(alg.source) {
+        Ok(report) => (
+            report.typecheck_time,
+            report.verify_time,
+            matches!(report.verdict, Verdict::Proved),
+        ),
+        Err(_) => (Duration::ZERO, Duration::ZERO, false),
+    }
+}
+
+/// Regenerates Table 1: all nine algorithms, both verification modes.
+pub fn run_table1() -> Vec<Table1Row> {
+    table1_algorithms()
+        .iter()
+        .map(|alg| {
+            let (tc, v_scaled, ok_scaled) = run_mode(alg, VerifyMode::Scaled);
+            let (_, v_fix, ok_fix) = run_mode(alg, VerifyMode::FixEps(Rat::ONE));
+            Table1Row {
+                name: alg.name.to_string(),
+                typecheck: tc,
+                verify_scaled: Some(v_scaled),
+                verify_fix_eps: Some(v_fix),
+                proved_scaled: ok_scaled,
+                proved_fix_eps: ok_fix,
+                paper_typecheck: alg.paper.map(|p| p.typecheck),
+                paper_verify: alg.paper.and_then(|p| p.verify_rewrite),
+                paper_verify_fix: alg.paper.and_then(|p| p.verify_fix),
+                paper_coupling: alg.paper.and_then(|p| p.coupling),
+            }
+        })
+        .collect()
+}
+
+/// Renders rows as an aligned text table (the `examples/table1.rs` output).
+pub fn render(rows: &[Table1Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<42} {:>10} {:>12} {:>12} {:>8} {:>10} {:>10} {:>10}",
+        "Algorithm",
+        "TC (s)",
+        "Verify (s)",
+        "Fix-ε (s)",
+        "Proved",
+        "paper TC",
+        "paper V",
+        "paper [2]"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(120));
+    for r in rows {
+        let fmt_d = |d: Option<Duration>| {
+            d.map(|d| format!("{:.3}", d.as_secs_f64()))
+                .unwrap_or_else(|| "-".into())
+        };
+        let fmt_f = |f: Option<f64>| f.map(|f| format!("{f}")).unwrap_or_else(|| "-".into());
+        let _ = writeln!(
+            out,
+            "{:<42} {:>10.3} {:>12} {:>12} {:>8} {:>10} {:>10} {:>10}",
+            r.name,
+            r.typecheck.as_secs_f64(),
+            fmt_d(r.verify_scaled),
+            fmt_d(r.verify_fix_eps),
+            if r.proved_scaled && r.proved_fix_eps {
+                "yes"
+            } else if r.proved_scaled {
+                "scaled"
+            } else if r.proved_fix_eps {
+                "fix-ε"
+            } else {
+                "NO"
+            },
+            fmt_f(r.paper_typecheck),
+            fmt_f(r.paper_verify),
+            fmt_f(r.paper_coupling),
+        );
+    }
+    out
+}

@@ -1,0 +1,130 @@
+//! End-to-end pipeline runs over the whole benchmark corpus: every correct
+//! algorithm must be *proved* (unbounded, inductive engine); every buggy
+//! variant must be rejected (type error or verified counterexample).
+
+use shadowdp::corpus::{self, Expected};
+use shadowdp::Pipeline;
+use shadowdp_verify::{BmcOptions, Engine, Options, Verdict};
+
+fn options_for(alg: &corpus::Algorithm) -> Options {
+    Options {
+        engine: Engine::InductiveThenBmc,
+        bmc: BmcOptions {
+            list_len: 3,
+            max_unroll: None,
+            assumptions: alg
+                .bmc_assumptions
+                .iter()
+                .map(|s| shadowdp_syntax::parse_expr(s).unwrap())
+                .collect(),
+        },
+        ..Options::default()
+    }
+}
+
+#[track_caller]
+fn check_expectation(alg: &corpus::Algorithm) {
+    let pipeline = Pipeline::with_options(options_for(alg));
+    match (alg.expect, pipeline.run(alg.source)) {
+        (Expected::TypeError, Err(e)) => {
+            assert_eq!(
+                e.phase(),
+                shadowdp::Phase::TypeCheck,
+                "{}: wrong phase: {e}",
+                alg.name
+            );
+        }
+        (Expected::TypeError, Ok(r)) => {
+            panic!("{}: expected a type error, got {:?}", alg.name, r.verdict)
+        }
+        (Expected::Proved, Ok(r)) => {
+            assert!(
+                matches!(r.verdict, Verdict::Proved),
+                "{}: expected Proved, got {:?}\nlog: {:#?}",
+                alg.name,
+                r.verdict,
+                r.verification.log
+            );
+        }
+        (Expected::Refuted, Ok(r)) => {
+            assert!(
+                matches!(r.verdict, Verdict::Refuted(_)),
+                "{}: expected Refuted, got {:?}\nlog: {:#?}",
+                alg.name,
+                r.verdict,
+                r.verification.log
+            );
+        }
+        (_, Err(e)) => panic!("{}: pipeline error: {e}", alg.name),
+    }
+}
+
+#[test]
+fn laplace_mechanism() {
+    check_expectation(&corpus::laplace_mechanism());
+}
+
+#[test]
+fn noisy_max() {
+    check_expectation(&corpus::noisy_max());
+}
+
+#[test]
+fn svt_n1() {
+    check_expectation(&corpus::svt_n1());
+}
+
+#[test]
+fn svt() {
+    check_expectation(&corpus::svt());
+}
+
+#[test]
+fn num_svt_n1() {
+    check_expectation(&corpus::num_svt_n1());
+}
+
+#[test]
+fn num_svt() {
+    check_expectation(&corpus::num_svt());
+}
+
+#[test]
+fn gap_svt() {
+    check_expectation(&corpus::gap_svt());
+}
+
+#[test]
+fn partial_sum() {
+    check_expectation(&corpus::partial_sum());
+}
+
+#[test]
+fn prefix_sum() {
+    check_expectation(&corpus::prefix_sum());
+}
+
+#[test]
+fn smart_sum() {
+    check_expectation(&corpus::smart_sum());
+}
+
+#[test]
+fn buggy_svt_no_threshold_noise() {
+    check_expectation(&corpus::bad_svt_no_threshold_noise());
+}
+
+#[test]
+fn buggy_svt_no_query_alignment() {
+    check_expectation(&corpus::bad_svt_no_query_alignment());
+}
+
+#[test]
+fn buggy_svt_over_budget() {
+    check_expectation(&corpus::bad_svt_over_budget());
+}
+
+#[test]
+fn buggy_noisy_max_non_injective() {
+    check_expectation(&corpus::bad_noisy_max_non_injective());
+}

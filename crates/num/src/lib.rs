@@ -1,0 +1,25 @@
+//! Exact rational arithmetic for the ShadowDP verifier.
+//!
+//! Distances, privacy costs and the linear-arithmetic solver all require
+//! *exact* arithmetic: Fourier–Motzkin elimination is unsound over floating
+//! point. [`Rat`] is an always-reduced fraction of two `i128`s with checked
+//! arithmetic — operations panic on overflow instead of silently wrapping,
+//! which is acceptable because every constant appearing in ShadowDP programs
+//! and their verification conditions is tiny (the solver keeps coefficients
+//! reduced at every step).
+//!
+//! # Examples
+//!
+//! ```
+//! use shadowdp_num::Rat;
+//!
+//! let half = Rat::new(1, 2);
+//! let third = Rat::new(1, 3);
+//! assert_eq!(half + third, Rat::new(5, 6));
+//! assert!(half > third);
+//! assert_eq!((half / third), Rat::new(3, 2));
+//! ```
+
+mod rat;
+
+pub use rat::{ParseRatError, Rat};

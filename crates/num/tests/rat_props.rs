@@ -1,0 +1,102 @@
+//! Property-based tests for `Rat`: field axioms and ordering laws on a
+//! bounded domain (small numerators/denominators, as produced by ShadowDP
+//! verification conditions).
+
+use proptest::prelude::*;
+use shadowdp_num::Rat;
+
+fn small_rat() -> impl Strategy<Value = Rat> {
+    (-1000i128..=1000, 1i128..=1000).prop_map(|(n, d)| Rat::new(n, d))
+}
+
+proptest! {
+    #[test]
+    fn add_commutative(a in small_rat(), b in small_rat()) {
+        prop_assert_eq!(a + b, b + a);
+    }
+
+    #[test]
+    fn add_associative(a in small_rat(), b in small_rat(), c in small_rat()) {
+        prop_assert_eq!((a + b) + c, a + (b + c));
+    }
+
+    #[test]
+    fn mul_commutative(a in small_rat(), b in small_rat()) {
+        prop_assert_eq!(a * b, b * a);
+    }
+
+    #[test]
+    fn mul_associative(a in small_rat(), b in small_rat(), c in small_rat()) {
+        prop_assert_eq!((a * b) * c, a * (b * c));
+    }
+
+    #[test]
+    fn distributivity(a in small_rat(), b in small_rat(), c in small_rat()) {
+        prop_assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    fn additive_inverse(a in small_rat()) {
+        prop_assert_eq!(a + (-a), Rat::ZERO);
+        prop_assert_eq!(a - a, Rat::ZERO);
+    }
+
+    #[test]
+    fn multiplicative_inverse(a in small_rat()) {
+        if !a.is_zero() {
+            prop_assert_eq!(a * a.recip(), Rat::ONE);
+            prop_assert_eq!(a / a, Rat::ONE);
+        }
+    }
+
+    #[test]
+    fn canonical_form(a in small_rat()) {
+        // Denominator positive and coprime with numerator.
+        prop_assert!(a.denom() > 0);
+        let g = {
+            let (mut x, mut y) = (a.numer().abs(), a.denom());
+            while y != 0 { let t = x % y; x = y; y = t; }
+            x
+        };
+        prop_assert!(a.is_zero() || g == 1);
+    }
+
+    #[test]
+    fn ordering_total_and_translation_invariant(
+        a in small_rat(), b in small_rat(), c in small_rat()
+    ) {
+        prop_assert_eq!(a < b, a + c < b + c);
+        // Trichotomy.
+        let cmp = [(a < b) as u8, (a == b) as u8, (a > b) as u8];
+        prop_assert_eq!(cmp.iter().sum::<u8>(), 1);
+    }
+
+    #[test]
+    fn ordering_respects_positive_scaling(a in small_rat(), b in small_rat(), k in 1i128..=50) {
+        let k = Rat::int(k);
+        prop_assert_eq!(a < b, a * k < b * k);
+    }
+
+    #[test]
+    fn abs_triangle_inequality(a in small_rat(), b in small_rat()) {
+        prop_assert!((a + b).abs() <= a.abs() + b.abs());
+    }
+
+    #[test]
+    fn floor_ceil_bracket(a in small_rat()) {
+        prop_assert!(Rat::int(a.floor()) <= a);
+        prop_assert!(a <= Rat::int(a.ceil()));
+        prop_assert!(a - Rat::int(a.floor()) < Rat::ONE);
+    }
+
+    #[test]
+    fn display_parse_roundtrip(a in small_rat()) {
+        prop_assert_eq!(a.to_string().parse::<Rat>().unwrap(), a);
+    }
+
+    #[test]
+    fn f64_agrees_on_sign(a in small_rat()) {
+        prop_assert_eq!(a.to_f64() > 0.0, a.is_positive());
+        prop_assert_eq!(a.to_f64() < 0.0, a.is_negative());
+    }
+}

@@ -1,0 +1,707 @@
+//! Big-step interpreter for ShadowDP commands (paper Appendix A, Fig. 7).
+//!
+//! The interpreter executes both *source* programs and the type system's
+//! *transformed* programs (which add `assert`s and distance bookkeeping over
+//! hat variables) — the latter is what the Lemma 1 (consistency)
+//! differential tests exercise. The target language's `havoc` is not
+//! executable and reports an error.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use shadowdp_num::Rat;
+use shadowdp_syntax::{BinOp, Cmd, CmdKind, Expr, Function, Name, RandExpr, UnOp};
+
+use crate::laplace::Laplace;
+use crate::memory::Memory;
+use crate::value::Value;
+
+/// Default iteration budget across all loops in one run.
+pub const DEFAULT_FUEL: u64 = 1_000_000;
+
+/// A runtime failure.
+#[derive(Clone, Debug, PartialEq)]
+pub enum InterpError {
+    /// Read of a variable with no binding.
+    UnboundVariable(Name),
+    /// Operand had the wrong runtime type.
+    TypeMismatch(&'static str),
+    /// Division (or modulo) by zero.
+    DivisionByZero,
+    /// List index out of bounds.
+    IndexOutOfBounds { index: f64, len: usize },
+    /// Non-positive or non-finite Laplace scale.
+    BadScale(f64),
+    /// The loop fuel budget was exhausted (non-termination guard).
+    FuelExhausted,
+    /// An `assert` in a transformed program failed.
+    AssertionFailed(String),
+    /// `havoc` reached at runtime (target programs are not executable).
+    HavocNotExecutable,
+    /// Noise replay vector ran out of samples.
+    NoiseExhausted,
+    /// A function parameter was not supplied.
+    MissingInput(String),
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::UnboundVariable(n) => write!(f, "unbound variable `{n}`"),
+            InterpError::TypeMismatch(what) => write!(f, "type mismatch: expected {what}"),
+            InterpError::DivisionByZero => write!(f, "division by zero"),
+            InterpError::IndexOutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for list of length {len}")
+            }
+            InterpError::BadScale(s) => write!(f, "invalid Laplace scale {s}"),
+            InterpError::FuelExhausted => write!(f, "loop fuel exhausted"),
+            InterpError::AssertionFailed(e) => write!(f, "assertion failed: {e}"),
+            InterpError::HavocNotExecutable => write!(f, "havoc is not executable"),
+            InterpError::NoiseExhausted => write!(f, "replay noise vector exhausted"),
+            InterpError::MissingInput(p) => write!(f, "missing input for parameter `{p}`"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// The outcome of a successful run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RunResult {
+    /// Value of the `return` expression.
+    pub output: Value,
+    /// Final memory (useful for inspecting hat variables of transformed
+    /// programs).
+    pub memory: Memory,
+    /// The Laplace samples drawn, in order.
+    pub noise: Vec<f64>,
+}
+
+/// Noise source: fresh sampling or replay of a recorded vector.
+enum NoiseSource {
+    Fresh(StdRng),
+    Replay { samples: Vec<f64>, next: usize },
+}
+
+/// The interpreter. Owns its RNG so runs are reproducible from a seed.
+///
+/// # Examples
+///
+/// See the crate-level docs.
+pub struct Interp {
+    rng: StdRng,
+    /// Iteration budget shared by all loops in a run.
+    pub fuel: u64,
+}
+
+impl Interp {
+    /// Creates an interpreter seeded from OS entropy.
+    pub fn new() -> Interp {
+        Interp {
+            rng: StdRng::from_entropy(),
+            fuel: DEFAULT_FUEL,
+        }
+    }
+
+    /// Creates a deterministic interpreter from a seed.
+    pub fn with_seed(seed: u64) -> Interp {
+        Interp {
+            rng: StdRng::seed_from_u64(seed),
+            fuel: DEFAULT_FUEL,
+        }
+    }
+
+    /// Runs `f` with the given inputs, sampling fresh noise.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InterpError`] on missing inputs or runtime failures.
+    pub fn run<'a>(
+        &mut self,
+        f: &Function,
+        inputs: impl IntoIterator<Item = (&'a str, Value)>,
+    ) -> Result<RunResult, InterpError> {
+        let rng = StdRng::seed_from_u64(self.rng_next());
+        self.exec(f, inputs, NoiseSource::Fresh(rng))
+    }
+
+    /// Runs `f` with the given inputs, replaying `noise` for sampling
+    /// commands in order. Used to evaluate randomness alignments: run on
+    /// the adjacent input with the aligned noise and compare outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InterpError::NoiseExhausted`] if the program samples more
+    /// times than `noise` provides, plus the usual runtime failures.
+    pub fn run_with_noise<'a>(
+        &mut self,
+        f: &Function,
+        inputs: impl IntoIterator<Item = (&'a str, Value)>,
+        noise: &[f64],
+    ) -> Result<RunResult, InterpError> {
+        self.exec(
+            f,
+            inputs,
+            NoiseSource::Replay {
+                samples: noise.to_vec(),
+                next: 0,
+            },
+        )
+    }
+
+    /// Runs `f` from a fully prepared memory (which may bind hat variables
+    /// like `^q` — needed to execute *transformed* programs, whose distance
+    /// bookkeeping reads them), replaying `noise` if provided.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Interp::run_with_noise`]; missing parameters are reported.
+    pub fn run_with_memory(
+        &mut self,
+        f: &Function,
+        memory: Memory,
+        noise: Option<&[f64]>,
+    ) -> Result<RunResult, InterpError> {
+        for p in &f.params {
+            if !memory.contains(&Name::plain(&p.name)) {
+                return Err(InterpError::MissingInput(p.name.clone()));
+            }
+        }
+        let source = match noise {
+            Some(ns) => NoiseSource::Replay {
+                samples: ns.to_vec(),
+                next: 0,
+            },
+            None => NoiseSource::Fresh(StdRng::seed_from_u64(self.rng_next())),
+        };
+        let mut st = State {
+            memory,
+            noise: source,
+            trace: Vec::new(),
+            fuel: self.fuel,
+            output: None,
+        };
+        st.run_cmds(&f.body)?;
+        let output = match st.output {
+            Some(v) => v,
+            None => st
+                .memory
+                .get(&Name::plain(&f.ret.name))
+                .cloned()
+                .ok_or_else(|| InterpError::UnboundVariable(Name::plain(&f.ret.name)))?,
+        };
+        Ok(RunResult {
+            output,
+            memory: st.memory,
+            noise: st.trace,
+        })
+    }
+
+    fn rng_next(&mut self) -> u64 {
+        use rand::RngCore;
+        self.rng.next_u64()
+    }
+
+    fn exec<'a>(
+        &mut self,
+        f: &Function,
+        inputs: impl IntoIterator<Item = (&'a str, Value)>,
+        noise: NoiseSource,
+    ) -> Result<RunResult, InterpError> {
+        let memory = Memory::from_inputs(inputs);
+        for p in &f.params {
+            if !memory.contains(&Name::plain(&p.name)) {
+                return Err(InterpError::MissingInput(p.name.clone()));
+            }
+        }
+        let mut st = State {
+            memory,
+            noise,
+            trace: Vec::new(),
+            fuel: self.fuel,
+            output: None,
+        };
+        st.run_cmds(&f.body)?;
+        let output = match st.output {
+            Some(v) => v,
+            // Programs elaborated by the parser always end in `return`; a
+            // hand-built AST without one returns the declared variable.
+            None => st
+                .memory
+                .get(&Name::plain(&f.ret.name))
+                .cloned()
+                .ok_or_else(|| InterpError::UnboundVariable(Name::plain(&f.ret.name)))?,
+        };
+        Ok(RunResult {
+            output,
+            memory: st.memory,
+            noise: st.trace,
+        })
+    }
+}
+
+impl Default for Interp {
+    fn default() -> Self {
+        Interp::new()
+    }
+}
+
+struct State {
+    memory: Memory,
+    noise: NoiseSource,
+    trace: Vec<f64>,
+    fuel: u64,
+    output: Option<Value>,
+}
+
+impl State {
+    fn run_cmds(&mut self, cmds: &[Cmd]) -> Result<(), InterpError> {
+        for c in cmds {
+            if self.output.is_some() {
+                break; // return already executed
+            }
+            self.run_cmd(c)?;
+        }
+        Ok(())
+    }
+
+    fn run_cmd(&mut self, c: &Cmd) -> Result<(), InterpError> {
+        match &c.kind {
+            CmdKind::Skip => Ok(()),
+            CmdKind::Assign(name, e) => {
+                let v = self.eval(e)?;
+                self.memory.set(name.clone(), v);
+                Ok(())
+            }
+            CmdKind::Sample { var, dist, .. } => {
+                let RandExpr::Lap(scale_e) = dist;
+                let scale = self.eval_num(scale_e)?;
+                let sample = match &mut self.noise {
+                    NoiseSource::Fresh(rng) => {
+                        let lap =
+                            Laplace::new(scale).ok_or(InterpError::BadScale(scale))?;
+                        lap.sample(rng)
+                    }
+                    NoiseSource::Replay { samples, next } => {
+                        // Scale validity still checked so replay runs reject
+                        // the same programs fresh runs do.
+                        Laplace::new(scale).ok_or(InterpError::BadScale(scale))?;
+                        let s = samples
+                            .get(*next)
+                            .copied()
+                            .ok_or(InterpError::NoiseExhausted)?;
+                        *next += 1;
+                        s
+                    }
+                };
+                self.trace.push(sample);
+                self.memory.set(var.clone(), Value::Num(sample));
+                Ok(())
+            }
+            CmdKind::If(cond, then_b, else_b) => {
+                if self.eval_bool(cond)? {
+                    self.run_cmds(then_b)
+                } else {
+                    self.run_cmds(else_b)
+                }
+            }
+            CmdKind::While { cond, body, .. } => {
+                while self.eval_bool(cond)? {
+                    if self.fuel == 0 {
+                        return Err(InterpError::FuelExhausted);
+                    }
+                    self.fuel -= 1;
+                    self.run_cmds(body)?;
+                    if self.output.is_some() {
+                        break;
+                    }
+                }
+                Ok(())
+            }
+            CmdKind::Return(e) => {
+                let v = self.eval(e)?;
+                self.output = Some(v);
+                Ok(())
+            }
+            CmdKind::Assert(e) => {
+                if self.eval_bool(e)? {
+                    Ok(())
+                } else {
+                    Err(InterpError::AssertionFailed(
+                        shadowdp_syntax::pretty_expr(e),
+                    ))
+                }
+            }
+            // `assume` at runtime is a no-op when satisfied; executing a
+            // violated assumption means the run is outside the verified
+            // envelope, which we surface like a failed assertion.
+            CmdKind::Assume(e) => {
+                if self.eval_bool(e)? {
+                    Ok(())
+                } else {
+                    Err(InterpError::AssertionFailed(format!(
+                        "assume {}",
+                        shadowdp_syntax::pretty_expr(e)
+                    )))
+                }
+            }
+            CmdKind::Havoc(_) => Err(InterpError::HavocNotExecutable),
+        }
+    }
+
+    fn eval(&self, e: &Expr) -> Result<Value, InterpError> {
+        match e {
+            Expr::Num(r) => Ok(Value::Num(rat_to_f64(*r))),
+            Expr::Bool(b) => Ok(Value::Bool(*b)),
+            Expr::Nil => Ok(Value::List(Vec::new())),
+            Expr::Var(n) => self
+                .memory
+                .get(n)
+                .cloned()
+                .ok_or_else(|| InterpError::UnboundVariable(n.clone())),
+            Expr::Unary(op, inner) => {
+                let v = self.eval(inner)?;
+                match op {
+                    UnOp::Neg => Ok(Value::Num(
+                        -v.as_num().ok_or(InterpError::TypeMismatch("number"))?,
+                    )),
+                    UnOp::Not => Ok(Value::Bool(
+                        !v.as_bool().ok_or(InterpError::TypeMismatch("boolean"))?,
+                    )),
+                    UnOp::Abs => Ok(Value::Num(
+                        v.as_num()
+                            .ok_or(InterpError::TypeMismatch("number"))?
+                            .abs(),
+                    )),
+                    UnOp::Sgn => Ok(Value::Num(
+                        v.as_num()
+                            .ok_or(InterpError::TypeMismatch("number"))?
+                            .signum_zero(),
+                    )),
+                }
+            }
+            Expr::Binary(op, a, b) => self.eval_binary(*op, a, b),
+            Expr::Ternary(c, t, f) => {
+                if self.eval_bool(c)? {
+                    self.eval(t)
+                } else {
+                    self.eval(f)
+                }
+            }
+            Expr::Cons(head, tail) => {
+                let h = self.eval(head)?;
+                let t = self.eval(tail)?;
+                match t {
+                    Value::List(mut xs) => {
+                        // Paper `e1 :: e2` appends at the front.
+                        xs.insert(0, h);
+                        Ok(Value::List(xs))
+                    }
+                    _ => Err(InterpError::TypeMismatch("list")),
+                }
+            }
+            Expr::Index(base, idx) => {
+                let list = self.eval(base)?;
+                let i = self.eval_num(idx)?;
+                let xs = list.as_list().ok_or(InterpError::TypeMismatch("list"))?;
+                if i < 0.0 || i.fract() != 0.0 || (i as usize) >= xs.len() {
+                    return Err(InterpError::IndexOutOfBounds {
+                        index: i,
+                        len: xs.len(),
+                    });
+                }
+                Ok(xs[i as usize].clone())
+            }
+        }
+    }
+
+    fn eval_binary(&self, op: BinOp, a: &Expr, b: &Expr) -> Result<Value, InterpError> {
+        match op {
+            BinOp::And => {
+                // Short-circuit (matches every mainstream semantics and
+                // avoids spurious errors from the unevaluated side).
+                if !self.eval_bool(a)? {
+                    return Ok(Value::Bool(false));
+                }
+                Ok(Value::Bool(self.eval_bool(b)?))
+            }
+            BinOp::Or => {
+                if self.eval_bool(a)? {
+                    return Ok(Value::Bool(true));
+                }
+                Ok(Value::Bool(self.eval_bool(b)?))
+            }
+            _ => {
+                let x = self.eval_num(a)?;
+                let y = self.eval_num(b)?;
+                Ok(match op {
+                    BinOp::Add => Value::Num(x + y),
+                    BinOp::Sub => Value::Num(x - y),
+                    BinOp::Mul => Value::Num(x * y),
+                    BinOp::Div => {
+                        if y == 0.0 {
+                            return Err(InterpError::DivisionByZero);
+                        }
+                        Value::Num(x / y)
+                    }
+                    BinOp::Mod => {
+                        if y == 0.0 {
+                            return Err(InterpError::DivisionByZero);
+                        }
+                        Value::Num(x.rem_euclid(y))
+                    }
+                    BinOp::Lt => Value::Bool(x < y),
+                    BinOp::Le => Value::Bool(x <= y),
+                    BinOp::Gt => Value::Bool(x > y),
+                    BinOp::Ge => Value::Bool(x >= y),
+                    BinOp::Eq => Value::Bool(x == y),
+                    BinOp::Ne => Value::Bool(x != y),
+                    BinOp::And | BinOp::Or => unreachable!("handled above"),
+                })
+            }
+        }
+    }
+
+    fn eval_num(&self, e: &Expr) -> Result<f64, InterpError> {
+        self.eval(e)?
+            .as_num()
+            .ok_or(InterpError::TypeMismatch("number"))
+    }
+
+    fn eval_bool(&self, e: &Expr) -> Result<bool, InterpError> {
+        self.eval(e)?
+            .as_bool()
+            .ok_or(InterpError::TypeMismatch("boolean"))
+    }
+}
+
+fn rat_to_f64(r: Rat) -> f64 {
+    r.to_f64()
+}
+
+/// `signum` that maps `0.0` to `0.0` (f64::signum maps it to 1.0).
+trait SignumZero {
+    fn signum_zero(self) -> f64;
+}
+
+impl SignumZero for f64 {
+    fn signum_zero(self) -> f64 {
+        if self == 0.0 {
+            0.0
+        } else {
+            self.signum()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shadowdp_syntax::parse_function;
+
+    fn run_src(src: &str, inputs: &[(&str, Value)]) -> Result<RunResult, InterpError> {
+        let f = parse_function(src).expect("test program parses");
+        let mut interp = Interp::with_seed(99);
+        interp.run(&f, inputs.iter().cloned())
+    }
+
+    #[test]
+    fn arithmetic_and_lists() {
+        let r = run_src(
+            "function F(q: list num(0,0)) returns out: num(0,0) {
+                out := q[0] + q[1] * 2 - 1;
+             }",
+            &[("q", Value::num_list([3.0, 4.0]))],
+        )
+        .unwrap();
+        assert_eq!(r.output, Value::num(10.0));
+    }
+
+    #[test]
+    fn cons_appends_at_front() {
+        let r = run_src(
+            "function F(eps: num(0,0)) returns out: list num(0,0) {
+                out := nil;
+                out := 1 :: out;
+                out := 2 :: out;
+             }",
+            &[("eps", Value::num(1.0))],
+        )
+        .unwrap();
+        assert_eq!(r.output, Value::num_list([2.0, 1.0]));
+    }
+
+    #[test]
+    fn while_loop_sums() {
+        let r = run_src(
+            "function F(size: num(0,0), q: list num(0,0)) returns out: num(0,0) {
+                out := 0; i := 0;
+                while (i < size) {
+                    out := out + q[i];
+                    i := i + 1;
+                }
+             }",
+            &[("size", Value::num(3.0)), ("q", Value::num_list([1.0, 2.0, 3.0]))],
+        )
+        .unwrap();
+        assert_eq!(r.output, Value::num(6.0));
+    }
+
+    #[test]
+    fn sampling_records_trace_and_replay_reproduces() {
+        let src = "function F(eps: num(0,0)) returns out: num(0,0) {
+            e1 := lap(1 / eps) { select: aligned, align: 0 };
+            e2 := lap(2 / eps) { select: aligned, align: 0 };
+            out := e1 + e2;
+        }";
+        let f = parse_function(src).unwrap();
+        let mut interp = Interp::with_seed(5);
+        let r1 = interp.run(&f, [("eps", Value::num(1.0))]).unwrap();
+        assert_eq!(r1.noise.len(), 2);
+        // Replay the exact same noise: identical output.
+        let r2 = interp
+            .run_with_noise(&f, [("eps", Value::num(1.0))], &r1.noise)
+            .unwrap();
+        assert_eq!(r1.output, r2.output);
+        // Replay shifted noise: shifted output.
+        let shifted: Vec<f64> = r1.noise.iter().map(|x| x + 1.0).collect();
+        let r3 = interp
+            .run_with_noise(&f, [("eps", Value::num(1.0))], &shifted)
+            .unwrap();
+        let diff = r3.output.as_num().unwrap() - (r1.output.as_num().unwrap() + 2.0);
+        assert!(diff.abs() < 1e-9, "shifted replay off by {diff}");
+    }
+
+    #[test]
+    fn noise_exhaustion_reported() {
+        let src = "function F(eps: num(0,0)) returns out: num(0,0) {
+            e1 := lap(1) { select: aligned, align: 0 };
+            e2 := lap(1) { select: aligned, align: 0 };
+            out := e1 + e2;
+        }";
+        let f = parse_function(src).unwrap();
+        let mut interp = Interp::with_seed(5);
+        let err = interp
+            .run_with_noise(&f, [("eps", Value::num(1.0))], &[0.5])
+            .unwrap_err();
+        assert_eq!(err, InterpError::NoiseExhausted);
+    }
+
+    #[test]
+    fn bad_scale_rejected() {
+        let err = run_src(
+            "function F(eps: num(0,0)) returns out: num(0,0) {
+                e1 := lap(0 - eps) { select: aligned, align: 0 };
+                out := e1;
+             }",
+            &[("eps", Value::num(1.0))],
+        )
+        .unwrap_err();
+        assert!(matches!(err, InterpError::BadScale(_)));
+    }
+
+    #[test]
+    fn assertion_failure_surfaces() {
+        let err = run_src(
+            "function F(eps: num(0,0)) returns out: num(0,0) {
+                assert(eps > 1);
+                out := 0;
+             }",
+            &[("eps", Value::num(0.5))],
+        )
+        .unwrap_err();
+        assert!(matches!(err, InterpError::AssertionFailed(_)));
+    }
+
+    #[test]
+    fn havoc_is_not_executable() {
+        let err = run_src(
+            "function F(eps: num(0,0)) returns out: num(0,0) {
+                havoc out;
+             }",
+            &[("eps", Value::num(1.0))],
+        )
+        .unwrap_err();
+        assert_eq!(err, InterpError::HavocNotExecutable);
+    }
+
+    #[test]
+    fn fuel_guards_infinite_loops() {
+        let f = parse_function(
+            "function F(eps: num(0,0)) returns out: num(0,0) {
+                out := 0;
+                while (0 < 1) { out := out + 1; }
+             }",
+        )
+        .unwrap();
+        let mut interp = Interp::with_seed(1);
+        interp.fuel = 10;
+        let err = interp.run(&f, [("eps", Value::num(1.0))]).unwrap_err();
+        assert_eq!(err, InterpError::FuelExhausted);
+    }
+
+    #[test]
+    fn missing_input_reported() {
+        let err = run_src(
+            "function F(eps: num(0,0), x: num(0,0)) returns out: num(0,0) { out := x; }",
+            &[("eps", Value::num(1.0))],
+        )
+        .unwrap_err();
+        assert_eq!(err, InterpError::MissingInput("x".into()));
+    }
+
+    #[test]
+    fn index_errors() {
+        let err = run_src(
+            "function F(q: list num(0,0)) returns out: num(0,0) { out := q[5]; }",
+            &[("q", Value::num_list([1.0]))],
+        )
+        .unwrap_err();
+        assert!(matches!(err, InterpError::IndexOutOfBounds { .. }));
+    }
+
+    #[test]
+    fn ternary_and_mod() {
+        let r = run_src(
+            "function F(x: num(0,0)) returns out: num(0,0) {
+                out := x % 3 == 0 ? 100 : 7;
+             }",
+            &[("x", Value::num(9.0))],
+        )
+        .unwrap();
+        assert_eq!(r.output, Value::num(100.0));
+    }
+
+    #[test]
+    fn short_circuit_avoids_errors() {
+        // i == 0 || q[i-1] > 0 must not index q[-1] when i == 0.
+        let r = run_src(
+            "function F(q: list num(0,0)) returns out: num(0,0) {
+                i := 0;
+                if (i == 0 || q[i - 1] > 0) { out := 1; } else { out := 0; }
+             }",
+            &[("q", Value::num_list([1.0]))],
+        )
+        .unwrap();
+        assert_eq!(r.output, Value::num(1.0));
+    }
+
+    #[test]
+    fn transformed_style_program_with_hat_vars_runs() {
+        let r = run_src(
+            "function F(eps: num(0,0), x: num(0,0)) returns out: num(0,0) {
+                ^x := 1;
+                ~x := 0 - 1;
+                out := x + ^x + ~x;
+             }",
+            &[("eps", Value::num(1.0)), ("x", Value::num(5.0))],
+        )
+        .unwrap();
+        assert_eq!(r.output, Value::num(5.0));
+        assert_eq!(
+            r.memory.get(&Name::plain("x").aligned_hat()),
+            Some(&Value::num(1.0))
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! The Laplace distribution: sampling and density helpers.
+
+use rand::Rng;
+
+/// The Laplace distribution with mean zero and a positive scale.
+///
+/// # Examples
+///
+/// ```
+/// use shadowdp_semantics::Laplace;
+/// use rand::SeedableRng;
+///
+/// let lap = Laplace::new(2.0).unwrap();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+/// let x = lap.sample(&mut rng);
+/// assert!(x.is_finite());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Laplace {
+    scale: f64,
+}
+
+impl Laplace {
+    /// Creates a Laplace distribution with the given scale `b > 0`.
+    ///
+    /// Returns `None` for non-positive or non-finite scales (a ShadowDP
+    /// program whose scale expression evaluates badly is a runtime error
+    /// handled by the interpreter).
+    pub fn new(scale: f64) -> Option<Laplace> {
+        if scale.is_finite() && scale > 0.0 {
+            Some(Laplace { scale })
+        } else {
+            None
+        }
+    }
+
+    /// The scale parameter.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Draws one sample by inverse-CDF: for `u ~ U(-1/2, 1/2)`,
+    /// `x = -b · sgn(u) · ln(1 - 2|u|)`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(-0.5..0.5);
+        // 1 - 2|u| ∈ (0, 1]; guard the zero endpoint floating point could
+        // round to, which would produce -inf.
+        let t = (1.0 - 2.0 * u.abs()).max(f64::MIN_POSITIVE);
+        -self.scale * u.signum() * t.ln()
+    }
+
+    /// Natural log of the density at `x`: `-|x|/b - ln(2b)`.
+    pub fn log_density(&self, x: f64) -> f64 {
+        -x.abs() / self.scale - (2.0 * self.scale).ln()
+    }
+
+    /// The log of the density ratio `p(x) / p(y)`; bounded by `|x-y|/b`.
+    pub fn log_density_ratio(&self, x: f64, y: f64) -> f64 {
+        (y.abs() - x.abs()) / self.scale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_scales() {
+        assert!(Laplace::new(0.0).is_none());
+        assert!(Laplace::new(-1.0).is_none());
+        assert!(Laplace::new(f64::NAN).is_none());
+        assert!(Laplace::new(f64::INFINITY).is_none());
+        assert!(Laplace::new(2.0).is_some());
+    }
+
+    #[test]
+    fn samples_are_finite_and_centered() {
+        let lap = Laplace::new(1.0).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let mut sum = 0.0;
+        let mut abs_sum = 0.0;
+        for _ in 0..n {
+            let x = lap.sample(&mut rng);
+            assert!(x.is_finite());
+            sum += x;
+            abs_sum += x.abs();
+        }
+        let mean = sum / n as f64;
+        let mean_abs = abs_sum / n as f64;
+        // E[X] = 0, E[|X|] = b = 1.
+        assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
+        assert!((mean_abs - 1.0).abs() < 0.05, "E|X| {mean_abs} too far from 1");
+    }
+
+    #[test]
+    fn scale_scales_spread() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let small = Laplace::new(0.5).unwrap();
+        let large = Laplace::new(5.0).unwrap();
+        let n = 10_000;
+        let spread = |lap: &Laplace, rng: &mut rand::rngs::StdRng| -> f64 {
+            (0..n).map(|_| lap.sample(rng).abs()).sum::<f64>() / n as f64
+        };
+        let s = spread(&small, &mut rng);
+        let l = spread(&large, &mut rng);
+        assert!(l > 5.0 * s / 2.0, "spreads: small {s}, large {l}");
+    }
+
+    #[test]
+    fn density_ratio_bound() {
+        // p(x)/p(x+c) <= exp(|c|/b): the randomness-alignment cost bound.
+        let lap = Laplace::new(2.0).unwrap();
+        for x in [-3.0, -0.5, 0.0, 1.0, 7.0] {
+            for c in [-2.0, -1.0, 0.5, 2.0] {
+                let lr = lap.log_density(x) - lap.log_density(x + c);
+                assert!(
+                    lr <= c.abs() / 2.0 + 1e-12,
+                    "log ratio {lr} exceeds bound {} at x={x}, c={c}",
+                    c.abs() / 2.0
+                );
+                assert!(
+                    (lap.log_density_ratio(x, x + c) - lr).abs() < 1e-12,
+                    "log_density_ratio disagrees with densities"
+                );
+            }
+        }
+    }
+}

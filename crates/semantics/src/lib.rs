@@ -1,0 +1,50 @@
+//! Runtime semantics for ShadowDP programs.
+//!
+//! The paper (Appendix A, Fig. 7) gives ShadowDP a Kozen-style
+//! sub-distribution semantics. This crate realizes that semantics as a
+//! sampling interpreter:
+//!
+//! - [`value`] — runtime values (numbers, booleans, lists);
+//! - [`memory`] — memory states mapping (possibly hatted) names to values;
+//! - [`interp`] — big-step evaluation of expressions and commands, with
+//!   Laplace sampling, noise-trace recording, and noise replay (the latter
+//!   is what lets tests *evaluate a randomness alignment*: run the program
+//!   on the adjacent input with the aligned noise vector and compare
+//!   outputs);
+//! - [`laplace`] — the Laplace sampler and density helpers;
+//! - [`empirical`] — a StatDP-style empirical differential-privacy tester
+//!   (runs a mechanism many times on a pair of adjacent inputs and reports
+//!   the worst observed log-probability ratio over output events), used for
+//!   the paper's bug-finding motivation.
+//!
+//! # Examples
+//!
+//! ```
+//! use shadowdp_semantics::{Interp, Value};
+//! use shadowdp_syntax::parse_function;
+//!
+//! let f = parse_function(
+//!     "function AddNoise(eps: num(0,0), x: num(1,1)) returns out: num(0,0) {
+//!         eta := lap(1 / eps) { select: aligned, align: -1 };
+//!         out := x + eta;
+//!      }",
+//! ).unwrap();
+//! let mut interp = Interp::with_seed(7);
+//! let run = interp
+//!     .run(&f, [("eps", Value::num(1.0)), ("x", Value::num(10.0))])
+//!     .unwrap();
+//! assert_eq!(run.noise.len(), 1);
+//! assert_eq!(run.output.as_num().unwrap(), 10.0 + run.noise[0]);
+//! ```
+
+pub mod empirical;
+pub mod interp;
+pub mod laplace;
+pub mod memory;
+pub mod value;
+
+pub use empirical::{DpEstimate, DpTestConfig, estimate_privacy_loss};
+pub use interp::{Interp, InterpError, RunResult};
+pub use laplace::Laplace;
+pub use memory::Memory;
+pub use value::Value;

@@ -1,0 +1,102 @@
+//! Memory states.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use shadowdp_syntax::Name;
+
+use crate::value::Value;
+
+/// A memory state `m : Vars → Values`.
+///
+/// Keys are [`Name`]s, so the *transformed* program's distance-tracking
+/// variables (`^x`, `~x`) live alongside plain variables when executing
+/// type-system output for differential testing.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Memory {
+    map: BTreeMap<Name, Value>,
+}
+
+impl Memory {
+    /// An empty memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Builds a memory from `(plain-name, value)` pairs.
+    pub fn from_inputs<'a>(inputs: impl IntoIterator<Item = (&'a str, Value)>) -> Memory {
+        let mut m = Memory::new();
+        for (k, v) in inputs {
+            m.set(Name::plain(k), v);
+        }
+        m
+    }
+
+    /// Reads a variable.
+    pub fn get(&self, name: &Name) -> Option<&Value> {
+        self.map.get(name)
+    }
+
+    /// Writes a variable.
+    pub fn set(&mut self, name: Name, value: Value) {
+        self.map.insert(name, value);
+    }
+
+    /// Whether the variable is bound.
+    pub fn contains(&self, name: &Name) -> bool {
+        self.map.contains_key(name)
+    }
+
+    /// Iterates over bindings in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Name, &Value)> {
+        self.map.iter()
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the memory has no bindings.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+impl fmt::Display for Memory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (k, v)) in self.map.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k} = {v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_and_hat_names_are_distinct() {
+        let mut m = Memory::new();
+        let x = Name::plain("x");
+        m.set(x.clone(), Value::num(1.0));
+        m.set(x.aligned_hat(), Value::num(2.0));
+        m.set(x.shadow_hat(), Value::num(3.0));
+        assert_eq!(m.get(&x), Some(&Value::num(1.0)));
+        assert_eq!(m.get(&x.aligned_hat()), Some(&Value::num(2.0)));
+        assert_eq!(m.get(&x.shadow_hat()), Some(&Value::num(3.0)));
+        assert_eq!(m.len(), 3);
+    }
+
+    #[test]
+    fn from_inputs() {
+        let m = Memory::from_inputs([("eps", Value::num(0.5))]);
+        assert!(m.contains(&Name::plain("eps")));
+        assert!(!m.is_empty());
+    }
+}

@@ -1,0 +1,474 @@
+//! Fourier–Motzkin elimination over conjunctions of linear constraints,
+//! with model reconstruction.
+//!
+//! This is the theory core of the solver: given a conjunction of constraints
+//! `lin ⊙ 0` (with `⊙ ∈ {≤, <, =}`), decide satisfiability over the
+//! rationals and, if satisfiable, produce a satisfying assignment.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use shadowdp_num::Rat;
+
+use crate::linear::LinExpr;
+
+/// Relation of a constraint against zero.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Rel {
+    /// `lin <= 0`
+    Le,
+    /// `lin < 0`
+    Lt,
+    /// `lin == 0`
+    Eq,
+}
+
+/// A linear constraint `lin ⊙ 0`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Constraint {
+    /// Left-hand side.
+    pub lin: LinExpr,
+    /// Relation against zero.
+    pub rel: Rel,
+}
+
+impl Constraint {
+    /// `lin <= 0`
+    pub fn le0(lin: LinExpr) -> Constraint {
+        Constraint { lin, rel: Rel::Le }
+    }
+
+    /// `lin < 0`
+    pub fn lt0(lin: LinExpr) -> Constraint {
+        Constraint { lin, rel: Rel::Lt }
+    }
+
+    /// `lin == 0`
+    pub fn eq0(lin: LinExpr) -> Constraint {
+        Constraint { lin, rel: Rel::Eq }
+    }
+
+    /// Whether the constraint holds under `assignment`.
+    pub fn eval(&self, assignment: &BTreeMap<String, Rat>) -> bool {
+        let v = self.lin.eval(assignment);
+        match self.rel {
+            Rel::Le => v <= Rat::ZERO,
+            Rel::Lt => v < Rat::ZERO,
+            Rel::Eq => v.is_zero(),
+        }
+    }
+
+    /// If the constraint mentions no variables, evaluates it.
+    fn as_ground(&self) -> Option<bool> {
+        if !self.lin.is_constant() {
+            return None;
+        }
+        let c = self.lin.constant_part();
+        Some(match self.rel {
+            Rel::Le => c <= Rat::ZERO,
+            Rel::Lt => c < Rat::ZERO,
+            Rel::Eq => c.is_zero(),
+        })
+    }
+}
+
+impl std::fmt::Display for Constraint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let rel = match self.rel {
+            Rel::Le => "<=",
+            Rel::Lt => "<",
+            Rel::Eq => "==",
+        };
+        write!(f, "{} {} 0", self.lin, rel)
+    }
+}
+
+/// Result of a Fourier–Motzkin satisfiability check.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FmResult {
+    /// Satisfiable, with a witness assignment for every mentioned variable.
+    Sat(BTreeMap<String, Rat>),
+    /// Unsatisfiable.
+    Unsat,
+}
+
+impl FmResult {
+    /// Whether the result is `Sat`.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, FmResult::Sat(_))
+    }
+}
+
+/// Decides satisfiability of a conjunction of linear constraints over the
+/// rationals; returns a model when satisfiable.
+///
+/// The procedure first uses equalities as substitutions (Gaussian
+/// elimination), then eliminates the remaining variables one at a time,
+/// combining every lower bound with every upper bound. Model reconstruction
+/// walks the eliminations backwards, picking a value inside the final
+/// bounds at each step.
+///
+/// # Examples
+///
+/// ```
+/// use shadowdp_num::Rat;
+/// use shadowdp_solver::{Constraint, LinExpr};
+/// use shadowdp_solver::fm::{check_sat, FmResult};
+///
+/// // x <= 3  ∧  -x < -1   (i.e. x > 1): satisfiable
+/// let c1 = Constraint::le0(LinExpr::var("x") - LinExpr::constant(Rat::int(3)));
+/// let c2 = Constraint::lt0(LinExpr::constant(Rat::ONE) - LinExpr::var("x"));
+/// match check_sat(&[c1, c2]) {
+///     FmResult::Sat(m) => {
+///         let x = m["x"];
+///         assert!(x > Rat::ONE && x <= Rat::int(3));
+///     }
+///     FmResult::Unsat => panic!("should be satisfiable"),
+/// }
+/// ```
+pub fn check_sat(constraints: &[Constraint]) -> FmResult {
+    // Steps of the elimination, replayed backwards for model construction.
+    enum Step {
+        /// Variable defined by an equality: `var := expr` (expr over
+        /// still-unresolved variables).
+        Defined { var: String, expr: LinExpr },
+        /// Variable eliminated by FM; the bounds refer to the constraint
+        /// system at that point.
+        Eliminated {
+            var: String,
+            lowers: Vec<(LinExpr, bool)>, // (bound_expr, strict): var >(=) bound
+            uppers: Vec<(LinExpr, bool)>, // (bound_expr, strict): var <(=) bound
+        },
+    }
+
+    let mut work: Vec<Constraint> = Vec::new();
+    for c in constraints {
+        match c.as_ground() {
+            Some(true) => {}
+            Some(false) => return FmResult::Unsat,
+            None => work.push(c.clone()),
+        }
+    }
+    dedupe(&mut work);
+
+    let mut steps: Vec<Step> = Vec::new();
+
+    // Phase 1: Gaussian elimination on equalities.
+    loop {
+        let Some(pos) = work.iter().position(|c| c.rel == Rel::Eq) else {
+            break;
+        };
+        let eq = work.swap_remove(pos);
+        // Pick the variable with the "simplest" coefficient to solve for.
+        let Some((var, k)) = eq.lin.terms().next().map(|(v, k)| (v.to_string(), k)) else {
+            // Ground equality.
+            if eq.lin.constant_part().is_zero() {
+                continue;
+            }
+            return FmResult::Unsat;
+        };
+        // var == -(lin - k*var)/k
+        let mut rest = eq.lin.clone();
+        rest.add_term(&var, -k);
+        let def = rest.scale(-Rat::ONE / k);
+        for c in &mut work {
+            c.lin = c.lin.subst(&var, &def);
+        }
+        // Re-check ground constraints created by the substitution.
+        let mut next = Vec::with_capacity(work.len());
+        for c in work {
+            match c.as_ground() {
+                Some(true) => {}
+                Some(false) => return FmResult::Unsat,
+                None => next.push(c),
+            }
+        }
+        work = next;
+        dedupe(&mut work);
+        steps.push(Step::Defined { var, expr: def });
+    }
+
+    // Phase 2: Fourier–Motzkin on the inequalities.
+    loop {
+        // Pick the variable occurring in the fewest constraints (greedy
+        // heuristic to limit blowup).
+        let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+        for c in &work {
+            for v in c.lin.vars() {
+                *counts.entry(v.to_string()).or_insert(0) += 1;
+            }
+        }
+        let Some((var, _)) = counts.into_iter().min_by_key(|(_, n)| *n) else {
+            break; // no variables left
+        };
+
+        let mut lowers: Vec<(LinExpr, bool)> = Vec::new();
+        let mut uppers: Vec<(LinExpr, bool)> = Vec::new();
+        let mut rest: Vec<Constraint> = Vec::new();
+        for c in work {
+            let k = c.lin.coeff(&var);
+            if k.is_zero() {
+                rest.push(c);
+                continue;
+            }
+            // k*var + r ⊙ 0  with ⊙ ∈ {<=, <}
+            let mut r = c.lin.clone();
+            r.add_term(&var, -k);
+            let strict = c.rel == Rel::Lt;
+            let bound = r.scale(-Rat::ONE / k);
+            if k.is_positive() {
+                // var <=(<) bound
+                uppers.push((bound, strict));
+            } else {
+                // var >=(>) bound
+                lowers.push((bound, strict));
+            }
+        }
+        // Combine lower and upper bounds: lower ⊙ upper.
+        for (lo, lo_strict) in &lowers {
+            for (hi, hi_strict) in &uppers {
+                let lin = lo.clone() - hi.clone();
+                let strict = *lo_strict || *hi_strict;
+                let c = if strict {
+                    Constraint::lt0(lin)
+                } else {
+                    Constraint::le0(lin)
+                };
+                match c.as_ground() {
+                    Some(true) => {}
+                    Some(false) => return FmResult::Unsat,
+                    None => rest.push(c),
+                }
+            }
+        }
+        dedupe(&mut rest);
+        work = rest;
+        steps.push(Step::Eliminated {
+            var,
+            lowers,
+            uppers,
+        });
+    }
+
+    // All remaining constraints are ground and were checked; reconstruct a
+    // model by replaying the steps backwards.
+    let mut model: BTreeMap<String, Rat> = BTreeMap::new();
+    for step in steps.iter().rev() {
+        match step {
+            Step::Eliminated {
+                var,
+                lowers,
+                uppers,
+            } => {
+                let lo = tighten(lowers, &model, true);
+                let hi = tighten(uppers, &model, false);
+                let value = choose_value(lo, hi);
+                model.insert(var.clone(), value);
+            }
+            Step::Defined { var, expr } => {
+                let value = expr.eval(&model);
+                model.insert(var.clone(), value);
+            }
+        }
+    }
+    FmResult::Sat(model)
+}
+
+/// Evaluates a set of bounds under `model` and returns the tightest one:
+/// for lower bounds (`is_lower = true`) the maximum, preferring strict at
+/// ties; for upper bounds the minimum, preferring strict at ties.
+fn tighten(
+    bounds: &[(LinExpr, bool)],
+    model: &BTreeMap<String, Rat>,
+    is_lower: bool,
+) -> Option<(Rat, bool)> {
+    let mut best: Option<(Rat, bool)> = None;
+    for (e, strict) in bounds {
+        let v = e.eval(model);
+        best = Some(match best {
+            None => (v, *strict),
+            Some((bv, bs)) => {
+                if v == bv {
+                    (bv, bs || *strict)
+                } else if (is_lower && v > bv) || (!is_lower && v < bv) {
+                    (v, *strict)
+                } else {
+                    (bv, bs)
+                }
+            }
+        });
+    }
+    best
+}
+
+/// Picks a rational strictly/weakly between the given bounds. The bounds are
+/// guaranteed compatible because elimination already checked all
+/// combinations.
+fn choose_value(lo: Option<(Rat, bool)>, hi: Option<(Rat, bool)>) -> Rat {
+    match (lo, hi) {
+        (None, None) => Rat::ZERO,
+        (Some((l, strict)), None) => {
+            if strict {
+                l + Rat::ONE
+            } else {
+                l
+            }
+        }
+        (None, Some((h, strict))) => {
+            if strict {
+                h - Rat::ONE
+            } else {
+                h
+            }
+        }
+        (Some((l, ls)), Some((h, hs))) => {
+            if !ls && l == h {
+                // l <= x <= h with l == h forces x = l (h side must be weak
+                // too, otherwise elimination would have failed).
+                debug_assert!(!hs);
+                l
+            } else if !ls {
+                if !hs {
+                    // midpoint works for weak bounds too
+                    (l + h) / Rat::TWO
+                } else {
+                    l // l satisfies l <= x < h since l < h here
+                }
+            } else if !hs {
+                h
+            } else {
+                (l + h) / Rat::TWO
+            }
+        }
+    }
+}
+
+/// Removes duplicate constraints (syntactic, after normal forms).
+fn dedupe(cs: &mut Vec<Constraint>) {
+    let mut seen = std::collections::HashSet::new();
+    cs.retain(|c| seen.insert(c.clone()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn le(lin: LinExpr) -> Constraint {
+        Constraint::le0(lin)
+    }
+
+    fn x() -> LinExpr {
+        LinExpr::var("x")
+    }
+
+    fn y() -> LinExpr {
+        LinExpr::var("y")
+    }
+
+    fn k(n: i128) -> LinExpr {
+        LinExpr::constant(Rat::int(n))
+    }
+
+    #[test]
+    fn trivial_sat_and_unsat() {
+        assert!(check_sat(&[]).is_sat());
+        assert!(check_sat(&[le(k(-1))]).is_sat());
+        assert_eq!(check_sat(&[le(k(1))]), FmResult::Unsat);
+        assert_eq!(check_sat(&[Constraint::lt0(k(0))]), FmResult::Unsat);
+        assert!(check_sat(&[Constraint::eq0(k(0))]).is_sat());
+        assert_eq!(check_sat(&[Constraint::eq0(k(2))]), FmResult::Unsat);
+    }
+
+    #[test]
+    fn bounded_interval() {
+        // 1 <= x <= 3
+        let cs = [le(k(1) - x()), le(x() - k(3))];
+        match check_sat(&cs) {
+            FmResult::Sat(m) => {
+                assert!(cs.iter().all(|c| c.eval(&m)), "model violates input: {m:?}");
+            }
+            FmResult::Unsat => panic!("should be sat"),
+        }
+    }
+
+    #[test]
+    fn empty_interval_is_unsat() {
+        // x <= 1 ∧ x >= 2
+        let cs = [le(x() - k(1)), le(k(2) - x())];
+        assert_eq!(check_sat(&cs), FmResult::Unsat);
+    }
+
+    #[test]
+    fn strictness_matters() {
+        // x <= 1 ∧ x >= 1 is sat (x = 1) but x < 1 ∧ x >= 1 is unsat
+        assert!(check_sat(&[le(x() - k(1)), le(k(1) - x())]).is_sat());
+        assert_eq!(
+            check_sat(&[Constraint::lt0(x() - k(1)), le(k(1) - x())]),
+            FmResult::Unsat
+        );
+    }
+
+    #[test]
+    fn equalities_substitute() {
+        // x == y + 1 ∧ y == 2  =>  x == 3; check with x <= 3 ∧ x >= 3
+        let cs = [
+            Constraint::eq0(x() - y() - k(1)),
+            Constraint::eq0(y() - k(2)),
+            le(x() - k(3)),
+            le(k(3) - x()),
+        ];
+        match check_sat(&cs) {
+            FmResult::Sat(m) => {
+                assert_eq!(m["x"], Rat::int(3));
+                assert_eq!(m["y"], Rat::int(2));
+            }
+            FmResult::Unsat => panic!("should be sat"),
+        }
+    }
+
+    #[test]
+    fn inconsistent_equalities() {
+        let cs = [Constraint::eq0(x() - k(1)), Constraint::eq0(x() - k(2))];
+        assert_eq!(check_sat(&cs), FmResult::Unsat);
+    }
+
+    #[test]
+    fn two_variable_system() {
+        // x + y <= 1 ∧ x - y <= 1 ∧ -x < 0 (x > 0)
+        let cs = [
+            le(x() + y() - k(1)),
+            le(x() - y() - k(1)),
+            Constraint::lt0(-x()),
+        ];
+        match check_sat(&cs) {
+            FmResult::Sat(m) => assert!(cs.iter().all(|c| c.eval(&m))),
+            FmResult::Unsat => panic!("should be sat"),
+        }
+    }
+
+    #[test]
+    fn chained_transitivity_unsat() {
+        // x <= y ∧ y <= z ∧ z < x is unsat
+        let z = LinExpr::var("z");
+        let cs = [
+            le(x() - y()),
+            le(y() - z.clone()),
+            Constraint::lt0(z - x()),
+        ];
+        assert_eq!(check_sat(&cs), FmResult::Unsat);
+    }
+
+    #[test]
+    fn model_satisfies_equalities_mixed_with_inequalities() {
+        // x == 2y ∧ y >= 3 ∧ x <= 10
+        let cs = [
+            Constraint::eq0(x() - y().scale(Rat::int(2))),
+            le(k(3) - y()),
+            le(x() - k(10)),
+        ];
+        match check_sat(&cs) {
+            FmResult::Sat(m) => assert!(cs.iter().all(|c| c.eval(&m)), "{m:?}"),
+            FmResult::Unsat => panic!("should be sat"),
+        }
+    }
+}

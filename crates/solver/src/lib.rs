@@ -1,0 +1,51 @@
+//! An SMT-lite decision procedure for quantifier-free linear rational
+//! arithmetic (QF-LRA) with boolean structure.
+//!
+//! This crate stands in for the Z3 / MathSAT / SMTInterpol backends the
+//! ShadowDP paper uses: the type system's side conditions ((T-ODot) branch
+//! consistency, (T-Laplace) injectivity) and the verifier's verification
+//! conditions are all QF-LRA after the paper's own linearization rewrites.
+//!
+//! Architecture:
+//!
+//! - [`term`] — a two-sorted term language (reals and booleans) with `ite`,
+//!   `abs`, and the usual connectives;
+//! - [`linear`] — linear normal form `c + Σ aᵢ·xᵢ`;
+//! - [`normalize`] — desugaring (`abs`/`ite` lifting, implication
+//!   elimination), NNF, and *sound abstraction* of non-linear atoms by fresh
+//!   boolean symbols;
+//! - [`fm`] — Fourier–Motzkin elimination with model reconstruction;
+//! - [`solve`] — a tableau-style search over the boolean structure with
+//!   eager theory pruning, and the public [`Solver`] API.
+//!
+//! # Soundness of abstraction
+//!
+//! Atoms the linearizer cannot handle (products of unknowns, `mod` with a
+//! symbolic modulus) are replaced by fresh boolean variables. Abstraction
+//! only *adds* models, so `Unsat` answers — and therefore `Proved` answers
+//! from [`Solver::prove`] — remain sound. `Sat` answers whose model touches
+//! an abstracted atom are flagged [`Model::possibly_spurious`].
+//!
+//! # Examples
+//!
+//! ```
+//! use shadowdp_solver::{Solver, Term};
+//!
+//! let solver = Solver::new();
+//! let x = Term::real_var("x");
+//! // prove:  x >= 1  ⊢  2*x > 1
+//! let hyp = x.clone().ge(Term::int(1));
+//! let goal = Term::int(2).mul(x).gt(Term::int(1));
+//! assert!(solver.prove(&[hyp], &goal).is_proved());
+//! ```
+
+pub mod fm;
+pub mod linear;
+pub mod normalize;
+pub mod solve;
+pub mod term;
+
+pub use fm::{Constraint, Rel};
+pub use linear::LinExpr;
+pub use solve::{CheckResult, Model, ProveResult, Solver, SolverStats};
+pub use term::Term;

@@ -1,0 +1,239 @@
+//! Linear normal form for numeric terms: `c + Σ aᵢ·xᵢ`.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use shadowdp_num::Rat;
+
+/// A linear expression over real-sorted variables.
+///
+/// # Examples
+///
+/// ```
+/// use shadowdp_num::Rat;
+/// use shadowdp_solver::LinExpr;
+///
+/// let e = LinExpr::var("x") + LinExpr::var("x") + LinExpr::constant(Rat::int(3));
+/// assert_eq!(e.coeff("x"), Rat::int(2));
+/// assert_eq!(e.constant_part(), Rat::int(3));
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct LinExpr {
+    constant: Rat,
+    /// Invariant: no zero coefficients are stored.
+    coeffs: BTreeMap<String, Rat>,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    pub fn zero() -> LinExpr {
+        LinExpr::default()
+    }
+
+    /// A constant expression.
+    pub fn constant(c: Rat) -> LinExpr {
+        LinExpr {
+            constant: c,
+            coeffs: BTreeMap::new(),
+        }
+    }
+
+    /// A single variable with coefficient 1.
+    pub fn var(name: impl Into<String>) -> LinExpr {
+        let mut coeffs = BTreeMap::new();
+        coeffs.insert(name.into(), Rat::ONE);
+        LinExpr {
+            constant: Rat::ZERO,
+            coeffs,
+        }
+    }
+
+    /// The constant part `c`.
+    pub fn constant_part(&self) -> Rat {
+        self.constant
+    }
+
+    /// The coefficient of `name` (zero if absent).
+    pub fn coeff(&self, name: &str) -> Rat {
+        self.coeffs.get(name).copied().unwrap_or(Rat::ZERO)
+    }
+
+    /// Iterates over `(variable, coefficient)` pairs with nonzero
+    /// coefficients, in variable order.
+    pub fn terms(&self) -> impl Iterator<Item = (&str, Rat)> + '_ {
+        self.coeffs.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Whether the expression is a constant (mentions no variables).
+    pub fn is_constant(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// The variables mentioned.
+    pub fn vars(&self) -> impl Iterator<Item = &str> + '_ {
+        self.coeffs.keys().map(|k| k.as_str())
+    }
+
+    /// Scales by a rational.
+    pub fn scale(mut self, k: Rat) -> LinExpr {
+        if k.is_zero() {
+            return LinExpr::zero();
+        }
+        self.constant *= k;
+        for v in self.coeffs.values_mut() {
+            *v *= k;
+        }
+        self
+    }
+
+    /// Adds `k * name` in place.
+    pub fn add_term(&mut self, name: &str, k: Rat) {
+        if k.is_zero() {
+            return;
+        }
+        let entry = self.coeffs.entry(name.to_string()).or_insert(Rat::ZERO);
+        *entry += k;
+        if entry.is_zero() {
+            self.coeffs.remove(name);
+        }
+    }
+
+    /// Adds a constant in place.
+    pub fn add_constant(&mut self, k: Rat) {
+        self.constant += k;
+    }
+
+    /// Substitutes `replacement` for `name`, i.e. `self[name := replacement]`.
+    pub fn subst(&self, name: &str, replacement: &LinExpr) -> LinExpr {
+        let k = self.coeff(name);
+        if k.is_zero() {
+            return self.clone();
+        }
+        let mut out = self.clone();
+        out.coeffs.remove(name);
+        out + replacement.clone().scale(k)
+    }
+
+    /// Evaluates under a variable assignment.
+    ///
+    /// Missing variables default to zero (the solver always produces total
+    /// models over mentioned variables, so this default only matters in
+    /// tests).
+    pub fn eval(&self, assignment: &BTreeMap<String, Rat>) -> Rat {
+        let mut acc = self.constant;
+        for (v, k) in &self.coeffs {
+            acc += *k * assignment.get(v).copied().unwrap_or(Rat::ZERO);
+        }
+        acc
+    }
+}
+
+impl std::ops::Add for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, rhs: LinExpr) -> LinExpr {
+        self.constant += rhs.constant;
+        for (v, k) in rhs.coeffs {
+            let entry = self.coeffs.entry(v.clone()).or_insert(Rat::ZERO);
+            *entry += k;
+            if entry.is_zero() {
+                self.coeffs.remove(&v);
+            }
+        }
+        self
+    }
+}
+
+impl std::ops::Sub for LinExpr {
+    type Output = LinExpr;
+    fn sub(self, rhs: LinExpr) -> LinExpr {
+        self + rhs.scale(-Rat::ONE)
+    }
+}
+
+impl std::ops::Neg for LinExpr {
+    type Output = LinExpr;
+    fn neg(self) -> LinExpr {
+        self.scale(-Rat::ONE)
+    }
+}
+
+impl fmt::Display for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        if !self.constant.is_zero() || self.coeffs.is_empty() {
+            write!(f, "{}", self.constant)?;
+            first = false;
+        }
+        for (v, k) in &self.coeffs {
+            if first {
+                if *k == Rat::ONE {
+                    write!(f, "{v}")?;
+                } else {
+                    write!(f, "{k}*{v}")?;
+                }
+                first = false;
+            } else if k.is_negative() {
+                if *k == Rat::int(-1) {
+                    write!(f, " - {v}")?;
+                } else {
+                    write!(f, " - {}*{v}", -*k)?;
+                }
+            } else if *k == Rat::ONE {
+                write!(f, " + {v}")?;
+            } else {
+                write!(f, " + {k}*{v}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_coeffs() {
+        let e = LinExpr::var("x").scale(Rat::int(2)) + LinExpr::var("y")
+            - LinExpr::constant(Rat::int(5));
+        assert_eq!(e.coeff("x"), Rat::int(2));
+        assert_eq!(e.coeff("y"), Rat::ONE);
+        assert_eq!(e.coeff("z"), Rat::ZERO);
+        assert_eq!(e.constant_part(), Rat::int(-5));
+    }
+
+    #[test]
+    fn cancellation_removes_entries() {
+        let e = LinExpr::var("x") - LinExpr::var("x");
+        assert!(e.is_constant());
+        assert_eq!(e, LinExpr::zero());
+    }
+
+    #[test]
+    fn subst() {
+        // (2x + y + 1)[x := y - 3]  ==  3y - 5
+        let e = LinExpr::var("x").scale(Rat::int(2)) + LinExpr::var("y")
+            + LinExpr::constant(Rat::ONE);
+        let r = LinExpr::var("y") - LinExpr::constant(Rat::int(3));
+        let s = e.subst("x", &r);
+        assert_eq!(s.coeff("y"), Rat::int(3));
+        assert_eq!(s.coeff("x"), Rat::ZERO);
+        assert_eq!(s.constant_part(), Rat::int(-5));
+    }
+
+    #[test]
+    fn eval() {
+        let e = LinExpr::var("x").scale(Rat::int(3)) + LinExpr::constant(Rat::int(1));
+        let mut m = BTreeMap::new();
+        m.insert("x".to_string(), Rat::int(4));
+        assert_eq!(e.eval(&m), Rat::int(13));
+    }
+
+    #[test]
+    fn display() {
+        let e = LinExpr::var("x").scale(Rat::int(-1)) + LinExpr::constant(Rat::int(2));
+        assert_eq!(e.to_string(), "2 - x");
+        assert_eq!(LinExpr::zero().to_string(), "0");
+    }
+}

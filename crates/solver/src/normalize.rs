@@ -1,0 +1,511 @@
+//! Normalization: desugaring, `ite`/`abs` lifting, NNF, and sound
+//! abstraction of non-linear atoms.
+//!
+//! The output is a [`Formula`] whose leaves are either boolean variables or
+//! linear constraints, suitable for the tableau search in [`crate::solve`].
+
+use shadowdp_num::Rat;
+
+use crate::fm::{Constraint, Rel};
+use crate::linear::LinExpr;
+use crate::term::Term;
+
+/// A normalized formula in negation normal form.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Formula {
+    /// Constant truth value.
+    Const(bool),
+    /// A boolean variable or its negation.
+    BLit(String, bool),
+    /// A linear constraint `lin ⊙ 0` (negations already pushed into the
+    /// relation).
+    Atom(Constraint),
+    /// Conjunction.
+    And(Vec<Formula>),
+    /// Disjunction.
+    Or(Vec<Formula>),
+}
+
+/// Normalization context: gensym for abstraction symbols, and a record of
+/// whether any abstraction happened.
+#[derive(Debug, Default)]
+pub struct Normalizer {
+    fresh: u64,
+    /// Whether any non-linear atom was abstracted away. When true, `Sat`
+    /// models may be spurious (but `Unsat` remains sound).
+    pub abstracted: bool,
+    /// Canonical abstraction symbols: syntactically identical non-linear
+    /// atoms share one boolean, so hypotheses can still entail goals that
+    /// repeat them (e.g. a branch guard `(i+1) % M == 0` re-asserted).
+    cache: std::collections::HashMap<(Term, Rel), String>,
+}
+
+/// Result of linearizing a numeric term: either a linear expression or a
+/// marker that the term was non-linear.
+enum Linearized {
+    Lin(LinExpr),
+    NonLinear,
+}
+
+impl Normalizer {
+    /// Creates a fresh normalizer.
+    pub fn new() -> Normalizer {
+        Normalizer::default()
+    }
+
+    fn fresh_bool(&mut self) -> Formula {
+        self.fresh += 1;
+        self.abstracted = true;
+        Formula::BLit(format!("$abs{}", self.fresh), true)
+    }
+
+    /// Normalizes a boolean-sorted term into NNF with linear atoms.
+    ///
+    /// `polarity = true` normalizes `t`, `false` normalizes `¬t`.
+    pub fn normalize(&mut self, t: &Term, polarity: bool) -> Formula {
+        match t {
+            Term::BConst(b) => Formula::Const(*b == polarity),
+            Term::BVar(v) => Formula::BLit(v.clone(), polarity),
+            Term::Not(inner) => self.normalize(inner, !polarity),
+            Term::And(ts) => {
+                let parts: Vec<Formula> =
+                    ts.iter().map(|x| self.normalize(x, polarity)).collect();
+                if polarity {
+                    mk_and(parts)
+                } else {
+                    mk_or(parts)
+                }
+            }
+            Term::Or(ts) => {
+                let parts: Vec<Formula> =
+                    ts.iter().map(|x| self.normalize(x, polarity)).collect();
+                if polarity {
+                    mk_or(parts)
+                } else {
+                    mk_and(parts)
+                }
+            }
+            Term::Implies(a, b) => {
+                // a => b  ==  ¬a ∨ b
+                let na = self.normalize(a, !polarity);
+                let nb = self.normalize(b, polarity);
+                if polarity {
+                    mk_or(vec![na, nb])
+                } else {
+                    // ¬(a => b) == a ∧ ¬b
+                    let pa = self.normalize(a, true);
+                    let nb2 = self.normalize(b, false);
+                    mk_and(vec![pa, nb2])
+                }
+            }
+            Term::Iff(a, b) => {
+                // a <=> b  ==  (a ∧ b) ∨ (¬a ∧ ¬b)
+                let pp = mk_and(vec![self.normalize(a, true), self.normalize(b, true)]);
+                let nn = mk_and(vec![self.normalize(a, false), self.normalize(b, false)]);
+                let f = mk_or(vec![pp, nn]);
+                if polarity {
+                    f
+                } else {
+                    // ¬(a <=> b) == (a ∧ ¬b) ∨ (¬a ∧ b)
+                    let pn = mk_and(vec![self.normalize(a, true), self.normalize(b, false)]);
+                    let np = mk_and(vec![self.normalize(a, false), self.normalize(b, true)]);
+                    mk_or(vec![pn, np])
+                }
+            }
+            Term::Le(a, b) => self.comparison(a, b, Rel::Le, polarity),
+            Term::Lt(a, b) => self.comparison(a, b, Rel::Lt, polarity),
+            Term::EqNum(a, b) => self.comparison(a, b, Rel::Eq, polarity),
+            // Numeric terms in boolean position / unknown structure: treat
+            // an `ite` of booleans.
+            Term::Ite(c, x, y) => {
+                // (c ∧ x) ∨ (¬c ∧ y), with polarity applied to the branches.
+                let ct = self.normalize(c, true);
+                let cf = self.normalize(c, false);
+                let xt = self.normalize(x, polarity);
+                let yt = self.normalize(y, polarity);
+                mk_or(vec![mk_and(vec![ct, xt]), mk_and(vec![cf, yt])])
+            }
+            // A real-sorted term where a boolean was expected is a caller
+            // bug; abstract it soundly rather than panic so verification
+            // stays conservative.
+            _ => self.fresh_bool(),
+        }
+    }
+
+    /// Normalizes `a ⊙ b` (or its negation) into atoms, lifting `ite`/`abs`
+    /// out of the numeric arguments.
+    fn comparison(&mut self, a: &Term, b: &Term, rel: Rel, polarity: bool) -> Formula {
+        // First lift any ite/abs inside the numeric term by case-splitting
+        // the whole comparison.
+        let diff = a.clone().sub(b.clone());
+        if let Some((cond, then_t, else_t)) = find_split(&diff) {
+            // diff = C[ite(cond, x, y)]  =>  (cond ∧ C[x] ⊙ 0) ∨ (¬cond ∧ C[y] ⊙ 0)
+            let ct = self.normalize(&cond, true);
+            let cf = self.normalize(&cond, false);
+            let ft = self.comparison(&then_t, &Term::int(0), rel, polarity);
+            let fe = self.comparison(&else_t, &Term::int(0), rel, polarity);
+            return mk_or(vec![mk_and(vec![ct, ft]), mk_and(vec![cf, fe])]);
+        }
+        match linearize(&diff) {
+            Linearized::Lin(lin) => {
+                // Ground atoms evaluate immediately.
+                if lin.is_constant() {
+                    let c = lin.constant_part();
+                    let holds = match rel {
+                        Rel::Le => c <= Rat::ZERO,
+                        Rel::Lt => c < Rat::ZERO,
+                        Rel::Eq => c.is_zero(),
+                    };
+                    return Formula::Const(holds == polarity);
+                }
+                if polarity {
+                    Formula::Atom(Constraint { lin, rel })
+                } else {
+                    match rel {
+                        // ¬(lin <= 0)  ==  -lin < 0
+                        Rel::Le => Formula::Atom(Constraint::lt0(-lin)),
+                        // ¬(lin < 0)  ==  -lin <= 0
+                        Rel::Lt => Formula::Atom(Constraint::le0(-lin)),
+                        // ¬(lin == 0)  ==  lin < 0 ∨ -lin < 0
+                        Rel::Eq => mk_or(vec![
+                            Formula::Atom(Constraint::lt0(lin.clone())),
+                            Formula::Atom(Constraint::lt0(-lin)),
+                        ]),
+                    }
+                }
+            }
+            Linearized::NonLinear => {
+                // Canonical abstraction: equal atoms share a symbol, and
+                // polarity is preserved through it.
+                let key = (diff.clone(), rel);
+                let name = match self.cache.get(&key) {
+                    Some(n) => n.clone(),
+                    None => {
+                        self.fresh += 1;
+                        self.abstracted = true;
+                        let n = format!("$abs{}", self.fresh);
+                        self.cache.insert(key, n.clone());
+                        n
+                    }
+                };
+                Formula::BLit(name, polarity)
+            }
+        }
+    }
+}
+
+/// Searches a numeric term for the first `ite`/`abs` subterm that requires
+/// case splitting. Returns `(cond, term_with_then, term_with_else)`.
+fn find_split(t: &Term) -> Option<(Term, Term, Term)> {
+    find_ite(t)
+}
+
+/// Finds the leftmost `ite`/`abs` inside `t`; if found, returns the guard
+/// and the two copies of `t` with that subterm replaced by its branches.
+fn find_ite(t: &Term) -> Option<(Term, Term, Term)> {
+    match t {
+        Term::RConst(_) | Term::RVar(_) | Term::BConst(_) | Term::BVar(_) => None,
+        Term::Abs(inner) => {
+            // |x| = ite(x >= 0, x, -x); try to split inner first so nested
+            // constructs unwind outside-in deterministically.
+            if let Some((c, a, b)) = find_ite(inner) {
+                return Some((c, Term::Abs(Box::new(a)), Term::Abs(Box::new(b))));
+            }
+            let cond = inner.clone().ge(Term::int(0));
+            Some((cond, (**inner).clone(), inner.clone().neg()))
+        }
+        Term::Ite(c, x, y) => Some((
+            (**c).clone(),
+            (**x).clone(),
+            (**y).clone(),
+        )),
+        Term::Add(ts) => {
+            for (i, sub) in ts.iter().enumerate() {
+                if let Some((c, a, b)) = find_ite(sub) {
+                    let mut with_a = ts.clone();
+                    with_a[i] = a;
+                    let mut with_b = ts.clone();
+                    with_b[i] = b;
+                    return Some((c, Term::Add(with_a), Term::Add(with_b)));
+                }
+            }
+            None
+        }
+        Term::Neg(inner) => find_ite(inner)
+            .map(|(c, a, b)| (c, Term::Neg(Box::new(a)), Term::Neg(Box::new(b)))),
+        Term::Mul(x, y) => {
+            if let Some((c, a, b)) = find_ite(x) {
+                return Some((
+                    c,
+                    Term::Mul(Box::new(a), y.clone()),
+                    Term::Mul(Box::new(b), y.clone()),
+                ));
+            }
+            find_ite(y).map(|(c, a, b)| {
+                (
+                    c,
+                    Term::Mul(x.clone(), Box::new(a)),
+                    Term::Mul(x.clone(), Box::new(b)),
+                )
+            })
+        }
+        Term::Div(x, y) => {
+            if let Some((c, a, b)) = find_ite(x) {
+                return Some((
+                    c,
+                    Term::Div(Box::new(a), y.clone()),
+                    Term::Div(Box::new(b), y.clone()),
+                ));
+            }
+            find_ite(y).map(|(c, a, b)| {
+                (
+                    c,
+                    Term::Div(x.clone(), Box::new(a)),
+                    Term::Div(x.clone(), Box::new(b)),
+                )
+            })
+        }
+        Term::Mod(x, y) => {
+            if let Some((c, a, b)) = find_ite(x) {
+                return Some((
+                    c,
+                    Term::Mod(Box::new(a), y.clone()),
+                    Term::Mod(Box::new(b), y.clone()),
+                ));
+            }
+            find_ite(y).map(|(c, a, b)| {
+                (
+                    c,
+                    Term::Mod(x.clone(), Box::new(a)),
+                    Term::Mod(x.clone(), Box::new(b)),
+                )
+            })
+        }
+        // Comparisons and connectives inside numeric position do not occur;
+        // their ites are handled at the boolean level.
+        _ => None,
+    }
+}
+
+/// Attempts to put an (ite-free) numeric term into linear normal form.
+fn linearize(t: &Term) -> Linearized {
+    match t {
+        Term::RConst(r) => Linearized::Lin(LinExpr::constant(*r)),
+        Term::RVar(v) => Linearized::Lin(LinExpr::var(v.clone())),
+        Term::Add(ts) => {
+            let mut acc = LinExpr::zero();
+            for sub in ts {
+                match linearize(sub) {
+                    Linearized::Lin(l) => acc = acc + l,
+                    Linearized::NonLinear => return Linearized::NonLinear,
+                }
+            }
+            Linearized::Lin(acc)
+        }
+        Term::Neg(inner) => match linearize(inner) {
+            Linearized::Lin(l) => Linearized::Lin(-l),
+            nl => nl,
+        },
+        Term::Mul(a, b) => match (linearize(a), linearize(b)) {
+            (Linearized::Lin(la), Linearized::Lin(lb)) => {
+                if la.is_constant() {
+                    Linearized::Lin(lb.scale(la.constant_part()))
+                } else if lb.is_constant() {
+                    Linearized::Lin(la.scale(lb.constant_part()))
+                } else {
+                    Linearized::NonLinear
+                }
+            }
+            _ => Linearized::NonLinear,
+        },
+        Term::Div(a, b) => match (linearize(a), linearize(b)) {
+            (Linearized::Lin(la), Linearized::Lin(lb)) => {
+                if lb.is_constant() && !lb.constant_part().is_zero() {
+                    Linearized::Lin(la.scale(Rat::ONE / lb.constant_part()))
+                } else {
+                    Linearized::NonLinear
+                }
+            }
+            _ => Linearized::NonLinear,
+        },
+        Term::Mod(a, b) => match (linearize(a), linearize(b)) {
+            (Linearized::Lin(la), Linearized::Lin(lb))
+                if la.is_constant() && lb.is_constant() && !lb.constant_part().is_zero() =>
+            {
+                // Constant fold: a mod b over rationals via floored division
+                // (operands are integers in practice).
+                let a = la.constant_part();
+                let b = lb.constant_part();
+                let q = Rat::int((a / b).floor());
+                Linearized::Lin(LinExpr::constant(a - q * b))
+            }
+            _ => Linearized::NonLinear,
+        },
+        // Abs/Ite were lifted before linearization; anything else (booleans
+        // in numeric position) is non-linear.
+        _ => Linearized::NonLinear,
+    }
+}
+
+fn mk_and(parts: Vec<Formula>) -> Formula {
+    let mut out = Vec::new();
+    for p in parts {
+        match p {
+            Formula::Const(true) => {}
+            Formula::Const(false) => return Formula::Const(false),
+            Formula::And(xs) => out.extend(xs),
+            other => out.push(other),
+        }
+    }
+    match out.len() {
+        0 => Formula::Const(true),
+        1 => out.pop().unwrap(),
+        _ => Formula::And(out),
+    }
+}
+
+fn mk_or(parts: Vec<Formula>) -> Formula {
+    let mut out = Vec::new();
+    for p in parts {
+        match p {
+            Formula::Const(false) => {}
+            Formula::Const(true) => return Formula::Const(true),
+            Formula::Or(xs) => out.extend(xs),
+            other => out.push(other),
+        }
+    }
+    match out.len() {
+        0 => Formula::Const(false),
+        1 => out.pop().unwrap(),
+        _ => Formula::Or(out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn norm(t: &Term) -> (Formula, bool) {
+        let mut n = Normalizer::new();
+        let f = n.normalize(t, true);
+        (f, n.abstracted)
+    }
+
+    #[test]
+    fn simple_atom() {
+        let t = Term::real_var("x").le(Term::int(3));
+        let (f, abs) = norm(&t);
+        assert!(!abs);
+        match f {
+            Formula::Atom(c) => {
+                assert_eq!(c.rel, Rel::Le);
+                assert_eq!(c.lin.coeff("x"), Rat::ONE);
+                assert_eq!(c.lin.constant_part(), Rat::int(-3));
+            }
+            other => panic!("expected atom, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn negation_flips_relation() {
+        let t = Term::real_var("x").le(Term::int(3)).not();
+        let (f, _) = norm(&t);
+        match f {
+            Formula::Atom(c) => {
+                assert_eq!(c.rel, Rel::Lt);
+                // ¬(x - 3 <= 0) == 3 - x < 0
+                assert_eq!(c.lin.coeff("x"), Rat::int(-1));
+                assert_eq!(c.lin.constant_part(), Rat::int(3));
+            }
+            other => panic!("expected atom, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn disequality_becomes_disjunction() {
+        let t = Term::real_var("x").ne_num(Term::int(0));
+        let (f, _) = norm(&t);
+        assert!(matches!(f, Formula::Or(ref xs) if xs.len() == 2), "{f:?}");
+    }
+
+    #[test]
+    fn abs_lifts_to_case_split() {
+        // |x| <= 1  ==  (x >= 0 ∧ x <= 1) ∨ (x < 0 ∧ -x <= 1)
+        let t = Term::real_var("x").abs().le(Term::int(1));
+        let (f, abs) = norm(&t);
+        assert!(!abs, "abs should not be abstracted");
+        assert!(matches!(f, Formula::Or(_)), "{f:?}");
+    }
+
+    #[test]
+    fn ite_lifts() {
+        // (b ? 1 : 0) <= 0 == (b ∧ 1 <= 0) ∨ (¬b ∧ 0 <= 0) == ¬b
+        let t = Term::ite(Term::bool_var("b"), Term::int(1), Term::int(0)).le(Term::int(0));
+        let (f, _) = norm(&t);
+        assert_eq!(f, Formula::BLit("b".into(), false));
+    }
+
+    #[test]
+    fn nonlinear_products_are_abstracted() {
+        let t = Term::real_var("x")
+            .mul(Term::real_var("y"))
+            .le(Term::int(1));
+        let (f, abstracted) = norm(&t);
+        assert!(abstracted);
+        assert!(matches!(f, Formula::BLit(ref n, true) if n.starts_with("$abs")));
+    }
+
+    #[test]
+    fn constant_mod_folds() {
+        // 7 mod 2 == 1 folds all the way to true
+        let t = Term::int(7).rem(Term::int(2)).eq_num(Term::int(1));
+        let (f, abstracted) = norm(&t);
+        assert!(!abstracted);
+        assert_eq!(f, Formula::Const(true));
+        // 8 mod 2 == 1 folds to false
+        let t = Term::int(8).rem(Term::int(2)).eq_num(Term::int(1));
+        let (f, _) = norm(&t);
+        assert_eq!(f, Formula::Const(false));
+    }
+
+    #[test]
+    fn symbolic_mod_is_abstracted() {
+        let t = Term::real_var("i")
+            .rem(Term::real_var("m"))
+            .eq_num(Term::int(0));
+        let (_, abstracted) = norm(&t);
+        assert!(abstracted);
+    }
+
+    #[test]
+    fn implication_and_iff() {
+        let a = Term::bool_var("a");
+        let b = Term::bool_var("b");
+        let (f, _) = norm(&a.clone().implies(b.clone()));
+        assert!(matches!(f, Formula::Or(_)));
+        let (f, _) = norm(&a.iff(b));
+        assert!(matches!(f, Formula::Or(_)));
+    }
+
+    #[test]
+    fn division_by_constant_is_linear() {
+        let t = Term::real_var("x")
+            .div(Term::int(4))
+            .le(Term::int(1));
+        let (f, abstracted) = norm(&t);
+        assert!(!abstracted);
+        match f {
+            Formula::Atom(c) => assert_eq!(c.lin.coeff("x"), Rat::new(1, 4)),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn division_by_symbol_is_abstracted() {
+        let t = Term::real_var("x")
+            .div(Term::real_var("n"))
+            .le(Term::int(1));
+        let (_, abstracted) = norm(&t);
+        assert!(abstracted);
+    }
+}

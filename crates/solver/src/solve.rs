@@ -1,0 +1,458 @@
+//! The public solver API: a tableau-style search over the boolean structure
+//! of normalized formulas with eager Fourier–Motzkin theory pruning.
+
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+use shadowdp_num::Rat;
+
+use crate::fm::{check_sat, Constraint, FmResult};
+use crate::normalize::{Formula, Normalizer};
+use crate::term::Term;
+
+/// A satisfying assignment.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Model {
+    /// Values of real-sorted variables.
+    pub reals: BTreeMap<String, Rat>,
+    /// Values of bool-sorted variables.
+    pub bools: BTreeMap<String, bool>,
+    /// Whether a non-linear atom was abstracted during normalization; if
+    /// so, this model may not satisfy the original (pre-abstraction)
+    /// formula.
+    pub possibly_spurious: bool,
+}
+
+impl Model {
+    /// Value of a real variable, defaulting to zero (solver models are
+    /// partial on variables that ended up unconstrained).
+    pub fn real(&self, name: &str) -> Rat {
+        self.reals.get(name).copied().unwrap_or(Rat::ZERO)
+    }
+
+    /// Value of a boolean variable, defaulting to `false`.
+    pub fn bool(&self, name: &str) -> bool {
+        self.bools.get(name).copied().unwrap_or(false)
+    }
+}
+
+impl fmt::Display for Model {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (k, v) in &self.reals {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k} = {v}")?;
+            first = false;
+        }
+        for (k, v) in &self.bools {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k} = {v}")?;
+            first = false;
+        }
+        if self.possibly_spurious {
+            write!(f, " (possibly spurious)")?;
+        }
+        Ok(())
+    }
+}
+
+/// Result of a satisfiability check.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CheckResult {
+    /// A model was found.
+    Sat(Model),
+    /// No model exists (sound even when abstraction occurred).
+    Unsat,
+}
+
+impl CheckResult {
+    /// Whether the result is `Sat`.
+    pub fn is_sat(&self) -> bool {
+        matches!(self, CheckResult::Sat(_))
+    }
+}
+
+/// Result of a validity check (`prove`).
+#[derive(Clone, Debug, PartialEq)]
+pub enum ProveResult {
+    /// The implication is valid.
+    Proved,
+    /// A countermodel to the implication was found. If
+    /// [`Model::possibly_spurious`] is set, the goal may still be valid
+    /// (abstraction lost precision) — callers must treat this as "unknown",
+    /// never as "proved".
+    Refuted(Model),
+}
+
+impl ProveResult {
+    /// Whether the result is `Proved`.
+    pub fn is_proved(&self) -> bool {
+        matches!(self, ProveResult::Proved)
+    }
+
+    /// A definite counterexample, if the refutation is trustworthy.
+    pub fn counterexample(&self) -> Option<&Model> {
+        match self {
+            ProveResult::Refuted(m) if !m.possibly_spurious => Some(m),
+            _ => None,
+        }
+    }
+}
+
+/// Cumulative statistics, for the Table 1 harness.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SolverStats {
+    /// Number of `check` queries answered.
+    pub checks: u64,
+    /// Number of `prove` queries answered.
+    pub proves: u64,
+    /// Number of theory (Fourier–Motzkin) calls.
+    pub theory_calls: u64,
+    /// Total solver time in microseconds.
+    pub micros: u64,
+}
+
+/// The QF-LRA solver.
+///
+/// Stateless between queries apart from [`SolverStats`]; cheap to create.
+///
+/// # Examples
+///
+/// ```
+/// use shadowdp_solver::{Solver, Term};
+/// let s = Solver::new();
+/// let x = Term::real_var("x");
+/// // x <= 1 ∧ x >= 2 is unsatisfiable
+/// let r = s.check(&[x.clone().le(Term::int(1)), x.ge(Term::int(2))]);
+/// assert!(!r.is_sat());
+/// ```
+#[derive(Debug, Default)]
+pub struct Solver {
+    stats: Cell<SolverStats>,
+}
+
+impl Solver {
+    /// Creates a solver.
+    pub fn new() -> Solver {
+        Solver::default()
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> SolverStats {
+        self.stats.get()
+    }
+
+    /// Resets statistics.
+    pub fn reset_stats(&self) {
+        self.stats.set(SolverStats::default());
+    }
+
+    /// Checks satisfiability of the conjunction of `terms`.
+    pub fn check(&self, terms: &[Term]) -> CheckResult {
+        let start = Instant::now();
+        let mut norm = Normalizer::new();
+        let formulas: Vec<Formula> = terms.iter().map(|t| norm.normalize(t, true)).collect();
+        let abstracted = norm.abstracted;
+
+        let mut search = Search {
+            theory_calls: 0,
+        };
+        let result = search.solve(formulas, &mut Vec::new(), &mut BTreeMap::new());
+
+        let mut stats = self.stats.get();
+        stats.checks += 1;
+        stats.theory_calls += search.theory_calls;
+        stats.micros += start.elapsed().as_micros() as u64;
+        self.stats.set(stats);
+
+        match result {
+            Some((reals, bools)) => CheckResult::Sat(Model {
+                reals,
+                bools,
+                possibly_spurious: abstracted,
+            }),
+            None => CheckResult::Unsat,
+        }
+    }
+
+    /// Attempts to prove `assumptions ⊢ goal` by refutation: checks
+    /// `assumptions ∧ ¬goal` for unsatisfiability.
+    pub fn prove(&self, assumptions: &[Term], goal: &Term) -> ProveResult {
+        let mut terms: Vec<Term> = assumptions.to_vec();
+        terms.push(goal.clone().not());
+        let r = self.check(&terms);
+        let mut stats = self.stats.get();
+        stats.proves += 1;
+        self.stats.set(stats);
+        match r {
+            CheckResult::Unsat => ProveResult::Proved,
+            CheckResult::Sat(m) => ProveResult::Refuted(m),
+        }
+    }
+
+    /// Convenience: whether `assumptions ⊢ goal` holds.
+    pub fn entails(&self, assumptions: &[Term], goal: &Term) -> bool {
+        self.prove(assumptions, goal).is_proved()
+    }
+
+    /// Convenience: whether two boolean terms are equivalent under the
+    /// assumptions.
+    pub fn equivalent(&self, assumptions: &[Term], a: &Term, b: &Term) -> bool {
+        self.entails(assumptions, &a.clone().iff(b.clone()))
+    }
+}
+
+/// The recursive tableau search.
+struct Search {
+    theory_calls: u64,
+}
+
+type RealModel = BTreeMap<String, Rat>;
+type BoolModel = BTreeMap<String, bool>;
+
+impl Search {
+    /// Tries to satisfy `pending ∧ constraints ∧ bools`; returns a model on
+    /// success.
+    fn solve(
+        &mut self,
+        mut pending: Vec<Formula>,
+        constraints: &mut Vec<Constraint>,
+        bools: &mut BoolModel,
+    ) -> Option<(RealModel, BoolModel)> {
+        // Process deterministic formulas first.
+        while let Some(f) = pending.pop() {
+            match f {
+                Formula::Const(true) => {}
+                Formula::Const(false) => return None,
+                Formula::And(xs) => pending.extend(xs),
+                Formula::BLit(name, val) => match bools.get(&name) {
+                    Some(existing) if *existing != val => return None,
+                    Some(_) => {}
+                    None => {
+                        bools.insert(name.clone(), val);
+                        // Continue; removal on backtrack handled by caller
+                        // cloning — we instead clean up below via recursion
+                        // discipline: this function owns its mutations only
+                        // on the success path, so restore on failure.
+                        let result = self.solve(pending, constraints, bools);
+                        if result.is_none() {
+                            bools.remove(&name);
+                        }
+                        return result;
+                    }
+                },
+                Formula::Atom(c) => {
+                    constraints.push(c);
+                    self.theory_calls += 1;
+                    if let FmResult::Unsat = check_sat(constraints) {
+                        constraints.pop();
+                        return None;
+                    }
+                    let result = self.solve(pending, constraints, bools);
+                    if result.is_none() {
+                        constraints.pop();
+                    }
+                    return result;
+                }
+                Formula::Or(xs) => {
+                    // Branch point: try each disjunct.
+                    for x in xs {
+                        let mut branch_pending = pending.clone();
+                        branch_pending.push(x);
+                        if let Some(model) =
+                            self.solve(branch_pending, constraints, bools)
+                        {
+                            return Some(model);
+                        }
+                    }
+                    return None;
+                }
+            }
+        }
+        // All boolean structure satisfied; final theory check yields values.
+        self.theory_calls += 1;
+        match check_sat(constraints) {
+            FmResult::Sat(reals) => Some((reals, bools.clone())),
+            FmResult::Unsat => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> Term {
+        Term::real_var("x")
+    }
+
+    fn y() -> Term {
+        Term::real_var("y")
+    }
+
+    #[test]
+    fn sat_with_model() {
+        let s = Solver::new();
+        let r = s.check(&[
+            x().ge(Term::int(1)),
+            x().le(Term::int(5)),
+            y().eq_num(x().add(Term::int(1))),
+        ]);
+        match r {
+            CheckResult::Sat(m) => {
+                assert!(m.real("x") >= Rat::ONE && m.real("x") <= Rat::int(5));
+                assert_eq!(m.real("y"), m.real("x") + Rat::ONE);
+                assert!(!m.possibly_spurious);
+            }
+            CheckResult::Unsat => panic!("should be sat"),
+        }
+    }
+
+    #[test]
+    fn unsat_interval() {
+        let s = Solver::new();
+        assert_eq!(
+            s.check(&[x().le(Term::int(1)), x().ge(Term::int(2))]),
+            CheckResult::Unsat
+        );
+    }
+
+    #[test]
+    fn prove_scaling() {
+        let s = Solver::new();
+        // x >= 1 ⊢ 2x > 1
+        assert!(s
+            .prove(
+                &[x().ge(Term::int(1))],
+                &Term::int(2).mul(x()).gt(Term::int(1))
+            )
+            .is_proved());
+        // x >= 0 ⊬ x > 0; counterexample x = 0
+        let r = s.prove(&[x().ge(Term::int(0))], &x().gt(Term::int(0)));
+        let m = r.counterexample().expect("definite counterexample");
+        assert_eq!(m.real("x"), Rat::ZERO);
+    }
+
+    #[test]
+    fn disjunction_branches() {
+        let s = Solver::new();
+        // (x <= -1 ∨ x >= 1) ∧ x >= 0 forces x >= 1
+        let disj = x().le(Term::int(-1)).or(x().ge(Term::int(1)));
+        let r = s.check(&[disj, x().ge(Term::int(0))]);
+        match r {
+            CheckResult::Sat(m) => assert!(m.real("x") >= Rat::ONE),
+            CheckResult::Unsat => panic!("should be sat"),
+        }
+    }
+
+    #[test]
+    fn abs_reasoning() {
+        let s = Solver::new();
+        // |x| <= 1 ⊢ x <= 1
+        assert!(s.entails(
+            &[x().abs().le(Term::int(1))],
+            &x().le(Term::int(1))
+        ));
+        // |x| <= 1 ⊬ x >= 0
+        assert!(!s.entails(&[x().abs().le(Term::int(1))], &x().ge(Term::int(0))));
+        // ⊢ |x| >= x
+        assert!(s.entails(&[], &x().abs().ge(x())));
+        // ⊢ |x + y| <= |x| + |y| (triangle inequality)
+        let lhs = x().add(y()).abs();
+        let rhs = x().abs().add(y().abs());
+        assert!(s.entails(&[], &lhs.le(rhs)));
+    }
+
+    #[test]
+    fn boolean_variables() {
+        let s = Solver::new();
+        let p = Term::bool_var("p");
+        let q = Term::bool_var("q");
+        // p ∧ (p => q) ⊢ q
+        assert!(s.entails(&[p.clone(), p.clone().implies(q.clone())], &q));
+        // p ∨ q, ¬p ⊢ q
+        assert!(s.entails(&[p.clone().or(q.clone()), p.clone().not()], &q));
+        // p ⊬ q
+        assert!(!s.entails(&[p.clone()], &q));
+    }
+
+    #[test]
+    fn ite_in_numeric_position() {
+        let s = Solver::new();
+        let b = Term::bool_var("b");
+        // (b ? 2 : 0) <= 2 is valid
+        let t = Term::ite(b.clone(), Term::int(2), Term::int(0)).le(Term::int(2));
+        assert!(s.entails(&[], &t));
+        // (b ? 2 : 0) >= 1 ⊢ b
+        let hyp = Term::ite(b.clone(), Term::int(2), Term::int(0)).ge(Term::int(1));
+        assert!(s.entails(&[hyp], &b));
+    }
+
+    #[test]
+    fn nonlinear_abstraction_is_sound_not_complete() {
+        let s = Solver::new();
+        // x*x >= 0 is valid over the reals but the solver abstracts it:
+        // the refutation model must be flagged possibly spurious.
+        let goal = x().mul(x()).ge(Term::int(0));
+        match s.prove(&[], &goal) {
+            ProveResult::Proved => panic!("abstraction should lose this"),
+            ProveResult::Refuted(m) => assert!(m.possibly_spurious),
+        }
+        // ... and counterexample() must refuse to hand it out.
+        assert!(s.prove(&[], &goal).counterexample().is_none());
+    }
+
+    #[test]
+    fn equivalence_helper() {
+        let s = Solver::new();
+        let a = x().gt(Term::int(0));
+        let b = Term::int(0).lt(x());
+        assert!(s.equivalent(&[], &a, &b));
+        let c = x().ge(Term::int(0));
+        assert!(!s.equivalent(&[], &a, &c));
+    }
+
+    #[test]
+    fn iff_with_offsets_matches_todot_sideconditions() {
+        // The (T-ODot) check for NoisyMax's guard under the aligned
+        // distances: q + 2 > bq + 2 <=> q > bq (shifting both sides by the
+        // same distance preserves the comparison).
+        let s = Solver::new();
+        let q = Term::real_var("q");
+        let bq = Term::real_var("bq");
+        let lhs = q.clone().add(Term::int(2)).gt(bq.clone().add(Term::int(2)));
+        let rhs = q.gt(bq);
+        assert!(s.equivalent(&[], &lhs, &rhs));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let s = Solver::new();
+        let _ = s.check(&[x().le(Term::int(0))]);
+        let _ = s.prove(&[], &x().le(x()));
+        let st = s.stats();
+        assert_eq!(st.checks, 2);
+        assert_eq!(st.proves, 1);
+        assert!(st.theory_calls >= 1);
+    }
+
+    #[test]
+    fn strict_vs_weak_boundaries() {
+        let s = Solver::new();
+        // x > 1 ∧ x < 1 unsat; x >= 1 ∧ x <= 1 sat with x = 1
+        assert!(!s
+            .check(&[x().gt(Term::int(1)), x().lt(Term::int(1))])
+            .is_sat());
+        match s.check(&[x().ge(Term::int(1)), x().le(Term::int(1))]) {
+            CheckResult::Sat(m) => assert_eq!(m.real("x"), Rat::ONE),
+            CheckResult::Unsat => panic!(),
+        }
+    }
+}

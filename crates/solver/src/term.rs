@@ -1,0 +1,438 @@
+//! The solver's two-sorted term language.
+//!
+//! Terms are built by the typing and verification crates after they have
+//! already eliminated language-level features the theory does not know about
+//! (list indexing is skolemized to fresh scalar symbols upstream).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use shadowdp_num::Rat;
+
+/// A term of sort real or bool.
+///
+/// Construction helpers implement the obvious smart-constructor folding so
+/// verification conditions stay small.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Term {
+    /// Rational constant.
+    RConst(Rat),
+    /// Boolean constant.
+    BConst(bool),
+    /// Real-sorted variable.
+    RVar(String),
+    /// Bool-sorted variable.
+    BVar(String),
+    /// n-ary sum.
+    Add(Vec<Term>),
+    /// Binary product (linearized later; at most one side may be a
+    /// non-constant for the atom to stay linear).
+    Mul(Box<Term>, Box<Term>),
+    /// Numeric negation.
+    Neg(Box<Term>),
+    /// Division (the divisor must normalize to a nonzero constant to stay
+    /// linear).
+    Div(Box<Term>, Box<Term>),
+    /// Modulo; always abstracted unless both sides are constants.
+    Mod(Box<Term>, Box<Term>),
+    /// Absolute value (desugared to `ite` during normalization).
+    Abs(Box<Term>),
+    /// Numeric if-then-else.
+    Ite(Box<Term>, Box<Term>, Box<Term>),
+    /// `a <= b`
+    Le(Box<Term>, Box<Term>),
+    /// `a < b`
+    Lt(Box<Term>, Box<Term>),
+    /// `a == b` (numeric)
+    EqNum(Box<Term>, Box<Term>),
+    /// Boolean negation.
+    Not(Box<Term>),
+    /// n-ary conjunction.
+    And(Vec<Term>),
+    /// n-ary disjunction.
+    Or(Vec<Term>),
+    /// Implication.
+    Implies(Box<Term>, Box<Term>),
+    /// Bi-implication (also serves as boolean equality).
+    Iff(Box<Term>, Box<Term>),
+}
+
+impl Term {
+    /// Integer constant.
+    pub fn int(n: i128) -> Term {
+        Term::RConst(Rat::int(n))
+    }
+
+    /// Rational constant.
+    pub fn rat(r: Rat) -> Term {
+        Term::RConst(r)
+    }
+
+    /// Real-sorted variable.
+    pub fn real_var(name: impl Into<String>) -> Term {
+        Term::RVar(name.into())
+    }
+
+    /// Bool-sorted variable.
+    pub fn bool_var(name: impl Into<String>) -> Term {
+        Term::BVar(name.into())
+    }
+
+    /// `self + rhs` with constant folding and flattening.
+    pub fn add(self, rhs: Term) -> Term {
+        match (self, rhs) {
+            (Term::RConst(a), Term::RConst(b)) => Term::RConst(a + b),
+            (Term::RConst(z), t) | (t, Term::RConst(z)) if z.is_zero() => t,
+            (Term::Add(mut xs), Term::Add(ys)) => {
+                xs.extend(ys);
+                Term::Add(xs)
+            }
+            (Term::Add(mut xs), t) => {
+                xs.push(t);
+                Term::Add(xs)
+            }
+            (t, Term::Add(mut ys)) => {
+                ys.insert(0, t);
+                Term::Add(ys)
+            }
+            (a, b) => Term::Add(vec![a, b]),
+        }
+    }
+
+    /// `self - rhs`.
+    pub fn sub(self, rhs: Term) -> Term {
+        self.add(rhs.neg())
+    }
+
+    /// `-self`.
+    pub fn neg(self) -> Term {
+        match self {
+            Term::RConst(r) => Term::RConst(-r),
+            Term::Neg(inner) => *inner,
+            t => Term::Neg(Box::new(t)),
+        }
+    }
+
+    /// `self * rhs` with constant folding.
+    pub fn mul(self, rhs: Term) -> Term {
+        match (&self, &rhs) {
+            (Term::RConst(a), Term::RConst(b)) => return Term::RConst(*a * *b),
+            (Term::RConst(a), _) if a.is_zero() => return Term::int(0),
+            (_, Term::RConst(b)) if b.is_zero() => return Term::int(0),
+            (Term::RConst(a), _) if *a == Rat::ONE => return rhs,
+            (_, Term::RConst(b)) if *b == Rat::ONE => return self,
+            _ => {}
+        }
+        Term::Mul(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self / rhs`.
+    pub fn div(self, rhs: Term) -> Term {
+        match (&self, &rhs) {
+            (Term::RConst(a), Term::RConst(b)) if !b.is_zero() => return Term::RConst(*a / *b),
+            (_, Term::RConst(b)) if *b == Rat::ONE => return self,
+            _ => {}
+        }
+        Term::Div(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self % rhs`.
+    pub fn rem(self, rhs: Term) -> Term {
+        Term::Mod(Box::new(self), Box::new(rhs))
+    }
+
+    /// `abs(self)`.
+    pub fn abs(self) -> Term {
+        match self {
+            Term::RConst(r) => Term::RConst(r.abs()),
+            t => Term::Abs(Box::new(t)),
+        }
+    }
+
+    /// Numeric if-then-else with literal-guard folding.
+    pub fn ite(cond: Term, then: Term, els: Term) -> Term {
+        match cond {
+            Term::BConst(true) => then,
+            Term::BConst(false) => els,
+            c => {
+                if then == els {
+                    then
+                } else {
+                    Term::Ite(Box::new(c), Box::new(then), Box::new(els))
+                }
+            }
+        }
+    }
+
+    /// `self <= rhs`.
+    pub fn le(self, rhs: Term) -> Term {
+        Term::Le(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self < rhs`.
+    pub fn lt(self, rhs: Term) -> Term {
+        Term::Lt(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self >= rhs`.
+    pub fn ge(self, rhs: Term) -> Term {
+        Term::Le(Box::new(rhs), Box::new(self))
+    }
+
+    /// `self > rhs`.
+    pub fn gt(self, rhs: Term) -> Term {
+        Term::Lt(Box::new(rhs), Box::new(self))
+    }
+
+    /// Numeric equality.
+    pub fn eq_num(self, rhs: Term) -> Term {
+        Term::EqNum(Box::new(self), Box::new(rhs))
+    }
+
+    /// Numeric disequality.
+    pub fn ne_num(self, rhs: Term) -> Term {
+        Term::EqNum(Box::new(self), Box::new(rhs)).not()
+    }
+
+    /// Boolean negation with folding.
+    pub fn not(self) -> Term {
+        match self {
+            Term::BConst(b) => Term::BConst(!b),
+            Term::Not(inner) => *inner,
+            t => Term::Not(Box::new(t)),
+        }
+    }
+
+    /// Conjunction with folding and flattening.
+    pub fn and(self, rhs: Term) -> Term {
+        match (self, rhs) {
+            (Term::BConst(true), t) | (t, Term::BConst(true)) => t,
+            (Term::BConst(false), _) | (_, Term::BConst(false)) => Term::BConst(false),
+            (Term::And(mut xs), Term::And(ys)) => {
+                xs.extend(ys);
+                Term::And(xs)
+            }
+            (Term::And(mut xs), t) => {
+                xs.push(t);
+                Term::And(xs)
+            }
+            (t, Term::And(mut ys)) => {
+                ys.insert(0, t);
+                Term::And(ys)
+            }
+            (a, b) => Term::And(vec![a, b]),
+        }
+    }
+
+    /// Disjunction with folding and flattening.
+    pub fn or(self, rhs: Term) -> Term {
+        match (self, rhs) {
+            (Term::BConst(false), t) | (t, Term::BConst(false)) => t,
+            (Term::BConst(true), _) | (_, Term::BConst(true)) => Term::BConst(true),
+            (Term::Or(mut xs), Term::Or(ys)) => {
+                xs.extend(ys);
+                Term::Or(xs)
+            }
+            (Term::Or(mut xs), t) => {
+                xs.push(t);
+                Term::Or(xs)
+            }
+            (t, Term::Or(mut ys)) => {
+                ys.insert(0, t);
+                Term::Or(ys)
+            }
+            (a, b) => Term::Or(vec![a, b]),
+        }
+    }
+
+    /// Implication.
+    pub fn implies(self, rhs: Term) -> Term {
+        match (&self, &rhs) {
+            (Term::BConst(true), _) => return rhs,
+            (Term::BConst(false), _) => return Term::BConst(true),
+            (_, Term::BConst(true)) => return Term::BConst(true),
+            _ => {}
+        }
+        Term::Implies(Box::new(self), Box::new(rhs))
+    }
+
+    /// Bi-implication.
+    pub fn iff(self, rhs: Term) -> Term {
+        Term::Iff(Box::new(self), Box::new(rhs))
+    }
+
+    /// Conjunction of a sequence of terms.
+    pub fn conj(terms: impl IntoIterator<Item = Term>) -> Term {
+        terms
+            .into_iter()
+            .fold(Term::BConst(true), |acc, t| acc.and(t))
+    }
+
+    /// Disjunction of a sequence of terms.
+    pub fn disj(terms: impl IntoIterator<Item = Term>) -> Term {
+        terms
+            .into_iter()
+            .fold(Term::BConst(false), |acc, t| acc.or(t))
+    }
+
+    /// All variable names (both sorts) occurring in the term.
+    pub fn vars(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut Vec<String>) {
+        match self {
+            Term::RConst(_) | Term::BConst(_) => {}
+            Term::RVar(v) | Term::BVar(v) => {
+                if !out.contains(v) {
+                    out.push(v.clone());
+                }
+            }
+            Term::Add(ts) | Term::And(ts) | Term::Or(ts) => {
+                for t in ts {
+                    t.collect_vars(out);
+                }
+            }
+            Term::Neg(t) | Term::Abs(t) | Term::Not(t) => t.collect_vars(out),
+            Term::Mul(a, b)
+            | Term::Div(a, b)
+            | Term::Mod(a, b)
+            | Term::Le(a, b)
+            | Term::Lt(a, b)
+            | Term::EqNum(a, b)
+            | Term::Implies(a, b)
+            | Term::Iff(a, b) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+            }
+            Term::Ite(a, b, c) => {
+                a.collect_vars(out);
+                b.collect_vars(out);
+                c.collect_vars(out);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::RConst(r) => write!(f, "{r}"),
+            Term::BConst(b) => write!(f, "{b}"),
+            Term::RVar(v) | Term::BVar(v) => write!(f, "{v}"),
+            Term::Add(ts) => {
+                write!(f, "(+")?;
+                for t in ts {
+                    write!(f, " {t}")?;
+                }
+                write!(f, ")")
+            }
+            Term::Mul(a, b) => write!(f, "(* {a} {b})"),
+            Term::Neg(t) => write!(f, "(- {t})"),
+            Term::Div(a, b) => write!(f, "(/ {a} {b})"),
+            Term::Mod(a, b) => write!(f, "(mod {a} {b})"),
+            Term::Abs(t) => write!(f, "(abs {t})"),
+            Term::Ite(c, a, b) => write!(f, "(ite {c} {a} {b})"),
+            Term::Le(a, b) => write!(f, "(<= {a} {b})"),
+            Term::Lt(a, b) => write!(f, "(< {a} {b})"),
+            Term::EqNum(a, b) => write!(f, "(= {a} {b})"),
+            Term::Not(t) => write!(f, "(not {t})"),
+            Term::And(ts) => {
+                write!(f, "(and")?;
+                for t in ts {
+                    write!(f, " {t}")?;
+                }
+                write!(f, ")")
+            }
+            Term::Or(ts) => {
+                write!(f, "(or")?;
+                for t in ts {
+                    write!(f, " {t}")?;
+                }
+                write!(f, ")")
+            }
+            Term::Implies(a, b) => write!(f, "(=> {a} {b})"),
+            Term::Iff(a, b) => write!(f, "(iff {a} {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smart_constructors() {
+        assert_eq!(Term::int(1).add(Term::int(2)), Term::int(3));
+        assert_eq!(Term::int(0).add(Term::real_var("x")), Term::real_var("x"));
+        assert_eq!(Term::int(3).mul(Term::int(4)), Term::int(12));
+        assert_eq!(Term::int(0).mul(Term::real_var("x")), Term::int(0));
+        assert_eq!(Term::int(1).mul(Term::real_var("x")), Term::real_var("x"));
+        assert_eq!(Term::int(6).div(Term::int(2)), Term::int(3));
+        assert_eq!(Term::int(-5).abs(), Term::int(5));
+        assert_eq!(Term::int(5).neg(), Term::int(-5));
+        assert_eq!(Term::real_var("x").neg().neg(), Term::real_var("x"));
+    }
+
+    #[test]
+    fn boolean_folding() {
+        let b = Term::bool_var("b");
+        assert_eq!(Term::BConst(true).and(b.clone()), b);
+        assert_eq!(Term::BConst(false).or(b.clone()), b);
+        assert_eq!(
+            Term::BConst(false).and(Term::bool_var("b")),
+            Term::BConst(false)
+        );
+        assert_eq!(b.clone().not().not(), b);
+        assert_eq!(
+            Term::BConst(false).implies(Term::bool_var("b")),
+            Term::BConst(true)
+        );
+    }
+
+    #[test]
+    fn flattening() {
+        let t = Term::real_var("x")
+            .add(Term::real_var("y"))
+            .add(Term::real_var("z"));
+        match t {
+            Term::Add(xs) => assert_eq!(xs.len(), 3),
+            other => panic!("expected flat Add, got {other:?}"),
+        }
+        let t = Term::bool_var("a").and(Term::bool_var("b")).and(Term::bool_var("c"));
+        match t {
+            Term::And(xs) => assert_eq!(xs.len(), 3),
+            other => panic!("expected flat And, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn vars_collects_both_sorts() {
+        let t = Term::real_var("x")
+            .le(Term::int(1))
+            .and(Term::bool_var("p"));
+        let vs = t.vars();
+        assert!(vs.contains(&"x".to_string()));
+        assert!(vs.contains(&"p".to_string()));
+    }
+
+    #[test]
+    fn ite_folding() {
+        assert_eq!(
+            Term::ite(Term::BConst(true), Term::int(1), Term::int(2)),
+            Term::int(1)
+        );
+        assert_eq!(
+            Term::ite(Term::bool_var("c"), Term::int(7), Term::int(7)),
+            Term::int(7)
+        );
+    }
+
+    #[test]
+    fn display_smoke() {
+        let t = Term::real_var("x").add(Term::int(1)).le(Term::int(0));
+        assert_eq!(t.to_string(), "(<= (+ x 1) 0)");
+    }
+}

@@ -1,0 +1,148 @@
+//! Property-based soundness tests for the QF-LRA solver.
+//!
+//! Strategy: generate random linear formulas over a small variable set,
+//! evaluate them directly under random assignments, and cross-check the
+//! solver's verdicts:
+//!
+//! 1. if some sampled assignment satisfies the conjunction, the solver must
+//!    answer `Sat`;
+//! 2. if the solver answers `Sat` with a non-spurious model, that model must
+//!    satisfy the conjunction under direct evaluation;
+//! 3. `prove` must never claim validity of a goal some sampled assignment
+//!    refutes.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use shadowdp_num::Rat;
+use shadowdp_solver::{CheckResult, Solver, Term};
+
+const VARS: [&str; 4] = ["a", "b", "c", "d"];
+
+/// Direct evaluator for the generated term fragment.
+fn eval_real(t: &Term, m: &BTreeMap<String, Rat>) -> Rat {
+    match t {
+        Term::RConst(r) => *r,
+        Term::RVar(v) => m[v.as_str()],
+        Term::Add(ts) => ts.iter().map(|x| eval_real(x, m)).sum(),
+        Term::Neg(x) => -eval_real(x, m),
+        Term::Mul(a, b) => eval_real(a, m) * eval_real(b, m),
+        Term::Abs(x) => eval_real(x, m).abs(),
+        Term::Ite(c, a, b) => {
+            if eval_bool(c, m) {
+                eval_real(a, m)
+            } else {
+                eval_real(b, m)
+            }
+        }
+        other => panic!("unexpected real term {other:?}"),
+    }
+}
+
+fn eval_bool(t: &Term, m: &BTreeMap<String, Rat>) -> bool {
+    match t {
+        Term::BConst(b) => *b,
+        Term::Le(a, b) => eval_real(a, m) <= eval_real(b, m),
+        Term::Lt(a, b) => eval_real(a, m) < eval_real(b, m),
+        Term::EqNum(a, b) => eval_real(a, m) == eval_real(b, m),
+        Term::Not(x) => !eval_bool(x, m),
+        Term::And(ts) => ts.iter().all(|x| eval_bool(x, m)),
+        Term::Or(ts) => ts.iter().any(|x| eval_bool(x, m)),
+        Term::Implies(a, b) => !eval_bool(a, m) || eval_bool(b, m),
+        Term::Iff(a, b) => eval_bool(a, m) == eval_bool(b, m),
+        other => panic!("unexpected bool term {other:?}"),
+    }
+}
+
+/// Strategy for linear real terms (constants have small magnitudes).
+fn real_term() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        (-8i128..=8).prop_map(Term::int),
+        (0usize..VARS.len()).prop_map(|i| Term::real_var(VARS[i])),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.add(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.sub(b)),
+            ((-4i128..=4), inner.clone()).prop_map(|(k, t)| Term::int(k).mul(t)),
+            inner.clone().prop_map(|t| t.abs()),
+            inner.prop_map(|t| t.neg()),
+        ]
+    })
+}
+
+/// Strategy for boolean formulas over linear atoms.
+fn bool_term() -> impl Strategy<Value = Term> {
+    let atom = (real_term(), real_term(), 0u8..3).prop_map(|(a, b, k)| match k {
+        0 => a.le(b),
+        1 => a.lt(b),
+        _ => a.eq_num(b),
+    });
+    atom.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.implies(b)),
+            inner.prop_map(|t| t.not()),
+        ]
+    })
+}
+
+fn assignment() -> impl Strategy<Value = BTreeMap<String, Rat>> {
+    proptest::collection::vec((-6i128..=6, 1i128..=3), VARS.len()).prop_map(|vals| {
+        VARS.iter()
+            .zip(vals)
+            .map(|(v, (n, d))| (v.to_string(), Rat::new(n, d)))
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// A witnessed-satisfiable conjunction must be reported Sat.
+    #[test]
+    fn witnessed_sat_is_found(t in bool_term(), m in assignment()) {
+        if eval_bool(&t, &m) {
+            let solver = Solver::new();
+            prop_assert!(solver.check(std::slice::from_ref(&t)).is_sat(),
+                "solver said Unsat but {m:?} satisfies {t}");
+        }
+    }
+
+    /// Models returned by the solver actually satisfy the input.
+    #[test]
+    fn models_are_genuine(t in bool_term()) {
+        let solver = Solver::new();
+        if let CheckResult::Sat(model) = solver.check(std::slice::from_ref(&t)) {
+            prop_assert!(!model.possibly_spurious, "fragment is linear; no abstraction expected");
+            // Complete the model over all vars (unconstrained default 0).
+            let m: BTreeMap<String, Rat> = VARS
+                .iter()
+                .map(|v| (v.to_string(), model.real(v)))
+                .collect();
+            prop_assert!(eval_bool(&t, &m), "model {m:?} does not satisfy {t}");
+        }
+    }
+
+    /// `prove` never claims validity refuted by direct evaluation.
+    #[test]
+    fn proved_goals_hold(hyp in bool_term(), goal in bool_term(), m in assignment()) {
+        let solver = Solver::new();
+        if solver.prove(std::slice::from_ref(&hyp), &goal).is_proved()
+            && eval_bool(&hyp, &m)
+        {
+            prop_assert!(eval_bool(&goal, &m),
+                "claimed {hyp} ⊢ {goal} but {m:?} refutes it");
+        }
+    }
+
+    /// Conjunction with the negated formula is always Unsat (excluded middle
+    /// at the theory level).
+    #[test]
+    fn formula_and_negation_unsat(t in bool_term()) {
+        let solver = Solver::new();
+        let contradiction = [t.clone(), t.not()];
+        prop_assert!(!solver.check(&contradiction).is_sat());
+    }
+}

@@ -1,0 +1,894 @@
+//! Recursive-descent parser for the ShadowDP concrete syntax.
+//!
+//! Grammar sketch (see crate docs for an example program):
+//!
+//! ```text
+//! function     ::= "function" IDENT "(" param-groups ")"
+//!                  "returns" IDENT ":" ty
+//!                  precondition*
+//!                  ("budget" expr)?
+//!                  block
+//! param-groups ::= idents ":" ty ("," idents ":" ty)*
+//! precondition ::= "precondition" ("forall" IDENT "::" expr | "atmostone" IDENT | expr)
+//! ty           ::= "num" "(" dist "," dist ")" | "bool" | "list" ty
+//! dist         ::= "*" | "-" | expr
+//! cmd          ::= "skip" ";" | name ":=" rhs ";" | "return" expr ";"
+//!                | "assert" "(" expr ")" ";" | "assume" "(" expr ")" ";"
+//!                | "havoc" name ";"
+//!                | "if" "(" expr ")" block ("else" block)?
+//!                | "while" "(" expr ")" ("invariant" "(" expr ")")* block
+//! rhs          ::= "lap" "(" expr ")" "{" "select" ":" selector ","
+//!                                        "align" ":" expr "}"
+//!                | expr
+//! selector     ::= "aligned" | "shadow" | or-expr "?" selector ":" selector
+//! ```
+
+use std::fmt;
+
+use crate::ast::*;
+use crate::lexer::{LexError, Lexer, Span, Token, TokenKind};
+
+/// Words that cannot be used as variable names.
+pub const KEYWORDS: &[&str] = &[
+    "function",
+    "returns",
+    "precondition",
+    "forall",
+    "atmostone",
+    "budget",
+    "invariant",
+    "if",
+    "else",
+    "while",
+    "skip",
+    "return",
+    "true",
+    "false",
+    "lap",
+    "aligned",
+    "shadow",
+    "assert",
+    "havoc",
+    "assume",
+    "nil",
+    "num",
+    "bool",
+    "list",
+    "abs",
+    "sgn",
+    "select",
+    "align",
+];
+
+/// A parse (or lex) failure, with location information.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Where the problem was detected.
+    pub span: Span,
+}
+
+impl ParseError {
+    /// Renders the error with 1-based line/column resolved against `src`.
+    pub fn render(&self, src: &str) -> String {
+        let (line, col) = self.span.line_col(src);
+        format!("parse error at {line}:{col}: {}", self.message)
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "parse error at bytes {}..{}: {}",
+            self.span.start, self.span.end, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> ParseError {
+        ParseError {
+            message: e.message,
+            span: e.span,
+        }
+    }
+}
+
+/// Parses a complete ShadowDP function.
+///
+/// If the body does not end with an explicit `return`, one returning the
+/// declared output variable is appended (the paper lists the return value in
+/// the signature and omits the statement).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input.
+///
+/// # Examples
+///
+/// ```
+/// let f = shadowdp_syntax::parse_function(
+///     "function F(eps: num(0,0)) returns o: num(0,0) { o := 1; }",
+/// ).unwrap();
+/// assert_eq!(f.name, "F");
+/// ```
+pub fn parse_function(src: &str) -> Result<Function, ParseError> {
+    let tokens = Lexer::new(src).lex()?;
+    let mut p = Parser { tokens, pos: 0 };
+    let f = p.function()?;
+    p.expect_eof()?;
+    Ok(f)
+}
+
+/// Parses a standalone expression (used by tests and the REPL-style tools).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input or trailing tokens.
+pub fn parse_expr(src: &str) -> Result<Expr, ParseError> {
+    let tokens = Lexer::new(src).lex()?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.expr()?;
+    p.expect_eof()?;
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn peek2(&self) -> &Token {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)]
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn check(&self, kind: &TokenKind) -> bool {
+        &self.peek().kind == kind
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.check(kind) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<Token, ParseError> {
+        if self.check(&kind) {
+            Ok(self.advance())
+        } else {
+            Err(self.err(format!("expected {kind}, found {}", self.peek().kind)))
+        }
+    }
+
+    fn err(&self, message: String) -> ParseError {
+        ParseError {
+            message,
+            span: self.peek().span,
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<(), ParseError> {
+        if self.check(&TokenKind::Eof) {
+            Ok(())
+        } else {
+            Err(self.err(format!("unexpected trailing {}", self.peek().kind)))
+        }
+    }
+
+    /// Consumes a specific keyword.
+    fn keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) if s == kw => {
+                self.advance();
+                Ok(())
+            }
+            other => Err(self.err(format!("expected `{kw}`, found {other}"))),
+        }
+    }
+
+    /// Checks whether the next token is the given keyword without consuming.
+    fn at_keyword(&self, kw: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Ident(s) if s == kw)
+    }
+
+    /// Parses a non-keyword identifier.
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match &self.peek().kind {
+            TokenKind::Ident(s) if !KEYWORDS.contains(&s.as_str()) => {
+                let s = s.clone();
+                self.advance();
+                Ok(s)
+            }
+            TokenKind::Ident(s) => Err(self.err(format!("`{s}` is a reserved word"))),
+            other => Err(self.err(format!("expected identifier, found {other}"))),
+        }
+    }
+
+    /// Parses a possibly hatted name: `x`, `^x`, `~x`.
+    fn name(&mut self) -> Result<Name, ParseError> {
+        if self.eat(&TokenKind::Caret) {
+            Ok(Name {
+                base: self.ident()?,
+                kind: NameKind::HatAligned,
+            })
+        } else if self.eat(&TokenKind::Tilde) {
+            Ok(Name {
+                base: self.ident()?,
+                kind: NameKind::HatShadow,
+            })
+        } else {
+            Ok(Name::plain(self.ident()?))
+        }
+    }
+
+    fn function(&mut self) -> Result<Function, ParseError> {
+        self.keyword("function")?;
+        let name = self.ident()?;
+        self.expect(TokenKind::LParen)?;
+        let params = self.param_groups()?;
+        self.expect(TokenKind::RParen)?;
+        self.keyword("returns")?;
+        let ret_name = self.ident()?;
+        self.expect(TokenKind::Colon)?;
+        let ret_ty = self.ty()?;
+        let mut preconditions = Vec::new();
+        while self.at_keyword("precondition") {
+            self.advance();
+            preconditions.push(self.precondition()?);
+        }
+        let budget = if self.at_keyword("budget") {
+            self.advance();
+            self.expr()?
+        } else {
+            Expr::var("eps")
+        };
+        let mut body = self.block()?;
+        let has_return = matches!(body.last().map(|c| &c.kind), Some(CmdKind::Return(_)));
+        if !has_return {
+            body.push(Cmd::synth(CmdKind::Return(Expr::var(ret_name.clone()))));
+        }
+        Ok(Function {
+            name,
+            params,
+            ret: RetDecl {
+                name: ret_name,
+                ty: ret_ty,
+            },
+            preconditions,
+            budget,
+            body,
+        })
+    }
+
+    fn param_groups(&mut self) -> Result<Vec<Param>, ParseError> {
+        let mut params = Vec::new();
+        if self.check(&TokenKind::RParen) {
+            return Ok(params);
+        }
+        loop {
+            // One group: idents ":" ty
+            let mut names = vec![self.ident()?];
+            while self.check(&TokenKind::Comma) {
+                // `, IDENT :` continues this group; `, IDENT ,` also does.
+                // A lone trailing ident before `:` is handled by the loop.
+                self.advance();
+                names.push(self.ident()?);
+                if self.check(&TokenKind::Colon) {
+                    break;
+                }
+            }
+            self.expect(TokenKind::Colon)?;
+            let ty = self.ty()?;
+            for n in names {
+                params.push(Param {
+                    name: n,
+                    ty: ty.clone(),
+                });
+            }
+            if !self.eat(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(params)
+    }
+
+    fn precondition(&mut self) -> Result<Precondition, ParseError> {
+        if self.at_keyword("forall") {
+            self.advance();
+            let var = self.ident()?;
+            self.expect(TokenKind::ColonColon)?;
+            let body = self.expr()?;
+            Ok(Precondition::Forall { var, body })
+        } else if self.at_keyword("atmostone") {
+            self.advance();
+            Ok(Precondition::AtMostOne(self.ident()?))
+        } else {
+            Ok(Precondition::Plain(self.expr()?))
+        }
+    }
+
+    fn ty(&mut self) -> Result<Ty, ParseError> {
+        if self.at_keyword("num") {
+            self.advance();
+            self.expect(TokenKind::LParen)?;
+            let d1 = self.distance()?;
+            self.expect(TokenKind::Comma)?;
+            let d2 = self.distance()?;
+            self.expect(TokenKind::RParen)?;
+            Ok(Ty::Num(d1, d2))
+        } else if self.at_keyword("bool") {
+            self.advance();
+            Ok(Ty::Bool)
+        } else if self.at_keyword("list") {
+            self.advance();
+            Ok(Ty::List(Box::new(self.ty()?)))
+        } else {
+            Err(self.err(format!(
+                "expected a type (`num`, `bool`, `list`), found {}",
+                self.peek().kind
+            )))
+        }
+    }
+
+    fn distance(&mut self) -> Result<Distance, ParseError> {
+        if self.check(&TokenKind::Star)
+            && matches!(self.peek2().kind, TokenKind::Comma | TokenKind::RParen)
+        {
+            self.advance();
+            Ok(Distance::Star)
+        } else if self.check(&TokenKind::Minus)
+            && matches!(self.peek2().kind, TokenKind::Comma | TokenKind::RParen)
+        {
+            self.advance();
+            Ok(Distance::Any)
+        } else {
+            Ok(Distance::D(self.expr()?))
+        }
+    }
+
+    fn block(&mut self) -> Result<Vec<Cmd>, ParseError> {
+        self.expect(TokenKind::LBrace)?;
+        let mut cmds = Vec::new();
+        while !self.check(&TokenKind::RBrace) {
+            cmds.push(self.cmd()?);
+        }
+        self.expect(TokenKind::RBrace)?;
+        Ok(cmds)
+    }
+
+    fn cmd(&mut self) -> Result<Cmd, ParseError> {
+        let start = self.peek().span;
+        if self.at_keyword("skip") {
+            self.advance();
+            self.expect(TokenKind::Semi)?;
+            return Ok(Cmd {
+                kind: CmdKind::Skip,
+                span: start,
+            });
+        }
+        if self.at_keyword("return") {
+            self.advance();
+            let e = self.expr()?;
+            let end = self.expect(TokenKind::Semi)?.span;
+            return Ok(Cmd {
+                kind: CmdKind::Return(e),
+                span: start.to(end),
+            });
+        }
+        if self.at_keyword("assert") {
+            self.advance();
+            self.expect(TokenKind::LParen)?;
+            let e = self.expr()?;
+            self.expect(TokenKind::RParen)?;
+            let end = self.expect(TokenKind::Semi)?.span;
+            return Ok(Cmd {
+                kind: CmdKind::Assert(e),
+                span: start.to(end),
+            });
+        }
+        if self.at_keyword("assume") {
+            self.advance();
+            self.expect(TokenKind::LParen)?;
+            let e = self.expr()?;
+            self.expect(TokenKind::RParen)?;
+            let end = self.expect(TokenKind::Semi)?.span;
+            return Ok(Cmd {
+                kind: CmdKind::Assume(e),
+                span: start.to(end),
+            });
+        }
+        if self.at_keyword("havoc") {
+            self.advance();
+            let n = self.name()?;
+            let end = self.expect(TokenKind::Semi)?.span;
+            return Ok(Cmd {
+                kind: CmdKind::Havoc(n),
+                span: start.to(end),
+            });
+        }
+        if self.at_keyword("if") {
+            self.advance();
+            self.expect(TokenKind::LParen)?;
+            let cond = self.expr()?;
+            self.expect(TokenKind::RParen)?;
+            let then_b = self.block()?;
+            let else_b = if self.at_keyword("else") {
+                self.advance();
+                self.block()?
+            } else {
+                Vec::new()
+            };
+            return Ok(Cmd {
+                kind: CmdKind::If(cond, then_b, else_b),
+                span: start,
+            });
+        }
+        if self.at_keyword("while") {
+            self.advance();
+            self.expect(TokenKind::LParen)?;
+            let cond = self.expr()?;
+            self.expect(TokenKind::RParen)?;
+            let mut invariants = Vec::new();
+            while self.at_keyword("invariant") {
+                self.advance();
+                self.expect(TokenKind::LParen)?;
+                invariants.push(self.expr()?);
+                self.expect(TokenKind::RParen)?;
+            }
+            let body = self.block()?;
+            return Ok(Cmd {
+                kind: CmdKind::While {
+                    cond,
+                    invariants,
+                    body,
+                },
+                span: start,
+            });
+        }
+        // Assignment or sampling: name := rhs ;
+        let lhs = self.name()?;
+        self.expect(TokenKind::Assign)?;
+        if self.at_keyword("lap") {
+            self.advance();
+            self.expect(TokenKind::LParen)?;
+            let scale = self.expr()?;
+            self.expect(TokenKind::RParen)?;
+            self.expect(TokenKind::LBrace)?;
+            self.keyword("select")?;
+            self.expect(TokenKind::Colon)?;
+            let selector = self.selector()?;
+            self.expect(TokenKind::Comma)?;
+            self.keyword("align")?;
+            self.expect(TokenKind::Colon)?;
+            let align = self.expr()?;
+            self.expect(TokenKind::RBrace)?;
+            let end = self.expect(TokenKind::Semi)?.span;
+            return Ok(Cmd {
+                kind: CmdKind::Sample {
+                    var: lhs,
+                    dist: RandExpr::Lap(scale),
+                    selector,
+                    align,
+                },
+                span: start.to(end),
+            });
+        }
+        let rhs = self.expr()?;
+        let end = self.expect(TokenKind::Semi)?.span;
+        Ok(Cmd {
+            kind: CmdKind::Assign(lhs, rhs),
+            span: start.to(end),
+        })
+    }
+
+    fn selector(&mut self) -> Result<Selector, ParseError> {
+        if self.at_keyword("aligned") {
+            self.advance();
+            return Ok(Selector::Aligned);
+        }
+        if self.at_keyword("shadow") {
+            self.advance();
+            return Ok(Selector::Shadow);
+        }
+        // Conditional selector: the guard is an `or`-level expression so the
+        // `?` unambiguously belongs to the selector.
+        let cond = self.or_expr()?;
+        self.expect(TokenKind::Question)?;
+        let s1 = self.selector()?;
+        self.expect(TokenKind::Colon)?;
+        let s2 = self.selector()?;
+        Ok(Selector::Cond(cond, Box::new(s1), Box::new(s2)))
+    }
+
+    // ---- expressions, precedence climbing ----
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.ternary()
+    }
+
+    fn ternary(&mut self) -> Result<Expr, ParseError> {
+        let cond = self.or_expr()?;
+        if self.eat(&TokenKind::Question) {
+            let t = self.ternary()?;
+            self.expect(TokenKind::Colon)?;
+            let e = self.ternary()?;
+            Ok(Expr::Ternary(Box::new(cond), Box::new(t), Box::new(e)))
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(&TokenKind::OrOr) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.eat(&TokenKind::AndAnd) {
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Binary(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.cons_expr()?;
+        let op = match self.peek().kind {
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::Le => BinOp::Le,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::Ge => BinOp::Ge,
+            TokenKind::EqEq => BinOp::Eq,
+            TokenKind::Ne => BinOp::Ne,
+            _ => return Ok(lhs),
+        };
+        self.advance();
+        let rhs = self.cons_expr()?;
+        Ok(Expr::Binary(op, Box::new(lhs), Box::new(rhs)))
+    }
+
+    fn cons_expr(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.add_expr()?;
+        if self.eat(&TokenKind::ColonColon) {
+            let rhs = self.cons_expr()?; // right associative
+            Ok(Expr::Cons(Box::new(lhs), Box::new(rhs)))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.advance();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Mod,
+                _ => return Ok(lhs),
+            };
+            self.advance();
+            let rhs = self.unary_expr()?;
+            // Fold literal / literal into an exact rational literal so the
+            // pretty-printer's rendering of `Num(1/2)` as `1 / 2` re-parses
+            // to the same AST.
+            lhs = match (op, &lhs, &rhs) {
+                (BinOp::Div, Expr::Num(a), Expr::Num(b)) if !b.is_zero() => Expr::Num(*a / *b),
+                _ => Expr::Binary(op, Box::new(lhs), Box::new(rhs)),
+            };
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.eat(&TokenKind::Minus) {
+            let e = self.unary_expr()?;
+            // Fold negation of literals so `-1` is a literal, matching the
+            // pretty-printer's output.
+            return Ok(match e {
+                Expr::Num(r) => Expr::Num(-r),
+                e => Expr::Unary(UnOp::Neg, Box::new(e)),
+            });
+        }
+        if self.eat(&TokenKind::Bang) {
+            let e = self.unary_expr()?;
+            return Ok(Expr::Unary(UnOp::Not, Box::new(e)));
+        }
+        self.postfix_expr()
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.atom()?;
+        while self.eat(&TokenKind::LBracket) {
+            let idx = self.expr()?;
+            self.expect(TokenKind::RBracket)?;
+            e = Expr::Index(Box::new(e), Box::new(idx));
+        }
+        Ok(e)
+    }
+
+    fn atom(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().kind.clone() {
+            TokenKind::Number(r) => {
+                self.advance();
+                Ok(Expr::Num(r))
+            }
+            TokenKind::LParen => {
+                self.advance();
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Caret | TokenKind::Tilde => Ok(Expr::Var(self.name()?)),
+            TokenKind::Ident(s) => match s.as_str() {
+                "true" => {
+                    self.advance();
+                    Ok(Expr::Bool(true))
+                }
+                "false" => {
+                    self.advance();
+                    Ok(Expr::Bool(false))
+                }
+                "nil" => {
+                    self.advance();
+                    Ok(Expr::Nil)
+                }
+                "abs" => {
+                    self.advance();
+                    self.expect(TokenKind::LParen)?;
+                    let e = self.expr()?;
+                    self.expect(TokenKind::RParen)?;
+                    Ok(Expr::Unary(UnOp::Abs, Box::new(e)))
+                }
+                "sgn" => {
+                    self.advance();
+                    self.expect(TokenKind::LParen)?;
+                    let e = self.expr()?;
+                    self.expect(TokenKind::RParen)?;
+                    Ok(Expr::Unary(UnOp::Sgn, Box::new(e)))
+                }
+                _ => Ok(Expr::Var(self.name()?)),
+            },
+            other => Err(self.err(format!("expected expression, found {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use shadowdp_num::Rat;
+
+    #[test]
+    fn precedence() {
+        // 1 + 2 * 3 parses as 1 + (2 * 3)
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        assert_eq!(
+            e,
+            Expr::Binary(
+                BinOp::Add,
+                Box::new(Expr::int(1)),
+                Box::new(Expr::Binary(
+                    BinOp::Mul,
+                    Box::new(Expr::int(2)),
+                    Box::new(Expr::int(3))
+                ))
+            )
+        );
+        // comparisons bind looser than arithmetic, && looser still
+        let e = parse_expr("a + 1 > b && c == 0").unwrap();
+        match e {
+            Expr::Binary(BinOp::And, lhs, _) => {
+                assert!(matches!(*lhs, Expr::Binary(BinOp::Gt, _, _)));
+            }
+            other => panic!("unexpected parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unary_minus_folds_literals() {
+        assert_eq!(parse_expr("-1").unwrap(), Expr::Num(Rat::int(-1)));
+        assert_eq!(
+            parse_expr("-x").unwrap(),
+            Expr::Unary(UnOp::Neg, Box::new(Expr::var("x")))
+        );
+    }
+
+    #[test]
+    fn hat_variables() {
+        assert_eq!(
+            parse_expr("^q[i]").unwrap(),
+            Expr::Index(
+                Box::new(Expr::Var(Name::plain("q").aligned_hat())),
+                Box::new(Expr::var("i"))
+            )
+        );
+        assert_eq!(
+            parse_expr("~bq").unwrap(),
+            Expr::Var(Name::plain("bq").shadow_hat())
+        );
+    }
+
+    #[test]
+    fn ternary_and_cons() {
+        let e = parse_expr("b ? 1 : 0").unwrap();
+        assert!(matches!(e, Expr::Ternary(_, _, _)));
+        let e = parse_expr("1 :: 2 :: nil").unwrap();
+        match e {
+            Expr::Cons(_, tail) => assert!(matches!(*tail, Expr::Cons(_, _))),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn abs_and_mod() {
+        assert_eq!(
+            parse_expr("abs(x - y)").unwrap(),
+            Expr::Unary(
+                UnOp::Abs,
+                Box::new(Expr::Binary(
+                    BinOp::Sub,
+                    Box::new(Expr::var("x")),
+                    Box::new(Expr::var("y"))
+                ))
+            )
+        );
+        assert!(parse_expr("(i + 1) % m == 0").is_ok());
+    }
+
+    #[test]
+    fn parse_simple_function() {
+        let f = parse_function(
+            "function F(eps, size: num(0,0), q: list num(*,*)) returns o: num(0,*)
+             precondition forall i :: -1 <= ^q[i] && ^q[i] <= 1
+             precondition size >= 0
+             { o := 0; }",
+        )
+        .unwrap();
+        assert_eq!(f.params.len(), 3);
+        assert_eq!(f.params[0].name, "eps");
+        assert_eq!(f.params[1].name, "size");
+        assert_eq!(f.params[2].ty, Ty::List(Box::new(Ty::num_star())));
+        assert_eq!(f.preconditions.len(), 2);
+        // implicit return appended
+        assert!(matches!(
+            f.body.last().unwrap().kind,
+            CmdKind::Return(Expr::Var(ref n)) if n.base == "o"
+        ));
+        assert_eq!(f.budget, Expr::var("eps"));
+    }
+
+    #[test]
+    fn parse_sampling_with_selector() {
+        let f = parse_function(
+            "function F(eps: num(0,0)) returns o: num(0,0) {
+                eta := lap(2 / eps) { select: o > 0 || eta == 0 ? shadow : aligned,
+                                      align: o > 0 ? 2 : 0 };
+                o := eta;
+             }",
+        )
+        .unwrap();
+        match &f.body[0].kind {
+            CmdKind::Sample {
+                var,
+                dist,
+                selector,
+                align,
+            } => {
+                assert_eq!(var, &Name::plain("eta"));
+                assert_eq!(dist.scale(), &parse_expr("2 / eps").unwrap());
+                assert!(selector.uses_shadow());
+                assert!(matches!(align, Expr::Ternary(_, _, _)));
+            }
+            other => panic!("expected sample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_while_with_invariant() {
+        let f = parse_function(
+            "function F(eps, size: num(0,0)) returns o: num(0,0) {
+                i := 0;
+                while (i < size) invariant (i >= 0) invariant (i <= size) {
+                    i := i + 1;
+                }
+                o := i;
+             }",
+        )
+        .unwrap();
+        match &f.body[1].kind {
+            CmdKind::While { invariants, .. } => assert_eq!(invariants.len(), 2),
+            other => panic!("expected while, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_budget_and_atmostone() {
+        let f = parse_function(
+            "function F(eps: num(0,0), q: list num(*,*)) returns o: num(0,-)
+             precondition atmostone q
+             budget 2 * eps
+             { o := 0; }",
+        )
+        .unwrap();
+        assert_eq!(f.adjacency(), Adjacency::OneDiffer);
+        assert_eq!(f.budget, parse_expr("2 * eps").unwrap());
+        assert_eq!(f.ret.ty, Ty::Num(Distance::D(Expr::int(0)), Distance::Any));
+    }
+
+    #[test]
+    fn reserved_words_rejected_as_names() {
+        assert!(parse_expr("lap").is_err());
+        assert!(parse_function(
+            "function F(if: num(0,0)) returns o: num(0,0) { o := 0; }"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let err = parse_function("function F(x: num(0,0)) returns o: num(0,0) { o := ; }")
+            .unwrap_err();
+        assert!(err.message.contains("expected expression"));
+        assert!(err.span.start > 0);
+    }
+
+    #[test]
+    fn if_else_blocks() {
+        let f = parse_function(
+            "function F(eps: num(0,0)) returns o: num(0,0) {
+                if (1 > 0) { o := 1; } else { o := 2; }
+             }",
+        )
+        .unwrap();
+        assert!(matches!(f.body[0].kind, CmdKind::If(_, _, _)));
+        // else-less if
+        let f = parse_function(
+            "function F(eps: num(0,0)) returns o: num(0,0) {
+                if (1 > 0) { o := 1; }
+             }",
+        )
+        .unwrap();
+        match &f.body[0].kind {
+            CmdKind::If(_, _, els) => assert!(els.is_empty()),
+            _ => panic!(),
+        }
+    }
+}

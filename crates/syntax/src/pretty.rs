@@ -1,0 +1,408 @@
+//! Pretty-printer for ShadowDP programs.
+//!
+//! The output re-parses to the same AST ([`crate::parse_function`] ∘
+//! [`pretty_function`] is the identity, property-tested in the crate's test
+//! suite). Parenthesization is driven by operator precedence so printed
+//! expressions are minimal but unambiguous.
+
+use std::fmt::Write as _;
+
+use crate::ast::*;
+
+/// Precedence levels, higher binds tighter. Mirrors the parser.
+fn prec(e: &Expr) -> u8 {
+    match e {
+        Expr::Ternary(..) => 1,
+        Expr::Binary(BinOp::Or, ..) => 2,
+        Expr::Binary(BinOp::And, ..) => 3,
+        Expr::Binary(op, ..) if op.is_comparison() => 4,
+        Expr::Cons(..) => 5,
+        Expr::Binary(BinOp::Add | BinOp::Sub, ..) => 6,
+        Expr::Binary(BinOp::Mul | BinOp::Div | BinOp::Mod, ..) => 7,
+        Expr::Unary(UnOp::Neg | UnOp::Not, ..) => 8,
+        _ => 9, // atoms, abs(...), sgn(...), indexing
+    }
+}
+
+/// Renders an expression to concrete syntax.
+///
+/// # Examples
+///
+/// ```
+/// use shadowdp_syntax::{parse_expr, pretty_expr};
+/// let e = parse_expr("q[i] + eta > bq || i == 0").unwrap();
+/// assert_eq!(pretty_expr(&e), "q[i] + eta > bq || i == 0");
+/// ```
+pub fn pretty_expr(e: &Expr) -> String {
+    let mut s = String::new();
+    write_expr(&mut s, e);
+    s
+}
+
+fn write_child(out: &mut String, child: &Expr, min_prec: u8) {
+    if prec(child) < min_prec {
+        out.push('(');
+        write_expr(out, child);
+        out.push(')');
+    } else {
+        write_expr(out, child);
+    }
+}
+
+fn write_expr(out: &mut String, e: &Expr) {
+    match e {
+        Expr::Num(r) => {
+            if r.is_negative() {
+                // print as unary minus over the positive literal, which the
+                // parser folds back into a literal
+                let _ = write!(out, "-{}", -*r);
+            } else if r.is_integer() {
+                let _ = write!(out, "{r}");
+            } else {
+                // rationals print as divisions so they re-parse
+                let _ = write!(out, "{} / {}", r.numer(), r.denom());
+            }
+        }
+        Expr::Bool(true) => out.push_str("true"),
+        Expr::Bool(false) => out.push_str("false"),
+        Expr::Nil => out.push_str("nil"),
+        Expr::Var(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Expr::Unary(UnOp::Neg, inner) => {
+            out.push('-');
+            write_child(out, inner, 8);
+        }
+        Expr::Unary(UnOp::Not, inner) => {
+            out.push('!');
+            write_child(out, inner, 8);
+        }
+        Expr::Unary(UnOp::Abs, inner) => {
+            out.push_str("abs(");
+            write_expr(out, inner);
+            out.push(')');
+        }
+        Expr::Unary(UnOp::Sgn, inner) => {
+            out.push_str("sgn(");
+            write_expr(out, inner);
+            out.push(')');
+        }
+        Expr::Binary(op, a, b) => {
+            let p = prec(e);
+            // Left-associative chains keep the left child at the same level;
+            // the right child must bind strictly tighter. Comparisons and
+            // cons are non-associative / right-associative respectively.
+            match op {
+                BinOp::Or | BinOp::And | BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div
+                | BinOp::Mod => {
+                    write_child(out, a, p);
+                    let _ = write!(out, " {} ", op.symbol());
+                    write_child(out, b, p + 1);
+                }
+                _ => {
+                    write_child(out, a, p + 1);
+                    let _ = write!(out, " {} ", op.symbol());
+                    write_child(out, b, p + 1);
+                }
+            }
+        }
+        Expr::Ternary(c, t, f) => {
+            write_child(out, c, 2);
+            out.push_str(" ? ");
+            write_child(out, t, 1);
+            out.push_str(" : ");
+            write_child(out, f, 1);
+        }
+        Expr::Cons(h, t) => {
+            write_child(out, h, 6);
+            out.push_str(" :: ");
+            write_child(out, t, 5);
+        }
+        Expr::Index(base, idx) => {
+            write_child(out, base, 9);
+            out.push('[');
+            write_expr(out, idx);
+            out.push(']');
+        }
+    }
+}
+
+fn write_selector(out: &mut String, s: &Selector) {
+    match s {
+        Selector::Aligned => out.push_str("aligned"),
+        Selector::Shadow => out.push_str("shadow"),
+        Selector::Cond(c, s1, s2) => {
+            write_child(out, c, 2);
+            out.push_str(" ? ");
+            write_selector(out, s1);
+            out.push_str(" : ");
+            write_selector(out, s2);
+        }
+    }
+}
+
+fn write_ty(out: &mut String, ty: &Ty) {
+    match ty {
+        Ty::Bool => out.push_str("bool"),
+        Ty::List(inner) => {
+            out.push_str("list ");
+            write_ty(out, inner);
+        }
+        Ty::Num(d1, d2) => {
+            out.push_str("num(");
+            write_distance(out, d1);
+            out.push_str(", ");
+            write_distance(out, d2);
+            out.push(')');
+        }
+    }
+}
+
+fn write_distance(out: &mut String, d: &Distance) {
+    match d {
+        Distance::Star => out.push('*'),
+        Distance::Any => out.push('-'),
+        Distance::D(e) => write_expr(out, e),
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("    ");
+    }
+}
+
+fn write_cmd(out: &mut String, c: &Cmd, depth: usize) {
+    indent(out, depth);
+    match &c.kind {
+        CmdKind::Skip => out.push_str("skip;\n"),
+        CmdKind::Assign(n, e) => {
+            let _ = write!(out, "{n} := {};\n", pretty_expr(e));
+        }
+        CmdKind::Sample {
+            var,
+            dist,
+            selector,
+            align,
+        } => {
+            let RandExpr::Lap(scale) = dist;
+            let mut sel = String::new();
+            write_selector(&mut sel, selector);
+            let _ = write!(
+                out,
+                "{var} := lap({}) {{ select: {sel}, align: {} }};\n",
+                pretty_expr(scale),
+                pretty_expr(align)
+            );
+        }
+        CmdKind::If(cond, t, f) => {
+            let _ = write!(out, "if ({}) {{\n", pretty_expr(cond));
+            for c in t {
+                write_cmd(out, c, depth + 1);
+            }
+            indent(out, depth);
+            if f.is_empty() {
+                out.push_str("}\n");
+            } else {
+                out.push_str("} else {\n");
+                for c in f {
+                    write_cmd(out, c, depth + 1);
+                }
+                indent(out, depth);
+                out.push_str("}\n");
+            }
+        }
+        CmdKind::While {
+            cond,
+            invariants,
+            body,
+        } => {
+            let _ = write!(out, "while ({})", pretty_expr(cond));
+            for inv in invariants {
+                let _ = write!(out, " invariant ({})", pretty_expr(inv));
+            }
+            out.push_str(" {\n");
+            for c in body {
+                write_cmd(out, c, depth + 1);
+            }
+            indent(out, depth);
+            out.push_str("}\n");
+        }
+        CmdKind::Return(e) => {
+            let _ = write!(out, "return {};\n", pretty_expr(e));
+        }
+        CmdKind::Assert(e) => {
+            let _ = write!(out, "assert({});\n", pretty_expr(e));
+        }
+        CmdKind::Assume(e) => {
+            let _ = write!(out, "assume({});\n", pretty_expr(e));
+        }
+        CmdKind::Havoc(n) => {
+            let _ = write!(out, "havoc {n};\n");
+        }
+    }
+}
+
+/// Renders a command sequence at the given indentation depth.
+pub fn pretty_cmds(cmds: &[Cmd], depth: usize) -> String {
+    let mut out = String::new();
+    for c in cmds {
+        write_cmd(&mut out, c, depth);
+    }
+    out
+}
+
+/// Renders a whole function to concrete syntax that re-parses to the same
+/// AST.
+///
+/// # Examples
+///
+/// ```
+/// use shadowdp_syntax::{parse_function, pretty_function};
+/// let src = "function F(eps: num(0,0)) returns o: num(0,0) { o := 1; }";
+/// let f = parse_function(src).unwrap();
+/// let printed = pretty_function(&f);
+/// assert_eq!(parse_function(&printed).unwrap(), f);
+/// ```
+pub fn pretty_function(f: &Function) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "function {}(", f.name);
+    for (i, p) in f.params.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(out, "{}: ", p.name);
+        write_ty(&mut out, &p.ty);
+    }
+    out.push_str(")\n");
+    let _ = write!(out, "returns {}: ", f.ret.name);
+    write_ty(&mut out, &f.ret.ty);
+    out.push('\n');
+    for p in &f.preconditions {
+        match p {
+            Precondition::Forall { var, body } => {
+                let _ = write!(out, "precondition forall {var} :: {}\n", pretty_expr(body));
+            }
+            Precondition::Plain(e) => {
+                let _ = write!(out, "precondition {}\n", pretty_expr(e));
+            }
+            Precondition::AtMostOne(q) => {
+                let _ = write!(out, "precondition atmostone {q}\n");
+            }
+        }
+    }
+    if f.budget != Expr::var("eps") {
+        let _ = write!(out, "budget {}\n", pretty_expr(&f.budget));
+    }
+    out.push_str("{\n");
+    out.push_str(&pretty_cmds(&f.body, 1));
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_function};
+
+    #[track_caller]
+    fn roundtrip_expr(src: &str) {
+        let e = parse_expr(src).unwrap();
+        let printed = pretty_expr(&e);
+        let e2 = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("re-parse of `{printed}` failed: {err}"));
+        assert_eq!(e, e2, "roundtrip changed `{src}` -> `{printed}`");
+    }
+
+    #[test]
+    fn expr_roundtrips() {
+        for src in [
+            "1 + 2 * 3",
+            "(1 + 2) * 3",
+            "q[i] + eta > bq || i == 0",
+            "b ? 1 : 0",
+            "b ? x + 1 : (c ? 2 : 3)",
+            "-x + ^q[i] - ~bq",
+            "abs(1 - ^q[i]) / (4 * NN)",
+            "1 :: 2 :: nil",
+            "(x + 1) :: out",
+            "!(a && b) || c",
+            "(i + 1) % m == 0",
+            "x - (y - z)",
+            "x - y - z",
+            "a / b / c",
+            "a / (b / c)",
+            "sgn(x) * x",
+        ] {
+            roundtrip_expr(src);
+        }
+    }
+
+    #[test]
+    fn negative_literals_roundtrip() {
+        roundtrip_expr("-1");
+        roundtrip_expr("0 - 1");
+        roundtrip_expr("x * -1");
+    }
+
+    #[test]
+    fn rational_literal_prints_as_division() {
+        let e = parse_expr("0.5").unwrap();
+        assert_eq!(pretty_expr(&e), "1 / 2");
+        roundtrip_expr("0.5");
+    }
+
+    #[test]
+    fn function_roundtrips() {
+        let src = r#"
+function NoisyMax(eps, size: num(0,0), q: list num(*,*))
+returns max: num(0,*)
+precondition forall i :: -1 <= ^q[i] && ^q[i] <= 1 && ~q[i] == ^q[i]
+precondition size >= 0
+{
+    i := 0; bq := 0; max := 0;
+    while (i < size) invariant (i >= 0) {
+        eta := lap(2 / eps) { select: q[i] + eta > bq || i == 0 ? shadow : aligned,
+                              align: q[i] + eta > bq || i == 0 ? 2 : 0 };
+        if (q[i] + eta > bq || i == 0) {
+            max := i;
+            bq := q[i] + eta;
+        } else { skip; }
+        i := i + 1;
+    }
+}
+"#;
+        let f = parse_function(src).unwrap();
+        let printed = pretty_function(&f);
+        let f2 = parse_function(&printed)
+            .unwrap_or_else(|e| panic!("re-parse failed: {}\n{printed}", e.render(&printed)));
+        assert_eq!(f, f2, "pretty output:\n{printed}");
+    }
+
+    #[test]
+    fn budget_printed_when_non_default() {
+        let src = "function F(eps: num(0,0)) returns o: num(0,0) budget 2 * eps { o := 0; }";
+        let f = parse_function(src).unwrap();
+        let printed = pretty_function(&f);
+        assert!(printed.contains("budget 2 * eps"));
+        assert_eq!(parse_function(&printed).unwrap(), f);
+    }
+
+    #[test]
+    fn target_commands_print() {
+        let src = "function F(eps: num(0,0)) returns o: num(0,0) {
+            havoc eta;
+            assume(eta > 0);
+            assert(eta >= 0);
+            ^o := eta;
+            o := 0;
+        }";
+        let f = parse_function(src).unwrap();
+        let printed = pretty_function(&f);
+        assert!(printed.contains("havoc eta;"));
+        assert!(printed.contains("assume(eta > 0);"));
+        assert!(printed.contains("assert(eta >= 0);"));
+        assert!(printed.contains("^o := eta;"));
+        assert_eq!(parse_function(&printed).unwrap(), f);
+    }
+}

@@ -1,0 +1,179 @@
+//! End-to-end check of the paper's running example: Report Noisy Max
+//! (Figure 1). The transformed program must contain the paper's
+//! instrumentation, modulo formatting.
+
+use shadowdp_syntax::{parse_function, pretty_function};
+use shadowdp_typing::check_function;
+
+const NOISY_MAX: &str = r#"
+function NoisyMax(eps, size: num(0,0), q: list num(*,*))
+returns max: num(0,*)
+precondition forall i :: -1 <= ^q[i] && ^q[i] <= 1 && ~q[i] == ^q[i]
+precondition size >= 0
+precondition eps > 0
+{
+    i := 0; bq := 0; max := 0;
+    while (i < size) {
+        eta := lap(2 / eps) { select: q[i] + eta > bq || i == 0 ? shadow : aligned,
+                              align:  q[i] + eta > bq || i == 0 ? 2 : 0 };
+        if (q[i] + eta > bq || i == 0) {
+            max := i;
+            bq := q[i] + eta;
+        }
+        i := i + 1;
+    }
+}
+"#;
+
+#[test]
+fn noisy_max_type_checks() {
+    let f = parse_function(NOISY_MAX).expect("parses");
+    let t = check_function(&f).expect("type checks");
+    assert!(t.shadow_used, "NoisyMax exercises the shadow execution");
+}
+
+#[test]
+fn transformation_matches_figure_1() {
+    let f = parse_function(NOISY_MAX).unwrap();
+    let t = check_function(&f).unwrap();
+    let printed = pretty_function(&t.function);
+    println!("{printed}");
+
+    // Line 3 of Fig. 1: hat initialization before the loop.
+    assert!(printed.contains("^bq := 0;"), "missing ^bq init:\n{printed}");
+    assert!(printed.contains("~bq := 0;"), "missing ~bq init:\n{printed}");
+
+    // Line 5: loop guard assert.
+    assert!(printed.contains("assert(i < size);"), "{printed}");
+
+    // Line 8: aligned assert in the then branch, with eta's distance
+    // simplified to 2 and bq's aligned distance selected to ~bq.
+    assert!(
+        printed.contains("assert(q[i] + ^q[i] + (eta + 2) > bq + ~bq || i == 0);")
+            || printed.contains("assert(q[i] + ^q[i] + eta + 2 > bq + ~bq || i == 0);"),
+        "then-assert missing or wrong:\n{printed}"
+    );
+
+    // Line 10: shadow preservation of bq before the assignment.
+    assert!(
+        printed.contains("~bq := bq + ~bq - (q[i] + eta);"),
+        "shadow preservation missing:\n{printed}"
+    );
+
+    // Line 12: aligned distance bookkeeping for bq.
+    assert!(
+        printed.contains("^bq := ^q[i] + 2;"),
+        "aligned bookkeeping missing:\n{printed}"
+    );
+
+    // Line 14: else-branch assert with eta's distance simplified to 0 and
+    // bq's aligned distance ^bq.
+    assert!(
+        printed.contains("assert(!(q[i] + ^q[i] + (eta + 0) > bq + ^bq || i == 0));")
+            || printed.contains("assert(!(q[i] + ^q[i] + eta > bq + ^bq || i == 0));"),
+        "else-assert missing or wrong:\n{printed}"
+    );
+
+    // Lines 15-17: the shadow execution of the branch, appended after it.
+    assert!(
+        printed.contains("if (q[i] + ~q[i] + eta > bq + ~bq || i == 0)"),
+        "shadow branch missing:\n{printed}"
+    );
+    assert!(
+        printed.contains("~bq := q[i] + ~q[i] + eta - bq;"),
+        "shadow update missing:\n{printed}"
+    );
+
+    // The dead ~max bookkeeping the paper omits must be gone.
+    assert!(
+        !printed.contains("~max"),
+        "dead ~max bookkeeping survived:\n{printed}"
+    );
+
+    // Sampling command retained with its annotation.
+    assert!(printed.contains("lap(2 / eps)"), "{printed}");
+}
+
+#[test]
+fn transformed_program_reparses() {
+    let f = parse_function(NOISY_MAX).unwrap();
+    let t = check_function(&f).unwrap();
+    let printed = pretty_function(&t.function);
+    let f2 = parse_function(&printed)
+        .unwrap_or_else(|e| panic!("re-parse failed: {}\n{printed}", e.render(&printed)));
+    assert_eq!(f2.name, "NoisyMax");
+}
+
+#[test]
+fn broken_alignment_is_rejected() {
+    // Annotation aligning by 1 instead of 2 fails the T-If assert only at
+    // verification time, but a non-injective alignment (constant wipe-out
+    // of the sample) must fail the type check.
+    let src = r#"
+function Bad(eps, size: num(0,0), q: list num(*,*))
+returns max: num(0,*)
+precondition forall i :: -1 <= ^q[i] && ^q[i] <= 1 && ~q[i] == ^q[i]
+{
+    i := 0; bq := 0; max := 0;
+    while (i < size) {
+        eta := lap(2 / eps) { select: aligned, align: 0 - eta };
+        if (q[i] + eta > bq || i == 0) {
+            max := i;
+            bq := q[i] + eta;
+        }
+        i := i + 1;
+    }
+}
+"#;
+    let f = parse_function(src).unwrap();
+    let err = check_function(&f).unwrap_err();
+    assert!(
+        err.message.contains("injective"),
+        "expected injectivity failure, got: {}",
+        err.message
+    );
+}
+
+#[test]
+fn sampling_under_diverged_shadow_is_rejected() {
+    // A sampling command inside the branch whose shadow execution diverges
+    // violates T-Laplace's pc = ⊥ requirement (when shadow is in use).
+    let src = r#"
+function Bad(eps, size: num(0,0), q: list num(*,*))
+returns max: num(0,*)
+precondition forall i :: -1 <= ^q[i] && ^q[i] <= 1 && ~q[i] == ^q[i]
+{
+    i := 0; bq := 0; max := 0;
+    eta := lap(2 / eps) { select: bq > 0 ? shadow : aligned, align: 2 };
+    if (q[0] + eta > bq) {
+        eta2 := lap(2 / eps) { select: aligned, align: 0 };
+        bq := q[0] + eta2;
+    }
+    max := 0;
+}
+"#;
+    let f = parse_function(src).unwrap();
+    let err = check_function(&f).unwrap_err();
+    assert!(
+        err.message.contains("pc") || err.message.contains("shadow"),
+        "expected pc=⊥ violation, got: {}",
+        err.message
+    );
+}
+
+#[test]
+fn nonzero_aligned_return_is_rejected() {
+    let src = r#"
+function Bad(eps: num(0,0), x: num(1,1)) returns out: num(0,0)
+{
+    out := x;
+}
+"#;
+    let f = parse_function(src).unwrap();
+    let err = check_function(&f).unwrap_err();
+    assert!(
+        err.message.contains("T-Return") || err.message.contains("aligned distance"),
+        "got: {}",
+        err.message
+    );
+}

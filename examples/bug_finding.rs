@@ -1,0 +1,86 @@
+//! Bug finding on incorrect Sparse Vector variants — the application the
+//! paper motivates in §1 and §8: because the transformed program has
+//! standard semantics, a symbolic executor can produce counterexamples for
+//! buggy programs.
+//!
+//! Each buggy variant type-checks but fails verification; the bounded
+//! model checker returns a concrete witness (query distances and noise
+//! values), and the empirical tester confirms the privacy violation at
+//! runtime for the headline bug.
+//!
+//! Run with `cargo run --example bug_finding --release`.
+
+use shadowdp::{corpus, Pipeline};
+use shadowdp_semantics::{estimate_privacy_loss, DpTestConfig, Value};
+use shadowdp_syntax::parse_function;
+use shadowdp_verify::{BmcOptions, Engine, Options, Verdict};
+
+fn main() {
+    for alg in corpus::buggy_algorithms() {
+        println!("=== {} ===", alg.name);
+        let options = Options {
+            engine: Engine::InductiveThenBmc,
+            bmc: BmcOptions {
+                list_len: 3,
+                max_unroll: None,
+                assumptions: alg
+                    .bmc_assumptions
+                    .iter()
+                    .map(|s| shadowdp_syntax::parse_expr(s).unwrap())
+                    .collect(),
+            },
+            ..Options::default()
+        };
+        match Pipeline::with_options(options).run(alg.source) {
+            Err(e) => println!("rejected by the type system: {e}\n"),
+            Ok(report) => match &report.verdict {
+                Verdict::Refuted(cex) => {
+                    println!("verification refuted:");
+                    println!("  {cex}\n");
+                }
+                other => println!("unexpected verdict: {other:?}\n"),
+            },
+        }
+    }
+
+    // Empirical confirmation for the classic "no threshold noise" bug.
+    println!("=== Empirical confirmation: SVT without threshold noise ===");
+    let alg = corpus::bad_svt_no_threshold_noise();
+    let f = parse_function(alg.source).unwrap();
+    let eps = 1.0;
+    // Adversarial adjacent inputs: many queries at the (un-noised)
+    // threshold on one side and just below on the other — each one leaks
+    // budget that the missing threshold noise was supposed to absorb, so
+    // the all-below event accumulates ~2ε of log-ratio over 8 queries.
+    let n = 8usize;
+    let q1 = vec![0.0; n];
+    let q2 = vec![-1.0; n];
+    let mk = |q: Vec<f64>| {
+        vec![
+            ("eps", Value::num(eps)),
+            ("size", Value::num(n as f64)),
+            ("T", Value::num(0.0)),
+            ("q", Value::num_list(q)),
+        ]
+    };
+    let est = estimate_privacy_loss(
+        &f,
+        &mk(q1),
+        &mk(q2),
+        &DpTestConfig {
+            trials: 40_000,
+            ..DpTestConfig::default()
+        },
+        |v| v.event_key(),
+    );
+    println!(
+        "worst observed log-ratio: {:.3} vs. claimed eps = {eps} \
+         (event `{}`)",
+        est.max_log_ratio, est.worst_event
+    );
+    if !est.consistent_with(eps, 0.30) {
+        println!("empirically CONFIRMED: not {eps}-differentially private.");
+    } else {
+        println!("note: this input pair did not expose the bug empirically.");
+    }
+}

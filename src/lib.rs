@@ -1,0 +1,14 @@
+//! Umbrella crate for the ShadowDP reproduction workspace.
+//!
+//! This crate only exists to host the repository-level integration tests
+//! (`tests/`) and runnable examples (`examples/`); the library surface simply
+//! re-exports the member crates so examples can use one import root.
+
+pub use shadowdp;
+pub use shadowdp_num;
+pub use shadowdp_semantics;
+pub use shadowdp_solver;
+pub use shadowdp_syntax;
+pub use shadowdp_synth;
+pub use shadowdp_typing;
+pub use shadowdp_verify;

@@ -1,0 +1,153 @@
+//! Property-based tests of the *semantic* alignment claims behind the
+//! proofs:
+//!
+//! 1. For Report Noisy Max, the paper's §2.4 selective alignment maps any
+//!    execution on `D1` to an execution on `D2` with the same output
+//!    (randomized over inputs, adjacency and noise).
+//! 2. For the Laplace mechanism, the alignment `η ↦ η − (x2 − x1)` equates
+//!    outputs exactly.
+//! 3. For Sparse Vector (N = 1), the `(◦, Ω ? 2 : 0)` alignment preserves
+//!    the boolean output vector when the threshold noise is shifted by +1
+//!    and above-threshold query noise by +2.
+
+use proptest::prelude::*;
+use shadowdp::corpus;
+use shadowdp_semantics::{Interp, Value};
+use shadowdp_syntax::parse_function;
+
+fn adjacent_queries() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    // q1 arbitrary in [-5, 5], per-element difference in [-1, 1].
+    proptest::collection::vec((-5.0f64..5.0, -1.0f64..1.0), 1..6).prop_map(|pairs| {
+        let q1: Vec<f64> = pairs.iter().map(|(q, _)| *q).collect();
+        let q2: Vec<f64> = pairs.iter().map(|(q, d)| q + d).collect();
+        (q1, q2)
+    })
+}
+
+fn noise_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-6.0f64..6.0, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// §2.4's construction: shadow noise for everyone except the winner,
+    /// winner gets +2 — output is preserved on the adjacent input.
+    #[test]
+    fn noisy_max_alignment_preserves_output(
+        (q1, q2) in adjacent_queries(),
+        noise in noise_vec(8),
+    ) {
+        let f = parse_function(corpus::noisy_max().source).unwrap();
+        let size = q1.len() as f64;
+        let mut interp = Interp::with_seed(1);
+
+        let run1 = interp.run_with_noise(&f, [
+            ("eps", Value::num(1.0)),
+            ("size", Value::num(size)),
+            ("q", Value::num_list(q1.clone())),
+        ], &noise).unwrap();
+        let winner = run1.output.as_num().unwrap() as usize;
+
+        let aligned: Vec<f64> = noise.iter().enumerate()
+            .map(|(i, a)| if i == winner { a + 2.0 } else { *a })
+            .collect();
+        let run2 = interp.run_with_noise(&f, [
+            ("eps", Value::num(1.0)),
+            ("size", Value::num(size)),
+            ("q", Value::num_list(q2.clone())),
+        ], &aligned).unwrap();
+
+        // The alignment argument needs strictness margins; floating-point
+        // ties are measure-zero but proptest will find them, so skip
+        // near-ties.
+        let noisy1: Vec<f64> = q1.iter().zip(&noise).map(|(q, n)| q + n).collect();
+        let max1 = noisy1[winner];
+        let margin = noisy1.iter().enumerate()
+            .filter(|(i, _)| *i != winner)
+            .map(|(_, v)| max1 - v)
+            .fold(f64::INFINITY, f64::min);
+        prop_assume!(margin > 2.0 + 1e-9);
+
+        prop_assert_eq!(
+            run1.output.clone(), run2.output.clone(),
+            "winner {} on q1={:?} noise={:?} not preserved on q2={:?}",
+            winner, q1, noise, q2
+        );
+    }
+
+    /// The Laplace mechanism's alignment equates outputs exactly.
+    #[test]
+    fn laplace_alignment_is_exact(
+        x1 in -5.0f64..5.0,
+        d in -1.0f64..1.0,
+        eta in -8.0f64..8.0,
+    ) {
+        let f = parse_function(corpus::laplace_mechanism().source).unwrap();
+        let x2 = x1 + d;
+        let mut interp = Interp::with_seed(2);
+        let run1 = interp.run_with_noise(&f, [
+            ("eps", Value::num(1.0)),
+            ("x", Value::num(x1)),
+        ], &[eta]).unwrap();
+        let run2 = interp.run_with_noise(&f, [
+            ("eps", Value::num(1.0)),
+            ("x", Value::num(x2)),
+        ], &[eta - d]).unwrap();
+        let o1 = run1.output.as_num().unwrap();
+        let o2 = run2.output.as_num().unwrap();
+        prop_assert!((o1 - o2).abs() < 1e-9, "{o1} vs {o2}");
+    }
+
+    /// Sparse Vector (N = 1): threshold noise +1, above-threshold query
+    /// noise +2 — the boolean output vector is preserved (away from ties).
+    #[test]
+    fn svt_alignment_preserves_output(
+        (q1, q2) in adjacent_queries(),
+        t in -3.0f64..3.0,
+        noise in noise_vec(8),
+    ) {
+        let f = parse_function(corpus::svt_n1().source).unwrap();
+        let size = q1.len() as f64;
+        let inputs = |q: Vec<f64>| vec![
+            ("eps", Value::num(1.0)),
+            ("size", Value::num(size)),
+            ("T", Value::num(t)),
+            ("q", Value::num_list(q)),
+        ];
+        let mut interp = Interp::with_seed(3);
+        let run1 = interp.run_with_noise(&f, inputs(q1.clone()), &noise).unwrap();
+
+        // Tie margins: skip runs where any comparison is within the
+        // alignment slack.
+        let tt = t + noise[0];
+        let margin = q1.iter().zip(noise.iter().skip(1))
+            .map(|(q, n)| (q + n - tt).abs())
+            .fold(f64::INFINITY, f64::min);
+        prop_assume!(margin > 3.0 + 1e-9);
+
+        // Alignment: eta1 + 1; above-threshold etas + 2, below unchanged.
+        let mut aligned = vec![noise[0] + 1.0];
+        for (q, n) in q1.iter().zip(noise.iter().skip(1)) {
+            let above = q + n >= tt;
+            aligned.push(if above { n + 2.0 } else { *n });
+        }
+        let run2 = interp.run_with_noise(&f, inputs(q2.clone()), &aligned).unwrap();
+        prop_assert_eq!(
+            run1.output.clone(), run2.output.clone(),
+            "q1={:?} q2={:?} t={} noise={:?}", q1, q2, t, noise
+        );
+    }
+
+    /// Pretty-printed corpus programs re-parse to the same AST (roundtrip
+    /// over the real benchmark suite, not just random expressions).
+    #[test]
+    fn corpus_pretty_roundtrip(idx in 0usize..14) {
+        let algs = corpus::all_algorithms();
+        let alg = &algs[idx % algs.len()];
+        let f = parse_function(alg.source).unwrap();
+        let printed = shadowdp_syntax::pretty_function(&f);
+        let f2 = parse_function(&printed).unwrap();
+        prop_assert_eq!(f, f2);
+    }
+}

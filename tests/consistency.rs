@@ -1,0 +1,144 @@
+//! Lemma 1 (Consistency), differentially tested: the transformed program
+//! `c'` preserves the semantics of the source program `c` — for any input
+//! and any noise vector, both produce the same output. The transformation
+//! only adds distance bookkeeping over hat variables and asserts.
+//!
+//! We run the source and the type-system output side by side with replayed
+//! noise across the whole (correct) corpus on randomized inputs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use shadowdp::corpus;
+use shadowdp_semantics::{Interp, Memory, Value};
+use shadowdp_syntax::{parse_function, Name, Ty};
+use shadowdp_typing::check_function;
+
+/// Builds a memory binding every parameter plus the hat lists `^q`/`~q`
+/// that a transformed program reads.
+fn memory_for(
+    f: &shadowdp_syntax::Function,
+    rng: &mut StdRng,
+    size: usize,
+) -> Memory {
+    let mut m = Memory::new();
+    for p in &f.params {
+        match &p.ty {
+            Ty::List(_) => {
+                let q: Vec<f64> = (0..size).map(|_| rng.gen_range(-5.0..5.0)).collect();
+                let hat: Vec<f64> = (0..size).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                let base = Name::plain(&p.name);
+                m.set(base.clone(), Value::num_list(q));
+                m.set(base.aligned_hat(), Value::num_list(hat.clone()));
+                m.set(base.shadow_hat(), Value::num_list(hat));
+            }
+            _ => {
+                let v = match p.name.as_str() {
+                    "eps" => 1.0,
+                    "size" => size as f64,
+                    "T" => rng.gen_range(-2.0..2.0),
+                    "NN" => 2.0,
+                    "MM" => 2.0,
+                    _ => rng.gen_range(-2.0..2.0),
+                };
+                m.set(Name::plain(&p.name), Value::num(v));
+            }
+        }
+    }
+    m
+}
+
+/// Number of samples an algorithm draws for a given input size (upper
+/// bound; replay vectors are sized generously).
+const NOISE_BUDGET: usize = 64;
+
+#[track_caller]
+fn check_consistency(alg: &corpus::Algorithm, trials: usize) {
+    let source = parse_function(alg.source).expect("parses");
+    let transformed = check_function(&source).expect("type checks").function;
+
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE ^ alg.name.len() as u64);
+    for trial in 0..trials {
+        let size = 1 + (trial % 5);
+        let memory = memory_for(&source, &mut rng, size);
+        let noise: Vec<f64> = (0..NOISE_BUDGET)
+            .map(|_| {
+                let u: f64 = rng.gen_range(-0.49..0.49);
+                -2.0 * u.signum() * (1.0 - 2.0 * u.abs()).ln()
+            })
+            .collect();
+
+        let mut interp = Interp::with_seed(trial as u64);
+        let src_run = interp
+            .run_with_memory(&source, memory.clone(), Some(&noise))
+            .unwrap_or_else(|e| panic!("{}: source run failed: {e}", alg.name));
+        let tr_run = interp
+            .run_with_memory(&transformed, memory, Some(&noise))
+            .unwrap_or_else(|e| {
+                panic!(
+                    "{}: transformed run failed (trial {trial}): {e}",
+                    alg.name
+                )
+            });
+
+        assert_eq!(
+            src_run.output, tr_run.output,
+            "{}: outputs diverge on trial {trial}",
+            alg.name
+        );
+        assert_eq!(
+            src_run.noise, tr_run.noise,
+            "{}: consumed noise diverges on trial {trial}",
+            alg.name
+        );
+    }
+}
+
+#[test]
+fn noisy_max_transformation_is_consistent() {
+    check_consistency(&corpus::noisy_max(), 25);
+}
+
+#[test]
+fn svt_transformation_is_consistent() {
+    check_consistency(&corpus::svt(), 25);
+}
+
+#[test]
+fn svt_n1_transformation_is_consistent() {
+    check_consistency(&corpus::svt_n1(), 25);
+}
+
+#[test]
+fn num_svt_transformation_is_consistent() {
+    check_consistency(&corpus::num_svt(), 25);
+}
+
+#[test]
+fn gap_svt_transformation_is_consistent() {
+    check_consistency(&corpus::gap_svt(), 25);
+}
+
+#[test]
+fn prefix_sum_transformation_is_consistent() {
+    check_consistency(&corpus::prefix_sum(), 25);
+}
+
+#[test]
+fn smart_sum_transformation_is_consistent() {
+    check_consistency(&corpus::smart_sum(), 25);
+}
+
+#[test]
+fn partial_sum_transformation_is_consistent() {
+    check_consistency(&corpus::partial_sum(), 25);
+}
+
+#[test]
+fn num_svt_n1_transformation_is_consistent() {
+    check_consistency(&corpus::num_svt_n1(), 25);
+}
+
+#[test]
+fn laplace_mechanism_transformation_is_consistent() {
+    check_consistency(&corpus::laplace_mechanism(), 25);
+}

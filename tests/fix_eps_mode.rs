@@ -1,0 +1,52 @@
+//! The paper's "Fix ε" column: every Table 1 algorithm also verifies with
+//! ε fixed to a concrete value before cost linearization (§6.1's second
+//! strategy for non-linear arithmetic).
+
+use shadowdp::corpus::table1_algorithms;
+use shadowdp::Pipeline;
+use shadowdp_num::Rat;
+use shadowdp_verify::{Engine, Options, Verdict, VerifyMode};
+
+#[test]
+fn all_table1_algorithms_prove_with_fixed_eps() {
+    for alg in table1_algorithms() {
+        let pipeline = Pipeline::with_options(Options {
+            mode: VerifyMode::FixEps(Rat::ONE),
+            engine: Engine::Inductive,
+            ..Options::default()
+        });
+        let report = pipeline
+            .run(alg.source)
+            .unwrap_or_else(|e| panic!("{}: {e}", alg.name));
+        assert!(
+            matches!(report.verdict, Verdict::Proved),
+            "{} (fix ε = 1): {:?}\n{:#?}",
+            alg.name,
+            report.verdict,
+            report.verification.log
+        );
+    }
+}
+
+#[test]
+fn fixed_eps_with_unusual_value_also_proves() {
+    // ε = 1/2 exercises non-integer scaling.
+    for alg in [
+        shadowdp::corpus::noisy_max(),
+        shadowdp::corpus::svt(),
+        shadowdp::corpus::smart_sum(),
+    ] {
+        let pipeline = Pipeline::with_options(Options {
+            mode: VerifyMode::FixEps(Rat::new(1, 2)),
+            engine: Engine::Inductive,
+            ..Options::default()
+        });
+        let report = pipeline.run(alg.source).unwrap();
+        assert!(
+            matches!(report.verdict, Verdict::Proved),
+            "{} (fix ε = 1/2): {:?}",
+            alg.name,
+            report.verdict
+        );
+    }
+}
