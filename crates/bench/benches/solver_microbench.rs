@@ -1,0 +1,155 @@
+//! Microbenchmarks pinning the hash-consed solver data layer:
+//!
+//! - `construction/*` — smart-constructor throughput against the interning
+//!   arena (all-hit after the first build: no tree allocation, no deep
+//!   hashing);
+//! - `normalize/*` — one full normalize + tableau + Fourier–Motzkin solve
+//!   (the uncached query cost);
+//! - `repeated-query/*` — the same `prove` asked again and again, with the
+//!   memo table off vs. on. The memoized path must be ≥ 2× the uncached
+//!   throughput (it is orders of magnitude in practice — a `u32`-keyed hash
+//!   lookup vs. a full solve);
+//! - `houdini/*` — end-to-end inductive verification of a counter loop
+//!   with a per-round-replaying Houdini fixed point, memoized vs. not.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shadowdp_solver::{Solver, Term};
+use shadowdp_syntax::parse_function;
+use shadowdp_typing::check_function;
+use shadowdp_verify::{inductive, lower_to_target, InductiveOptions, VerifyMode};
+
+/// A NoisyMax-shaped verification condition: Ψ bounds, branch guard, and
+/// the (T-ODot) stability goal.
+fn noisy_max_vc() -> (Vec<Term>, Term) {
+    let q = Term::real_var("q");
+    let hq = Term::real_var("hq");
+    let eta = Term::real_var("eta");
+    let bq = Term::real_var("bq");
+    let sbq = Term::real_var("sbq");
+    let veps = Term::real_var("v_eps");
+    let n = Term::real_var("NN");
+    let i = Term::real_var("i");
+    let hyps = vec![
+        hq.ge(Term::int(-1)),
+        hq.le(Term::int(1)),
+        sbq.le(Term::int(1)),
+        sbq.ge(Term::int(-1)),
+        q.add(eta).gt(bq),
+        veps.ge(Term::int(0)),
+        veps.le(Term::int(2).mul(n)),
+        i.ge(Term::int(0)),
+        i.le(n),
+    ];
+    let goal = q.add(hq).add(eta).add(Term::int(2)).gt(bq.add(sbq));
+    (hyps, goal)
+}
+
+fn bench_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_micro/construction");
+    // Build the whole VC from leaves each iteration; after the first pass
+    // every intern call is a dedup hit, so this measures the allocation-free
+    // steady state the Houdini engine sees.
+    group.bench_function("noisy-max-vc", |b| {
+        b.iter(|| {
+            let (hyps, goal) = noisy_max_vc();
+            std::hint::black_box((hyps, goal))
+        })
+    });
+    group.bench_function("conj-64-atoms", |b| {
+        b.iter(|| {
+            let atoms =
+                (0..64).map(|k| Term::real_var(format!("x{k}")).le(Term::int(k)));
+            std::hint::black_box(Term::conj(atoms))
+        })
+    });
+    group.finish();
+}
+
+fn bench_normalize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_micro/normalize");
+    let (hyps, goal) = noisy_max_vc();
+    group.bench_function("noisy-max-vc-uncached", |b| {
+        let solver = Solver::without_memo();
+        b.iter(|| assert!(solver.prove(&hyps, &goal).is_proved()))
+    });
+    group.finish();
+}
+
+fn bench_repeated_query(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_micro/repeated-query");
+    let (hyps, goal) = noisy_max_vc();
+
+    group.bench_function("uncached", |b| {
+        let solver = Solver::without_memo();
+        b.iter(|| assert!(solver.prove(&hyps, &goal).is_proved()))
+    });
+
+    group.bench_function("memoized", |b| {
+        let solver = Solver::new();
+        // Warm the single entry, then measure steady-state hits.
+        assert!(solver.prove(&hyps, &goal).is_proved());
+        b.iter(|| assert!(solver.prove(&hyps, &goal).is_proved()))
+    });
+
+    group.finish();
+}
+
+const COUNTER_LOOP: &str = "function Loop(eps, NN, size: num(0,0), q: list num(*,*))
+     returns out: num(0,0)
+     precondition forall k :: -1 <= ^q[k] && ^q[k] <= 1 && ~q[k] == ^q[k]
+     precondition eps > 0
+     precondition NN >= 1
+     precondition size >= 0
+     {
+         e0 := lap(2 / eps) { select: aligned, align: 1 };
+         count := 0;
+         while (count < NN) {
+             e1 := lap(2 * NN / eps) { select: aligned, align: 1 };
+             count := count + 1;
+         }
+         out := count;
+     }";
+
+fn bench_houdini(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_micro/houdini");
+    group.sample_size(10);
+    let f = parse_function(COUNTER_LOOP).unwrap();
+    let t = check_function(&f).expect("type checks");
+    let info = lower_to_target(&t.function, VerifyMode::Scaled).expect("lowers");
+    let opts = InductiveOptions::default();
+
+    group.bench_function("counter-loop-uncached", |b| {
+        b.iter(|| {
+            let solver = Solver::without_memo();
+            let out = inductive::prove(&info, &opts, &solver);
+            assert!(matches!(
+                out,
+                shadowdp_verify::InductiveOutcome::Proved { .. }
+            ));
+        })
+    });
+
+    group.bench_function("counter-loop-memoized", |b| {
+        b.iter(|| {
+            // Fresh solver per proof: all hits are *intra-run* — the
+            // consecution rounds reusing each other's queries.
+            let solver = Solver::new();
+            let out = inductive::prove(&info, &opts, &solver);
+            assert!(matches!(
+                out,
+                shadowdp_verify::InductiveOutcome::Proved { .. }
+            ));
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_construction,
+    bench_normalize,
+    bench_repeated_query,
+    bench_houdini
+);
+criterion_main!(benches);

@@ -20,10 +20,10 @@ fn bench_solver(c: &mut Criterion) {
         let bq = Term::real_var("bq");
         let sbq = Term::real_var("sbq");
         let hyps = vec![
-            hq.clone().ge(Term::int(-1)),
-            hq.clone().le(Term::int(1)),
-            sbq.clone().le(Term::int(1)),
-            q.clone().add(eta.clone()).gt(bq.clone()),
+            hq.ge(Term::int(-1)),
+            hq.le(Term::int(1)),
+            sbq.le(Term::int(1)),
+            q.add(eta).gt(bq),
         ];
         let goal = q
             .add(hq)
@@ -56,8 +56,7 @@ fn bench_solver(c: &mut Criterion) {
         let x = Term::real_var("x");
         let y = Term::real_var("y");
         let goal = x
-            .clone()
-            .add(y.clone())
+            .add(y)
             .abs()
             .le(x.abs().add(y.abs()));
         b.iter(|| assert!(solver.prove(&[], &goal).is_proved()));

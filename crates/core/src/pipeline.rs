@@ -3,7 +3,7 @@
 use std::fmt;
 use std::time::{Duration, Instant};
 
-use shadowdp_solver::Solver;
+use shadowdp_solver::{Solver, SolverStats};
 use shadowdp_syntax::{parse_function, Function, ParseError};
 use shadowdp_typing::{check_function_with, TypeError};
 use shadowdp_verify::{verify_with, Options, Report, Verdict};
@@ -64,6 +64,11 @@ pub struct PipelineReport {
     pub transformed: Function,
     /// The verified target program `c''` and engine log.
     pub verification: Report,
+    /// Cumulative solver statistics across both phases (one shared solver
+    /// per run). `cache_hits` counts queries answered from the solver's
+    /// memo table — on Houdini-heavy verifications the majority of
+    /// consecution queries land here.
+    pub solver_stats: SolverStats,
 }
 
 /// The ShadowDP pipeline: parse → type-check/transform → lower → verify.
@@ -124,6 +129,7 @@ impl Pipeline {
             verdict: verification.verdict.clone(),
             transformed: transformed.function,
             verification,
+            solver_stats: solver.stats(),
         })
     }
 }
@@ -139,6 +145,36 @@ mod tests {
             .unwrap();
         assert!(matches!(report.verdict, Verdict::Proved), "{report:?}");
         assert!(report.typecheck_time.as_secs() < 5);
+        assert!(report.solver_stats.checks > 0, "{:?}", report.solver_stats);
+    }
+
+    #[test]
+    fn houdini_verification_hits_the_solver_memo() {
+        // A loop with per-iteration cost: the Houdini fixed point re-proves
+        // the surviving candidate conjunction each round, so the memoized
+        // solver must answer a healthy share of the queries from cache.
+        let src = "function Loop(eps, NN, size: num(0,0), q: list num(*,*))
+             returns out: num(0,0)
+             precondition forall k :: -1 <= ^q[k] && ^q[k] <= 1 && ~q[k] == ^q[k]
+             precondition eps > 0
+             precondition NN >= 1
+             precondition size >= 0
+             {
+                 e0 := lap(2 / eps) { select: aligned, align: 1 };
+                 count := 0;
+                 while (count < NN) {
+                     e1 := lap(2 * NN / eps) { select: aligned, align: 1 };
+                     count := count + 1;
+                 }
+                 out := count;
+             }";
+        let report = Pipeline::new().run(src).unwrap();
+        assert!(matches!(report.verdict, Verdict::Proved), "{report:?}");
+        let stats = report.solver_stats;
+        assert!(
+            stats.cache_hits > 0,
+            "Houdini rounds should repeat queries verbatim: {stats:?}"
+        );
     }
 
     #[test]

@@ -258,6 +258,7 @@ impl Mul for Rat {
 
 impl Div for Rat {
     type Output = Rat;
+    #[allow(clippy::suspicious_arithmetic_impl)] // division via reciprocal is the point
     fn div(self, rhs: Rat) -> Rat {
         self * rhs.recip()
     }

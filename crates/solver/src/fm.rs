@@ -3,17 +3,18 @@
 //!
 //! This is the theory core of the solver: given a conjunction of constraints
 //! `lin ⊙ 0` (with `⊙ ∈ {≤, <, =}`), decide satisfiability over the
-//! rationals and, if satisfiable, produce a satisfying assignment.
+//! rationals and, if satisfiable, produce a satisfying assignment. All
+//! variables are interned [`Symbol`]s.
 
 use std::collections::BTreeMap;
 
-use serde::{Deserialize, Serialize};
 use shadowdp_num::Rat;
 
 use crate::linear::LinExpr;
+use crate::term::Symbol;
 
 /// Relation of a constraint against zero.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Rel {
     /// `lin <= 0`
     Le,
@@ -24,7 +25,7 @@ pub enum Rel {
 }
 
 /// A linear constraint `lin ⊙ 0`.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Constraint {
     /// Left-hand side.
     pub lin: LinExpr,
@@ -49,7 +50,7 @@ impl Constraint {
     }
 
     /// Whether the constraint holds under `assignment`.
-    pub fn eval(&self, assignment: &BTreeMap<String, Rat>) -> bool {
+    pub fn eval(&self, assignment: &BTreeMap<Symbol, Rat>) -> bool {
         let v = self.lin.eval(assignment);
         match self.rel {
             Rel::Le => v <= Rat::ZERO,
@@ -87,7 +88,7 @@ impl std::fmt::Display for Constraint {
 #[derive(Clone, Debug, PartialEq)]
 pub enum FmResult {
     /// Satisfiable, with a witness assignment for every mentioned variable.
-    Sat(BTreeMap<String, Rat>),
+    Sat(BTreeMap<Symbol, Rat>),
     /// Unsatisfiable.
     Unsat,
 }
@@ -112,7 +113,7 @@ impl FmResult {
 ///
 /// ```
 /// use shadowdp_num::Rat;
-/// use shadowdp_solver::{Constraint, LinExpr};
+/// use shadowdp_solver::{Constraint, LinExpr, Symbol};
 /// use shadowdp_solver::fm::{check_sat, FmResult};
 ///
 /// // x <= 3  ∧  -x < -1   (i.e. x > 1): satisfiable
@@ -120,7 +121,7 @@ impl FmResult {
 /// let c2 = Constraint::lt0(LinExpr::constant(Rat::ONE) - LinExpr::var("x"));
 /// match check_sat(&[c1, c2]) {
 ///     FmResult::Sat(m) => {
-///         let x = m["x"];
+///         let x = m[&Symbol::intern("x")];
 ///         assert!(x > Rat::ONE && x <= Rat::int(3));
 ///     }
 ///     FmResult::Unsat => panic!("should be satisfiable"),
@@ -131,11 +132,11 @@ pub fn check_sat(constraints: &[Constraint]) -> FmResult {
     enum Step {
         /// Variable defined by an equality: `var := expr` (expr over
         /// still-unresolved variables).
-        Defined { var: String, expr: LinExpr },
+        Defined { var: Symbol, expr: LinExpr },
         /// Variable eliminated by FM; the bounds refer to the constraint
         /// system at that point.
         Eliminated {
-            var: String,
+            var: Symbol,
             lowers: Vec<(LinExpr, bool)>, // (bound_expr, strict): var >(=) bound
             uppers: Vec<(LinExpr, bool)>, // (bound_expr, strict): var <(=) bound
         },
@@ -154,13 +155,10 @@ pub fn check_sat(constraints: &[Constraint]) -> FmResult {
     let mut steps: Vec<Step> = Vec::new();
 
     // Phase 1: Gaussian elimination on equalities.
-    loop {
-        let Some(pos) = work.iter().position(|c| c.rel == Rel::Eq) else {
-            break;
-        };
+    while let Some(pos) = work.iter().position(|c| c.rel == Rel::Eq) {
         let eq = work.swap_remove(pos);
         // Pick the variable with the "simplest" coefficient to solve for.
-        let Some((var, k)) = eq.lin.terms().next().map(|(v, k)| (v.to_string(), k)) else {
+        let Some((var, k)) = eq.lin.terms().next() else {
             // Ground equality.
             if eq.lin.constant_part().is_zero() {
                 continue;
@@ -169,10 +167,10 @@ pub fn check_sat(constraints: &[Constraint]) -> FmResult {
         };
         // var == -(lin - k*var)/k
         let mut rest = eq.lin.clone();
-        rest.add_term(&var, -k);
+        rest.add_term(var, -k);
         let def = rest.scale(-Rat::ONE / k);
         for c in &mut work {
-            c.lin = c.lin.subst(&var, &def);
+            c.lin = c.lin.subst(var, &def);
         }
         // Re-check ground constraints created by the substitution.
         let mut next = Vec::with_capacity(work.len());
@@ -192,10 +190,10 @@ pub fn check_sat(constraints: &[Constraint]) -> FmResult {
     loop {
         // Pick the variable occurring in the fewest constraints (greedy
         // heuristic to limit blowup).
-        let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+        let mut counts: BTreeMap<Symbol, usize> = BTreeMap::new();
         for c in &work {
             for v in c.lin.vars() {
-                *counts.entry(v.to_string()).or_insert(0) += 1;
+                *counts.entry(v).or_insert(0) += 1;
             }
         }
         let Some((var, _)) = counts.into_iter().min_by_key(|(_, n)| *n) else {
@@ -206,14 +204,14 @@ pub fn check_sat(constraints: &[Constraint]) -> FmResult {
         let mut uppers: Vec<(LinExpr, bool)> = Vec::new();
         let mut rest: Vec<Constraint> = Vec::new();
         for c in work {
-            let k = c.lin.coeff(&var);
+            let k = c.lin.coeff(var);
             if k.is_zero() {
                 rest.push(c);
                 continue;
             }
             // k*var + r ⊙ 0  with ⊙ ∈ {<=, <}
             let mut r = c.lin.clone();
-            r.add_term(&var, -k);
+            r.add_term(var, -k);
             let strict = c.rel == Rel::Lt;
             let bound = r.scale(-Rat::ONE / k);
             if k.is_positive() {
@@ -252,7 +250,7 @@ pub fn check_sat(constraints: &[Constraint]) -> FmResult {
 
     // All remaining constraints are ground and were checked; reconstruct a
     // model by replaying the steps backwards.
-    let mut model: BTreeMap<String, Rat> = BTreeMap::new();
+    let mut model: BTreeMap<Symbol, Rat> = BTreeMap::new();
     for step in steps.iter().rev() {
         match step {
             Step::Eliminated {
@@ -263,11 +261,11 @@ pub fn check_sat(constraints: &[Constraint]) -> FmResult {
                 let lo = tighten(lowers, &model, true);
                 let hi = tighten(uppers, &model, false);
                 let value = choose_value(lo, hi);
-                model.insert(var.clone(), value);
+                model.insert(*var, value);
             }
             Step::Defined { var, expr } => {
                 let value = expr.eval(&model);
-                model.insert(var.clone(), value);
+                model.insert(*var, value);
             }
         }
     }
@@ -279,7 +277,7 @@ pub fn check_sat(constraints: &[Constraint]) -> FmResult {
 /// ties; for upper bounds the minimum, preferring strict at ties.
 fn tighten(
     bounds: &[(LinExpr, bool)],
-    model: &BTreeMap<String, Rat>,
+    model: &BTreeMap<Symbol, Rat>,
     is_lower: bool,
 ) -> Option<(Rat, bool)> {
     let mut best: Option<(Rat, bool)> = None;
@@ -369,6 +367,10 @@ mod tests {
         LinExpr::constant(Rat::int(n))
     }
 
+    fn val(m: &BTreeMap<Symbol, Rat>, name: &str) -> Rat {
+        m[&Symbol::intern(name)]
+    }
+
     #[test]
     fn trivial_sat_and_unsat() {
         assert!(check_sat(&[]).is_sat());
@@ -419,8 +421,8 @@ mod tests {
         ];
         match check_sat(&cs) {
             FmResult::Sat(m) => {
-                assert_eq!(m["x"], Rat::int(3));
-                assert_eq!(m["y"], Rat::int(2));
+                assert_eq!(val(&m, "x"), Rat::int(3));
+                assert_eq!(val(&m, "y"), Rat::int(2));
             }
             FmResult::Unsat => panic!("should be sat"),
         }

@@ -1,22 +1,53 @@
 //! An SMT-lite decision procedure for quantifier-free linear rational
-//! arithmetic (QF-LRA) with boolean structure.
+//! arithmetic (QF-LRA) with boolean structure, built on **hash-consed
+//! terms** and **memoized queries**.
 //!
 //! This crate stands in for the Z3 / MathSAT / SMTInterpol backends the
 //! ShadowDP paper uses: the type system's side conditions ((T-ODot) branch
 //! consistency, (T-Laplace) injectivity) and the verifier's verification
 //! conditions are all QF-LRA after the paper's own linearization rewrites.
 //!
-//! Architecture:
+//! # Architecture
 //!
-//! - [`term`] — a two-sorted term language (reals and booleans) with `ite`,
-//!   `abs`, and the usual connectives;
-//! - [`linear`] — linear normal form `c + Σ aᵢ·xᵢ`;
+//! - [`term`] — the two-sorted term language (reals and booleans) with
+//!   `ite`, `abs`, and the usual connectives. Terms are **hash-consed**: a
+//!   [`TermArena`] dedups structurally equal nodes, a term is a `Copy`-able
+//!   [`TermId`] (`u32`), and structural equality / hashing are O(1) id
+//!   operations. Variable names are interned [`Symbol`]s. Almost all code
+//!   uses the chainable [`TermId`] methods against the process-wide arena;
+//!   explicit arenas exist for isolation (property tests, fuzzing).
+//! - [`linear`] — linear normal form `c + Σ aᵢ·xᵢ` over `Symbol` keys;
 //! - [`normalize`] — desugaring (`abs`/`ite` lifting, implication
-//!   elimination), NNF, and *sound abstraction* of non-linear atoms by fresh
-//!   boolean symbols;
+//!   elimination), NNF, and *sound abstraction* of non-linear atoms by
+//!   fresh boolean symbols (the abstraction cache keys on `(TermId, Rel)` —
+//!   an integer pair, not an owned subtree);
 //! - [`fm`] — Fourier–Motzkin elimination with model reconstruction;
 //! - [`solve`] — a tableau-style search over the boolean structure with
-//!   eager theory pruning, and the public [`Solver`] API.
+//!   eager theory pruning, the query **memo table**, and the public
+//!   [`Solver`] API.
+//!
+//! # Cache-keying discipline
+//!
+//! Three layers of caching, all keyed by interned ids:
+//!
+//! 1. **Node interning** ([`TermArena`]): smart constructors fold and then
+//!    dedup, so equal subterms are built once and compared by id.
+//! 2. **Abstraction symbols** ([`normalize::Normalizer`]): non-linear atoms
+//!    map to canonical booleans via `(TermId, Rel)` keys.
+//! 3. **Whole queries** ([`Solver`]): `check`/`prove` fold the query into
+//!    one conjunction id and memoize the result under
+//!    `(arena generation, TermId)`. Including the generation makes entries
+//!    from distinct arenas physically unable to alias — a fresh arena (new
+//!    generation) always bypasses and never pollutes another arena's
+//!    entries. Query results depend only on formula structure, so the memo
+//!    is sound by construction; hits are counted in
+//!    [`SolverStats::cache_hits`].
+//!
+//! The pay-off is on the Houdini hot path: consecution rounds re-prove the
+//! surviving candidate set with one candidate dropped, so the unchanged
+//! majority of queries is answered by a hash lookup (see
+//! `shadowdp-verify`'s inductive engine, which keeps its fresh-symbol
+//! naming per-round deterministic precisely to maximize these hits).
 //!
 //! # Soundness of abstraction
 //!
@@ -34,9 +65,12 @@
 //! let solver = Solver::new();
 //! let x = Term::real_var("x");
 //! // prove:  x >= 1  ⊢  2*x > 1
-//! let hyp = x.clone().ge(Term::int(1));
+//! let hyp = x.ge(Term::int(1));
 //! let goal = Term::int(2).mul(x).gt(Term::int(1));
 //! assert!(solver.prove(&[hyp], &goal).is_proved());
+//! // the identical query is now answered from the memo table
+//! assert!(solver.prove(&[hyp], &goal).is_proved());
+//! assert_eq!(solver.stats().cache_hits, 1);
 //! ```
 
 pub mod fm;
@@ -48,4 +82,4 @@ pub mod term;
 pub use fm::{Constraint, Rel};
 pub use linear::LinExpr;
 pub use solve::{CheckResult, Model, ProveResult, Solver, SolverStats};
-pub use term::Term;
+pub use term::{with_global_arena, Symbol, Term, TermArena, TermId, TermNode};

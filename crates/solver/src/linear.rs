@@ -1,10 +1,14 @@
 //! Linear normal form for numeric terms: `c + Σ aᵢ·xᵢ`.
+//!
+//! Variables are interned [`Symbol`]s, so map operations hash and compare
+//! `u32` ids instead of strings.
 
 use std::collections::BTreeMap;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 use shadowdp_num::Rat;
+
+use crate::term::Symbol;
 
 /// A linear expression over real-sorted variables.
 ///
@@ -18,11 +22,11 @@ use shadowdp_num::Rat;
 /// assert_eq!(e.coeff("x"), Rat::int(2));
 /// assert_eq!(e.constant_part(), Rat::int(3));
 /// ```
-#[derive(Clone, Debug, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
 pub struct LinExpr {
     constant: Rat,
     /// Invariant: no zero coefficients are stored.
-    coeffs: BTreeMap<String, Rat>,
+    coeffs: BTreeMap<Symbol, Rat>,
 }
 
 impl LinExpr {
@@ -40,7 +44,7 @@ impl LinExpr {
     }
 
     /// A single variable with coefficient 1.
-    pub fn var(name: impl Into<String>) -> LinExpr {
+    pub fn var(name: impl Into<Symbol>) -> LinExpr {
         let mut coeffs = BTreeMap::new();
         coeffs.insert(name.into(), Rat::ONE);
         LinExpr {
@@ -55,14 +59,17 @@ impl LinExpr {
     }
 
     /// The coefficient of `name` (zero if absent).
-    pub fn coeff(&self, name: &str) -> Rat {
-        self.coeffs.get(name).copied().unwrap_or(Rat::ZERO)
+    pub fn coeff(&self, name: impl Into<Symbol>) -> Rat {
+        self.coeffs
+            .get(&name.into())
+            .copied()
+            .unwrap_or(Rat::ZERO)
     }
 
     /// Iterates over `(variable, coefficient)` pairs with nonzero
-    /// coefficients, in variable order.
-    pub fn terms(&self) -> impl Iterator<Item = (&str, Rat)> + '_ {
-        self.coeffs.iter().map(|(k, v)| (k.as_str(), *v))
+    /// coefficients, in symbol order.
+    pub fn terms(&self) -> impl Iterator<Item = (Symbol, Rat)> + '_ {
+        self.coeffs.iter().map(|(k, v)| (*k, *v))
     }
 
     /// Whether the expression is a constant (mentions no variables).
@@ -71,8 +78,8 @@ impl LinExpr {
     }
 
     /// The variables mentioned.
-    pub fn vars(&self) -> impl Iterator<Item = &str> + '_ {
-        self.coeffs.keys().map(|k| k.as_str())
+    pub fn vars(&self) -> impl Iterator<Item = Symbol> + '_ {
+        self.coeffs.keys().copied()
     }
 
     /// Scales by a rational.
@@ -88,14 +95,14 @@ impl LinExpr {
     }
 
     /// Adds `k * name` in place.
-    pub fn add_term(&mut self, name: &str, k: Rat) {
+    pub fn add_term(&mut self, name: Symbol, k: Rat) {
         if k.is_zero() {
             return;
         }
-        let entry = self.coeffs.entry(name.to_string()).or_insert(Rat::ZERO);
+        let entry = self.coeffs.entry(name).or_insert(Rat::ZERO);
         *entry += k;
         if entry.is_zero() {
-            self.coeffs.remove(name);
+            self.coeffs.remove(&name);
         }
     }
 
@@ -105,13 +112,13 @@ impl LinExpr {
     }
 
     /// Substitutes `replacement` for `name`, i.e. `self[name := replacement]`.
-    pub fn subst(&self, name: &str, replacement: &LinExpr) -> LinExpr {
+    pub fn subst(&self, name: Symbol, replacement: &LinExpr) -> LinExpr {
         let k = self.coeff(name);
         if k.is_zero() {
             return self.clone();
         }
         let mut out = self.clone();
-        out.coeffs.remove(name);
+        out.coeffs.remove(&name);
         out + replacement.clone().scale(k)
     }
 
@@ -120,7 +127,7 @@ impl LinExpr {
     /// Missing variables default to zero (the solver always produces total
     /// models over mentioned variables, so this default only matters in
     /// tests).
-    pub fn eval(&self, assignment: &BTreeMap<String, Rat>) -> Rat {
+    pub fn eval(&self, assignment: &BTreeMap<Symbol, Rat>) -> Rat {
         let mut acc = self.constant;
         for (v, k) in &self.coeffs {
             acc += *k * assignment.get(v).copied().unwrap_or(Rat::ZERO);
@@ -134,7 +141,7 @@ impl std::ops::Add for LinExpr {
     fn add(mut self, rhs: LinExpr) -> LinExpr {
         self.constant += rhs.constant;
         for (v, k) in rhs.coeffs {
-            let entry = self.coeffs.entry(v.clone()).or_insert(Rat::ZERO);
+            let entry = self.coeffs.entry(v).or_insert(Rat::ZERO);
             *entry += k;
             if entry.is_zero() {
                 self.coeffs.remove(&v);
@@ -216,7 +223,7 @@ mod tests {
         let e = LinExpr::var("x").scale(Rat::int(2)) + LinExpr::var("y")
             + LinExpr::constant(Rat::ONE);
         let r = LinExpr::var("y") - LinExpr::constant(Rat::int(3));
-        let s = e.subst("x", &r);
+        let s = e.subst(Symbol::intern("x"), &r);
         assert_eq!(s.coeff("y"), Rat::int(3));
         assert_eq!(s.coeff("x"), Rat::ZERO);
         assert_eq!(s.constant_part(), Rat::int(-5));
@@ -226,7 +233,7 @@ mod tests {
     fn eval() {
         let e = LinExpr::var("x").scale(Rat::int(3)) + LinExpr::constant(Rat::int(1));
         let mut m = BTreeMap::new();
-        m.insert("x".to_string(), Rat::int(4));
+        m.insert(Symbol::intern("x"), Rat::int(4));
         assert_eq!(e.eval(&m), Rat::int(13));
     }
 

@@ -3,12 +3,17 @@
 //!
 //! The output is a [`Formula`] whose leaves are either boolean variables or
 //! linear constraints, suitable for the tableau search in [`crate::solve`].
+//! Normalization runs against a [`TermArena`]: recursion walks interned
+//! nodes, and the `ite`/`abs` case splits intern their rewritten terms back
+//! into the same arena (where hash-consing dedups the shared structure).
+
+use std::collections::HashMap;
 
 use shadowdp_num::Rat;
 
 use crate::fm::{Constraint, Rel};
 use crate::linear::LinExpr;
-use crate::term::Term;
+use crate::term::{Symbol, TermArena, TermId, TermNode};
 
 /// A normalized formula in negation normal form.
 #[derive(Clone, Debug, PartialEq)]
@@ -16,7 +21,7 @@ pub enum Formula {
     /// Constant truth value.
     Const(bool),
     /// A boolean variable or its negation.
-    BLit(String, bool),
+    BLit(Symbol, bool),
     /// A linear constraint `lin ⊙ 0` (negations already pushed into the
     /// relation).
     Atom(Constraint),
@@ -34,10 +39,12 @@ pub struct Normalizer {
     /// Whether any non-linear atom was abstracted away. When true, `Sat`
     /// models may be spurious (but `Unsat` remains sound).
     pub abstracted: bool,
-    /// Canonical abstraction symbols: syntactically identical non-linear
+    /// Canonical abstraction symbols: structurally identical non-linear
     /// atoms share one boolean, so hypotheses can still entail goals that
     /// repeat them (e.g. a branch guard `(i+1) % M == 0` re-asserted).
-    cache: std::collections::HashMap<(Term, Rel), String>,
+    /// Keyed by interned id — equal structure is equal id, so the lookup
+    /// is a u32 hash instead of a deep tree clone + deep hash.
+    cache: HashMap<(TermId, Rel), Symbol>,
 }
 
 /// Result of linearizing a numeric term: either a linear expression or a
@@ -56,73 +63,82 @@ impl Normalizer {
     fn fresh_bool(&mut self) -> Formula {
         self.fresh += 1;
         self.abstracted = true;
-        Formula::BLit(format!("$abs{}", self.fresh), true)
+        Formula::BLit(Symbol::intern(&format!("$abs{}", self.fresh)), true)
     }
 
     /// Normalizes a boolean-sorted term into NNF with linear atoms.
     ///
     /// `polarity = true` normalizes `t`, `false` normalizes `¬t`.
-    pub fn normalize(&mut self, t: &Term, polarity: bool) -> Formula {
-        match t {
-            Term::BConst(b) => Formula::Const(*b == polarity),
-            Term::BVar(v) => Formula::BLit(v.clone(), polarity),
-            Term::Not(inner) => self.normalize(inner, !polarity),
-            Term::And(ts) => {
-                let parts: Vec<Formula> =
-                    ts.iter().map(|x| self.normalize(x, polarity)).collect();
-                if polarity {
-                    mk_and(parts)
-                } else {
-                    mk_or(parts)
-                }
+    pub fn normalize(&mut self, arena: &mut TermArena, t: TermId, polarity: bool) -> Formula {
+        // The n-ary connectives are walked by index so their child vectors
+        // are never cloned; every other variant holds only `Copy` data, so
+        // the `clone()` below is an allocation-free copy of a few words.
+        if let TermNode::And(_) | TermNode::Or(_) = arena.node(t) {
+            let conjunctive = matches!(arena.node(t), TermNode::And(_));
+            let len = nary_len(arena, t);
+            let mut parts = Vec::with_capacity(len);
+            for i in 0..len {
+                let child = nary_child(arena, t, i);
+                parts.push(self.normalize(arena, child, polarity));
             }
-            Term::Or(ts) => {
-                let parts: Vec<Formula> =
-                    ts.iter().map(|x| self.normalize(x, polarity)).collect();
-                if polarity {
-                    mk_or(parts)
-                } else {
-                    mk_and(parts)
-                }
-            }
-            Term::Implies(a, b) => {
+            return if conjunctive == polarity {
+                mk_and(parts)
+            } else {
+                mk_or(parts)
+            };
+        }
+        match arena.node(t).clone() {
+            TermNode::BConst(b) => Formula::Const(b == polarity),
+            TermNode::BVar(v) => Formula::BLit(v, polarity),
+            TermNode::Not(inner) => self.normalize(arena, inner, !polarity),
+            TermNode::Implies(a, b) => {
                 // a => b  ==  ¬a ∨ b
-                let na = self.normalize(a, !polarity);
-                let nb = self.normalize(b, polarity);
                 if polarity {
+                    let na = self.normalize(arena, a, false);
+                    let nb = self.normalize(arena, b, true);
                     mk_or(vec![na, nb])
                 } else {
                     // ¬(a => b) == a ∧ ¬b
-                    let pa = self.normalize(a, true);
-                    let nb2 = self.normalize(b, false);
-                    mk_and(vec![pa, nb2])
+                    let pa = self.normalize(arena, a, true);
+                    let nb = self.normalize(arena, b, false);
+                    mk_and(vec![pa, nb])
                 }
             }
-            Term::Iff(a, b) => {
-                // a <=> b  ==  (a ∧ b) ∨ (¬a ∧ ¬b)
-                let pp = mk_and(vec![self.normalize(a, true), self.normalize(b, true)]);
-                let nn = mk_and(vec![self.normalize(a, false), self.normalize(b, false)]);
-                let f = mk_or(vec![pp, nn]);
+            TermNode::Iff(a, b) => {
                 if polarity {
-                    f
+                    // a <=> b  ==  (a ∧ b) ∨ (¬a ∧ ¬b)
+                    let pp = mk_and(vec![
+                        self.normalize(arena, a, true),
+                        self.normalize(arena, b, true),
+                    ]);
+                    let nn = mk_and(vec![
+                        self.normalize(arena, a, false),
+                        self.normalize(arena, b, false),
+                    ]);
+                    mk_or(vec![pp, nn])
                 } else {
                     // ¬(a <=> b) == (a ∧ ¬b) ∨ (¬a ∧ b)
-                    let pn = mk_and(vec![self.normalize(a, true), self.normalize(b, false)]);
-                    let np = mk_and(vec![self.normalize(a, false), self.normalize(b, true)]);
+                    let pn = mk_and(vec![
+                        self.normalize(arena, a, true),
+                        self.normalize(arena, b, false),
+                    ]);
+                    let np = mk_and(vec![
+                        self.normalize(arena, a, false),
+                        self.normalize(arena, b, true),
+                    ]);
                     mk_or(vec![pn, np])
                 }
             }
-            Term::Le(a, b) => self.comparison(a, b, Rel::Le, polarity),
-            Term::Lt(a, b) => self.comparison(a, b, Rel::Lt, polarity),
-            Term::EqNum(a, b) => self.comparison(a, b, Rel::Eq, polarity),
-            // Numeric terms in boolean position / unknown structure: treat
-            // an `ite` of booleans.
-            Term::Ite(c, x, y) => {
+            TermNode::Le(a, b) => self.comparison(arena, a, b, Rel::Le, polarity),
+            TermNode::Lt(a, b) => self.comparison(arena, a, b, Rel::Lt, polarity),
+            TermNode::EqNum(a, b) => self.comparison(arena, a, b, Rel::Eq, polarity),
+            // A boolean-sorted `ite`.
+            TermNode::Ite(c, x, y) => {
                 // (c ∧ x) ∨ (¬c ∧ y), with polarity applied to the branches.
-                let ct = self.normalize(c, true);
-                let cf = self.normalize(c, false);
-                let xt = self.normalize(x, polarity);
-                let yt = self.normalize(y, polarity);
+                let ct = self.normalize(arena, c, true);
+                let cf = self.normalize(arena, c, false);
+                let xt = self.normalize(arena, x, polarity);
+                let yt = self.normalize(arena, y, polarity);
                 mk_or(vec![mk_and(vec![ct, xt]), mk_and(vec![cf, yt])])
             }
             // A real-sorted term where a boolean was expected is a caller
@@ -134,19 +150,27 @@ impl Normalizer {
 
     /// Normalizes `a ⊙ b` (or its negation) into atoms, lifting `ite`/`abs`
     /// out of the numeric arguments.
-    fn comparison(&mut self, a: &Term, b: &Term, rel: Rel, polarity: bool) -> Formula {
+    fn comparison(
+        &mut self,
+        arena: &mut TermArena,
+        a: TermId,
+        b: TermId,
+        rel: Rel,
+        polarity: bool,
+    ) -> Formula {
         // First lift any ite/abs inside the numeric term by case-splitting
         // the whole comparison.
-        let diff = a.clone().sub(b.clone());
-        if let Some((cond, then_t, else_t)) = find_split(&diff) {
+        let diff = arena.sub(a, b);
+        if let Some((cond, then_t, else_t)) = find_ite(arena, diff) {
             // diff = C[ite(cond, x, y)]  =>  (cond ∧ C[x] ⊙ 0) ∨ (¬cond ∧ C[y] ⊙ 0)
-            let ct = self.normalize(&cond, true);
-            let cf = self.normalize(&cond, false);
-            let ft = self.comparison(&then_t, &Term::int(0), rel, polarity);
-            let fe = self.comparison(&else_t, &Term::int(0), rel, polarity);
+            let zero = arena.int(0);
+            let ct = self.normalize(arena, cond, true);
+            let cf = self.normalize(arena, cond, false);
+            let ft = self.comparison(arena, then_t, zero, rel, polarity);
+            let fe = self.comparison(arena, else_t, zero, rel, polarity);
             return mk_or(vec![mk_and(vec![ct, ft]), mk_and(vec![cf, fe])]);
         }
-        match linearize(&diff) {
+        match linearize(arena, diff) {
             Linearized::Lin(lin) => {
                 // Ground atoms evaluate immediately.
                 if lin.is_constant() {
@@ -175,16 +199,16 @@ impl Normalizer {
                 }
             }
             Linearized::NonLinear => {
-                // Canonical abstraction: equal atoms share a symbol, and
-                // polarity is preserved through it.
-                let key = (diff.clone(), rel);
+                // Canonical abstraction: equal atoms (equal ids) share a
+                // symbol, and polarity is preserved through it.
+                let key = (diff, rel);
                 let name = match self.cache.get(&key) {
-                    Some(n) => n.clone(),
+                    Some(n) => *n,
                     None => {
                         self.fresh += 1;
                         self.abstracted = true;
-                        let n = format!("$abs{}", self.fresh);
-                        self.cache.insert(key, n.clone());
+                        let n = Symbol::intern(&format!("$abs{}", self.fresh));
+                        self.cache.insert(key, n);
                         n
                     }
                 };
@@ -194,91 +218,107 @@ impl Normalizer {
     }
 }
 
-/// Searches a numeric term for the first `ite`/`abs` subterm that requires
-/// case splitting. Returns `(cond, term_with_then, term_with_else)`.
-fn find_split(t: &Term) -> Option<(Term, Term, Term)> {
-    find_ite(t)
+/// Length of an n-ary node's child list.
+fn nary_len(arena: &TermArena, t: TermId) -> usize {
+    match arena.node(t) {
+        TermNode::Add(ts) | TermNode::And(ts) | TermNode::Or(ts) => ts.len(),
+        _ => unreachable!("nary_len on a non-n-ary node"),
+    }
+}
+
+/// The `i`th child of an n-ary node.
+fn nary_child(arena: &TermArena, t: TermId, i: usize) -> TermId {
+    match arena.node(t) {
+        TermNode::Add(ts) | TermNode::And(ts) | TermNode::Or(ts) => ts[i],
+        _ => unreachable!("nary_child on a non-n-ary node"),
+    }
 }
 
 /// Finds the leftmost `ite`/`abs` inside `t`; if found, returns the guard
 /// and the two copies of `t` with that subterm replaced by its branches.
-fn find_ite(t: &Term) -> Option<(Term, Term, Term)> {
-    match t {
-        Term::RConst(_) | Term::RVar(_) | Term::BConst(_) | Term::BVar(_) => None,
-        Term::Abs(inner) => {
-            // |x| = ite(x >= 0, x, -x); try to split inner first so nested
-            // constructs unwind outside-in deterministically.
-            if let Some((c, a, b)) = find_ite(inner) {
-                return Some((c, Term::Abs(Box::new(a)), Term::Abs(Box::new(b))));
+/// Rewritten terms are interned back into the arena (raw interning — the
+/// surrounding structure was already built by the smart constructors).
+fn find_ite(arena: &mut TermArena, t: TermId) -> Option<(TermId, TermId, TermId)> {
+    // `Add` is scanned by index (no vector clone unless a split is actually
+    // found); the remaining variants carry only `Copy` data, so the
+    // `clone()` below allocates nothing.
+    if matches!(arena.node(t), TermNode::Add(_)) {
+        let len = nary_len(arena, t);
+        for i in 0..len {
+            let sub = nary_child(arena, t, i);
+            if let Some((c, a, b)) = find_ite(arena, sub) {
+                let ts = match arena.node(t) {
+                    TermNode::Add(ts) => ts.clone(),
+                    _ => unreachable!(),
+                };
+                let mut with_a = ts.clone();
+                with_a[i] = a;
+                let mut with_b = ts;
+                with_b[i] = b;
+                let wa = arena.intern(TermNode::Add(with_a));
+                let wb = arena.intern(TermNode::Add(with_b));
+                return Some((c, wa, wb));
             }
-            let cond = inner.clone().ge(Term::int(0));
-            Some((cond, (**inner).clone(), inner.clone().neg()))
         }
-        Term::Ite(c, x, y) => Some((
-            (**c).clone(),
-            (**x).clone(),
-            (**y).clone(),
-        )),
-        Term::Add(ts) => {
-            for (i, sub) in ts.iter().enumerate() {
-                if let Some((c, a, b)) = find_ite(sub) {
-                    let mut with_a = ts.clone();
-                    with_a[i] = a;
-                    let mut with_b = ts.clone();
-                    with_b[i] = b;
-                    return Some((c, Term::Add(with_a), Term::Add(with_b)));
-                }
-            }
+        return None;
+    }
+    match arena.node(t).clone() {
+        TermNode::RConst(_) | TermNode::RVar(_) | TermNode::BConst(_) | TermNode::BVar(_) => {
             None
         }
-        Term::Neg(inner) => find_ite(inner)
-            .map(|(c, a, b)| (c, Term::Neg(Box::new(a)), Term::Neg(Box::new(b)))),
-        Term::Mul(x, y) => {
-            if let Some((c, a, b)) = find_ite(x) {
-                return Some((
-                    c,
-                    Term::Mul(Box::new(a), y.clone()),
-                    Term::Mul(Box::new(b), y.clone()),
-                ));
+        TermNode::Abs(inner) => {
+            // |x| = ite(x >= 0, x, -x); try to split inner first so nested
+            // constructs unwind outside-in deterministically.
+            if let Some((c, a, b)) = find_ite(arena, inner) {
+                let wa = arena.intern(TermNode::Abs(a));
+                let wb = arena.intern(TermNode::Abs(b));
+                return Some((c, wa, wb));
             }
-            find_ite(y).map(|(c, a, b)| {
-                (
-                    c,
-                    Term::Mul(x.clone(), Box::new(a)),
-                    Term::Mul(x.clone(), Box::new(b)),
-                )
+            let zero = arena.int(0);
+            let cond = arena.ge(inner, zero);
+            let neg = arena.neg(inner);
+            Some((cond, inner, neg))
+        }
+        TermNode::Ite(c, x, y) => Some((c, x, y)),
+        TermNode::Neg(inner) => find_ite(arena, inner).map(|(c, a, b)| {
+            let wa = arena.intern(TermNode::Neg(a));
+            let wb = arena.intern(TermNode::Neg(b));
+            (c, wa, wb)
+        }),
+        TermNode::Mul(x, y) => {
+            if let Some((c, a, b)) = find_ite(arena, x) {
+                let wa = arena.intern(TermNode::Mul(a, y));
+                let wb = arena.intern(TermNode::Mul(b, y));
+                return Some((c, wa, wb));
+            }
+            find_ite(arena, y).map(|(c, a, b)| {
+                let wa = arena.intern(TermNode::Mul(x, a));
+                let wb = arena.intern(TermNode::Mul(x, b));
+                (c, wa, wb)
             })
         }
-        Term::Div(x, y) => {
-            if let Some((c, a, b)) = find_ite(x) {
-                return Some((
-                    c,
-                    Term::Div(Box::new(a), y.clone()),
-                    Term::Div(Box::new(b), y.clone()),
-                ));
+        TermNode::Div(x, y) => {
+            if let Some((c, a, b)) = find_ite(arena, x) {
+                let wa = arena.intern(TermNode::Div(a, y));
+                let wb = arena.intern(TermNode::Div(b, y));
+                return Some((c, wa, wb));
             }
-            find_ite(y).map(|(c, a, b)| {
-                (
-                    c,
-                    Term::Div(x.clone(), Box::new(a)),
-                    Term::Div(x.clone(), Box::new(b)),
-                )
+            find_ite(arena, y).map(|(c, a, b)| {
+                let wa = arena.intern(TermNode::Div(x, a));
+                let wb = arena.intern(TermNode::Div(x, b));
+                (c, wa, wb)
             })
         }
-        Term::Mod(x, y) => {
-            if let Some((c, a, b)) = find_ite(x) {
-                return Some((
-                    c,
-                    Term::Mod(Box::new(a), y.clone()),
-                    Term::Mod(Box::new(b), y.clone()),
-                ));
+        TermNode::Mod(x, y) => {
+            if let Some((c, a, b)) = find_ite(arena, x) {
+                let wa = arena.intern(TermNode::Mod(a, y));
+                let wb = arena.intern(TermNode::Mod(b, y));
+                return Some((c, wa, wb));
             }
-            find_ite(y).map(|(c, a, b)| {
-                (
-                    c,
-                    Term::Mod(x.clone(), Box::new(a)),
-                    Term::Mod(x.clone(), Box::new(b)),
-                )
+            find_ite(arena, y).map(|(c, a, b)| {
+                let wa = arena.intern(TermNode::Mod(x, a));
+                let wb = arena.intern(TermNode::Mod(x, b));
+                (c, wa, wb)
             })
         }
         // Comparisons and connectives inside numeric position do not occur;
@@ -288,25 +328,25 @@ fn find_ite(t: &Term) -> Option<(Term, Term, Term)> {
 }
 
 /// Attempts to put an (ite-free) numeric term into linear normal form.
-fn linearize(t: &Term) -> Linearized {
-    match t {
-        Term::RConst(r) => Linearized::Lin(LinExpr::constant(*r)),
-        Term::RVar(v) => Linearized::Lin(LinExpr::var(v.clone())),
-        Term::Add(ts) => {
+fn linearize(arena: &TermArena, t: TermId) -> Linearized {
+    match arena.node(t) {
+        TermNode::RConst(r) => Linearized::Lin(LinExpr::constant(*r)),
+        TermNode::RVar(v) => Linearized::Lin(LinExpr::var(*v)),
+        TermNode::Add(ts) => {
             let mut acc = LinExpr::zero();
             for sub in ts {
-                match linearize(sub) {
+                match linearize(arena, *sub) {
                     Linearized::Lin(l) => acc = acc + l,
                     Linearized::NonLinear => return Linearized::NonLinear,
                 }
             }
             Linearized::Lin(acc)
         }
-        Term::Neg(inner) => match linearize(inner) {
+        TermNode::Neg(inner) => match linearize(arena, *inner) {
             Linearized::Lin(l) => Linearized::Lin(-l),
             nl => nl,
         },
-        Term::Mul(a, b) => match (linearize(a), linearize(b)) {
+        TermNode::Mul(a, b) => match (linearize(arena, *a), linearize(arena, *b)) {
             (Linearized::Lin(la), Linearized::Lin(lb)) => {
                 if la.is_constant() {
                     Linearized::Lin(lb.scale(la.constant_part()))
@@ -318,7 +358,7 @@ fn linearize(t: &Term) -> Linearized {
             }
             _ => Linearized::NonLinear,
         },
-        Term::Div(a, b) => match (linearize(a), linearize(b)) {
+        TermNode::Div(a, b) => match (linearize(arena, *a), linearize(arena, *b)) {
             (Linearized::Lin(la), Linearized::Lin(lb)) => {
                 if lb.is_constant() && !lb.constant_part().is_zero() {
                     Linearized::Lin(la.scale(Rat::ONE / lb.constant_part()))
@@ -328,7 +368,7 @@ fn linearize(t: &Term) -> Linearized {
             }
             _ => Linearized::NonLinear,
         },
-        Term::Mod(a, b) => match (linearize(a), linearize(b)) {
+        TermNode::Mod(a, b) => match (linearize(arena, *a), linearize(arena, *b)) {
             (Linearized::Lin(la), Linearized::Lin(lb))
                 if la.is_constant() && lb.is_constant() && !lb.constant_part().is_zero() =>
             {
@@ -384,17 +424,18 @@ fn mk_or(parts: Vec<Formula>) -> Formula {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::term::{with_global_arena, Term};
 
-    fn norm(t: &Term) -> (Formula, bool) {
+    fn norm(t: Term) -> (Formula, bool) {
         let mut n = Normalizer::new();
-        let f = n.normalize(t, true);
+        let f = with_global_arena(|arena| n.normalize(arena, t, true));
         (f, n.abstracted)
     }
 
     #[test]
     fn simple_atom() {
         let t = Term::real_var("x").le(Term::int(3));
-        let (f, abs) = norm(&t);
+        let (f, abs) = norm(t);
         assert!(!abs);
         match f {
             Formula::Atom(c) => {
@@ -409,7 +450,7 @@ mod tests {
     #[test]
     fn negation_flips_relation() {
         let t = Term::real_var("x").le(Term::int(3)).not();
-        let (f, _) = norm(&t);
+        let (f, _) = norm(t);
         match f {
             Formula::Atom(c) => {
                 assert_eq!(c.rel, Rel::Lt);
@@ -424,7 +465,7 @@ mod tests {
     #[test]
     fn disequality_becomes_disjunction() {
         let t = Term::real_var("x").ne_num(Term::int(0));
-        let (f, _) = norm(&t);
+        let (f, _) = norm(t);
         assert!(matches!(f, Formula::Or(ref xs) if xs.len() == 2), "{f:?}");
     }
 
@@ -432,7 +473,7 @@ mod tests {
     fn abs_lifts_to_case_split() {
         // |x| <= 1  ==  (x >= 0 ∧ x <= 1) ∨ (x < 0 ∧ -x <= 1)
         let t = Term::real_var("x").abs().le(Term::int(1));
-        let (f, abs) = norm(&t);
+        let (f, abs) = norm(t);
         assert!(!abs, "abs should not be abstracted");
         assert!(matches!(f, Formula::Or(_)), "{f:?}");
     }
@@ -441,7 +482,7 @@ mod tests {
     fn ite_lifts() {
         // (b ? 1 : 0) <= 0 == (b ∧ 1 <= 0) ∨ (¬b ∧ 0 <= 0) == ¬b
         let t = Term::ite(Term::bool_var("b"), Term::int(1), Term::int(0)).le(Term::int(0));
-        let (f, _) = norm(&t);
+        let (f, _) = norm(t);
         assert_eq!(f, Formula::BLit("b".into(), false));
     }
 
@@ -450,21 +491,38 @@ mod tests {
         let t = Term::real_var("x")
             .mul(Term::real_var("y"))
             .le(Term::int(1));
-        let (f, abstracted) = norm(&t);
+        let (f, abstracted) = norm(t);
         assert!(abstracted);
-        assert!(matches!(f, Formula::BLit(ref n, true) if n.starts_with("$abs")));
+        assert!(matches!(f, Formula::BLit(n, true) if n.as_str().starts_with("$abs")));
+    }
+
+    #[test]
+    fn abstraction_cache_reuses_symbols_by_id() {
+        // The same non-linear atom normalized twice through one Normalizer
+        // shares the abstraction boolean (keyed by interned id).
+        let atom = Term::real_var("x").mul(Term::real_var("y"));
+        let t1 = atom.le(Term::int(1));
+        let t2 = atom.le(Term::int(1)).not();
+        let mut n = Normalizer::new();
+        let (f1, f2) = with_global_arena(|arena| {
+            (n.normalize(arena, t1, true), n.normalize(arena, t2, true))
+        });
+        match (f1, f2) {
+            (Formula::BLit(a, true), Formula::BLit(b, false)) => assert_eq!(a, b),
+            other => panic!("expected shared abstraction literal, got {other:?}"),
+        }
     }
 
     #[test]
     fn constant_mod_folds() {
         // 7 mod 2 == 1 folds all the way to true
         let t = Term::int(7).rem(Term::int(2)).eq_num(Term::int(1));
-        let (f, abstracted) = norm(&t);
+        let (f, abstracted) = norm(t);
         assert!(!abstracted);
         assert_eq!(f, Formula::Const(true));
         // 8 mod 2 == 1 folds to false
         let t = Term::int(8).rem(Term::int(2)).eq_num(Term::int(1));
-        let (f, _) = norm(&t);
+        let (f, _) = norm(t);
         assert_eq!(f, Formula::Const(false));
     }
 
@@ -473,7 +531,7 @@ mod tests {
         let t = Term::real_var("i")
             .rem(Term::real_var("m"))
             .eq_num(Term::int(0));
-        let (_, abstracted) = norm(&t);
+        let (_, abstracted) = norm(t);
         assert!(abstracted);
     }
 
@@ -481,18 +539,16 @@ mod tests {
     fn implication_and_iff() {
         let a = Term::bool_var("a");
         let b = Term::bool_var("b");
-        let (f, _) = norm(&a.clone().implies(b.clone()));
+        let (f, _) = norm(a.implies(b));
         assert!(matches!(f, Formula::Or(_)));
-        let (f, _) = norm(&a.iff(b));
+        let (f, _) = norm(a.iff(b));
         assert!(matches!(f, Formula::Or(_)));
     }
 
     #[test]
     fn division_by_constant_is_linear() {
-        let t = Term::real_var("x")
-            .div(Term::int(4))
-            .le(Term::int(1));
-        let (f, abstracted) = norm(&t);
+        let t = Term::real_var("x").div(Term::int(4)).le(Term::int(1));
+        let (f, abstracted) = norm(t);
         assert!(!abstracted);
         match f {
             Formula::Atom(c) => assert_eq!(c.lin.coeff("x"), Rat::new(1, 4)),
@@ -505,7 +561,7 @@ mod tests {
         let t = Term::real_var("x")
             .div(Term::real_var("n"))
             .le(Term::int(1));
-        let (_, abstracted) = norm(&t);
+        let (_, abstracted) = norm(t);
         assert!(abstracted);
     }
 }

@@ -1,8 +1,22 @@
 //! The public solver API: a tableau-style search over the boolean structure
-//! of normalized formulas with eager Fourier–Motzkin theory pruning.
+//! of normalized formulas with eager Fourier–Motzkin theory pruning, plus a
+//! validity/satisfiability **memo table** keyed by interned formula ids.
+//!
+//! # Query memoization
+//!
+//! `check` folds its input conjunction into a single hash-consed term; that
+//! `TermId` (qualified by the arena generation, so ids from distinct arenas
+//! can never alias) is the cache key. Since the result of a query depends
+//! only on the formula's structure, a repeated query — Houdini consecution
+//! rounds re-proving the surviving candidates, typing rules re-discharging
+//! the same `Ψ ⊢ d == 0` side conditions — is answered by a single `u32`
+//! hash lookup instead of a fresh normalize + search. `prove` piggybacks on
+//! the same table via its refutation encoding. Hits are counted in
+//! [`SolverStats::cache_hits`]; [`Solver::without_memo`] opts out (used by
+//! the microbenchmarks to pin the speedup).
 
-use std::cell::Cell;
-use std::collections::BTreeMap;
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::time::Instant;
 
@@ -11,9 +25,13 @@ use shadowdp_num::Rat;
 
 use crate::fm::{check_sat, Constraint, FmResult};
 use crate::normalize::{Formula, Normalizer};
-use crate::term::Term;
+use crate::term::{with_global_arena, Symbol, Term, TermArena, TermId, TermNode};
 
 /// A satisfying assignment.
+///
+/// Keys are rendered strings (the public, solver-independent surface);
+/// internally the search runs entirely over interned [`Symbol`]s and
+/// converts once on the way out.
 #[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
 pub struct Model {
     /// Values of real-sorted variables.
@@ -106,10 +124,10 @@ impl ProveResult {
     }
 }
 
-/// Cumulative statistics, for the Table 1 harness.
+/// Cumulative statistics, for the Table 1 harness and the pipeline report.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SolverStats {
-    /// Number of `check` queries answered.
+    /// Number of `check` queries answered (including cache hits).
     pub checks: u64,
     /// Number of `prove` queries answered.
     pub proves: u64,
@@ -117,11 +135,15 @@ pub struct SolverStats {
     pub theory_calls: u64,
     /// Total solver time in microseconds.
     pub micros: u64,
+    /// Queries answered from the memo table without a search.
+    pub cache_hits: u64,
 }
 
 /// The QF-LRA solver.
 ///
-/// Stateless between queries apart from [`SolverStats`]; cheap to create.
+/// Holds only statistics and the query memo table between queries; cheap to
+/// create. (`Solver` is not `Sync`: share per thread, or create one per
+/// thread — terms interned in the global arena are shareable regardless.)
 ///
 /// # Examples
 ///
@@ -130,18 +152,42 @@ pub struct SolverStats {
 /// let s = Solver::new();
 /// let x = Term::real_var("x");
 /// // x <= 1 ∧ x >= 2 is unsatisfiable
-/// let r = s.check(&[x.clone().le(Term::int(1)), x.ge(Term::int(2))]);
+/// let r = s.check(&[x.le(Term::int(1)), x.ge(Term::int(2))]);
 /// assert!(!r.is_sat());
 /// ```
 #[derive(Debug, Default)]
 pub struct Solver {
     stats: Cell<SolverStats>,
+    memo: RefCell<HashMap<(u64, TermId), CheckResult>>,
+    memo_enabled: Cell<bool>,
 }
 
 impl Solver {
-    /// Creates a solver.
+    /// Creates a solver (memoization on).
     pub fn new() -> Solver {
-        Solver::default()
+        Solver {
+            stats: Cell::new(SolverStats::default()),
+            memo: RefCell::new(HashMap::new()),
+            memo_enabled: Cell::new(true),
+        }
+    }
+
+    /// Creates a solver with the query memo table disabled (every query
+    /// runs the full normalize + search pipeline; used for benchmarking the
+    /// uncached path).
+    pub fn without_memo() -> Solver {
+        let s = Solver::new();
+        s.memo_enabled.set(false);
+        s
+    }
+
+    /// Enables or disables query memoization. Disabling also drops the
+    /// table.
+    pub fn set_memo_enabled(&self, enabled: bool) {
+        self.memo_enabled.set(enabled);
+        if !enabled {
+            self.memo.borrow_mut().clear();
+        }
     }
 
     /// Statistics accumulated so far.
@@ -154,40 +200,97 @@ impl Solver {
         self.stats.set(SolverStats::default());
     }
 
-    /// Checks satisfiability of the conjunction of `terms`.
+    /// Checks satisfiability of the conjunction of `terms` (global arena).
     pub fn check(&self, terms: &[Term]) -> CheckResult {
+        with_global_arena(|arena| self.check_in(arena, terms))
+    }
+
+    /// [`Solver::check`] against an explicit arena: `terms` must have been
+    /// built by `arena`. Cached results are keyed by the arena's
+    /// generation, so two arenas never share (or pollute) entries.
+    pub fn check_in(&self, arena: &mut TermArena, terms: &[Term]) -> CheckResult {
         let start = Instant::now();
+        // The cache key is a *raw* n-ary And intern — one O(n) hash of the
+        // child ids, not the O(n²) smart-constructor fold (the fold clones
+        // the accumulated child vector per conjunct). Raw keys are slightly
+        // finer than folded ones (slices that would fold identically can
+        // key apart), which costs at most a duplicate entry, never a wrong
+        // answer; the hot Houdini repeats pass bit-identical slices anyway.
+        // Key construction is skipped entirely with the memo off, so a
+        // memo-less solver never grows the arena with key nodes.
+        let key = if self.memo_enabled.get() {
+            let key_id = match terms {
+                [] => arena.bool_const(true),
+                [t] => *t,
+                _ => arena.intern(TermNode::And(terms.to_vec())),
+            };
+            Some((arena.generation(), key_id))
+        } else {
+            None
+        };
+
+        if let Some(key) = key {
+            if let Some(hit) = self.memo.borrow().get(&key) {
+                let mut stats = self.stats.get();
+                stats.checks += 1;
+                stats.cache_hits += 1;
+                stats.micros += start.elapsed().as_micros() as u64;
+                self.stats.set(stats);
+                return hit.clone();
+            }
+        }
+
         let mut norm = Normalizer::new();
-        let formulas: Vec<Formula> = terms.iter().map(|t| norm.normalize(t, true)).collect();
+        let formulas: Vec<Formula> = match key {
+            Some((_, key_id)) => vec![norm.normalize(arena, key_id, true)],
+            None => terms
+                .iter()
+                .map(|t| norm.normalize(arena, *t, true))
+                .collect(),
+        };
         let abstracted = norm.abstracted;
 
-        let mut search = Search {
-            theory_calls: 0,
-        };
+        let mut search = Search { theory_calls: 0 };
         let result = search.solve(formulas, &mut Vec::new(), &mut BTreeMap::new());
 
         let mut stats = self.stats.get();
         stats.checks += 1;
         stats.theory_calls += search.theory_calls;
-        stats.micros += start.elapsed().as_micros() as u64;
         self.stats.set(stats);
 
-        match result {
+        let out = match result {
             Some((reals, bools)) => CheckResult::Sat(Model {
-                reals,
-                bools,
+                reals: reals
+                    .into_iter()
+                    .map(|(k, v)| (k.as_str().to_string(), v))
+                    .collect(),
+                bools: bools
+                    .into_iter()
+                    .map(|(k, v)| (k.as_str().to_string(), v))
+                    .collect(),
                 possibly_spurious: abstracted,
             }),
             None => CheckResult::Unsat,
+        };
+
+        if let Some(key) = key {
+            self.memo.borrow_mut().insert(key, out.clone());
         }
+
+        let mut stats = self.stats.get();
+        stats.micros += start.elapsed().as_micros() as u64;
+        self.stats.set(stats);
+        out
     }
 
     /// Attempts to prove `assumptions ⊢ goal` by refutation: checks
     /// `assumptions ∧ ¬goal` for unsatisfiability.
     pub fn prove(&self, assumptions: &[Term], goal: &Term) -> ProveResult {
-        let mut terms: Vec<Term> = assumptions.to_vec();
-        terms.push(goal.clone().not());
-        let r = self.check(&terms);
+        let r = with_global_arena(|arena| {
+            let mut terms: Vec<Term> = assumptions.to_vec();
+            terms.push(arena.not(*goal));
+            self.check_in(arena, &terms)
+        });
         let mut stats = self.stats.get();
         stats.proves += 1;
         self.stats.set(stats);
@@ -205,7 +308,7 @@ impl Solver {
     /// Convenience: whether two boolean terms are equivalent under the
     /// assumptions.
     pub fn equivalent(&self, assumptions: &[Term], a: &Term, b: &Term) -> bool {
-        self.entails(assumptions, &a.clone().iff(b.clone()))
+        self.entails(assumptions, &(*a).iff(*b))
     }
 }
 
@@ -214,8 +317,8 @@ struct Search {
     theory_calls: u64,
 }
 
-type RealModel = BTreeMap<String, Rat>;
-type BoolModel = BTreeMap<String, bool>;
+type RealModel = BTreeMap<Symbol, Rat>;
+type BoolModel = BTreeMap<Symbol, bool>;
 
 impl Search {
     /// Tries to satisfy `pending ∧ constraints ∧ bools`; returns a model on
@@ -236,11 +339,9 @@ impl Search {
                     Some(existing) if *existing != val => return None,
                     Some(_) => {}
                     None => {
-                        bools.insert(name.clone(), val);
-                        // Continue; removal on backtrack handled by caller
-                        // cloning — we instead clean up below via recursion
-                        // discipline: this function owns its mutations only
-                        // on the success path, so restore on failure.
+                        bools.insert(name, val);
+                        // This function owns its mutations only on the
+                        // success path, so restore on failure.
                         let result = self.solve(pending, constraints, bools);
                         if result.is_none() {
                             bools.remove(&name);
@@ -266,9 +367,7 @@ impl Search {
                     for x in xs {
                         let mut branch_pending = pending.clone();
                         branch_pending.push(x);
-                        if let Some(model) =
-                            self.solve(branch_pending, constraints, bools)
-                        {
+                        if let Some(model) = self.solve(branch_pending, constraints, bools) {
                             return Some(model);
                         }
                     }
@@ -356,10 +455,7 @@ mod tests {
     fn abs_reasoning() {
         let s = Solver::new();
         // |x| <= 1 ⊢ x <= 1
-        assert!(s.entails(
-            &[x().abs().le(Term::int(1))],
-            &x().le(Term::int(1))
-        ));
+        assert!(s.entails(&[x().abs().le(Term::int(1))], &x().le(Term::int(1))));
         // |x| <= 1 ⊬ x >= 0
         assert!(!s.entails(&[x().abs().le(Term::int(1))], &x().ge(Term::int(0))));
         // ⊢ |x| >= x
@@ -376,11 +472,11 @@ mod tests {
         let p = Term::bool_var("p");
         let q = Term::bool_var("q");
         // p ∧ (p => q) ⊢ q
-        assert!(s.entails(&[p.clone(), p.clone().implies(q.clone())], &q));
+        assert!(s.entails(&[p, p.implies(q)], &q));
         // p ∨ q, ¬p ⊢ q
-        assert!(s.entails(&[p.clone().or(q.clone()), p.clone().not()], &q));
+        assert!(s.entails(&[p.or(q), p.not()], &q));
         // p ⊬ q
-        assert!(!s.entails(&[p.clone()], &q));
+        assert!(!s.entails(&[p], &q));
     }
 
     #[test]
@@ -388,10 +484,10 @@ mod tests {
         let s = Solver::new();
         let b = Term::bool_var("b");
         // (b ? 2 : 0) <= 2 is valid
-        let t = Term::ite(b.clone(), Term::int(2), Term::int(0)).le(Term::int(2));
+        let t = Term::ite(b, Term::int(2), Term::int(0)).le(Term::int(2));
         assert!(s.entails(&[], &t));
         // (b ? 2 : 0) >= 1 ⊢ b
-        let hyp = Term::ite(b.clone(), Term::int(2), Term::int(0)).ge(Term::int(1));
+        let hyp = Term::ite(b, Term::int(2), Term::int(0)).ge(Term::int(1));
         assert!(s.entails(&[hyp], &b));
     }
 
@@ -427,7 +523,7 @@ mod tests {
         let s = Solver::new();
         let q = Term::real_var("q");
         let bq = Term::real_var("bq");
-        let lhs = q.clone().add(Term::int(2)).gt(bq.clone().add(Term::int(2)));
+        let lhs = q.add(Term::int(2)).gt(bq.add(Term::int(2)));
         let rhs = q.gt(bq);
         assert!(s.equivalent(&[], &lhs, &rhs));
     }
@@ -454,5 +550,43 @@ mod tests {
             CheckResult::Sat(m) => assert_eq!(m.real("x"), Rat::ONE),
             CheckResult::Unsat => panic!(),
         }
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_memo() {
+        let s = Solver::new();
+        let hyp = x().ge(Term::int(1));
+        let goal = Term::int(2).mul(x()).gt(Term::int(1));
+        assert!(s.prove(&[hyp], &goal).is_proved());
+        let before = s.stats();
+        assert_eq!(before.cache_hits, 0);
+        for _ in 0..5 {
+            assert!(s.prove(&[hyp], &goal).is_proved());
+        }
+        let after = s.stats();
+        assert_eq!(after.cache_hits, 5);
+        // No new theory work for the cached queries.
+        assert_eq!(after.theory_calls, before.theory_calls);
+    }
+
+    #[test]
+    fn memo_respects_distinct_formulas() {
+        let s = Solver::new();
+        assert!(s.check(&[x().le(Term::int(1))]).is_sat());
+        // A different bound must not be answered from the cache entry.
+        assert!(s.check(&[x().le(Term::int(1)), x().ge(Term::int(2))]) == CheckResult::Unsat);
+        assert_eq!(s.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn without_memo_never_hits() {
+        let s = Solver::without_memo();
+        let t = x().le(Term::int(0));
+        for _ in 0..3 {
+            assert!(s.check(std::slice::from_ref(&t)).is_sat());
+        }
+        let st = s.stats();
+        assert_eq!(st.cache_hits, 0);
+        assert!(st.theory_calls >= 3);
     }
 }

@@ -1,361 +1,822 @@
-//! The solver's two-sorted term language.
+//! The solver's two-sorted term language, hash-consed.
 //!
-//! Terms are built by the typing and verification crates after they have
-//! already eliminated language-level features the theory does not know about
-//! (list indexing is skolemized to fresh scalar symbols upstream).
+//! Terms live in a [`TermArena`] that deduplicates structurally equal
+//! nodes: a term is represented by a [`TermId`] — a `Copy`-able `u32`
+//! handle — and two terms are structurally equal **iff** their ids are
+//! equal. This makes equality and hashing O(1), makes `clone()` free, and
+//! lets the solver memoize whole validity queries by the id of the interned
+//! formula (see [`crate::solve::Solver`]).
+//!
+//! Variable names are interned too: [`Symbol`] is a `u32` handle into a
+//! process-wide string table, so environment and model lookups compare ids
+//! instead of hashing strings.
+//!
+//! Two ways to build terms:
+//!
+//! - the **global arena** (what almost all code uses): the chainable
+//!   methods on [`TermId`] (`a.add(b)`, `a.le(b)`, `Term::real_var("x")`,
+//!   …) intern into a process-wide arena behind a mutex. Ids from this API
+//!   are freely shareable across the program.
+//! - an **explicit [`TermArena`]** for isolation (property tests, fuzzing):
+//!   all constructors exist as methods on the arena. Ids from different
+//!   arenas must not be mixed — the solver's memo table keys on the arena's
+//!   unique [`TermArena::generation`] precisely so results can never leak
+//!   across arenas.
+//!
+//! Construction helpers implement the same smart-constructor folding as the
+//! original deep-tree representation (constant folding, identity/annihilator
+//! elimination, n-ary flattening), so verification conditions stay small.
 
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
 
-use serde::{Deserialize, Serialize};
 use shadowdp_num::Rat;
 
-/// A term of sort real or bool.
+// ---------------------------------------------------------------------------
+// Symbols
+// ---------------------------------------------------------------------------
+
+/// An interned variable name.
 ///
-/// Construction helpers implement the obvious smart-constructor folding so
-/// verification conditions stay small.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
-pub enum Term {
+/// `Symbol` is a `u32` into a process-wide, append-only string table;
+/// comparisons and hashing are integer operations, and [`Symbol::as_str`]
+/// is a table load returning a `'static` string.
+///
+/// Ordering is by interning order (first intern wins the smaller id), not
+/// lexicographic — deterministic within a process, which is all the solver
+/// needs.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(u32);
+
+struct Interner {
+    names: Vec<&'static str>,
+    ids: HashMap<&'static str, u32>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner {
+            names: Vec::new(),
+            ids: HashMap::new(),
+        })
+    })
+}
+
+impl Symbol {
+    /// Interns a name.
+    pub fn intern(name: &str) -> Symbol {
+        let mut t = interner().lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(&id) = t.ids.get(name) {
+            return Symbol(id);
+        }
+        let id = t.names.len() as u32;
+        let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+        t.names.push(leaked);
+        t.ids.insert(leaked, id);
+        Symbol(id)
+    }
+
+    /// The interned string.
+    pub fn as_str(self) -> &'static str {
+        let t = interner().lock().unwrap_or_else(|p| p.into_inner());
+        t.names[self.0 as usize]
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+impl From<&String> for Symbol {
+    fn from(s: &String) -> Symbol {
+        Symbol::intern(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Symbol {
+        Symbol::intern(&s)
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Symbols read better as their names.
+        fmt::Display::fmt(self, f)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Term nodes and ids
+// ---------------------------------------------------------------------------
+
+/// A handle to a hash-consed term. See the module docs.
+///
+/// Equality, ordering and hashing are O(1) id operations; within one arena,
+/// id equality coincides with structural equality.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct TermId(u32);
+
+/// The established name for solver terms; kept as an alias so call sites
+/// read naturally (`Term::real_var("x")`, `t.add(u)`).
+pub type Term = TermId;
+
+/// One interned term node of sort real or bool. Children are [`TermId`]s.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum TermNode {
     /// Rational constant.
     RConst(Rat),
     /// Boolean constant.
     BConst(bool),
     /// Real-sorted variable.
-    RVar(String),
+    RVar(Symbol),
     /// Bool-sorted variable.
-    BVar(String),
+    BVar(Symbol),
     /// n-ary sum.
-    Add(Vec<Term>),
+    Add(Vec<TermId>),
     /// Binary product (linearized later; at most one side may be a
     /// non-constant for the atom to stay linear).
-    Mul(Box<Term>, Box<Term>),
+    Mul(TermId, TermId),
     /// Numeric negation.
-    Neg(Box<Term>),
+    Neg(TermId),
     /// Division (the divisor must normalize to a nonzero constant to stay
     /// linear).
-    Div(Box<Term>, Box<Term>),
+    Div(TermId, TermId),
     /// Modulo; always abstracted unless both sides are constants.
-    Mod(Box<Term>, Box<Term>),
+    Mod(TermId, TermId),
     /// Absolute value (desugared to `ite` during normalization).
-    Abs(Box<Term>),
+    Abs(TermId),
     /// Numeric if-then-else.
-    Ite(Box<Term>, Box<Term>, Box<Term>),
+    Ite(TermId, TermId, TermId),
     /// `a <= b`
-    Le(Box<Term>, Box<Term>),
+    Le(TermId, TermId),
     /// `a < b`
-    Lt(Box<Term>, Box<Term>),
+    Lt(TermId, TermId),
     /// `a == b` (numeric)
-    EqNum(Box<Term>, Box<Term>),
+    EqNum(TermId, TermId),
     /// Boolean negation.
-    Not(Box<Term>),
+    Not(TermId),
     /// n-ary conjunction.
-    And(Vec<Term>),
+    And(Vec<TermId>),
     /// n-ary disjunction.
-    Or(Vec<Term>),
+    Or(Vec<TermId>),
     /// Implication.
-    Implies(Box<Term>, Box<Term>),
+    Implies(TermId, TermId),
     /// Bi-implication (also serves as boolean equality).
-    Iff(Box<Term>, Box<Term>),
+    Iff(TermId, TermId),
 }
 
-impl Term {
+// ---------------------------------------------------------------------------
+// The arena
+// ---------------------------------------------------------------------------
+
+static ARENA_GENERATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// A deduplicating term store. See the module docs for the two usage modes.
+pub struct TermArena {
+    generation: u64,
+    nodes: Vec<TermNode>,
+    dedup: HashMap<TermNode, TermId>,
+}
+
+impl Default for TermArena {
+    fn default() -> Self {
+        TermArena::new()
+    }
+}
+
+impl TermArena {
+    /// Creates an empty arena with a process-unique generation tag.
+    pub fn new() -> TermArena {
+        TermArena {
+            generation: ARENA_GENERATIONS.fetch_add(1, Ordering::Relaxed),
+            nodes: Vec::new(),
+            dedup: HashMap::new(),
+        }
+    }
+
+    /// The arena's unique tag; cache keys derived from this arena's ids
+    /// must include it (ids are only meaningful per-arena).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of distinct interned nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the arena is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Interns a node, returning the canonical id for its structure.
+    pub fn intern(&mut self, node: TermNode) -> TermId {
+        if let Some(&id) = self.dedup.get(&node) {
+            return id;
+        }
+        let id = TermId(self.nodes.len() as u32);
+        self.nodes.push(node.clone());
+        self.dedup.insert(node, id);
+        id
+    }
+
+    /// The node behind an id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` came from a different arena (and is out of range
+    /// there); mixing arenas is a caller bug this cannot always detect.
+    pub fn node(&self, id: TermId) -> &TermNode {
+        &self.nodes[id.0 as usize]
+    }
+
+    // ---- leaf constructors ----
+
     /// Integer constant.
-    pub fn int(n: i128) -> Term {
-        Term::RConst(Rat::int(n))
+    pub fn int(&mut self, n: i128) -> TermId {
+        self.rat(Rat::int(n))
     }
 
     /// Rational constant.
-    pub fn rat(r: Rat) -> Term {
-        Term::RConst(r)
+    pub fn rat(&mut self, r: Rat) -> TermId {
+        self.intern(TermNode::RConst(r))
+    }
+
+    /// Boolean constant.
+    pub fn bool_const(&mut self, b: bool) -> TermId {
+        self.intern(TermNode::BConst(b))
     }
 
     /// Real-sorted variable.
-    pub fn real_var(name: impl Into<String>) -> Term {
-        Term::RVar(name.into())
+    pub fn real_var(&mut self, name: impl Into<Symbol>) -> TermId {
+        let s = name.into();
+        self.intern(TermNode::RVar(s))
     }
 
     /// Bool-sorted variable.
-    pub fn bool_var(name: impl Into<String>) -> Term {
-        Term::BVar(name.into())
+    pub fn bool_var(&mut self, name: impl Into<Symbol>) -> TermId {
+        let s = name.into();
+        self.intern(TermNode::BVar(s))
     }
 
-    /// `self + rhs` with constant folding and flattening.
-    pub fn add(self, rhs: Term) -> Term {
-        match (self, rhs) {
-            (Term::RConst(a), Term::RConst(b)) => Term::RConst(a + b),
-            (Term::RConst(z), t) | (t, Term::RConst(z)) if z.is_zero() => t,
-            (Term::Add(mut xs), Term::Add(ys)) => {
-                xs.extend(ys);
-                Term::Add(xs)
+    // ---- numeric smart constructors ----
+
+    /// `a + b` with constant folding and flattening.
+    pub fn add(&mut self, a: TermId, b: TermId) -> TermId {
+        match (self.node(a), self.node(b)) {
+            (TermNode::RConst(x), TermNode::RConst(y)) => {
+                let r = *x + *y;
+                self.rat(r)
             }
-            (Term::Add(mut xs), t) => {
-                xs.push(t);
-                Term::Add(xs)
+            (TermNode::RConst(z), _) if z.is_zero() => b,
+            (_, TermNode::RConst(z)) if z.is_zero() => a,
+            (TermNode::Add(xs), TermNode::Add(ys)) => {
+                let mut v = xs.clone();
+                v.extend(ys.iter().copied());
+                self.intern(TermNode::Add(v))
             }
-            (t, Term::Add(mut ys)) => {
-                ys.insert(0, t);
-                Term::Add(ys)
+            (TermNode::Add(xs), _) => {
+                let mut v = xs.clone();
+                v.push(b);
+                self.intern(TermNode::Add(v))
             }
-            (a, b) => Term::Add(vec![a, b]),
+            (_, TermNode::Add(ys)) => {
+                let mut v = Vec::with_capacity(ys.len() + 1);
+                v.push(a);
+                v.extend(ys.iter().copied());
+                self.intern(TermNode::Add(v))
+            }
+            _ => self.intern(TermNode::Add(vec![a, b])),
         }
     }
 
-    /// `self - rhs`.
-    pub fn sub(self, rhs: Term) -> Term {
-        self.add(rhs.neg())
+    /// `a - b`.
+    pub fn sub(&mut self, a: TermId, b: TermId) -> TermId {
+        let nb = self.neg(b);
+        self.add(a, nb)
     }
 
-    /// `-self`.
-    pub fn neg(self) -> Term {
-        match self {
-            Term::RConst(r) => Term::RConst(-r),
-            Term::Neg(inner) => *inner,
-            t => Term::Neg(Box::new(t)),
+    /// `-a`.
+    pub fn neg(&mut self, a: TermId) -> TermId {
+        match self.node(a) {
+            TermNode::RConst(r) => {
+                let r = -*r;
+                self.rat(r)
+            }
+            TermNode::Neg(inner) => *inner,
+            _ => self.intern(TermNode::Neg(a)),
         }
     }
 
-    /// `self * rhs` with constant folding.
-    pub fn mul(self, rhs: Term) -> Term {
-        match (&self, &rhs) {
-            (Term::RConst(a), Term::RConst(b)) => return Term::RConst(*a * *b),
-            (Term::RConst(a), _) if a.is_zero() => return Term::int(0),
-            (_, Term::RConst(b)) if b.is_zero() => return Term::int(0),
-            (Term::RConst(a), _) if *a == Rat::ONE => return rhs,
-            (_, Term::RConst(b)) if *b == Rat::ONE => return self,
+    /// `a * b` with constant folding.
+    pub fn mul(&mut self, a: TermId, b: TermId) -> TermId {
+        match (self.node(a), self.node(b)) {
+            (TermNode::RConst(x), TermNode::RConst(y)) => {
+                let r = *x * *y;
+                return self.rat(r);
+            }
+            (TermNode::RConst(x), _) if x.is_zero() => return self.int(0),
+            (_, TermNode::RConst(y)) if y.is_zero() => return self.int(0),
+            (TermNode::RConst(x), _) if *x == Rat::ONE => return b,
+            (_, TermNode::RConst(y)) if *y == Rat::ONE => return a,
             _ => {}
         }
-        Term::Mul(Box::new(self), Box::new(rhs))
+        self.intern(TermNode::Mul(a, b))
     }
 
-    /// `self / rhs`.
-    pub fn div(self, rhs: Term) -> Term {
-        match (&self, &rhs) {
-            (Term::RConst(a), Term::RConst(b)) if !b.is_zero() => return Term::RConst(*a / *b),
-            (_, Term::RConst(b)) if *b == Rat::ONE => return self,
+    /// `a / b`.
+    pub fn div(&mut self, a: TermId, b: TermId) -> TermId {
+        match (self.node(a), self.node(b)) {
+            (TermNode::RConst(x), TermNode::RConst(y)) if !y.is_zero() => {
+                let r = *x / *y;
+                return self.rat(r);
+            }
+            (_, TermNode::RConst(y)) if *y == Rat::ONE => return a,
             _ => {}
         }
-        Term::Div(Box::new(self), Box::new(rhs))
+        self.intern(TermNode::Div(a, b))
     }
 
-    /// `self % rhs`.
-    pub fn rem(self, rhs: Term) -> Term {
-        Term::Mod(Box::new(self), Box::new(rhs))
+    /// `a % b`.
+    pub fn rem(&mut self, a: TermId, b: TermId) -> TermId {
+        self.intern(TermNode::Mod(a, b))
     }
 
-    /// `abs(self)`.
-    pub fn abs(self) -> Term {
-        match self {
-            Term::RConst(r) => Term::RConst(r.abs()),
-            t => Term::Abs(Box::new(t)),
+    /// `abs(a)`.
+    pub fn abs(&mut self, a: TermId) -> TermId {
+        match self.node(a) {
+            TermNode::RConst(r) => {
+                let r = r.abs();
+                self.rat(r)
+            }
+            _ => self.intern(TermNode::Abs(a)),
         }
     }
 
-    /// Numeric if-then-else with literal-guard folding.
-    pub fn ite(cond: Term, then: Term, els: Term) -> Term {
-        match cond {
-            Term::BConst(true) => then,
-            Term::BConst(false) => els,
-            c => {
+    /// Numeric if-then-else with literal-guard folding; identical branches
+    /// collapse by id comparison.
+    pub fn ite(&mut self, cond: TermId, then: TermId, els: TermId) -> TermId {
+        match self.node(cond) {
+            TermNode::BConst(true) => then,
+            TermNode::BConst(false) => els,
+            _ => {
                 if then == els {
                     then
                 } else {
-                    Term::Ite(Box::new(c), Box::new(then), Box::new(els))
+                    self.intern(TermNode::Ite(cond, then, els))
                 }
             }
         }
     }
 
-    /// `self <= rhs`.
-    pub fn le(self, rhs: Term) -> Term {
-        Term::Le(Box::new(self), Box::new(rhs))
+    // ---- comparisons ----
+
+    /// `a <= b`.
+    pub fn le(&mut self, a: TermId, b: TermId) -> TermId {
+        self.intern(TermNode::Le(a, b))
     }
 
-    /// `self < rhs`.
-    pub fn lt(self, rhs: Term) -> Term {
-        Term::Lt(Box::new(self), Box::new(rhs))
+    /// `a < b`.
+    pub fn lt(&mut self, a: TermId, b: TermId) -> TermId {
+        self.intern(TermNode::Lt(a, b))
     }
 
-    /// `self >= rhs`.
-    pub fn ge(self, rhs: Term) -> Term {
-        Term::Le(Box::new(rhs), Box::new(self))
+    /// `a >= b`.
+    pub fn ge(&mut self, a: TermId, b: TermId) -> TermId {
+        self.le(b, a)
     }
 
-    /// `self > rhs`.
-    pub fn gt(self, rhs: Term) -> Term {
-        Term::Lt(Box::new(rhs), Box::new(self))
+    /// `a > b`.
+    pub fn gt(&mut self, a: TermId, b: TermId) -> TermId {
+        self.lt(b, a)
     }
 
     /// Numeric equality.
-    pub fn eq_num(self, rhs: Term) -> Term {
-        Term::EqNum(Box::new(self), Box::new(rhs))
+    pub fn eq_num(&mut self, a: TermId, b: TermId) -> TermId {
+        self.intern(TermNode::EqNum(a, b))
     }
 
     /// Numeric disequality.
-    pub fn ne_num(self, rhs: Term) -> Term {
-        Term::EqNum(Box::new(self), Box::new(rhs)).not()
+    pub fn ne_num(&mut self, a: TermId, b: TermId) -> TermId {
+        let eq = self.eq_num(a, b);
+        self.not(eq)
     }
 
+    // ---- boolean smart constructors ----
+
     /// Boolean negation with folding.
-    pub fn not(self) -> Term {
-        match self {
-            Term::BConst(b) => Term::BConst(!b),
-            Term::Not(inner) => *inner,
-            t => Term::Not(Box::new(t)),
+    pub fn not(&mut self, a: TermId) -> TermId {
+        match self.node(a) {
+            TermNode::BConst(b) => {
+                let b = !*b;
+                self.bool_const(b)
+            }
+            TermNode::Not(inner) => *inner,
+            _ => self.intern(TermNode::Not(a)),
         }
     }
 
     /// Conjunction with folding and flattening.
-    pub fn and(self, rhs: Term) -> Term {
-        match (self, rhs) {
-            (Term::BConst(true), t) | (t, Term::BConst(true)) => t,
-            (Term::BConst(false), _) | (_, Term::BConst(false)) => Term::BConst(false),
-            (Term::And(mut xs), Term::And(ys)) => {
-                xs.extend(ys);
-                Term::And(xs)
+    pub fn and(&mut self, a: TermId, b: TermId) -> TermId {
+        match (self.node(a), self.node(b)) {
+            (TermNode::BConst(true), _) => return b,
+            (_, TermNode::BConst(true)) => return a,
+            (TermNode::BConst(false), _) | (_, TermNode::BConst(false)) => {
+                return self.bool_const(false)
             }
-            (Term::And(mut xs), t) => {
-                xs.push(t);
-                Term::And(xs)
+            (TermNode::And(xs), TermNode::And(ys)) => {
+                let mut v = xs.clone();
+                v.extend(ys.iter().copied());
+                return self.intern(TermNode::And(v));
             }
-            (t, Term::And(mut ys)) => {
-                ys.insert(0, t);
-                Term::And(ys)
+            (TermNode::And(xs), _) => {
+                let mut v = xs.clone();
+                v.push(b);
+                return self.intern(TermNode::And(v));
             }
-            (a, b) => Term::And(vec![a, b]),
+            (_, TermNode::And(ys)) => {
+                let mut v = Vec::with_capacity(ys.len() + 1);
+                v.push(a);
+                v.extend(ys.iter().copied());
+                return self.intern(TermNode::And(v));
+            }
+            _ => {}
         }
+        self.intern(TermNode::And(vec![a, b]))
     }
 
     /// Disjunction with folding and flattening.
-    pub fn or(self, rhs: Term) -> Term {
-        match (self, rhs) {
-            (Term::BConst(false), t) | (t, Term::BConst(false)) => t,
-            (Term::BConst(true), _) | (_, Term::BConst(true)) => Term::BConst(true),
-            (Term::Or(mut xs), Term::Or(ys)) => {
-                xs.extend(ys);
-                Term::Or(xs)
+    pub fn or(&mut self, a: TermId, b: TermId) -> TermId {
+        match (self.node(a), self.node(b)) {
+            (TermNode::BConst(false), _) => return b,
+            (_, TermNode::BConst(false)) => return a,
+            (TermNode::BConst(true), _) | (_, TermNode::BConst(true)) => {
+                return self.bool_const(true)
             }
-            (Term::Or(mut xs), t) => {
-                xs.push(t);
-                Term::Or(xs)
+            (TermNode::Or(xs), TermNode::Or(ys)) => {
+                let mut v = xs.clone();
+                v.extend(ys.iter().copied());
+                return self.intern(TermNode::Or(v));
             }
-            (t, Term::Or(mut ys)) => {
-                ys.insert(0, t);
-                Term::Or(ys)
+            (TermNode::Or(xs), _) => {
+                let mut v = xs.clone();
+                v.push(b);
+                return self.intern(TermNode::Or(v));
             }
-            (a, b) => Term::Or(vec![a, b]),
+            (_, TermNode::Or(ys)) => {
+                let mut v = Vec::with_capacity(ys.len() + 1);
+                v.push(a);
+                v.extend(ys.iter().copied());
+                return self.intern(TermNode::Or(v));
+            }
+            _ => {}
         }
+        self.intern(TermNode::Or(vec![a, b]))
     }
 
     /// Implication.
-    pub fn implies(self, rhs: Term) -> Term {
-        match (&self, &rhs) {
-            (Term::BConst(true), _) => return rhs,
-            (Term::BConst(false), _) => return Term::BConst(true),
-            (_, Term::BConst(true)) => return Term::BConst(true),
+    pub fn implies(&mut self, a: TermId, b: TermId) -> TermId {
+        match (self.node(a), self.node(b)) {
+            (TermNode::BConst(true), _) => return b,
+            (TermNode::BConst(false), _) => return self.bool_const(true),
+            (_, TermNode::BConst(true)) => return self.bool_const(true),
             _ => {}
         }
-        Term::Implies(Box::new(self), Box::new(rhs))
+        self.intern(TermNode::Implies(a, b))
     }
 
     /// Bi-implication.
-    pub fn iff(self, rhs: Term) -> Term {
-        Term::Iff(Box::new(self), Box::new(rhs))
+    pub fn iff(&mut self, a: TermId, b: TermId) -> TermId {
+        self.intern(TermNode::Iff(a, b))
     }
 
     /// Conjunction of a sequence of terms.
-    pub fn conj(terms: impl IntoIterator<Item = Term>) -> Term {
-        terms
-            .into_iter()
-            .fold(Term::BConst(true), |acc, t| acc.and(t))
+    ///
+    /// Single pass (flatten one level of nested `And`s, drop `true`,
+    /// short-circuit on `false`) producing the same result as folding
+    /// [`TermArena::and`], without the fold's per-step vector clones or its
+    /// n−1 intermediate prefix nodes.
+    pub fn conj(&mut self, terms: impl IntoIterator<Item = TermId>) -> TermId {
+        let mut out: Vec<TermId> = Vec::new();
+        for t in terms {
+            match self.node(t) {
+                TermNode::BConst(true) => {}
+                TermNode::BConst(false) => return self.bool_const(false),
+                TermNode::And(xs) => out.extend(xs.iter().copied()),
+                _ => out.push(t),
+            }
+        }
+        match out.len() {
+            0 => self.bool_const(true),
+            1 => out[0],
+            _ => self.intern(TermNode::And(out)),
+        }
     }
 
-    /// Disjunction of a sequence of terms.
-    pub fn disj(terms: impl IntoIterator<Item = Term>) -> Term {
-        terms
-            .into_iter()
-            .fold(Term::BConst(false), |acc, t| acc.or(t))
+    /// Disjunction of a sequence of terms (see [`TermArena::conj`]).
+    pub fn disj(&mut self, terms: impl IntoIterator<Item = TermId>) -> TermId {
+        let mut out: Vec<TermId> = Vec::new();
+        for t in terms {
+            match self.node(t) {
+                TermNode::BConst(false) => {}
+                TermNode::BConst(true) => return self.bool_const(true),
+                TermNode::Or(xs) => out.extend(xs.iter().copied()),
+                _ => out.push(t),
+            }
+        }
+        match out.len() {
+            0 => self.bool_const(false),
+            1 => out[0],
+            _ => self.intern(TermNode::Or(out)),
+        }
     }
 
-    /// All variable names (both sorts) occurring in the term.
-    pub fn vars(&self) -> Vec<String> {
+    // ---- queries ----
+
+    /// All variable symbols (both sorts) occurring in the term, in first-
+    /// occurrence order.
+    pub fn vars(&self, id: TermId) -> Vec<Symbol> {
         let mut out = Vec::new();
-        self.collect_vars(&mut out);
+        self.collect_vars(id, &mut out);
         out
     }
 
-    fn collect_vars(&self, out: &mut Vec<String>) {
-        match self {
-            Term::RConst(_) | Term::BConst(_) => {}
-            Term::RVar(v) | Term::BVar(v) => {
+    fn collect_vars(&self, id: TermId, out: &mut Vec<Symbol>) {
+        match self.node(id) {
+            TermNode::RConst(_) | TermNode::BConst(_) => {}
+            TermNode::RVar(v) | TermNode::BVar(v) => {
                 if !out.contains(v) {
-                    out.push(v.clone());
+                    out.push(*v);
                 }
             }
-            Term::Add(ts) | Term::And(ts) | Term::Or(ts) => {
-                for t in ts {
-                    t.collect_vars(out);
+            TermNode::Add(ts) | TermNode::And(ts) | TermNode::Or(ts) => {
+                for t in ts.clone() {
+                    self.collect_vars(t, out);
                 }
             }
-            Term::Neg(t) | Term::Abs(t) | Term::Not(t) => t.collect_vars(out),
-            Term::Mul(a, b)
-            | Term::Div(a, b)
-            | Term::Mod(a, b)
-            | Term::Le(a, b)
-            | Term::Lt(a, b)
-            | Term::EqNum(a, b)
-            | Term::Implies(a, b)
-            | Term::Iff(a, b) => {
-                a.collect_vars(out);
-                b.collect_vars(out);
+            TermNode::Neg(t) | TermNode::Abs(t) | TermNode::Not(t) => {
+                self.collect_vars(*t, out)
             }
-            Term::Ite(a, b, c) => {
-                a.collect_vars(out);
-                b.collect_vars(out);
-                c.collect_vars(out);
+            TermNode::Mul(a, b)
+            | TermNode::Div(a, b)
+            | TermNode::Mod(a, b)
+            | TermNode::Le(a, b)
+            | TermNode::Lt(a, b)
+            | TermNode::EqNum(a, b)
+            | TermNode::Implies(a, b)
+            | TermNode::Iff(a, b) => {
+                let (a, b) = (*a, *b);
+                self.collect_vars(a, out);
+                self.collect_vars(b, out);
+            }
+            TermNode::Ite(a, b, c) => {
+                let (a, b, c) = (*a, *b, *c);
+                self.collect_vars(a, out);
+                self.collect_vars(b, out);
+                self.collect_vars(c, out);
             }
         }
     }
+
+    /// Renders a term in the s-expression form of the original tree
+    /// representation.
+    pub fn display(&self, id: TermId, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.node(id) {
+            TermNode::RConst(r) => write!(f, "{r}"),
+            TermNode::BConst(b) => write!(f, "{b}"),
+            TermNode::RVar(v) | TermNode::BVar(v) => write!(f, "{v}"),
+            TermNode::Add(ts) => self.display_nary(f, "+", ts),
+            TermNode::Mul(a, b) => self.display_binary(f, "*", *a, *b),
+            TermNode::Neg(t) => self.display_unary(f, "-", *t),
+            TermNode::Div(a, b) => self.display_binary(f, "/", *a, *b),
+            TermNode::Mod(a, b) => self.display_binary(f, "mod", *a, *b),
+            TermNode::Abs(t) => self.display_unary(f, "abs", *t),
+            TermNode::Ite(c, a, b) => {
+                write!(f, "(ite ")?;
+                self.display(*c, f)?;
+                write!(f, " ")?;
+                self.display(*a, f)?;
+                write!(f, " ")?;
+                self.display(*b, f)?;
+                write!(f, ")")
+            }
+            TermNode::Le(a, b) => self.display_binary(f, "<=", *a, *b),
+            TermNode::Lt(a, b) => self.display_binary(f, "<", *a, *b),
+            TermNode::EqNum(a, b) => self.display_binary(f, "=", *a, *b),
+            TermNode::Not(t) => self.display_unary(f, "not", *t),
+            TermNode::And(ts) => self.display_nary(f, "and", ts),
+            TermNode::Or(ts) => self.display_nary(f, "or", ts),
+            TermNode::Implies(a, b) => self.display_binary(f, "=>", *a, *b),
+            TermNode::Iff(a, b) => self.display_binary(f, "iff", *a, *b),
+        }
+    }
+
+    fn display_unary(&self, f: &mut fmt::Formatter<'_>, op: &str, t: TermId) -> fmt::Result {
+        write!(f, "({op} ")?;
+        self.display(t, f)?;
+        write!(f, ")")
+    }
+
+    fn display_binary(
+        &self,
+        f: &mut fmt::Formatter<'_>,
+        op: &str,
+        a: TermId,
+        b: TermId,
+    ) -> fmt::Result {
+        write!(f, "({op} ")?;
+        self.display(a, f)?;
+        write!(f, " ")?;
+        self.display(b, f)?;
+        write!(f, ")")
+    }
+
+    fn display_nary(&self, f: &mut fmt::Formatter<'_>, op: &str, ts: &[TermId]) -> fmt::Result {
+        write!(f, "({op}")?;
+        for t in ts {
+            write!(f, " ")?;
+            self.display(*t, f)?;
+        }
+        write!(f, ")")
+    }
 }
 
-impl fmt::Display for Term {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Term::RConst(r) => write!(f, "{r}"),
-            Term::BConst(b) => write!(f, "{b}"),
-            Term::RVar(v) | Term::BVar(v) => write!(f, "{v}"),
-            Term::Add(ts) => {
-                write!(f, "(+")?;
-                for t in ts {
-                    write!(f, " {t}")?;
-                }
-                write!(f, ")")
-            }
-            Term::Mul(a, b) => write!(f, "(* {a} {b})"),
-            Term::Neg(t) => write!(f, "(- {t})"),
-            Term::Div(a, b) => write!(f, "(/ {a} {b})"),
-            Term::Mod(a, b) => write!(f, "(mod {a} {b})"),
-            Term::Abs(t) => write!(f, "(abs {t})"),
-            Term::Ite(c, a, b) => write!(f, "(ite {c} {a} {b})"),
-            Term::Le(a, b) => write!(f, "(<= {a} {b})"),
-            Term::Lt(a, b) => write!(f, "(< {a} {b})"),
-            Term::EqNum(a, b) => write!(f, "(= {a} {b})"),
-            Term::Not(t) => write!(f, "(not {t})"),
-            Term::And(ts) => {
-                write!(f, "(and")?;
-                for t in ts {
-                    write!(f, " {t}")?;
-                }
-                write!(f, ")")
-            }
-            Term::Or(ts) => {
-                write!(f, "(or")?;
-                for t in ts {
-                    write!(f, " {t}")?;
-                }
-                write!(f, ")")
-            }
-            Term::Implies(a, b) => write!(f, "(=> {a} {b})"),
-            Term::Iff(a, b) => write!(f, "(iff {a} {b})"),
+// ---------------------------------------------------------------------------
+// The global arena and the chainable TermId API
+// ---------------------------------------------------------------------------
+
+fn global_arena() -> &'static Mutex<TermArena> {
+    static GLOBAL: OnceLock<Mutex<TermArena>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Mutex::new(TermArena::new()))
+}
+
+/// Runs `f` with exclusive access to the process-wide arena.
+///
+/// The solver uses this to lock once per query instead of once per node.
+/// **Do not** call any of the chainable [`TermId`] methods (or `Display`)
+/// from inside `f` — they would re-acquire the lock and deadlock; use the
+/// `&mut TermArena` handed to `f` instead.
+pub fn with_global_arena<R>(f: impl FnOnce(&mut TermArena) -> R) -> R {
+    let mut arena = global_arena().lock().unwrap_or_else(|p| p.into_inner());
+    f(&mut arena)
+}
+
+macro_rules! global_binop {
+    ($($(#[$doc:meta])* $name:ident),* $(,)?) => {$(
+        $(#[$doc])*
+        pub fn $name(self, rhs: TermId) -> TermId {
+            with_global_arena(|a| a.$name(self, rhs))
         }
+    )*};
+}
+
+// The chainable names deliberately mirror the original deep-tree `Term`
+// API (`a.add(b)`, `t.not()`, …); they are not operator overloads.
+#[allow(clippy::should_implement_trait)]
+impl TermId {
+    /// Integer constant (global arena).
+    pub fn int(n: i128) -> TermId {
+        with_global_arena(|a| a.int(n))
+    }
+
+    /// Rational constant (global arena).
+    pub fn rat(r: Rat) -> TermId {
+        with_global_arena(|a| a.rat(r))
+    }
+
+    /// Boolean constant (global arena).
+    pub fn bool_const(b: bool) -> TermId {
+        with_global_arena(|a| a.bool_const(b))
+    }
+
+    /// Real-sorted variable (global arena).
+    pub fn real_var(name: impl Into<Symbol>) -> TermId {
+        let s = name.into();
+        with_global_arena(|a| a.real_var(s))
+    }
+
+    /// Bool-sorted variable (global arena).
+    pub fn bool_var(name: impl Into<Symbol>) -> TermId {
+        let s = name.into();
+        with_global_arena(|a| a.bool_var(s))
+    }
+
+    /// Numeric if-then-else (global arena).
+    pub fn ite(cond: TermId, then: TermId, els: TermId) -> TermId {
+        with_global_arena(|a| a.ite(cond, then, els))
+    }
+
+    /// Conjunction of a sequence of terms (global arena).
+    pub fn conj(terms: impl IntoIterator<Item = TermId>) -> TermId {
+        let terms: Vec<TermId> = terms.into_iter().collect();
+        with_global_arena(|a| a.conj(terms))
+    }
+
+    /// Disjunction of a sequence of terms (global arena).
+    pub fn disj(terms: impl IntoIterator<Item = TermId>) -> TermId {
+        let terms: Vec<TermId> = terms.into_iter().collect();
+        with_global_arena(|a| a.disj(terms))
+    }
+
+    global_binop! {
+        /// `self + rhs` with constant folding and flattening.
+        add,
+        /// `self - rhs`.
+        sub,
+        /// `self * rhs` with constant folding.
+        mul,
+        /// `self / rhs`.
+        div,
+        /// `self % rhs`.
+        rem,
+        /// `self <= rhs`.
+        le,
+        /// `self < rhs`.
+        lt,
+        /// `self >= rhs`.
+        ge,
+        /// `self > rhs`.
+        gt,
+        /// Numeric equality.
+        eq_num,
+        /// Numeric disequality.
+        ne_num,
+        /// Conjunction with folding and flattening.
+        and,
+        /// Disjunction with folding and flattening.
+        or,
+        /// Implication.
+        implies,
+        /// Bi-implication.
+        iff,
+    }
+
+    /// `-self`.
+    pub fn neg(self) -> TermId {
+        with_global_arena(|a| a.neg(self))
+    }
+
+    /// `abs(self)`.
+    pub fn abs(self) -> TermId {
+        with_global_arena(|a| a.abs(self))
+    }
+
+    /// Boolean negation with folding.
+    pub fn not(self) -> TermId {
+        with_global_arena(|a| a.not(self))
+    }
+
+    /// A clone of this term's node in the global arena — the matching
+    /// surface replacing pattern matching on the old deep-tree `Term`.
+    pub fn view(self) -> TermNode {
+        with_global_arena(|a| a.node(self).clone())
+    }
+
+    /// All variable names (both sorts) occurring in the term (global
+    /// arena), rendered as strings for caller convenience.
+    pub fn vars(self) -> Vec<String> {
+        with_global_arena(|a| a.vars(self))
+            .into_iter()
+            .map(|s| s.as_str().to_string())
+            .collect()
+    }
+
+    /// All variable symbols occurring in the term (global arena).
+    pub fn var_symbols(self) -> Vec<Symbol> {
+        with_global_arena(|a| a.vars(self))
+    }
+}
+
+/// Renders against the **global** arena.
+///
+/// An id minted by an explicit [`TermArena`] carries no provenance — if it
+/// happens to be in range of the global arena this prints whatever
+/// unrelated node owns that slot there (only out-of-range ids get the
+/// `<term#N …>` marker). Code working with explicit arenas must render
+/// through [`TermArena::display`] instead; `Display` on a raw id is only
+/// meaningful for globally built terms.
+impl fmt::Display for TermId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        with_global_arena(|a| {
+            if (self.0 as usize) < a.len() {
+                a.display(*self, f)
+            } else {
+                write!(f, "<term#{} out of global arena>", self.0)
+            }
+        })
     }
 }
 
@@ -379,16 +840,16 @@ mod tests {
     #[test]
     fn boolean_folding() {
         let b = Term::bool_var("b");
-        assert_eq!(Term::BConst(true).and(b.clone()), b);
-        assert_eq!(Term::BConst(false).or(b.clone()), b);
+        assert_eq!(Term::bool_const(true).and(b), b);
+        assert_eq!(Term::bool_const(false).or(b), b);
         assert_eq!(
-            Term::BConst(false).and(Term::bool_var("b")),
-            Term::BConst(false)
+            Term::bool_const(false).and(Term::bool_var("b")),
+            Term::bool_const(false)
         );
-        assert_eq!(b.clone().not().not(), b);
+        assert_eq!(b.not().not(), b);
         assert_eq!(
-            Term::BConst(false).implies(Term::bool_var("b")),
-            Term::BConst(true)
+            Term::bool_const(false).implies(Term::bool_var("b")),
+            Term::bool_const(true)
         );
     }
 
@@ -397,13 +858,15 @@ mod tests {
         let t = Term::real_var("x")
             .add(Term::real_var("y"))
             .add(Term::real_var("z"));
-        match t {
-            Term::Add(xs) => assert_eq!(xs.len(), 3),
+        match t.view() {
+            TermNode::Add(xs) => assert_eq!(xs.len(), 3),
             other => panic!("expected flat Add, got {other:?}"),
         }
-        let t = Term::bool_var("a").and(Term::bool_var("b")).and(Term::bool_var("c"));
-        match t {
-            Term::And(xs) => assert_eq!(xs.len(), 3),
+        let t = Term::bool_var("a")
+            .and(Term::bool_var("b"))
+            .and(Term::bool_var("c"));
+        match t.view() {
+            TermNode::And(xs) => assert_eq!(xs.len(), 3),
             other => panic!("expected flat And, got {other:?}"),
         }
     }
@@ -421,7 +884,7 @@ mod tests {
     #[test]
     fn ite_folding() {
         assert_eq!(
-            Term::ite(Term::BConst(true), Term::int(1), Term::int(2)),
+            Term::ite(Term::bool_const(true), Term::int(1), Term::int(2)),
             Term::int(1)
         );
         assert_eq!(
@@ -434,5 +897,74 @@ mod tests {
     fn display_smoke() {
         let t = Term::real_var("x").add(Term::int(1)).le(Term::int(0));
         assert_eq!(t.to_string(), "(<= (+ x 1) 0)");
+    }
+
+    #[test]
+    fn conj_and_disj_match_the_binary_fold() {
+        let atoms: Vec<TermId> = (0..5)
+            .map(|k| Term::real_var(format!("cd{k}")).le(Term::int(k)))
+            .collect();
+        let folded = atoms
+            .iter()
+            .fold(Term::bool_const(true), |acc, t| acc.and(*t));
+        assert_eq!(Term::conj(atoms.iter().copied()), folded);
+        let folded = atoms
+            .iter()
+            .fold(Term::bool_const(false), |acc, t| acc.or(*t));
+        assert_eq!(Term::disj(atoms.iter().copied()), folded);
+        // Constants fold away / short-circuit identically.
+        assert_eq!(Term::conj([]), Term::bool_const(true));
+        assert_eq!(
+            Term::conj([Term::bool_const(true), atoms[0]]),
+            atoms[0]
+        );
+        assert_eq!(
+            Term::conj([atoms[0], Term::bool_const(false), atoms[1]]),
+            Term::bool_const(false)
+        );
+        assert_eq!(Term::disj([]), Term::bool_const(false));
+        assert_eq!(
+            Term::disj([Term::bool_const(false), atoms[1]]),
+            atoms[1]
+        );
+        // Nested n-ary arguments flatten one level, like the fold.
+        let pair = atoms[0].and(atoms[1]);
+        assert_eq!(
+            Term::conj([pair, atoms[2]]),
+            atoms[0].and(atoms[1]).and(atoms[2])
+        );
+    }
+
+    #[test]
+    fn hash_consing_dedups_structural_equals() {
+        // Built through different construction orders, same structure →
+        // same id.
+        let a = Term::real_var("x").add(Term::int(1)).le(Term::int(0));
+        let b = Term::real_var("x").add(Term::int(1)).le(Term::int(0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn explicit_arena_is_isolated() {
+        let mut arena = TermArena::new();
+        let x = arena.real_var("x");
+        let one = arena.int(1);
+        let t = arena.add(x, one);
+        // Structural equality within the private arena:
+        let x2 = arena.real_var("x");
+        let t2 = arena.add(x2, one);
+        assert_eq!(t, t2);
+        // Generations differ from the global arena.
+        let g = with_global_arena(|a| a.generation());
+        assert_ne!(arena.generation(), g);
+    }
+
+    #[test]
+    fn symbols_intern_to_stable_ids() {
+        let a = Symbol::intern("some_var");
+        let b = Symbol::intern("some_var");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "some_var");
+        assert_ne!(Symbol::intern("other_var"), a);
     }
 }

@@ -10,25 +10,28 @@
 //!    satisfy the conjunction under direct evaluation;
 //! 3. `prove` must never claim validity of a goal some sampled assignment
 //!    refutes.
+//!
+//! The direct evaluator reads terms through [`TermId::view`], exercising
+//! the hash-consed representation end to end.
 
 use std::collections::BTreeMap;
 
 use proptest::prelude::*;
 use shadowdp_num::Rat;
-use shadowdp_solver::{CheckResult, Solver, Term};
+use shadowdp_solver::{CheckResult, Solver, Term, TermNode};
 
 const VARS: [&str; 4] = ["a", "b", "c", "d"];
 
 /// Direct evaluator for the generated term fragment.
-fn eval_real(t: &Term, m: &BTreeMap<String, Rat>) -> Rat {
-    match t {
-        Term::RConst(r) => *r,
-        Term::RVar(v) => m[v.as_str()],
-        Term::Add(ts) => ts.iter().map(|x| eval_real(x, m)).sum(),
-        Term::Neg(x) => -eval_real(x, m),
-        Term::Mul(a, b) => eval_real(a, m) * eval_real(b, m),
-        Term::Abs(x) => eval_real(x, m).abs(),
-        Term::Ite(c, a, b) => {
+fn eval_real(t: Term, m: &BTreeMap<String, Rat>) -> Rat {
+    match t.view() {
+        TermNode::RConst(r) => r,
+        TermNode::RVar(v) => m[v.as_str()],
+        TermNode::Add(ts) => ts.iter().map(|x| eval_real(*x, m)).sum(),
+        TermNode::Neg(x) => -eval_real(x, m),
+        TermNode::Mul(a, b) => eval_real(a, m) * eval_real(b, m),
+        TermNode::Abs(x) => eval_real(x, m).abs(),
+        TermNode::Ite(c, a, b) => {
             if eval_bool(c, m) {
                 eval_real(a, m)
             } else {
@@ -39,17 +42,17 @@ fn eval_real(t: &Term, m: &BTreeMap<String, Rat>) -> Rat {
     }
 }
 
-fn eval_bool(t: &Term, m: &BTreeMap<String, Rat>) -> bool {
-    match t {
-        Term::BConst(b) => *b,
-        Term::Le(a, b) => eval_real(a, m) <= eval_real(b, m),
-        Term::Lt(a, b) => eval_real(a, m) < eval_real(b, m),
-        Term::EqNum(a, b) => eval_real(a, m) == eval_real(b, m),
-        Term::Not(x) => !eval_bool(x, m),
-        Term::And(ts) => ts.iter().all(|x| eval_bool(x, m)),
-        Term::Or(ts) => ts.iter().any(|x| eval_bool(x, m)),
-        Term::Implies(a, b) => !eval_bool(a, m) || eval_bool(b, m),
-        Term::Iff(a, b) => eval_bool(a, m) == eval_bool(b, m),
+fn eval_bool(t: Term, m: &BTreeMap<String, Rat>) -> bool {
+    match t.view() {
+        TermNode::BConst(b) => b,
+        TermNode::Le(a, b) => eval_real(a, m) <= eval_real(b, m),
+        TermNode::Lt(a, b) => eval_real(a, m) < eval_real(b, m),
+        TermNode::EqNum(a, b) => eval_real(a, m) == eval_real(b, m),
+        TermNode::Not(x) => !eval_bool(x, m),
+        TermNode::And(ts) => ts.iter().all(|x| eval_bool(*x, m)),
+        TermNode::Or(ts) => ts.iter().any(|x| eval_bool(*x, m)),
+        TermNode::Implies(a, b) => !eval_bool(a, m) || eval_bool(b, m),
+        TermNode::Iff(a, b) => eval_bool(a, m) == eval_bool(b, m),
         other => panic!("unexpected bool term {other:?}"),
     }
 }
@@ -103,7 +106,7 @@ proptest! {
     /// A witnessed-satisfiable conjunction must be reported Sat.
     #[test]
     fn witnessed_sat_is_found(t in bool_term(), m in assignment()) {
-        if eval_bool(&t, &m) {
+        if eval_bool(t, &m) {
             let solver = Solver::new();
             prop_assert!(solver.check(std::slice::from_ref(&t)).is_sat(),
                 "solver said Unsat but {m:?} satisfies {t}");
@@ -121,7 +124,7 @@ proptest! {
                 .iter()
                 .map(|v| (v.to_string(), model.real(v)))
                 .collect();
-            prop_assert!(eval_bool(&t, &m), "model {m:?} does not satisfy {t}");
+            prop_assert!(eval_bool(t, &m), "model {m:?} does not satisfy {t}");
         }
     }
 
@@ -130,9 +133,9 @@ proptest! {
     fn proved_goals_hold(hyp in bool_term(), goal in bool_term(), m in assignment()) {
         let solver = Solver::new();
         if solver.prove(std::slice::from_ref(&hyp), &goal).is_proved()
-            && eval_bool(&hyp, &m)
+            && eval_bool(hyp, &m)
         {
-            prop_assert!(eval_bool(&goal, &m),
+            prop_assert!(eval_bool(goal, &m),
                 "claimed {hyp} ⊢ {goal} but {m:?} refutes it");
         }
     }
@@ -142,7 +145,21 @@ proptest! {
     #[test]
     fn formula_and_negation_unsat(t in bool_term()) {
         let solver = Solver::new();
-        let contradiction = [t.clone(), t.not()];
+        let contradiction = [t, t.not()];
         prop_assert!(!solver.check(&contradiction).is_sat());
+    }
+
+    /// Memoized queries agree with fresh uncached queries on arbitrary
+    /// formulas (the memo table is invisible apart from speed).
+    #[test]
+    fn memoized_and_uncached_agree(t in bool_term()) {
+        let cached = Solver::new();
+        let uncached = Solver::without_memo();
+        let slice = std::slice::from_ref(&t);
+        let first = cached.check(slice);
+        let second = cached.check(slice);
+        let fresh = uncached.check(slice);
+        prop_assert_eq!(first.is_sat(), fresh.is_sat(), "memo changed the verdict for {}", t);
+        prop_assert_eq!(second.is_sat(), fresh.is_sat(), "cache hit changed the verdict for {}", t);
     }
 }

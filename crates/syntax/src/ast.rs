@@ -204,6 +204,9 @@ pub enum Expr {
     Nil,
 }
 
+// Smart-constructor names mirror the operators they build; they are not
+// operator overloads.
+#[allow(clippy::should_implement_trait)]
 impl Expr {
     /// Integer literal helper.
     pub fn int(n: i128) -> Expr {
@@ -689,14 +692,13 @@ impl Function {
                     CmdKind::Assume(_) => {
                         return Err("assume is not allowed in source programs".into())
                     }
-                    CmdKind::Assign(n, e) => {
-                        if n.is_hat() || e.vars().iter().any(Name::is_hat) {
+                    CmdKind::Assign(n, e)
+                        if (n.is_hat() || e.vars().iter().any(Name::is_hat)) => {
                             return Err(format!(
                                 "hat variables are not allowed in source programs (in `{} := ...`)",
                                 n
                             ));
                         }
-                    }
                     CmdKind::If(_, c1, c2) => {
                         check(c1)?;
                         check(c2)?;
@@ -715,11 +717,10 @@ impl Function {
         fn walk(cmds: &[Cmd], out: &mut Vec<String>) {
             for c in cmds {
                 match &c.kind {
-                    CmdKind::Sample { var, .. } => {
-                        if !out.contains(&var.base) {
+                    CmdKind::Sample { var, .. }
+                        if !out.contains(&var.base) => {
                             out.push(var.base.clone());
                         }
-                    }
                     CmdKind::If(_, c1, c2) => {
                         walk(c1, out);
                         walk(c2, out);

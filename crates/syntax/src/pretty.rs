@@ -177,7 +177,7 @@ fn write_cmd(out: &mut String, c: &Cmd, depth: usize) {
     match &c.kind {
         CmdKind::Skip => out.push_str("skip;\n"),
         CmdKind::Assign(n, e) => {
-            let _ = write!(out, "{n} := {};\n", pretty_expr(e));
+            let _ = writeln!(out, "{n} := {};", pretty_expr(e));
         }
         CmdKind::Sample {
             var,
@@ -188,15 +188,15 @@ fn write_cmd(out: &mut String, c: &Cmd, depth: usize) {
             let RandExpr::Lap(scale) = dist;
             let mut sel = String::new();
             write_selector(&mut sel, selector);
-            let _ = write!(
+            let _ = writeln!(
                 out,
-                "{var} := lap({}) {{ select: {sel}, align: {} }};\n",
+                "{var} := lap({}) {{ select: {sel}, align: {} }};",
                 pretty_expr(scale),
                 pretty_expr(align)
             );
         }
         CmdKind::If(cond, t, f) => {
-            let _ = write!(out, "if ({}) {{\n", pretty_expr(cond));
+            let _ = writeln!(out, "if ({}) {{", pretty_expr(cond));
             for c in t {
                 write_cmd(out, c, depth + 1);
             }
@@ -229,16 +229,16 @@ fn write_cmd(out: &mut String, c: &Cmd, depth: usize) {
             out.push_str("}\n");
         }
         CmdKind::Return(e) => {
-            let _ = write!(out, "return {};\n", pretty_expr(e));
+            let _ = writeln!(out, "return {};", pretty_expr(e));
         }
         CmdKind::Assert(e) => {
-            let _ = write!(out, "assert({});\n", pretty_expr(e));
+            let _ = writeln!(out, "assert({});", pretty_expr(e));
         }
         CmdKind::Assume(e) => {
-            let _ = write!(out, "assume({});\n", pretty_expr(e));
+            let _ = writeln!(out, "assume({});", pretty_expr(e));
         }
         CmdKind::Havoc(n) => {
-            let _ = write!(out, "havoc {n};\n");
+            let _ = writeln!(out, "havoc {n};");
         }
     }
 }
@@ -281,18 +281,18 @@ pub fn pretty_function(f: &Function) -> String {
     for p in &f.preconditions {
         match p {
             Precondition::Forall { var, body } => {
-                let _ = write!(out, "precondition forall {var} :: {}\n", pretty_expr(body));
+                let _ = writeln!(out, "precondition forall {var} :: {}", pretty_expr(body));
             }
             Precondition::Plain(e) => {
-                let _ = write!(out, "precondition {}\n", pretty_expr(e));
+                let _ = writeln!(out, "precondition {}", pretty_expr(e));
             }
             Precondition::AtMostOne(q) => {
-                let _ = write!(out, "precondition atmostone {q}\n");
+                let _ = writeln!(out, "precondition atmostone {q}");
             }
         }
     }
     if f.budget != Expr::var("eps") {
-        let _ = write!(out, "budget {}\n", pretty_expr(&f.budget));
+        let _ = writeln!(out, "budget {}", pretty_expr(&f.budget));
     }
     out.push_str("{\n");
     out.push_str(&pretty_cmds(&f.body, 1));

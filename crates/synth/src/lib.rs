@@ -335,12 +335,10 @@ fn summed_scalars(cmds: &[Cmd]) -> Vec<String> {
         for c in cmds {
             match &c.kind {
                 CmdKind::Assign(n, Expr::Binary(shadowdp_syntax::BinOp::Add, a, _))
-                    if n.kind == NameKind::Plain =>
-                {
-                    if matches!(&**a, Expr::Var(v) if v == n) && !out.contains(&n.base) {
+                    if n.kind == NameKind::Plain
+                    && matches!(&**a, Expr::Var(v) if v == n) && !out.contains(&n.base) => {
                         out.push(n.base.clone());
                     }
-                }
                 CmdKind::If(_, a, b) => {
                     walk(a, out);
                     walk(b, out);

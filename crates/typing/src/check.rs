@@ -4,7 +4,7 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use shadowdp_solver::{Solver, Term};
+use shadowdp_solver::{Solver, Symbol, Term};
 use shadowdp_syntax::{
     pretty_expr, Cmd, CmdKind, Expr, Function, Name, RandExpr, Selector, Span,
 };
@@ -450,7 +450,7 @@ impl<'a> Checker<'a> {
         span: Span,
     ) -> Result<Vec<Cmd>, TypeError> {
         let mut out = Vec::new();
-        let mut promotions: Vec<(String, bool, Expr)> = Vec::new();
+        let mut promotions: Vec<(Symbol, bool, Expr)> = Vec::new();
         for (name, ty) in env.iter() {
             let (al, sh, is_list) = match ty {
                 VarTy::Num { al, sh } => (al, sh, false),
@@ -469,13 +469,13 @@ impl<'a> Checker<'a> {
                                 ),
                             ));
                         }
-                        promotions.push((name.clone(), aligned, d.clone()));
+                        promotions.push((name, aligned, d.clone()));
                     }
                 }
             }
         }
         for (name, aligned, d) in promotions {
-            let var = Name::plain(&name);
+            let var = Name::plain(name.as_str());
             let hat = if aligned {
                 var.aligned_hat()
             } else {
@@ -485,13 +485,11 @@ impl<'a> Checker<'a> {
             if d != Expr::Var(hat.clone()) {
                 out.push(Cmd::synth(CmdKind::Assign(hat, d)));
             }
-            if let Some(ty) = env_get_mut(env, &name) {
-                if let VarTy::Num { al, sh } = ty {
-                    if aligned {
-                        *al = Dist::Star;
-                    } else {
-                        *sh = Dist::Star;
-                    }
+            if let Some(VarTy::Num { al, sh }) = env_get_mut(env, name) {
+                if aligned {
+                    *al = Dist::Star;
+                } else {
+                    *sh = Dist::Star;
                 }
             }
         }
@@ -553,10 +551,10 @@ impl<'a> Checker<'a> {
         // Environment update: the selector rebuilds every aligned distance
         // from the aligned/shadow pair; shadow distances are unchanged.
         if selector.uses_shadow() {
-            let names: Vec<String> = env.iter().map(|(n, _)| n.clone()).collect();
+            let names: Vec<Symbol> = env.iter().map(|(n, _)| n).collect();
             for name in names {
-                let n = Name::plain(&name);
-                let ty = env.get(&name).cloned().expect("iterating env keys");
+                let n = Name::plain(name.as_str());
+                let ty = env.get(name).cloned().expect("iterating env keys");
                 match ty {
                     VarTy::Num { al, sh } => {
                         let al_e = al.expr_for(&n, true);
@@ -573,7 +571,7 @@ impl<'a> Checker<'a> {
                         // Lists cannot carry the selection ternary
                         // element-wise; require Ψ to make it a no-op
                         // (the adjacency clause ~q[i] == ^q[i]).
-                        let same = al == sh || self.psi.shadow_equals_aligned(&name);
+                        let same = al == sh || self.psi.shadow_equals_aligned(name.as_str());
                         if !same {
                             return Err(TypeError::at(
                                 span,
@@ -652,7 +650,7 @@ impl<'a> Checker<'a> {
         let mut ctx = LowerCtx::new();
         for (name, ty) in env.iter() {
             if matches!(ty, VarTy::Bool) {
-                ctx.bool_vars.insert(name.clone());
+                ctx.bool_vars.insert(name);
             }
         }
         ctx
@@ -708,7 +706,7 @@ impl<'a> Checker<'a> {
             let Some(from_ty) = from.get(name) else {
                 continue;
             };
-            let n = Name::plain(name);
+            let n = Name::plain(name.as_str());
             let pairs: Vec<(Option<&Dist>, Option<&Dist>, bool)> = match (from_ty, to_ty) {
                 (VarTy::Num { al: fa, sh: fs }, VarTy::Num { al: ta, sh: ts }) => {
                     vec![(Some(fa), Some(ta), true), (Some(fs), Some(ts), false)]
@@ -1015,6 +1013,6 @@ fn count_vars(env: &TypeEnv) -> usize {
     env.iter().count()
 }
 
-fn env_get_mut<'e>(env: &'e mut TypeEnv, name: &str) -> Option<&'e mut VarTy> {
-    env.iter_mut().find(|(n, _)| n.as_str() == name).map(|(_, t)| t)
+fn env_get_mut(env: &mut TypeEnv, name: Symbol) -> Option<&mut VarTy> {
+    env.iter_mut().find(|(n, _)| *n == name).map(|(_, t)| t)
 }

@@ -1,8 +1,13 @@
 //! Typing environments Γ and the distance lattice.
+//!
+//! Γ is keyed by interned [`Symbol`]s: every lookup and insertion compares
+//! `u32` ids, and iterating hands out `Copy` keys — no string hashing or
+//! cloning on the type-checking path.
 
 use std::collections::BTreeMap;
 use std::fmt;
 
+use shadowdp_solver::Symbol;
 use shadowdp_syntax::{Distance, Expr, Name, Ty};
 
 /// A distance in the typing environment: statically tracked (`D`) or
@@ -213,10 +218,10 @@ fn dist_from_decl(d: &Distance) -> Dist {
     }
 }
 
-/// The flow-sensitive typing environment Γ.
+/// The flow-sensitive typing environment Γ, keyed by interned symbols.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct TypeEnv {
-    vars: BTreeMap<String, VarTy>,
+    vars: BTreeMap<Symbol, VarTy>,
 }
 
 impl TypeEnv {
@@ -226,23 +231,23 @@ impl TypeEnv {
     }
 
     /// Looks up a variable.
-    pub fn get(&self, name: &str) -> Option<&VarTy> {
-        self.vars.get(name)
+    pub fn get(&self, name: impl Into<Symbol>) -> Option<&VarTy> {
+        self.vars.get(&name.into())
     }
 
     /// Binds (or rebinds) a variable.
-    pub fn set(&mut self, name: impl Into<String>, ty: VarTy) {
+    pub fn set(&mut self, name: impl Into<Symbol>, ty: VarTy) {
         self.vars.insert(name.into(), ty);
     }
 
-    /// Iterates bindings in name order.
-    pub fn iter(&self) -> impl Iterator<Item = (&String, &VarTy)> {
-        self.vars.iter()
+    /// Iterates bindings in symbol order (deterministic per process).
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, &VarTy)> {
+        self.vars.iter().map(|(k, v)| (*k, v))
     }
 
     /// Mutable iteration, for well-formedness promotions.
-    pub fn iter_mut(&mut self) -> impl Iterator<Item = (&String, &mut VarTy)> {
-        self.vars.iter_mut()
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (Symbol, &mut VarTy)> {
+        self.vars.iter_mut().map(|(k, v)| (*k, v))
     }
 
     /// Pointwise join `Γ1 ⊔ Γ2`. Variables bound on only one side keep
@@ -254,11 +259,11 @@ impl TypeEnv {
         for (name, ty2) in &other.vars {
             match out.vars.get(name) {
                 None => {
-                    out.vars.insert(name.clone(), ty2.clone());
+                    out.vars.insert(*name, ty2.clone());
                 }
                 Some(ty1) => {
-                    let joined = ty1.join(ty2).ok_or_else(|| name.clone())?;
-                    out.vars.insert(name.clone(), joined);
+                    let joined = ty1.join(ty2).ok_or_else(|| name.as_str().to_string())?;
+                    out.vars.insert(*name, joined);
                 }
             }
         }
@@ -267,7 +272,7 @@ impl TypeEnv {
 
     /// `Γ1 ⊑ Γ2` — every distance either matches or was promoted to `∗`.
     pub fn le(&self, other: &TypeEnv) -> bool {
-        self.vars.iter().all(|(name, t1)| match other.get(name) {
+        self.vars.iter().all(|(name, t1)| match other.get(*name) {
             None => false,
             Some(t2) => t1.join(t2).as_ref() == Some(t2),
         })
@@ -288,7 +293,7 @@ impl TypeEnv {
                 },
                 other => other.clone(),
             };
-            out.vars.insert(name.clone(), ty);
+            out.vars.insert(*name, ty);
         }
         out
     }

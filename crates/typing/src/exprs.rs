@@ -65,7 +65,7 @@ impl<'a> ExprTyper<'a> {
         let mut ctx = LowerCtx::new();
         for (name, ty) in self.env.iter() {
             if matches!(ty, VarTy::Bool) {
-                ctx.bool_vars.insert(name.clone());
+                ctx.bool_vars.insert(name);
             }
         }
         ctx

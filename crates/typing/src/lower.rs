@@ -9,7 +9,7 @@
 use std::collections::BTreeSet;
 use std::fmt;
 
-use shadowdp_solver::Term;
+use shadowdp_solver::{Symbol, Term};
 use shadowdp_syntax::{pretty_expr, BinOp, Expr, Name, UnOp};
 
 /// Failure to lower an expression (constructs outside the solvable
@@ -34,21 +34,22 @@ fn err(message: impl Into<String>) -> LowerError {
     }
 }
 
-/// The symbol naming a (possibly hatted, possibly indexed) variable.
-pub fn symbol_for(name: &Name) -> String {
-    name.to_string()
+/// The interned symbol naming a (possibly hatted, possibly indexed)
+/// variable.
+pub fn symbol_for(name: &Name) -> Symbol {
+    Symbol::intern(&name.to_string())
 }
 
-/// The skolem symbol for `base[idx]`.
-pub fn index_symbol(base: &Name, idx: &Expr) -> String {
-    format!("{base}[{}]", pretty_expr(idx))
+/// The interned skolem symbol for `base[idx]`.
+pub fn index_symbol(base: &Name, idx: &Expr) -> Symbol {
+    Symbol::intern(&format!("{base}[{}]", pretty_expr(idx)))
 }
 
 /// Context for lowering: which variables are boolean-sorted.
 #[derive(Debug, Default, Clone)]
 pub struct LowerCtx {
-    /// Names (rendered) of boolean variables; everything else is real.
-    pub bool_vars: BTreeSet<String>,
+    /// Interned names of boolean variables; everything else is real.
+    pub bool_vars: BTreeSet<Symbol>,
 }
 
 impl LowerCtx {
@@ -83,7 +84,7 @@ pub fn lower_num(e: &Expr, ctx: &LowerCtx) -> Result<Term, LowerError> {
             // sgn(x) = ite(x > 0, 1, ite(x < 0, -1, 0))
             let x = lower_num(inner, ctx)?;
             Ok(Term::ite(
-                x.clone().gt(Term::int(0)),
+                x.gt(Term::int(0)),
                 Term::int(1),
                 Term::ite(x.lt(Term::int(0)), Term::int(-1), Term::int(0)),
             ))
@@ -128,7 +129,7 @@ pub fn lower_num(e: &Expr, ctx: &LowerCtx) -> Result<Term, LowerError> {
 /// Fails on constructs outside the boolean fragment.
 pub fn lower_bool(e: &Expr, ctx: &LowerCtx) -> Result<Term, LowerError> {
     match e {
-        Expr::Bool(b) => Ok(Term::BConst(*b)),
+        Expr::Bool(b) => Ok(Term::bool_const(*b)),
         Expr::Var(n) => {
             let s = symbol_for(n);
             if ctx.bool_vars.contains(&s) {
@@ -159,7 +160,7 @@ pub fn lower_bool(e: &Expr, ctx: &LowerCtx) -> Result<Term, LowerError> {
             let c1 = lower_bool(c, ctx)?;
             let t1 = lower_bool(t, ctx)?;
             let f1 = lower_bool(f, ctx)?;
-            Ok(c1.clone().and(t1).or(c1.not().and(f1)))
+            Ok(c1.and(t1).or(c1.not().and(f1)))
         }
         _ => Err(err("expression is not boolean")),
     }
@@ -263,7 +264,7 @@ mod tests {
     fn sgn_lowering() {
         let e = parse_expr("sgn(x)").unwrap();
         let t = lower_num(&e, &ctx()).unwrap();
-        assert!(matches!(t, Term::Ite(..)));
+        assert!(matches!(t.view(), shadowdp_solver::TermNode::Ite(..)));
     }
 
     #[test]

@@ -21,7 +21,7 @@
 use std::collections::BTreeSet;
 
 use shadowdp_num::Rat;
-use shadowdp_solver::{Solver, Term};
+use shadowdp_solver::{Solver, TermNode};
 use shadowdp_syntax::{pretty_expr, BinOp, Cmd, CmdKind, Expr, Name, Ty};
 
 use crate::sym::{AdjacencySpec, SymExec, SymState, SymVal};
@@ -180,7 +180,17 @@ impl Engine {
         });
 
         // Houdini consecution fixed point.
+        //
+        // Every round replays the same havoc → assume → body-iteration
+        // shape from the same fresh-naming mark, so the terms a round
+        // builds are *identical* (same hash-consed ids) to the previous
+        // round's wherever the surviving candidate set is unchanged — and
+        // the solver answers those consecution queries from its memo table
+        // instead of re-proving them. Only the round after a candidate
+        // drops pays for fresh solving.
+        let fresh_mark = exec.fresh_mark();
         for round in 0..opts.max_rounds {
+            exec.reset_fresh(fresh_mark);
             let mut failed: BTreeSet<usize> = BTreeSet::new();
             for entry in &entry_states {
                 let mut head = havoc_state(entry, &assigned, exec);
@@ -239,6 +249,10 @@ impl Engine {
         }
 
         // Final pass: collect body obligations under the stable invariant.
+        // Replayed from the same mark as the rounds, so the obligations'
+        // entailment checks hit the memo for everything the last round
+        // already proved.
+        exec.reset_fresh(fresh_mark);
         for entry in &entry_states {
             let mut head = havoc_state(entry, &assigned, exec);
             for c in &candidates {
@@ -257,6 +271,7 @@ impl Engine {
         }
 
         // Exit states: invariant ∧ ¬guard.
+        exec.reset_fresh(fresh_mark);
         let mut exits = Vec::new();
         for entry in &entry_states {
             let mut out = havoc_state(entry, &assigned, exec);
@@ -272,6 +287,9 @@ impl Engine {
             out.path.push(g.not());
             exits.push(out);
         }
+        // End the replay episode: downstream symbols must never collide
+        // with names minted during the discarded round states.
+        exec.seal_fresh();
 
         let pretty: Vec<String> = candidates.iter().map(pretty_expr).collect();
         Ok((exits, pretty.join(" && ")))
@@ -527,9 +545,9 @@ fn const_entry(entry_states: &[SymState], name: &str) -> Option<Rat> {
     let mut val: Option<Rat> = None;
     for st in entry_states {
         match st.scalar(&Name::plain(name)) {
-            Some(Term::RConst(r)) => match val {
-                None => val = Some(*r),
-                Some(v) if v == *r => {}
+            Some(t) => match (t.view(), val) {
+                (TermNode::RConst(r), None) => val = Some(r),
+                (TermNode::RConst(r), Some(v)) if v == r => {}
                 _ => return None,
             },
             _ => return None,
@@ -602,18 +620,17 @@ fn seed_probe_state(e: &Expr, exec: &mut SymExec<'_>, st: &mut SymState) {
         match e {
             Expr::Index(base, idx) => {
                 if let Expr::Var(n) = &**base {
-                    if st.vars.get(&Name::plain(&n.base)).is_none() {
+                    if !st.vars.contains_key(&Name::plain(&n.base)) {
                         exec.register_input_list(&n.base, st);
                     }
                 }
                 walk(idx, exec, st);
             }
-            Expr::Var(n) => {
-                if st.vars.get(n).is_none() {
+            Expr::Var(n)
+                if !st.vars.contains_key(n) => {
                     let t = exec.fresh_symbol(&n.to_string());
                     st.set_scalar(n.clone(), t);
                 }
-            }
             Expr::Unary(_, a) => walk(a, exec, st),
             Expr::Binary(_, a, b) | Expr::Cons(a, b) => {
                 walk(a, exec, st);

@@ -109,8 +109,11 @@ pub struct SymState {
     pub vars: BTreeMap<Name, SymVal>,
     /// Path condition (branch guards, assumptions, Ψ instantiations).
     pub path: Vec<Term>,
-    /// Materialized input-list elements, keyed by `(list, index-term)`.
-    elements: BTreeMap<(String, String), Element>,
+    /// Materialized input-list elements, keyed by `(list, index-term-id)` —
+    /// the hash-consed id stands in for the old pretty-printed index
+    /// string, so cache lookups compare a `u32` instead of rendering and
+    /// hashing text.
+    elements: BTreeMap<(String, Term), Element>,
     /// Whether a `return` was executed (terminates the state).
     pub finished: bool,
 }
@@ -196,6 +199,8 @@ pub struct SymExec<'a> {
     /// integer gap: `a < b` becomes `a <= b - 1`.
     pub int_vars: std::collections::BTreeSet<Name>,
     fresh: u64,
+    /// High-water mark of `fresh` across resets (see [`SymExec::seal_fresh`]).
+    fresh_high: u64,
 }
 
 impl<'a> SymExec<'a> {
@@ -208,6 +213,7 @@ impl<'a> SymExec<'a> {
             max_unroll: None,
             int_vars: BTreeSet::new(),
             fresh: 0,
+            fresh_high: 0,
         }
     }
 
@@ -216,10 +222,39 @@ impl<'a> SymExec<'a> {
         int_expr_over(e, &self.int_vars)
     }
 
+    fn next_fresh(&mut self) -> u64 {
+        self.fresh += 1;
+        self.fresh_high = self.fresh_high.max(self.fresh);
+        self.fresh
+    }
+
     /// A fresh real-sorted symbol.
     pub fn fresh_symbol(&mut self, hint: &str) -> Term {
-        self.fresh += 1;
-        Term::real_var(format!("{hint}#{}", self.fresh))
+        let n = self.next_fresh();
+        Term::real_var(format!("{hint}#{n}"))
+    }
+
+    /// The current fresh-counter position. Together with
+    /// [`SymExec::reset_fresh`] this makes repeated symbolic passes name
+    /// their symbols identically, so the solver's query memo table answers
+    /// the repeats — the Houdini engine replays each consecution round from
+    /// the same mark for exactly this reason.
+    pub fn fresh_mark(&self) -> u64 {
+        self.fresh
+    }
+
+    /// Rewinds fresh naming to a mark taken earlier. Only sound when every
+    /// state and obligation produced after the mark has been discarded (or
+    /// is about to be rebuilt identically); see [`SymExec::seal_fresh`].
+    pub fn reset_fresh(&mut self, mark: u64) {
+        self.fresh = mark;
+    }
+
+    /// Fast-forwards the counter past every name ever handed out, ending a
+    /// reset/replay episode: symbols created afterwards can never collide
+    /// with symbols minted during the replays.
+    pub fn seal_fresh(&mut self) {
+        self.fresh = self.fresh_high;
     }
 
     /// Drops states whose path condition is unsatisfiable.
@@ -271,7 +306,7 @@ impl<'a> SymExec<'a> {
                 let t = self.eval_bool(e, &mut st)?;
                 self.obligations.push(Obligation {
                     path: st.path.clone(),
-                    goal: t.clone(),
+                    goal: t,
                     description: format!("assert({})", pretty_expr(e)),
                 });
                 // Standard assert-then-assume: downstream paths may rely on
@@ -287,7 +322,7 @@ impl<'a> SymExec<'a> {
                 let t = self.eval_bool(cond, &mut st)?;
                 let mut out = Vec::new();
                 let mut st_then = st.clone();
-                st_then.path.push(t.clone());
+                st_then.path.push(t);
                 if self.feasible(&st_then) {
                     out.extend(self.exec_cmds(vec![st_then], then_b)?);
                 }
@@ -311,7 +346,7 @@ impl<'a> SymExec<'a> {
                     for mut s in live {
                         let t = self.eval_bool(cond, &mut s)?;
                         let mut s_exit = s.clone();
-                        s_exit.path.push(t.clone().not());
+                        s_exit.path.push(t.not());
                         if self.feasible(&s_exit) {
                             exits.push(s_exit);
                         }
@@ -345,7 +380,7 @@ impl<'a> SymExec<'a> {
     pub fn eval(&mut self, e: &Expr, st: &mut SymState) -> Result<SymVal, SymError> {
         match e {
             Expr::Num(r) => Ok(SymVal::Scalar(Term::rat(*r))),
-            Expr::Bool(b) => Ok(SymVal::Scalar(Term::BConst(*b))),
+            Expr::Bool(b) => Ok(SymVal::Scalar(Term::bool_const(*b))),
             Expr::Nil => Ok(SymVal::Concrete(Vec::new())),
             Expr::Var(n) => st
                 .vars
@@ -359,7 +394,7 @@ impl<'a> SymExec<'a> {
                     UnOp::Not => t.not(),
                     UnOp::Abs => t.abs(),
                     UnOp::Sgn => Term::ite(
-                        t.clone().gt(Term::int(0)),
+                        t.gt(Term::int(0)),
                         Term::int(1),
                         Term::ite(t.lt(Term::int(0)), Term::int(-1), Term::int(0)),
                     ),
@@ -415,7 +450,7 @@ impl<'a> SymExec<'a> {
                 };
                 match st.vars.get(n).cloned() {
                     Some(SymVal::Concrete(xs)) => {
-                        let Term::RConst(r) = idx_t else {
+                        let shadowdp_solver::TermNode::RConst(r) = idx_t.view() else {
                             return Err(err(format!(
                                 "index into `{n}` is not concrete in bounded mode"
                             )));
@@ -473,12 +508,11 @@ impl<'a> SymExec<'a> {
         idx: &Term,
         st: &mut SymState,
     ) -> Result<Element, SymError> {
-        let key = (list.to_string(), idx.to_string());
+        let key = (list.to_string(), *idx);
         if let Some(e) = st.elements.get(&key) {
             return Ok(e.clone());
         }
-        self.fresh += 1;
-        let n = self.fresh;
+        let n = self.next_fresh();
         let elem = Element {
             value: Term::real_var(format!("{list}@{n}")),
             hat_aligned: Term::real_var(format!("^{list}@{n}")),
@@ -499,9 +533,9 @@ impl<'a> SymExec<'a> {
                 .scalar(&ghost)
                 .cloned()
                 .ok_or_else(|| err(format!("ghost `{ghost}` not initialized")))?;
-            let nonzero = elem.hat_aligned.clone().ne_num(Term::int(0));
+            let nonzero = elem.hat_aligned.ne_num(Term::int(0));
             st.path
-                .push(nonzero.clone().implies(g.clone().eq_num(Term::int(0))));
+                .push(nonzero.implies(g.eq_num(Term::int(0))));
             let g_next = Term::ite(nonzero, Term::int(1), g);
             st.set_scalar(ghost, g_next);
         }
@@ -527,7 +561,7 @@ impl<'a> SymExec<'a> {
         ) -> Result<Term, SymError> {
             match e {
                 Expr::Num(r) => Ok(Term::rat(*r)),
-                Expr::Bool(b) => Ok(Term::BConst(*b)),
+                Expr::Bool(b) => Ok(Term::bool_const(*b)),
                 Expr::Index(base, idx) => {
                     let Expr::Var(n) = &**base else {
                         return Err(err("complex index base in precondition"));
@@ -549,9 +583,9 @@ impl<'a> SymExec<'a> {
                         )));
                     }
                     Ok(match n.kind {
-                        NameKind::Plain => elem.value.clone(),
-                        NameKind::HatAligned => elem.hat_aligned.clone(),
-                        NameKind::HatShadow => elem.hat_shadow.clone(),
+                        NameKind::Plain => elem.value,
+                        NameKind::HatAligned => elem.hat_aligned,
+                        NameKind::HatShadow => elem.hat_shadow,
                     })
                 }
                 Expr::Var(n) if n.base == bound && !n.is_hat() => {
@@ -626,9 +660,8 @@ impl<'a> SymExec<'a> {
             for a in 0..len {
                 for b in (a + 1)..len {
                     let both = hats[a]
-                        .clone()
                         .ne_num(Term::int(0))
-                        .and(hats[b].clone().ne_num(Term::int(0)));
+                        .and(hats[b].ne_num(Term::int(0)));
                     st.path.push(both.not());
                 }
             }
@@ -913,7 +946,7 @@ mod tests {
         // Ψ constraints pushed: the hat is bounded by 1, provable.
         let hat = Term::real_var("^q@2");
         assert!(
-            solver.entails(&st.path, &hat.clone().le(Term::int(1)))
+            solver.entails(&st.path, &hat.le(Term::int(1)))
                 || solver.entails(&st.path, &Term::real_var("^q@1").le(Term::int(1))),
             "Ψ instantiation missing: {:?}",
             st.path

@@ -1,0 +1,40 @@
+//! Prints per-algorithm solver statistics — query counts, theory calls,
+//! and memo-table hit rates — for the Table 1 corpus.
+//!
+//! ```text
+//! cargo run --release --example solver_cache_stats
+//! ```
+
+use shadowdp::corpus;
+use shadowdp::Pipeline;
+use shadowdp_verify::Verdict;
+
+fn main() {
+    println!(
+        "{:<22} {:>8} {:>8} {:>8} {:>10} {:>8} {:>9}",
+        "algorithm", "checks", "proves", "hits", "hit-rate", "theory", "verdict"
+    );
+    for alg in corpus::table1_algorithms() {
+        let report = Pipeline::new().run(alg.source).expect("corpus pipeline runs");
+        let s = report.solver_stats;
+        let rate = if s.checks > 0 {
+            100.0 * s.cache_hits as f64 / s.checks as f64
+        } else {
+            0.0
+        };
+        println!(
+            "{:<22} {:>8} {:>8} {:>8} {:>9.1}% {:>8} {:>9}",
+            alg.name,
+            s.checks,
+            s.proves,
+            s.cache_hits,
+            rate,
+            s.theory_calls,
+            match report.verdict {
+                Verdict::Proved => "proved",
+                Verdict::Refuted(_) => "refuted",
+                Verdict::Unknown(_) => "unknown",
+            }
+        );
+    }
+}

@@ -1,0 +1,220 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A minimal wall-clock harness with the criterion API shape this
+//! workspace uses: `Criterion::bench_function`, benchmark groups with
+//! `sample_size`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Behavior:
+//!
+//! - `cargo bench` runs each benchmark (short warmup, then timed samples)
+//!   and prints `name … mean ± stddev per iteration`;
+//! - `cargo bench -- --test` runs every body exactly once (smoke mode);
+//! - if `CRITERION_JSON` names a file, one JSON line per benchmark
+//!   (`{"id": …, "mean_ns": …, "stddev_ns": …, "samples": …}`) is appended —
+//!   the repository's `BENCH_*.json` snapshots are produced this way.
+
+use std::hint;
+use std::io::Write as _;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Per-iteration measurement driver handed to benchmark closures.
+pub struct Bencher {
+    mode: Mode,
+    samples: usize,
+    /// Collected per-iteration means, one per sample, in nanoseconds.
+    results: Vec<f64>,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+enum Mode {
+    Measure,
+    SmokeTest,
+}
+
+impl Bencher {
+    /// Times `f`, storing per-iteration means across adaptive batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.mode == Mode::SmokeTest {
+            hint::black_box(f());
+            return;
+        }
+        // Warmup and batch-size calibration: grow the batch until it runs
+        // for at least ~2ms or 1k iterations.
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed.as_micros() >= 2_000 || batch >= 1024 {
+                break;
+            }
+            batch *= 4;
+        }
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                hint::black_box(f());
+            }
+            let elapsed = start.elapsed();
+            self.results.push(elapsed.as_nanos() as f64 / batch as f64);
+        }
+    }
+}
+
+/// The top-level harness.
+pub struct Criterion {
+    mode: Mode,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            mode: Mode::Measure,
+            sample_size: 12,
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line arguments (`--test` selects smoke mode; other
+    /// flags are accepted and ignored).
+    pub fn configure_from_args(mut self) -> Criterion {
+        if std::env::args().any(|a| a == "--test") {
+            self.mode = Mode::SmokeTest;
+        }
+        self
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Criterion {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs one benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_one(self.mode, self.sample_size, &id, f);
+        self
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_one(self.criterion.mode, samples, &full, f);
+        self
+    }
+
+    /// Ends the group (accepted for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(mode: Mode, samples: usize, id: &str, mut f: F) {
+    let mut b = Bencher {
+        mode,
+        samples,
+        results: Vec::new(),
+    };
+    f(&mut b);
+    if mode == Mode::SmokeTest {
+        println!("test {id} ... ok (smoke)");
+        return;
+    }
+    if b.results.is_empty() {
+        println!("{id:<52} (no measurements)");
+        return;
+    }
+    let n = b.results.len() as f64;
+    let mean = b.results.iter().sum::<f64>() / n;
+    let var = b.results.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    let sd = var.sqrt();
+    println!("{id:<52} {:>14} ± {} per iter", fmt_ns(mean), fmt_ns(sd));
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if !path.is_empty() {
+            if let Ok(mut file) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+            {
+                let _ = writeln!(
+                    file,
+                    "{{\"id\": \"{}\", \"mean_ns\": {:.1}, \"stddev_ns\": {:.1}, \"samples\": {}}}",
+                    id.replace('"', "'"),
+                    mean,
+                    sd,
+                    b.results.len()
+                );
+            }
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($group(&mut criterion);)+
+        }
+    };
+}

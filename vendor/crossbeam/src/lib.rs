@@ -1,0 +1,53 @@
+//! Offline stand-in for `crossbeam`, implementing `crossbeam::thread::scope`
+//! on top of `std::thread::scope` (which has subsumed it since Rust 1.63).
+
+/// Scoped threads.
+pub mod thread {
+    /// A scope handle mirroring `crossbeam::thread::Scope`: spawned
+    /// closures receive the scope again so they can spawn siblings.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope; all spawned threads are joined before this
+    /// returns. Unlike crossbeam, a panicking child propagates by panicking
+    /// here rather than surfacing through the `Err` variant — callers that
+    /// `.expect()` the result behave identically.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_join_and_share() {
+        let data = [1u64, 2, 3, 4];
+        let total = std::sync::Mutex::new(0u64);
+        super::thread::scope(|s| {
+            for chunk in data.chunks(2) {
+                let total = &total;
+                s.spawn(move |_| {
+                    *total.lock().unwrap() += chunk.iter().sum::<u64>();
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(*total.lock().unwrap(), 10);
+    }
+}

@@ -1,0 +1,47 @@
+//! Offline stand-in for `parking_lot`: wraps `std::sync::Mutex` behind the
+//! `parking_lot` API (non-`Result` `lock()`, `into_inner()` without
+//! poisoning).
+
+use std::sync::{Mutex as StdMutex, MutexGuard as StdGuard};
+
+/// A mutex whose `lock` does not return a `Result` (poisoning is ignored,
+/// matching `parking_lot` semantics).
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: StdMutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex {
+            inner: StdMutex::new(value),
+        }
+    }
+
+    /// Acquires the lock.
+    pub fn lock(&self) -> StdGuard<'_, T> {
+        self.inner
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    #[test]
+    fn lock_and_into_inner() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(m.into_inner(), 42);
+    }
+}

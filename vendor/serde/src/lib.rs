@@ -1,0 +1,14 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the `Serialize` / `Deserialize` names in both the trait and the
+//! macro namespace so `use serde::{Serialize, Deserialize}` plus
+//! `#[derive(Serialize, Deserialize)]` compile unchanged. No serialization
+//! machinery is provided (nothing in the workspace serializes at runtime).
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
