@@ -1,0 +1,57 @@
+//! `table1/verify-parallel` — the whole Table 1 corpus (nine algorithms ×
+//! two cost-linearization modes, 18 independent end-to-end verifications)
+//! through the sequential driver vs. the work-stealing parallel driver.
+//!
+//! The interesting number is the ratio `sequential / parallel`: the
+//! verification workload is embarrassingly parallel, per-job costs spread
+//! over ~30× (2 ms Prefix Sum to ~80 ms Smart Sum), and the solver's term
+//! arenas are per-thread shards — so on a 4-core CI-class machine the
+//! parallel entry should come in at least 2× (and close to core-count×)
+//! below the sequential one. On a single-core container the two entries
+//! coincide; the ratio is only meaningful where cores exist. (Table 1 jobs
+//! run with per-job isolated memos so every verification is cold and the
+//! measured speedup is pure scheduling, not cache warming; corpus-level
+//! memo sharing is the default for plain `CorpusJob`s and benefits
+//! throughput drivers on top of this.)
+//!
+//! Before timing anything the bench asserts the two drivers produce
+//! byte-identical outputs (verdicts, logs, transformed programs), pinning
+//! the determinism guarantee of `Pipeline::verify_corpus_parallel` in smoke
+//! (`--test`) mode on every CI run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shadowdp::table1::corpus_jobs;
+use shadowdp::Pipeline;
+
+fn bench_corpus_drivers(c: &mut Criterion) {
+    let jobs = corpus_jobs();
+    let pipeline = Pipeline::new();
+
+    // Determinism gate: identical output regardless of driver/workers.
+    let sequential = pipeline.verify_corpus(&jobs);
+    let parallel = pipeline.verify_corpus_parallel(&jobs, None);
+    assert_eq!(
+        sequential.digest(),
+        parallel.digest(),
+        "parallel corpus output diverged from the sequential reference"
+    );
+    assert!(
+        sequential.reports.iter().all(|r| r
+            .as_ref()
+            .is_ok_and(|rep| matches!(rep.verdict, shadowdp_verify::Verdict::Proved))),
+        "Table 1 corpus must prove end to end"
+    );
+
+    let mut group = c.benchmark_group("table1/verify-parallel");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| pipeline.verify_corpus(std::hint::black_box(&jobs)))
+    });
+    group.bench_function("parallel", |b| {
+        b.iter(|| pipeline.verify_corpus_parallel(std::hint::black_box(&jobs), None))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_corpus_drivers);
+criterion_main!(benches);

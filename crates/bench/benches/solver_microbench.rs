@@ -57,8 +57,7 @@ fn bench_construction(c: &mut Criterion) {
     });
     group.bench_function("conj-64-atoms", |b| {
         b.iter(|| {
-            let atoms =
-                (0..64).map(|k| Term::real_var(format!("x{k}")).le(Term::int(k)));
+            let atoms = (0..64).map(|k| Term::real_var(format!("x{k}")).le(Term::int(k)));
             std::hint::black_box(Term::conj(atoms))
         })
     });

@@ -25,11 +25,7 @@ fn bench_solver(c: &mut Criterion) {
             sbq.le(Term::int(1)),
             q.add(eta).gt(bq),
         ];
-        let goal = q
-            .add(hq)
-            .add(eta)
-            .add(Term::int(2))
-            .gt(bq.add(sbq));
+        let goal = q.add(hq).add(eta).add(Term::int(2)).gt(bq.add(sbq));
         b.iter(|| {
             assert!(solver
                 .prove(std::hint::black_box(&hyps), std::hint::black_box(&goal))
@@ -42,9 +38,7 @@ fn bench_solver(c: &mut Criterion) {
         let solver = Solver::new();
         let mut hyps = Vec::new();
         for i in 0..12 {
-            hyps.push(
-                Term::real_var(format!("x{i}")).le(Term::real_var(format!("x{}", i + 1))),
-            );
+            hyps.push(Term::real_var(format!("x{i}")).le(Term::real_var(format!("x{}", i + 1))));
         }
         let goal = Term::real_var("x0").le(Term::real_var("x12"));
         b.iter(|| assert!(solver.prove(&hyps, &goal).is_proved()));
@@ -55,10 +49,7 @@ fn bench_solver(c: &mut Criterion) {
         let solver = Solver::new();
         let x = Term::real_var("x");
         let y = Term::real_var("y");
-        let goal = x
-            .add(y)
-            .abs()
-            .le(x.abs().add(y.abs()));
+        let goal = x.add(y).abs().le(x.abs().add(y.abs()));
         b.iter(|| assert!(solver.prove(&[], &goal).is_proved()));
     });
 

@@ -12,7 +12,10 @@
 //!
 //! - [`Pipeline`] — parse → type-check/transform → lower → verify, with
 //!   wall-clock timings per phase (the measurements behind the paper's
-//!   Table 1);
+//!   Table 1), plus the sequential and work-stealing **corpus drivers**
+//!   ([`Pipeline::verify_corpus`],
+//!   [`Pipeline::verify_corpus_parallel`]) that fan independent
+//!   verifications across cores over a shared validity-query memo;
 //! - [`corpus`] — the paper's complete benchmark suite (Report Noisy Max,
 //!   Sparse Vector and its numerical/gap variants, Partial/Prefix/Smart
 //!   Sum) plus classic *incorrect* Sparse Vector variants that must be
@@ -35,5 +38,5 @@ pub mod pipeline;
 pub mod table1;
 
 pub use corpus::{Algorithm, Expected};
-pub use pipeline::{Phase, Pipeline, PipelineError, PipelineReport};
-pub use table1::{run_table1, Table1Row};
+pub use pipeline::{CorpusJob, CorpusOutcome, Phase, Pipeline, PipelineError, PipelineReport};
+pub use table1::{run_table1, run_table1_parallel, Table1Row};

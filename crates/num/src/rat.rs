@@ -228,10 +228,11 @@ impl Add for Rat {
         let g = gcd(self.den, rhs.den);
         let lhs_scale = rhs.den / g;
         let rhs_scale = self.den / g;
-        let num = self
-            .num
-            .checked_mul(lhs_scale)
-            .and_then(|a| rhs.num.checked_mul(rhs_scale).and_then(|b| a.checked_add(b)));
+        let num = self.num.checked_mul(lhs_scale).and_then(|a| {
+            rhs.num
+                .checked_mul(rhs_scale)
+                .and_then(|b| a.checked_add(b))
+        });
         let den = self.den.checked_mul(lhs_scale);
         Rat::checked_new(num, den)
     }
@@ -395,9 +396,7 @@ impl FromStr for Rat {
                 int_part.parse().map_err(|_| err())?
             };
             let frac: i128 = frac_part.parse().map_err(|_| err())?;
-            let scale = 10i128
-                .checked_pow(frac_part.len() as u32)
-                .ok_or_else(err)?;
+            let scale = 10i128.checked_pow(frac_part.len() as u32).ok_or_else(err)?;
             let frac = Rat::new(frac, scale);
             let int = Rat::int(int);
             Ok(if negative { int - frac } else { int + frac })
@@ -473,10 +472,7 @@ mod tests {
     fn sum_product() {
         let xs = [Rat::new(1, 2), Rat::new(1, 3), Rat::new(1, 6)];
         assert_eq!(xs.iter().copied().sum::<Rat>(), Rat::ONE);
-        assert_eq!(
-            xs.iter().copied().product::<Rat>(),
-            Rat::new(1, 36)
-        );
+        assert_eq!(xs.iter().copied().product::<Rat>(), Rat::new(1, 36));
     }
 
     #[test]

@@ -120,10 +120,9 @@ pub fn estimate_privacy_loss(
             scope.spawn(move |_| {
                 let mut local1 = HashMap::<String, u64>::new();
                 let mut local2 = HashMap::<String, u64>::new();
-                for (which, inputs, local) in [
-                    (0u64, input1, &mut local1),
-                    (1u64, input2, &mut local2),
-                ] {
+                for (which, inputs, local) in
+                    [(0u64, input1, &mut local1), (1u64, input2, &mut local2)]
+                {
                     let mut interp =
                         Interp::with_seed(seed ^ (which << 32) ^ (t as u64).wrapping_mul(0x9E37));
                     for _ in 0..per_thread {

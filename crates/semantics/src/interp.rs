@@ -279,8 +279,7 @@ impl State {
                 let scale = self.eval_num(scale_e)?;
                 let sample = match &mut self.noise {
                     NoiseSource::Fresh(rng) => {
-                        let lap =
-                            Laplace::new(scale).ok_or(InterpError::BadScale(scale))?;
+                        let lap = Laplace::new(scale).ok_or(InterpError::BadScale(scale))?;
                         lap.sample(rng)
                     }
                     NoiseSource::Replay { samples, next } => {
@@ -328,9 +327,9 @@ impl State {
                 if self.eval_bool(e)? {
                     Ok(())
                 } else {
-                    Err(InterpError::AssertionFailed(
-                        shadowdp_syntax::pretty_expr(e),
-                    ))
+                    Err(InterpError::AssertionFailed(shadowdp_syntax::pretty_expr(
+                        e,
+                    )))
                 }
             }
             // `assume` at runtime is a no-op when satisfied; executing a
@@ -370,9 +369,7 @@ impl State {
                         !v.as_bool().ok_or(InterpError::TypeMismatch("boolean"))?,
                     )),
                     UnOp::Abs => Ok(Value::Num(
-                        v.as_num()
-                            .ok_or(InterpError::TypeMismatch("number"))?
-                            .abs(),
+                        v.as_num().ok_or(InterpError::TypeMismatch("number"))?.abs(),
                     )),
                     UnOp::Sgn => Ok(Value::Num(
                         v.as_num()
@@ -542,7 +539,10 @@ mod tests {
                     i := i + 1;
                 }
              }",
-            &[("size", Value::num(3.0)), ("q", Value::num_list([1.0, 2.0, 3.0]))],
+            &[
+                ("size", Value::num(3.0)),
+                ("q", Value::num_list([1.0, 2.0, 3.0])),
+            ],
         )
         .unwrap();
         assert_eq!(r.output, Value::num(6.0));

@@ -91,7 +91,10 @@ mod tests {
         let mean_abs = abs_sum / n as f64;
         // E[X] = 0, E[|X|] = b = 1.
         assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
-        assert!((mean_abs - 1.0).abs() < 0.05, "E|X| {mean_abs} too far from 1");
+        assert!(
+            (mean_abs - 1.0).abs() < 0.05,
+            "E|X| {mean_abs} too far from 1"
+        );
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub mod laplace;
 pub mod memory;
 pub mod value;
 
-pub use empirical::{DpEstimate, DpTestConfig, estimate_privacy_loss};
+pub use empirical::{estimate_privacy_loss, DpEstimate, DpTestConfig};
 pub use interp::{Interp, InterpError, RunResult};
 pub use laplace::Laplace;
 pub use memory::Memory;

@@ -452,11 +452,7 @@ mod tests {
     fn chained_transitivity_unsat() {
         // x <= y ∧ y <= z ∧ z < x is unsat
         let z = LinExpr::var("z");
-        let cs = [
-            le(x() - y()),
-            le(y() - z.clone()),
-            Constraint::lt0(z - x()),
-        ];
+        let cs = [le(x() - y()), le(y() - z.clone()), Constraint::lt0(z - x())];
         assert_eq!(check_sat(&cs), FmResult::Unsat);
     }
 

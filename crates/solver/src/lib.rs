@@ -13,9 +13,12 @@
 //!   `ite`, `abs`, and the usual connectives. Terms are **hash-consed**: a
 //!   [`TermArena`] dedups structurally equal nodes, a term is a `Copy`-able
 //!   [`TermId`] (`u32`), and structural equality / hashing are O(1) id
-//!   operations. Variable names are interned [`Symbol`]s. Almost all code
-//!   uses the chainable [`TermId`] methods against the process-wide arena;
-//!   explicit arenas exist for isolation (property tests, fuzzing).
+//!   operations. Every node also carries a 128-bit structural
+//!   [`Fingerprint`] computed at intern time. Variable names are interned
+//!   [`Symbol`]s. Almost all code uses the chainable [`TermId`] methods
+//!   against **this thread's arena shard** (no process-wide lock — one
+//!   arena per thread); explicit arenas exist for isolation (property
+//!   tests, fuzzing).
 //! - [`linear`] — linear normal form `c + Σ aᵢ·xᵢ` over `Symbol` keys;
 //! - [`normalize`] — desugaring (`abs`/`ite` lifting, implication
 //!   elimination), NNF, and *sound abstraction* of non-linear atoms by
@@ -35,13 +38,14 @@
 //! 2. **Abstraction symbols** ([`normalize::Normalizer`]): non-linear atoms
 //!    map to canonical booleans via `(TermId, Rel)` keys.
 //! 3. **Whole queries** ([`Solver`]): `check`/`prove` fold the query into
-//!    one conjunction id and memoize the result under
-//!    `(arena generation, TermId)`. Including the generation makes entries
-//!    from distinct arenas physically unable to alias — a fresh arena (new
-//!    generation) always bypasses and never pollutes another arena's
-//!    entries. Query results depend only on formula structure, so the memo
-//!    is sound by construction; hits are counted in
-//!    [`SolverStats::cache_hits`].
+//!    one conjunction id and memoize the result under that conjunction's
+//!    structural [`Fingerprint`]. The key carries no arena identity, so a
+//!    [`QueryMemo`] shared between solvers on different threads answers a
+//!    query one thread already solved even though each thread interns into
+//!    its own arena shard — and structurally different formulas can never
+//!    alias (up to 128-bit hash collisions). Query results depend only on
+//!    formula structure, so the memo is sound by construction; hits are
+//!    counted in [`SolverStats::cache_hits`].
 //!
 //! The pay-off is on the Houdini hot path: consecution rounds re-prove the
 //! surviving candidate set with one candidate dropped, so the unchanged
@@ -81,5 +85,7 @@ pub mod term;
 
 pub use fm::{Constraint, Rel};
 pub use linear::LinExpr;
-pub use solve::{CheckResult, Model, ProveResult, Solver, SolverStats};
-pub use term::{with_global_arena, Symbol, Term, TermArena, TermId, TermNode};
+pub use solve::{CheckResult, Model, ProveResult, QueryMemo, Solver, SolverStats};
+#[allow(deprecated)]
+pub use term::with_global_arena;
+pub use term::{with_shard, Fingerprint, Symbol, Term, TermArena, TermId, TermNode};

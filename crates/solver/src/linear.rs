@@ -60,10 +60,7 @@ impl LinExpr {
 
     /// The coefficient of `name` (zero if absent).
     pub fn coeff(&self, name: impl Into<Symbol>) -> Rat {
-        self.coeffs
-            .get(&name.into())
-            .copied()
-            .unwrap_or(Rat::ZERO)
+        self.coeffs.get(&name.into()).copied().unwrap_or(Rat::ZERO)
     }
 
     /// Iterates over `(variable, coefficient)` pairs with nonzero
@@ -220,8 +217,8 @@ mod tests {
     #[test]
     fn subst() {
         // (2x + y + 1)[x := y - 3]  ==  3y - 5
-        let e = LinExpr::var("x").scale(Rat::int(2)) + LinExpr::var("y")
-            + LinExpr::constant(Rat::ONE);
+        let e =
+            LinExpr::var("x").scale(Rat::int(2)) + LinExpr::var("y") + LinExpr::constant(Rat::ONE);
         let r = LinExpr::var("y") - LinExpr::constant(Rat::int(3));
         let s = e.subst(Symbol::intern("x"), &r);
         assert_eq!(s.coeff("y"), Rat::int(3));

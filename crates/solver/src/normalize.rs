@@ -6,6 +6,19 @@
 //! Normalization runs against a [`TermArena`]: recursion walks interned
 //! nodes, and the `ite`/`abs` case splits intern their rewritten terms back
 //! into the same arena (where hash-consing dedups the shared structure).
+//!
+//! # Shard-discipline audit
+//!
+//! The solver calls [`Normalizer::normalize`] while holding this thread's
+//! arena-shard borrow ([`crate::term::with_shard`]), so nothing on this
+//! path may touch the chainable `TermId` API — every term is built through
+//! the `&mut TermArena` handle threaded down the recursion, which makes
+//! shard re-entry impossible by construction. The one other lock this path
+//! takes is the process-wide [`Symbol`] interner (in [`Normalizer`]'s
+//! abstraction-cache path, minting `$absN` booleans): that interner is a
+//! leaf lock that never calls back into arena or solver code, so the
+//! acquisition order shard → interner cannot deadlock and is safe from any
+//! number of threads.
 
 use std::collections::HashMap;
 
@@ -263,9 +276,7 @@ fn find_ite(arena: &mut TermArena, t: TermId) -> Option<(TermId, TermId, TermId)
         return None;
     }
     match arena.node(t).clone() {
-        TermNode::RConst(_) | TermNode::RVar(_) | TermNode::BConst(_) | TermNode::BVar(_) => {
-            None
-        }
+        TermNode::RConst(_) | TermNode::RVar(_) | TermNode::BConst(_) | TermNode::BVar(_) => None,
         TermNode::Abs(inner) => {
             // |x| = ite(x >= 0, x, -x); try to split inner first so nested
             // constructs unwind outside-in deterministically.
@@ -424,11 +435,11 @@ fn mk_or(parts: Vec<Formula>) -> Formula {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::term::{with_global_arena, Term};
+    use crate::term::{with_shard, Term};
 
     fn norm(t: Term) -> (Formula, bool) {
         let mut n = Normalizer::new();
-        let f = with_global_arena(|arena| n.normalize(arena, t, true));
+        let f = with_shard(|arena| n.normalize(arena, t, true));
         (f, n.abstracted)
     }
 
@@ -504,9 +515,8 @@ mod tests {
         let t1 = atom.le(Term::int(1));
         let t2 = atom.le(Term::int(1)).not();
         let mut n = Normalizer::new();
-        let (f1, f2) = with_global_arena(|arena| {
-            (n.normalize(arena, t1, true), n.normalize(arena, t2, true))
-        });
+        let (f1, f2) =
+            with_shard(|arena| (n.normalize(arena, t1, true), n.normalize(arena, t2, true)));
         match (f1, f2) {
             (Formula::BLit(a, true), Formula::BLit(b, false)) => assert_eq!(a, b),
             other => panic!("expected shared abstraction literal, got {other:?}"),

@@ -1,31 +1,37 @@
 //! The public solver API: a tableau-style search over the boolean structure
 //! of normalized formulas with eager Fourier–Motzkin theory pruning, plus a
-//! validity/satisfiability **memo table** keyed by interned formula ids.
+//! validity/satisfiability **memo table** keyed by structural fingerprints.
 //!
 //! # Query memoization
 //!
-//! `check` folds its input conjunction into a single hash-consed term; that
-//! `TermId` (qualified by the arena generation, so ids from distinct arenas
-//! can never alias) is the cache key. Since the result of a query depends
-//! only on the formula's structure, a repeated query — Houdini consecution
+//! `check` folds its input conjunction into a single hash-consed term and
+//! keys the cache on that term's [`Fingerprint`] — a 128-bit structural
+//! hash that is identical for identical structure in *any* arena on *any*
+//! thread (see [`crate::term`]). Since the result of a query depends only
+//! on the formula's structure, a repeated query — Houdini consecution
 //! rounds re-proving the surviving candidates, typing rules re-discharging
-//! the same `Ψ ⊢ d == 0` side conditions — is answered by a single `u32`
-//! hash lookup instead of a fresh normalize + search. `prove` piggybacks on
-//! the same table via its refutation encoding. Hits are counted in
-//! [`SolverStats::cache_hits`]; [`Solver::without_memo`] opts out (used by
-//! the microbenchmarks to pin the speedup).
+//! the same `Ψ ⊢ d == 0` side conditions — is answered by one hash lookup
+//! instead of a fresh normalize + search; and because the key carries no
+//! arena identity, a [`QueryMemo`] can be **shared across solvers on
+//! different threads**, so a parallel corpus driver warms one table for the
+//! whole fleet. `prove` piggybacks on the same table via its refutation
+//! encoding. Hits are counted in [`SolverStats::cache_hits`];
+//! [`Solver::without_memo`] opts out (used by the microbenchmarks to pin
+//! the speedup).
 
-use std::cell::{Cell, RefCell};
+use std::cell::Cell;
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::sync::Arc;
 use std::time::Instant;
 
+use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use shadowdp_num::Rat;
 
 use crate::fm::{check_sat, Constraint, FmResult};
 use crate::normalize::{Formula, Normalizer};
-use crate::term::{with_global_arena, Symbol, Term, TermArena, TermId, TermNode};
+use crate::term::{with_shard, Fingerprint, Symbol, Term, TermArena, TermNode};
 
 /// A satisfying assignment.
 ///
@@ -139,11 +145,55 @@ pub struct SolverStats {
     pub cache_hits: u64,
 }
 
+/// A validity/satisfiability memo table, shareable across solvers and
+/// threads.
+///
+/// Keys are structural [`Fingerprint`]s of whole query conjunctions, so an
+/// entry written by a solver on one thread (against its own arena shard)
+/// answers the structurally identical query from any other thread. The
+/// table is a mutex-guarded map: queries hold the lock only for the lookup
+/// or the insert, never across a solve, so contention stays in the
+/// nanoseconds against solves in the tens of microseconds.
+///
+/// [`Solver::new`] gives each solver a private table; a corpus driver that
+/// wants cross-thread reuse creates one with [`QueryMemo::default`] inside
+/// an [`Arc`] and hands clones to [`Solver::with_memo`].
+#[derive(Debug, Default)]
+pub struct QueryMemo {
+    entries: Mutex<HashMap<Fingerprint, CheckResult>>,
+}
+
+impl QueryMemo {
+    /// Number of memoized queries.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+
+    fn get(&self, key: Fingerprint) -> Option<CheckResult> {
+        self.entries.lock().get(&key).cloned()
+    }
+
+    fn insert(&self, key: Fingerprint, value: CheckResult) {
+        self.entries.lock().insert(key, value);
+    }
+
+    fn clear(&self) {
+        self.entries.lock().clear();
+    }
+}
+
 /// The QF-LRA solver.
 ///
-/// Holds only statistics and the query memo table between queries; cheap to
-/// create. (`Solver` is not `Sync`: share per thread, or create one per
-/// thread — terms interned in the global arena are shareable regardless.)
+/// Holds only statistics and a handle to a query memo table between
+/// queries; cheap to create. (`Solver` is not `Sync`: create one per
+/// thread. The [`QueryMemo`] *is* shareable across threads, and terms
+/// rebuilt on another thread's arena shard hit the same entries because
+/// keys are structural fingerprints.)
 ///
 /// # Examples
 ///
@@ -155,21 +205,38 @@ pub struct SolverStats {
 /// let r = s.check(&[x.le(Term::int(1)), x.ge(Term::int(2))]);
 /// assert!(!r.is_sat());
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Solver {
     stats: Cell<SolverStats>,
-    memo: RefCell<HashMap<(u64, TermId), CheckResult>>,
+    memo: Arc<QueryMemo>,
     memo_enabled: Cell<bool>,
 }
 
+impl Default for Solver {
+    fn default() -> Solver {
+        Solver::new()
+    }
+}
+
 impl Solver {
-    /// Creates a solver (memoization on).
+    /// Creates a solver with a private memo table (memoization on).
     pub fn new() -> Solver {
+        Solver::with_memo(Arc::new(QueryMemo::default()))
+    }
+
+    /// Creates a solver backed by a caller-provided (possibly shared) memo
+    /// table.
+    pub fn with_memo(memo: Arc<QueryMemo>) -> Solver {
         Solver {
             stats: Cell::new(SolverStats::default()),
-            memo: RefCell::new(HashMap::new()),
+            memo,
             memo_enabled: Cell::new(true),
         }
+    }
+
+    /// The memo table this solver reads and writes.
+    pub fn memo(&self) -> &Arc<QueryMemo> {
+        &self.memo
     }
 
     /// Creates a solver with the query memo table disabled (every query
@@ -181,12 +248,14 @@ impl Solver {
         s
     }
 
-    /// Enables or disables query memoization. Disabling also drops the
-    /// table.
+    /// Enables or disables query memoization for this solver. Disabling
+    /// also drops the table's entries when this solver is its only owner (a
+    /// *shared* table is left intact for its other users — they opted into
+    /// it independently).
     pub fn set_memo_enabled(&self, enabled: bool) {
         self.memo_enabled.set(enabled);
-        if !enabled {
-            self.memo.borrow_mut().clear();
+        if !enabled && Arc::strong_count(&self.memo) == 1 {
+            self.memo.clear();
         }
     }
 
@@ -200,49 +269,52 @@ impl Solver {
         self.stats.set(SolverStats::default());
     }
 
-    /// Checks satisfiability of the conjunction of `terms` (global arena).
+    /// Checks satisfiability of the conjunction of `terms` (thread shard).
     pub fn check(&self, terms: &[Term]) -> CheckResult {
-        with_global_arena(|arena| self.check_in(arena, terms))
+        with_shard(|arena| self.check_in(arena, terms))
     }
 
     /// [`Solver::check`] against an explicit arena: `terms` must have been
-    /// built by `arena`. Cached results are keyed by the arena's
-    /// generation, so two arenas never share (or pollute) entries.
+    /// built by `arena`. Cached results are keyed by the conjunction's
+    /// structural fingerprint, so a different arena that interned the same
+    /// structure shares entries — and arenas with different contents can
+    /// never alias.
     pub fn check_in(&self, arena: &mut TermArena, terms: &[Term]) -> CheckResult {
         let start = Instant::now();
-        // The cache key is a *raw* n-ary And intern — one O(n) hash of the
-        // child ids, not the O(n²) smart-constructor fold (the fold clones
-        // the accumulated child vector per conjunct). Raw keys are slightly
-        // finer than folded ones (slices that would fold identically can
-        // key apart), which costs at most a duplicate entry, never a wrong
-        // answer; the hot Houdini repeats pass bit-identical slices anyway.
-        // Key construction is skipped entirely with the memo off, so a
-        // memo-less solver never grows the arena with key nodes.
+        // The cache key is the fingerprint of a *raw* n-ary And intern —
+        // one O(n) hash of the child ids, not the O(n²) smart-constructor
+        // fold (the fold clones the accumulated child vector per conjunct).
+        // Raw keys are slightly finer than folded ones (slices that would
+        // fold identically can key apart), which costs at most a duplicate
+        // entry, never a wrong answer; the hot Houdini repeats pass
+        // bit-identical slices anyway. Key construction is skipped entirely
+        // with the memo off, so a memo-less solver never grows the arena
+        // with key nodes.
         let key = if self.memo_enabled.get() {
             let key_id = match terms {
                 [] => arena.bool_const(true),
                 [t] => *t,
                 _ => arena.intern(TermNode::And(terms.to_vec())),
             };
-            Some((arena.generation(), key_id))
+            Some((key_id, arena.fingerprint(key_id)))
         } else {
             None
         };
 
-        if let Some(key) = key {
-            if let Some(hit) = self.memo.borrow().get(&key) {
+        if let Some((_, fp)) = key {
+            if let Some(hit) = self.memo.get(fp) {
                 let mut stats = self.stats.get();
                 stats.checks += 1;
                 stats.cache_hits += 1;
                 stats.micros += start.elapsed().as_micros() as u64;
                 self.stats.set(stats);
-                return hit.clone();
+                return hit;
             }
         }
 
         let mut norm = Normalizer::new();
         let formulas: Vec<Formula> = match key {
-            Some((_, key_id)) => vec![norm.normalize(arena, key_id, true)],
+            Some((key_id, _)) => vec![norm.normalize(arena, key_id, true)],
             None => terms
                 .iter()
                 .map(|t| norm.normalize(arena, *t, true))
@@ -273,8 +345,8 @@ impl Solver {
             None => CheckResult::Unsat,
         };
 
-        if let Some(key) = key {
-            self.memo.borrow_mut().insert(key, out.clone());
+        if let Some((_, fp)) = key {
+            self.memo.insert(fp, out.clone());
         }
 
         let mut stats = self.stats.get();
@@ -286,7 +358,7 @@ impl Solver {
     /// Attempts to prove `assumptions ⊢ goal` by refutation: checks
     /// `assumptions ∧ ¬goal` for unsatisfiability.
     pub fn prove(&self, assumptions: &[Term], goal: &Term) -> ProveResult {
-        let r = with_global_arena(|arena| {
+        let r = with_shard(|arena| {
             let mut terms: Vec<Term> = assumptions.to_vec();
             terms.push(arena.not(*goal));
             self.check_in(arena, &terms)

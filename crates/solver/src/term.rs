@@ -1,32 +1,45 @@
-//! The solver's two-sorted term language, hash-consed.
+//! The solver's two-sorted term language, hash-consed into **per-thread
+//! arena shards**.
 //!
 //! Terms live in a [`TermArena`] that deduplicates structurally equal
 //! nodes: a term is represented by a [`TermId`] — a `Copy`-able `u32`
 //! handle — and two terms are structurally equal **iff** their ids are
-//! equal. This makes equality and hashing O(1), makes `clone()` free, and
-//! lets the solver memoize whole validity queries by the id of the interned
-//! formula (see [`crate::solve::Solver`]).
+//! equal *within one arena*. This makes equality and hashing O(1), makes
+//! `clone()` free, and lets the solver memoize whole validity queries (see
+//! [`crate::solve::Solver`]).
+//!
+//! Every interned node additionally carries a 128-bit structural
+//! [`Fingerprint`], computed incrementally at intern time from the node's
+//! tag, leaf data, and child fingerprints. Fingerprints are **arena- and
+//! thread-independent**: two arenas (on any threads) interning the same
+//! structure produce the same fingerprint, which is what lets the solver's
+//! validity-query memo survive across threads without sharing an arena.
 //!
 //! Variable names are interned too: [`Symbol`] is a `u32` handle into a
 //! process-wide string table, so environment and model lookups compare ids
-//! instead of hashing strings.
+//! instead of hashing strings. (Fingerprints hash the *name*, not the
+//! symbol id, so they do not depend on interning order.)
 //!
 //! Two ways to build terms:
 //!
-//! - the **global arena** (what almost all code uses): the chainable
+//! - the **thread shard** (what almost all code uses): the chainable
 //!   methods on [`TermId`] (`a.add(b)`, `a.le(b)`, `Term::real_var("x")`,
-//!   …) intern into a process-wide arena behind a mutex. Ids from this API
-//!   are freely shareable across the program.
-//! - an **explicit [`TermArena`]** for isolation (property tests, fuzzing):
-//!   all constructors exist as methods on the arena. Ids from different
-//!   arenas must not be mixed — the solver's memo table keys on the arena's
-//!   unique [`TermArena::generation`] precisely so results can never leak
-//!   across arenas.
+//!   …) intern into this thread's own arena — no process-wide lock, so
+//!   per-algorithm verification parallelizes across threads without
+//!   contention. Ids from this API are freely shareable **within the
+//!   thread** that built them; work that crosses threads exchanges sources,
+//!   reports, and fingerprints, never raw ids.
+//! - an **explicit [`TermArena`]** for isolation (property tests, fuzzing)
+//!   or for batch building under one borrow ([`with_shard`]). Ids from
+//!   different arenas must not be mixed; the solver's memo keys on
+//!   structural fingerprints, so results *transfer* across arenas exactly
+//!   when the structures match and can never alias otherwise.
 //!
 //! Construction helpers implement the same smart-constructor folding as the
 //! original deep-tree representation (constant folding, identity/annihilator
 //! elimination, n-ary flattening), so verification conditions stay small.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -178,6 +191,42 @@ pub enum TermNode {
 }
 
 // ---------------------------------------------------------------------------
+// Structural fingerprints
+// ---------------------------------------------------------------------------
+
+/// A 128-bit structural hash of a term.
+///
+/// Computed once per interned node (children are always interned first, so
+/// the computation is O(node) from the children's cached fingerprints).
+/// Equal structure ⇒ equal fingerprint, in *any* arena on *any* thread —
+/// variable names are hashed by their string contents, not their interner
+/// ids, so the value does not depend on interning order. The converse holds
+/// up to 128-bit hash collisions, which the solver treats as negligible
+/// (the memo-key property tests in `tests/shard_memo.rs` pin collision
+/// freedom over randomized term programs).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Fingerprint(pub u128);
+
+const FNV128_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+const FNV128_PRIME: u128 = 0x0000000001000000000000000000013B;
+
+/// One FNV-1a-style mixing step over a full 128-bit word.
+#[inline]
+fn mix(h: u128, v: u128) -> u128 {
+    (h ^ v).wrapping_mul(FNV128_PRIME)
+}
+
+/// Mixes a string byte-by-byte (used for variable names, once per arena —
+/// interning dedups every later occurrence).
+fn mix_str(mut h: u128, s: &str) -> u128 {
+    h = mix(h, s.len() as u128);
+    for b in s.as_bytes() {
+        h = mix(h, *b as u128);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
 // The arena
 // ---------------------------------------------------------------------------
 
@@ -187,6 +236,8 @@ static ARENA_GENERATIONS: AtomicU64 = AtomicU64::new(0);
 pub struct TermArena {
     generation: u64,
     nodes: Vec<TermNode>,
+    /// Structural fingerprint per node, parallel to `nodes`.
+    fps: Vec<u128>,
     dedup: HashMap<TermNode, TermId>,
 }
 
@@ -202,12 +253,15 @@ impl TermArena {
         TermArena {
             generation: ARENA_GENERATIONS.fetch_add(1, Ordering::Relaxed),
             nodes: Vec::new(),
+            fps: Vec::new(),
             dedup: HashMap::new(),
         }
     }
 
-    /// The arena's unique tag; cache keys derived from this arena's ids
-    /// must include it (ids are only meaningful per-arena).
+    /// The arena's unique tag. Ids are only meaningful per-arena; any cache
+    /// keyed by raw `TermId`s must qualify them with the generation. (The
+    /// solver's query memo keys on [`TermArena::fingerprint`] instead,
+    /// which is arena-independent by construction.)
     pub fn generation(&self) -> u64 {
         self.generation
     }
@@ -223,14 +277,137 @@ impl TermArena {
     }
 
     /// Interns a node, returning the canonical id for its structure.
+    ///
+    /// Child ids inside `node` must already belong to this arena (all
+    /// constructors guarantee this; raw `intern` callers are responsible
+    /// for it — out-of-range children panic here when the fingerprint is
+    /// computed).
     pub fn intern(&mut self, node: TermNode) -> TermId {
         if let Some(&id) = self.dedup.get(&node) {
             return id;
         }
+        let fp = self.node_fingerprint(&node);
         let id = TermId(self.nodes.len() as u32);
         self.nodes.push(node.clone());
+        self.fps.push(fp);
         self.dedup.insert(node, id);
         id
+    }
+
+    /// The structural fingerprint of an interned term (O(1) lookup).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` came from a different, larger arena (see
+    /// [`TermArena::node`]).
+    pub fn fingerprint(&self, id: TermId) -> Fingerprint {
+        Fingerprint(self.fps[id.0 as usize])
+    }
+
+    /// Computes a fresh node's fingerprint from its tag, leaf data, and the
+    /// cached fingerprints of its (already interned) children.
+    fn node_fingerprint(&self, node: &TermNode) -> u128 {
+        let child = |id: &TermId| self.fps[id.0 as usize];
+        let mut h = FNV128_OFFSET;
+        match node {
+            TermNode::RConst(r) => {
+                h = mix(h, 1);
+                h = mix(h, r.numer() as u128);
+                h = mix(h, r.denom() as u128);
+            }
+            TermNode::BConst(b) => {
+                h = mix(h, 2);
+                h = mix(h, *b as u128);
+            }
+            TermNode::RVar(v) => {
+                h = mix(h, 3);
+                h = mix_str(h, v.as_str());
+            }
+            TermNode::BVar(v) => {
+                h = mix(h, 4);
+                h = mix_str(h, v.as_str());
+            }
+            TermNode::Add(ts) => {
+                h = mix(h, 5);
+                h = mix(h, ts.len() as u128);
+                for t in ts {
+                    h = mix(h, child(t));
+                }
+            }
+            TermNode::Mul(a, b) => {
+                h = mix(h, 6);
+                h = mix(h, child(a));
+                h = mix(h, child(b));
+            }
+            TermNode::Neg(t) => {
+                h = mix(h, 7);
+                h = mix(h, child(t));
+            }
+            TermNode::Div(a, b) => {
+                h = mix(h, 8);
+                h = mix(h, child(a));
+                h = mix(h, child(b));
+            }
+            TermNode::Mod(a, b) => {
+                h = mix(h, 9);
+                h = mix(h, child(a));
+                h = mix(h, child(b));
+            }
+            TermNode::Abs(t) => {
+                h = mix(h, 10);
+                h = mix(h, child(t));
+            }
+            TermNode::Ite(c, a, b) => {
+                h = mix(h, 11);
+                h = mix(h, child(c));
+                h = mix(h, child(a));
+                h = mix(h, child(b));
+            }
+            TermNode::Le(a, b) => {
+                h = mix(h, 12);
+                h = mix(h, child(a));
+                h = mix(h, child(b));
+            }
+            TermNode::Lt(a, b) => {
+                h = mix(h, 13);
+                h = mix(h, child(a));
+                h = mix(h, child(b));
+            }
+            TermNode::EqNum(a, b) => {
+                h = mix(h, 14);
+                h = mix(h, child(a));
+                h = mix(h, child(b));
+            }
+            TermNode::Not(t) => {
+                h = mix(h, 15);
+                h = mix(h, child(t));
+            }
+            TermNode::And(ts) => {
+                h = mix(h, 16);
+                h = mix(h, ts.len() as u128);
+                for t in ts {
+                    h = mix(h, child(t));
+                }
+            }
+            TermNode::Or(ts) => {
+                h = mix(h, 17);
+                h = mix(h, ts.len() as u128);
+                for t in ts {
+                    h = mix(h, child(t));
+                }
+            }
+            TermNode::Implies(a, b) => {
+                h = mix(h, 18);
+                h = mix(h, child(a));
+                h = mix(h, child(b));
+            }
+            TermNode::Iff(a, b) => {
+                h = mix(h, 19);
+                h = mix(h, child(a));
+                h = mix(h, child(b));
+            }
+        }
+        h
     }
 
     /// The node behind an id.
@@ -567,9 +744,7 @@ impl TermArena {
                     self.collect_vars(t, out);
                 }
             }
-            TermNode::Neg(t) | TermNode::Abs(t) | TermNode::Not(t) => {
-                self.collect_vars(*t, out)
-            }
+            TermNode::Neg(t) | TermNode::Abs(t) | TermNode::Not(t) => self.collect_vars(*t, out),
             TermNode::Mul(a, b)
             | TermNode::Div(a, b)
             | TermNode::Mod(a, b)
@@ -655,30 +830,50 @@ impl TermArena {
 }
 
 // ---------------------------------------------------------------------------
-// The global arena and the chainable TermId API
+// The per-thread arena shard and the chainable TermId API
 // ---------------------------------------------------------------------------
 
-fn global_arena() -> &'static Mutex<TermArena> {
-    static GLOBAL: OnceLock<Mutex<TermArena>> = OnceLock::new();
-    GLOBAL.get_or_init(|| Mutex::new(TermArena::new()))
+thread_local! {
+    /// This thread's arena shard. Every thread owns one; nothing is shared,
+    /// so the chainable API takes no process-wide lock and per-algorithm
+    /// verification scales across threads. The shard is created lazily on
+    /// first use and freed when the thread exits — worker threads spawned
+    /// for one corpus run do not leak arena memory into the process.
+    static SHARD: RefCell<TermArena> = RefCell::new(TermArena::new());
 }
 
-/// Runs `f` with exclusive access to the process-wide arena.
+/// Runs `f` with exclusive access to this thread's arena shard.
 ///
-/// The solver uses this to lock once per query instead of once per node.
+/// The solver uses this to borrow once per query instead of once per node.
 /// **Do not** call any of the chainable [`TermId`] methods (or `Display`)
-/// from inside `f` — they would re-acquire the lock and deadlock; use the
-/// `&mut TermArena` handed to `f` instead.
-pub fn with_global_arena<R>(f: impl FnOnce(&mut TermArena) -> R) -> R {
-    let mut arena = global_arena().lock().unwrap_or_else(|p| p.into_inner());
-    f(&mut arena)
+/// from inside `f` — use the `&mut TermArena` handed to `f` instead.
+/// Unlike the old process-wide mutex, a violation cannot deadlock (there is
+/// no lock): it fails fast with a descriptive panic, and the discipline is
+/// structural — every internal path that runs under `with_shard`
+/// ([`crate::solve`], [`crate::normalize`]) threads the `&mut TermArena`
+/// handle explicitly, so re-entry cannot arise there by construction.
+pub fn with_shard<R>(f: impl FnOnce(&mut TermArena) -> R) -> R {
+    SHARD.with(|a| match a.try_borrow_mut() {
+        Ok(mut arena) => f(&mut arena),
+        Err(_) => panic!(
+            "re-entrant arena-shard access: inside with_shard, build terms \
+             through the &mut TermArena handle, not the chainable TermId API"
+        ),
+    })
 }
 
-macro_rules! global_binop {
+/// Former name of [`with_shard`], from when the arena was a process-wide
+/// mutex rather than per-thread shards.
+#[deprecated(note = "arenas are per-thread shards now; use with_shard")]
+pub fn with_global_arena<R>(f: impl FnOnce(&mut TermArena) -> R) -> R {
+    with_shard(f)
+}
+
+macro_rules! shard_binop {
     ($($(#[$doc:meta])* $name:ident),* $(,)?) => {$(
         $(#[$doc])*
         pub fn $name(self, rhs: TermId) -> TermId {
-            with_global_arena(|a| a.$name(self, rhs))
+            with_shard(|a| a.$name(self, rhs))
         }
     )*};
 }
@@ -687,51 +882,51 @@ macro_rules! global_binop {
 // API (`a.add(b)`, `t.not()`, …); they are not operator overloads.
 #[allow(clippy::should_implement_trait)]
 impl TermId {
-    /// Integer constant (global arena).
+    /// Integer constant (thread shard).
     pub fn int(n: i128) -> TermId {
-        with_global_arena(|a| a.int(n))
+        with_shard(|a| a.int(n))
     }
 
-    /// Rational constant (global arena).
+    /// Rational constant (thread shard).
     pub fn rat(r: Rat) -> TermId {
-        with_global_arena(|a| a.rat(r))
+        with_shard(|a| a.rat(r))
     }
 
-    /// Boolean constant (global arena).
+    /// Boolean constant (thread shard).
     pub fn bool_const(b: bool) -> TermId {
-        with_global_arena(|a| a.bool_const(b))
+        with_shard(|a| a.bool_const(b))
     }
 
-    /// Real-sorted variable (global arena).
+    /// Real-sorted variable (thread shard).
     pub fn real_var(name: impl Into<Symbol>) -> TermId {
         let s = name.into();
-        with_global_arena(|a| a.real_var(s))
+        with_shard(|a| a.real_var(s))
     }
 
-    /// Bool-sorted variable (global arena).
+    /// Bool-sorted variable (thread shard).
     pub fn bool_var(name: impl Into<Symbol>) -> TermId {
         let s = name.into();
-        with_global_arena(|a| a.bool_var(s))
+        with_shard(|a| a.bool_var(s))
     }
 
-    /// Numeric if-then-else (global arena).
+    /// Numeric if-then-else (thread shard).
     pub fn ite(cond: TermId, then: TermId, els: TermId) -> TermId {
-        with_global_arena(|a| a.ite(cond, then, els))
+        with_shard(|a| a.ite(cond, then, els))
     }
 
-    /// Conjunction of a sequence of terms (global arena).
+    /// Conjunction of a sequence of terms (thread shard).
     pub fn conj(terms: impl IntoIterator<Item = TermId>) -> TermId {
         let terms: Vec<TermId> = terms.into_iter().collect();
-        with_global_arena(|a| a.conj(terms))
+        with_shard(|a| a.conj(terms))
     }
 
-    /// Disjunction of a sequence of terms (global arena).
+    /// Disjunction of a sequence of terms (thread shard).
     pub fn disj(terms: impl IntoIterator<Item = TermId>) -> TermId {
         let terms: Vec<TermId> = terms.into_iter().collect();
-        with_global_arena(|a| a.disj(terms))
+        with_shard(|a| a.disj(terms))
     }
 
-    global_binop! {
+    shard_binop! {
         /// `self + rhs` with constant folding and flattening.
         add,
         /// `self - rhs`.
@@ -766,55 +961,56 @@ impl TermId {
 
     /// `-self`.
     pub fn neg(self) -> TermId {
-        with_global_arena(|a| a.neg(self))
+        with_shard(|a| a.neg(self))
     }
 
     /// `abs(self)`.
     pub fn abs(self) -> TermId {
-        with_global_arena(|a| a.abs(self))
+        with_shard(|a| a.abs(self))
     }
 
     /// Boolean negation with folding.
     pub fn not(self) -> TermId {
-        with_global_arena(|a| a.not(self))
+        with_shard(|a| a.not(self))
     }
 
-    /// A clone of this term's node in the global arena — the matching
+    /// A clone of this term's node in the thread shard — the matching
     /// surface replacing pattern matching on the old deep-tree `Term`.
     pub fn view(self) -> TermNode {
-        with_global_arena(|a| a.node(self).clone())
+        with_shard(|a| a.node(self).clone())
     }
 
-    /// All variable names (both sorts) occurring in the term (global
-    /// arena), rendered as strings for caller convenience.
+    /// All variable names (both sorts) occurring in the term (thread
+    /// shard), rendered as strings for caller convenience.
     pub fn vars(self) -> Vec<String> {
-        with_global_arena(|a| a.vars(self))
+        with_shard(|a| a.vars(self))
             .into_iter()
             .map(|s| s.as_str().to_string())
             .collect()
     }
 
-    /// All variable symbols occurring in the term (global arena).
+    /// All variable symbols occurring in the term (thread shard).
     pub fn var_symbols(self) -> Vec<Symbol> {
-        with_global_arena(|a| a.vars(self))
+        with_shard(|a| a.vars(self))
     }
 }
 
-/// Renders against the **global** arena.
+/// Renders against **this thread's** arena shard.
 ///
-/// An id minted by an explicit [`TermArena`] carries no provenance — if it
-/// happens to be in range of the global arena this prints whatever
-/// unrelated node owns that slot there (only out-of-range ids get the
-/// `<term#N …>` marker). Code working with explicit arenas must render
-/// through [`TermArena::display`] instead; `Display` on a raw id is only
-/// meaningful for globally built terms.
+/// An id minted by an explicit [`TermArena`] (or on a different thread)
+/// carries no provenance — if it happens to be in range of this thread's
+/// shard this prints whatever unrelated node owns that slot (only
+/// out-of-range ids get the `<term#N …>` marker). Code working with
+/// explicit arenas must render through [`TermArena::display`] instead;
+/// `Display` on a raw id is only meaningful for terms built on the current
+/// thread through the chainable API.
 impl fmt::Display for TermId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        with_global_arena(|a| {
+        with_shard(|a| {
             if (self.0 as usize) < a.len() {
                 a.display(*self, f)
             } else {
-                write!(f, "<term#{} out of global arena>", self.0)
+                write!(f, "<term#{} out of this thread's shard>", self.0)
             }
         })
     }
@@ -914,19 +1110,13 @@ mod tests {
         assert_eq!(Term::disj(atoms.iter().copied()), folded);
         // Constants fold away / short-circuit identically.
         assert_eq!(Term::conj([]), Term::bool_const(true));
-        assert_eq!(
-            Term::conj([Term::bool_const(true), atoms[0]]),
-            atoms[0]
-        );
+        assert_eq!(Term::conj([Term::bool_const(true), atoms[0]]), atoms[0]);
         assert_eq!(
             Term::conj([atoms[0], Term::bool_const(false), atoms[1]]),
             Term::bool_const(false)
         );
         assert_eq!(Term::disj([]), Term::bool_const(false));
-        assert_eq!(
-            Term::disj([Term::bool_const(false), atoms[1]]),
-            atoms[1]
-        );
+        assert_eq!(Term::disj([Term::bool_const(false), atoms[1]]), atoms[1]);
         // Nested n-ary arguments flatten one level, like the fold.
         let pair = atoms[0].and(atoms[1]);
         assert_eq!(
@@ -954,8 +1144,8 @@ mod tests {
         let x2 = arena.real_var("x");
         let t2 = arena.add(x2, one);
         assert_eq!(t, t2);
-        // Generations differ from the global arena.
-        let g = with_global_arena(|a| a.generation());
+        // Generations differ from this thread's shard.
+        let g = with_shard(|a| a.generation());
         assert_ne!(arena.generation(), g);
     }
 
@@ -966,5 +1156,68 @@ mod tests {
         assert_eq!(a, b);
         assert_eq!(a.as_str(), "some_var");
         assert_ne!(Symbol::intern("other_var"), a);
+    }
+
+    /// Interning the same structure into two independent arenas — in any
+    /// construction order — yields the same fingerprint; structurally
+    /// different terms get different fingerprints.
+    #[test]
+    fn fingerprints_are_arena_independent() {
+        let mut a = TermArena::new();
+        let mut b = TermArena::new();
+
+        // Arena A builds x + 1 <= 0 directly.
+        let ax = a.real_var("x");
+        let a1 = a.int(1);
+        let asum = a.add(ax, a1);
+        let a0 = a.int(0);
+        let at = a.le(asum, a0);
+
+        // Arena B interns unrelated junk first, shifting every numeric id,
+        // then builds the same structure.
+        let junk = b.real_var("junk");
+        let j2 = b.int(42);
+        let _ = b.mul(junk, j2);
+        let bx = b.real_var("x");
+        let b1 = b.int(1);
+        let bsum = b.add(bx, b1);
+        let b0 = b.int(0);
+        let bt = b.le(bsum, b0);
+
+        assert_ne!(at, bt, "ids should differ (shifted arena)");
+        assert_eq!(a.fingerprint(at), b.fingerprint(bt));
+
+        // A different bound is a different structure.
+        let a2 = a.int(2);
+        let at2 = a.le(asum, a2);
+        assert_ne!(a.fingerprint(at), a.fingerprint(at2));
+        // Different variable name, same shape.
+        let by = b.real_var("y");
+        let bsum_y = b.add(by, b1);
+        let bt_y = b.le(bsum_y, b0);
+        assert_ne!(b.fingerprint(bt), b.fingerprint(bt_y));
+    }
+
+    /// The same chainable program run on two threads (each with its own
+    /// shard) produces fingerprint-identical terms.
+    #[test]
+    fn thread_shards_agree_on_fingerprints() {
+        fn build() -> u128 {
+            let t = Term::real_var("tsx")
+                .add(Term::int(3))
+                .le(Term::real_var("tsy").abs());
+            with_shard(|a| a.fingerprint(t)).0
+        }
+        let here = build();
+        let there = std::thread::spawn(build).join().unwrap();
+        assert_eq!(here, there);
+    }
+
+    /// Chainable calls inside `with_shard` fail fast with a descriptive
+    /// panic (the old process-wide mutex deadlocked here).
+    #[test]
+    #[should_panic(expected = "re-entrant arena-shard access")]
+    fn reentrant_shard_access_panics() {
+        with_shard(|_| Term::int(1));
     }
 }

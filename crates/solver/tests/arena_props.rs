@@ -334,9 +334,7 @@ fn run_reference(p: &Prog) -> RTerm {
         Prog::Div(a, b) => run_reference(a).div(run_reference(b)),
         Prog::Rem(a, b) => run_reference(a).rem(run_reference(b)),
         Prog::Abs(a) => run_reference(a).abs(),
-        Prog::Ite(c, t, e) => {
-            RTerm::ite(run_reference(c), run_reference(t), run_reference(e))
-        }
+        Prog::Ite(c, t, e) => RTerm::ite(run_reference(c), run_reference(t), run_reference(e)),
         Prog::Le(a, b) => run_reference(a).le(run_reference(b)),
         Prog::Lt(a, b) => run_reference(a).lt(run_reference(b)),
         Prog::EqNum(a, b) => run_reference(a).eq_num(run_reference(b)),
@@ -424,9 +422,8 @@ fn bool_prog() -> impl Strategy<Value = Prog> {
 
 /// `ite` mixed into numeric position, guarded by boolean programs.
 fn mixed_prog() -> impl Strategy<Value = Prog> {
-    (bool_prog(), num_prog(), num_prog(), num_prog()).prop_map(|(c, t, e, rhs)| {
-        Prog::Le(bx(Prog::Ite(bx(c), bx(t), bx(e))), bx(rhs))
-    })
+    (bool_prog(), num_prog(), num_prog(), num_prog())
+        .prop_map(|(c, t, e, rhs)| Prog::Le(bx(Prog::Ite(bx(c), bx(t), bx(e))), bx(rhs)))
 }
 
 proptest! {
@@ -474,9 +471,12 @@ proptest! {
 // Memo-table isolation across arenas
 // ---------------------------------------------------------------------------
 
-/// The solver's memo table must key on the arena generation: numerically
+/// The solver's memo table keys on structural fingerprints: numerically
 /// identical `TermId`s from different arenas denote different formulas and
-/// must never share cache entries.
+/// must never share cache entries. (Entries *do* transfer across arenas
+/// when the structures match — that contract is pinned by
+/// `tests/shard_memo.rs`; here the structures differ, so the ids colliding
+/// numerically must not matter.)
 #[test]
 fn memo_table_is_arena_isolated() {
     let solver = Solver::new();
@@ -508,8 +508,8 @@ fn memo_table_is_arena_isolated() {
     assert_eq!(solver.stats().cache_hits, 2);
 }
 
-/// A fresh arena with fresh generation bypasses entries of a dropped arena
-/// even if ids repeat (generation tags are never reused).
+/// A fresh arena bypasses a dropped arena's entries even when ids repeat
+/// numerically, because the structures (and hence fingerprints) differ.
 #[test]
 fn dropped_arena_entries_are_unreachable() {
     let solver = Solver::new();

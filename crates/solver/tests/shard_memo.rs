@@ -1,0 +1,276 @@
+//! The cross-arena memo-key contract behind parallel verification.
+//!
+//! The solver memoizes validity queries under 128-bit structural
+//! fingerprints, so a memo table shared between threads answers a query one
+//! thread already solved even though every thread interns into its own
+//! arena shard. Two properties make that sound, and both are pinned here
+//! over randomized term-construction programs:
+//!
+//! 1. **Transfer** — interning the same construction program into two
+//!    independent arenas (or running it on two threads through the
+//!    chainable shard API) yields equal fingerprints, and the second query
+//!    is a memo hit.
+//! 2. **No aliasing** — programs that build structurally different terms
+//!    (witnessed by their injective s-expression rendering) get different
+//!    fingerprints, so an entry can never answer the wrong query.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use shadowdp_solver::{QueryMemo, Solver, Term, TermArena, TermId};
+
+// ---------------------------------------------------------------------------
+// Random construction programs replayed against explicit arenas
+// ---------------------------------------------------------------------------
+
+/// One smart-constructor call per node; replaying builds the term bottom-up
+/// in whichever arena it is handed.
+#[derive(Clone, Debug)]
+enum Prog {
+    Int(i128),
+    RVar(u8),
+    BVar(u8),
+    Le(Box<Prog>, Box<Prog>),
+    Lt(Box<Prog>, Box<Prog>),
+    EqNum(Box<Prog>, Box<Prog>),
+    Add(Box<Prog>, Box<Prog>),
+    Mul(Box<Prog>, Box<Prog>),
+    Neg(Box<Prog>),
+    Abs(Box<Prog>),
+    Not(Box<Prog>),
+    And(Box<Prog>, Box<Prog>),
+    Or(Box<Prog>, Box<Prog>),
+    Implies(Box<Prog>, Box<Prog>),
+}
+
+const RVARS: [&str; 3] = ["smx", "smy", "smz"];
+const BVARS: [&str; 2] = ["smp", "smq"];
+
+fn replay(arena: &mut TermArena, p: &Prog) -> TermId {
+    match p {
+        Prog::Int(n) => arena.int(*n),
+        Prog::RVar(i) => arena.real_var(RVARS[*i as usize % RVARS.len()]),
+        Prog::BVar(i) => arena.bool_var(BVARS[*i as usize % BVARS.len()]),
+        Prog::Le(a, b) => {
+            let (a, b) = (replay(arena, a), replay(arena, b));
+            arena.le(a, b)
+        }
+        Prog::Lt(a, b) => {
+            let (a, b) = (replay(arena, a), replay(arena, b));
+            arena.lt(a, b)
+        }
+        Prog::EqNum(a, b) => {
+            let (a, b) = (replay(arena, a), replay(arena, b));
+            arena.eq_num(a, b)
+        }
+        Prog::Add(a, b) => {
+            let (a, b) = (replay(arena, a), replay(arena, b));
+            arena.add(a, b)
+        }
+        Prog::Mul(a, b) => {
+            let (a, b) = (replay(arena, a), replay(arena, b));
+            arena.mul(a, b)
+        }
+        Prog::Neg(a) => {
+            let a = replay(arena, a);
+            arena.neg(a)
+        }
+        Prog::Abs(a) => {
+            let a = replay(arena, a);
+            arena.abs(a)
+        }
+        Prog::Not(a) => {
+            let a = replay(arena, a);
+            arena.not(a)
+        }
+        Prog::And(a, b) => {
+            let (a, b) = (replay(arena, a), replay(arena, b));
+            arena.and(a, b)
+        }
+        Prog::Or(a, b) => {
+            let (a, b) = (replay(arena, a), replay(arena, b));
+            arena.or(a, b)
+        }
+        Prog::Implies(a, b) => {
+            let (a, b) = (replay(arena, a), replay(arena, b));
+            arena.implies(a, b)
+        }
+    }
+}
+
+/// Renders via the arena (ids are arena-local, so rendering must be too).
+fn render(arena: &TermArena, id: TermId) -> String {
+    struct D<'a>(&'a TermArena, TermId);
+    impl std::fmt::Display for D<'_> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            self.0.display(self.1, f)
+        }
+    }
+    D(arena, id).to_string()
+}
+
+fn num_prog() -> impl Strategy<Value = Prog> {
+    let leaf = prop_oneof![
+        (-4i128..=4).prop_map(Prog::Int),
+        (0u8..3).prop_map(Prog::RVar),
+    ];
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Prog::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Prog::Mul(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| Prog::Neg(Box::new(a))),
+            inner.clone().prop_map(|a| Prog::Abs(Box::new(a))),
+        ]
+    })
+}
+
+fn bool_prog() -> impl Strategy<Value = Prog> {
+    let atom = prop_oneof![
+        (num_prog(), num_prog(), 0u8..3).prop_map(|(a, b, k)| match k {
+            0 => Prog::Le(Box::new(a), Box::new(b)),
+            1 => Prog::Lt(Box::new(a), Box::new(b)),
+            _ => Prog::EqNum(Box::new(a), Box::new(b)),
+        }),
+        (0u8..2).prop_map(Prog::BVar),
+    ];
+    atom.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Prog::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Prog::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Prog::Implies(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| Prog::Not(Box::new(a))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Transfer: the same program in two independent arenas — one of them
+    /// pre-polluted so every numeric id shifts — fingerprints identically.
+    #[test]
+    fn identical_structure_fingerprints_identically(p in bool_prog()) {
+        let mut a = TermArena::new();
+        let mut b = TermArena::new();
+        // Shift arena B's ids so any accidental id-based keying would show.
+        let junk = b.real_var("shard_junk");
+        let j = b.int(991);
+        let _ = b.mul(junk, j);
+
+        let ta = replay(&mut a, &p);
+        let tb = replay(&mut b, &p);
+        prop_assert_eq!(a.fingerprint(ta), b.fingerprint(tb));
+    }
+
+    /// No aliasing: structurally different terms (different renderings)
+    /// never share a fingerprint.
+    #[test]
+    fn different_structure_never_collides(p in bool_prog(), q in bool_prog()) {
+        let mut a = TermArena::new();
+        let mut b = TermArena::new();
+        let tp = replay(&mut a, &p);
+        let tq = replay(&mut b, &q);
+        // Rendering is injective on structure, so it decides "same term".
+        if render(&a, tp) != render(&b, tq) {
+            prop_assert_ne!(a.fingerprint(tp), b.fingerprint(tq));
+        } else {
+            prop_assert_eq!(a.fingerprint(tp), b.fingerprint(tq));
+        }
+    }
+
+    /// End-to-end transfer through the solver: a query answered in one
+    /// arena is a memo hit when re-asked from a different arena that built
+    /// the same conjunction independently.
+    #[test]
+    fn memo_hits_transfer_across_arenas(p in bool_prog(), q in bool_prog()) {
+        let memo = Arc::new(QueryMemo::default());
+        let s1 = Solver::with_memo(memo.clone());
+        let s2 = Solver::with_memo(memo);
+
+        let mut a = TermArena::new();
+        let (pa, qa) = (replay(&mut a, &p), replay(&mut a, &q));
+        let first = s1.check_in(&mut a, &[pa, qa]);
+        prop_assert_eq!(s1.stats().cache_hits, 0);
+
+        let mut b = TermArena::new();
+        let (pb, qb) = (replay(&mut b, &p), replay(&mut b, &q));
+        let second = s2.check_in(&mut b, &[pb, qb]);
+        prop_assert_eq!(s2.stats().cache_hits, 1);
+        prop_assert_eq!(first, second);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-thread transfer through the per-thread shards
+// ---------------------------------------------------------------------------
+
+/// Two threads interning the same conjunction into their own shards share
+/// memo entries: the thread that asks second gets a pure cache hit, with no
+/// new theory work.
+#[test]
+fn threads_share_memo_entries_without_sharing_arenas() {
+    let memo = Arc::new(QueryMemo::default());
+
+    fn query(solver: &Solver) -> bool {
+        let x = Term::real_var("shard_memo_x");
+        let y = Term::real_var("shard_memo_y");
+        let hyp = x.ge(Term::int(1)).and(y.eq_num(x.add(Term::int(2))));
+        solver.check(&[hyp, y.ge(Term::int(3))]).is_sat()
+    }
+
+    let (first_sat, theory_calls) = {
+        let memo = memo.clone();
+        std::thread::spawn(move || {
+            let solver = Solver::with_memo(memo);
+            let sat = query(&solver);
+            let st = solver.stats();
+            assert_eq!(st.cache_hits, 0, "first thread must do the real work");
+            (sat, st.theory_calls)
+        })
+        .join()
+        .unwrap()
+    };
+    assert!(first_sat);
+    assert!(theory_calls > 0);
+
+    let second = std::thread::spawn(move || {
+        let solver = Solver::with_memo(memo);
+        let sat = query(&solver);
+        let st = solver.stats();
+        (sat, st)
+    })
+    .join()
+    .unwrap();
+    assert!(second.0, "cached verdict must match");
+    assert_eq!(second.1.cache_hits, 1, "second thread must hit the memo");
+    assert_eq!(second.1.theory_calls, 0, "a hit does no theory work");
+}
+
+/// Sanity for the no-aliasing direction at the solver level: two
+/// structurally different queries from different threads must not answer
+/// each other.
+#[test]
+fn threads_never_alias_distinct_queries() {
+    let memo = Arc::new(QueryMemo::default());
+    let x = || Term::real_var("alias_x");
+
+    {
+        let memo = memo.clone();
+        std::thread::spawn(move || {
+            let solver = Solver::with_memo(memo);
+            // Satisfiable: x <= 1.
+            assert!(solver.check(&[x().le(Term::int(1))]).is_sat());
+        })
+        .join()
+        .unwrap();
+    }
+
+    let solver = Solver::with_memo(memo);
+    // Unsatisfiable: x <= 1 ∧ x >= 2 — shares shape fragments with the
+    // cached query but is a different conjunction.
+    assert!(!solver
+        .check(&[x().le(Term::int(1)), x().ge(Term::int(2))])
+        .is_sat());
+    assert_eq!(solver.stats().cache_hits, 0);
+}

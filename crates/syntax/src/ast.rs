@@ -692,13 +692,12 @@ impl Function {
                     CmdKind::Assume(_) => {
                         return Err("assume is not allowed in source programs".into())
                     }
-                    CmdKind::Assign(n, e)
-                        if (n.is_hat() || e.vars().iter().any(Name::is_hat)) => {
-                            return Err(format!(
-                                "hat variables are not allowed in source programs (in `{} := ...`)",
-                                n
-                            ));
-                        }
+                    CmdKind::Assign(n, e) if (n.is_hat() || e.vars().iter().any(Name::is_hat)) => {
+                        return Err(format!(
+                            "hat variables are not allowed in source programs (in `{} := ...`)",
+                            n
+                        ));
+                    }
                     CmdKind::If(_, c1, c2) => {
                         check(c1)?;
                         check(c2)?;
@@ -717,10 +716,9 @@ impl Function {
         fn walk(cmds: &[Cmd], out: &mut Vec<String>) {
             for c in cmds {
                 match &c.kind {
-                    CmdKind::Sample { var, .. }
-                        if !out.contains(&var.base) => {
-                            out.push(var.base.clone());
-                        }
+                    CmdKind::Sample { var, .. } if !out.contains(&var.base) => {
+                        out.push(var.base.clone());
+                    }
                     CmdKind::If(_, c1, c2) => {
                         walk(c1, out);
                         walk(c2, out);

@@ -416,13 +416,15 @@ impl<'a> Lexer<'a> {
             }
         }
         let text = &self.src[start..self.pos];
-        text.parse::<Rat>().map(TokenKind::Number).map_err(|_| LexError {
-            message: format!("invalid numeric literal `{text}`"),
-            span: Span {
-                start,
-                end: self.pos,
-            },
-        })
+        text.parse::<Rat>()
+            .map(TokenKind::Number)
+            .map_err(|_| LexError {
+                message: format!("invalid numeric literal `{text}`"),
+                span: Span {
+                    start,
+                    end: self.pos,
+                },
+            })
     }
 }
 

@@ -60,8 +60,8 @@ pub mod parser;
 pub mod pretty;
 
 pub use ast::{
-    Adjacency, BinOp, Cmd, CmdKind, Distance, Expr, Function, Name, NameKind, Param,
-    Precondition, RandExpr, RetDecl, Selector, Ty, UnOp,
+    Adjacency, BinOp, Cmd, CmdKind, Distance, Expr, Function, Name, NameKind, Param, Precondition,
+    RandExpr, RetDecl, Selector, Ty, UnOp,
 };
 pub use lexer::{Lexer, Span, Token, TokenKind};
 pub use parser::{parse_expr, parse_function, ParseError};

@@ -856,16 +856,15 @@ mod tests {
     #[test]
     fn reserved_words_rejected_as_names() {
         assert!(parse_expr("lap").is_err());
-        assert!(parse_function(
-            "function F(if: num(0,0)) returns o: num(0,0) { o := 0; }"
-        )
-        .is_err());
+        assert!(
+            parse_function("function F(if: num(0,0)) returns o: num(0,0) { o := 0; }").is_err()
+        );
     }
 
     #[test]
     fn error_reports_position() {
-        let err = parse_function("function F(x: num(0,0)) returns o: num(0,0) { o := ; }")
-            .unwrap_err();
+        let err =
+            parse_function("function F(x: num(0,0)) returns o: num(0,0) { o := ; }").unwrap_err();
         assert!(err.message.contains("expected expression"));
         assert!(err.span.start > 0);
     }

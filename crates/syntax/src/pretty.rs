@@ -93,7 +93,12 @@ fn write_expr(out: &mut String, e: &Expr) {
             // the right child must bind strictly tighter. Comparisons and
             // cons are non-associative / right-associative respectively.
             match op {
-                BinOp::Or | BinOp::And | BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div
+                BinOp::Or
+                | BinOp::And
+                | BinOp::Add
+                | BinOp::Sub
+                | BinOp::Mul
+                | BinOp::Div
                 | BinOp::Mod => {
                     write_child(out, a, p);
                     let _ = write!(out, " {} ", op.symbol());

@@ -40,9 +40,7 @@
 
 use std::time::{Duration, Instant};
 
-use shadowdp_syntax::{
-    pretty_expr, Cmd, CmdKind, Expr, Function, Name, NameKind, Selector, Ty,
-};
+use shadowdp_syntax::{pretty_expr, Cmd, CmdKind, Expr, Function, Name, NameKind, Selector, Ty};
 use shadowdp_typing::check_function;
 use shadowdp_verify::{verify, Engine, Options, Verdict};
 
@@ -94,10 +92,8 @@ struct Candidate {
 pub fn synthesize(f: &Function, opts: &SynthOptions) -> SynthResult {
     let start = Instant::now();
     let sites = sample_sites(&f.body);
-    let site_candidates: Vec<Vec<Candidate>> = sites
-        .iter()
-        .map(|site| candidates_for(f, site))
-        .collect();
+    let site_candidates: Vec<Vec<Candidate>> =
+        sites.iter().map(|site| candidates_for(f, site)).collect();
 
     let mut attempts = 0usize;
     let mut indices = vec![0usize; sites.len()];
@@ -199,12 +195,7 @@ fn sample_sites(cmds: &[Cmd]) -> Vec<Site> {
 /// The heuristic candidate pool for one site.
 fn candidates_for(f: &Function, site: &Site) -> Vec<Candidate> {
     // Alignment building blocks.
-    let mut aligns: Vec<Expr> = vec![
-        Expr::int(0),
-        Expr::int(1),
-        Expr::int(2),
-        Expr::int(-1),
-    ];
+    let mut aligns: Vec<Expr> = vec![Expr::int(0), Expr::int(1), Expr::int(2), Expr::int(-1)];
     // Exact query differences: −^q[i], 1 − ^q[i] for indexed list reads in
     // the function; negated tracked scalars −^x for annotation-style sums.
     for (list, idx) in indexed_lists(&f.body) {
@@ -238,11 +229,13 @@ fn candidates_for(f: &Function, site: &Site) -> Vec<Candidate> {
         let conditioned: Vec<Expr> = aligns
             .iter()
             .filter(|d| !d.is_zero_lit())
-            .map(|d| Expr::Ternary(
-                Box::new(omega.clone()),
-                Box::new(d.clone()),
-                Box::new(Expr::int(0)),
-            ))
+            .map(|d| {
+                Expr::Ternary(
+                    Box::new(omega.clone()),
+                    Box::new(d.clone()),
+                    Box::new(Expr::int(0)),
+                )
+            })
             .collect();
         aligns.extend(conditioned);
     }
@@ -336,9 +329,11 @@ fn summed_scalars(cmds: &[Cmd]) -> Vec<String> {
             match &c.kind {
                 CmdKind::Assign(n, Expr::Binary(shadowdp_syntax::BinOp::Add, a, _))
                     if n.kind == NameKind::Plain
-                    && matches!(&**a, Expr::Var(v) if v == n) && !out.contains(&n.base) => {
-                        out.push(n.base.clone());
-                    }
+                        && matches!(&**a, Expr::Var(v) if v == n)
+                        && !out.contains(&n.base) =>
+                {
+                    out.push(n.base.clone());
+                }
                 CmdKind::If(_, a, b) => {
                     walk(a, out);
                     walk(b, out);
@@ -391,10 +386,7 @@ fn apply_annotations(f: &Function, chosen: &[&Candidate]) -> Function {
             .collect()
     }
     let body = rewrite(&f.body, chosen, &mut next);
-    Function {
-        body,
-        ..f.clone()
-    }
+    Function { body, ..f.clone() }
 }
 
 fn pretty_selector(s: &Selector) -> String {

@@ -5,9 +5,7 @@ use std::collections::BTreeSet;
 use std::fmt;
 
 use shadowdp_solver::{Solver, Symbol, Term};
-use shadowdp_syntax::{
-    pretty_expr, Cmd, CmdKind, Expr, Function, Name, RandExpr, Selector, Span,
-};
+use shadowdp_syntax::{pretty_expr, Cmd, CmdKind, Expr, Function, Name, RandExpr, Selector, Span};
 
 use crate::cleanup::eliminate_dead_hats;
 use crate::env::{Dist, TypeEnv, VarTy};
@@ -291,9 +289,8 @@ impl<'a> Checker<'a> {
         // `x := nil` adopts the declared type for the output variable.
         if matches!(e, Expr::Nil) {
             let ty = if x.base == self.func.ret.name {
-                VarTy::from_ty(&self.func.ret.ty).ok_or_else(|| {
-                    TypeError::at(span, "unsupported declared return type")
-                })?
+                VarTy::from_ty(&self.func.ret.ty)
+                    .ok_or_else(|| TypeError::at(span, "unsupported declared return type"))?
             } else {
                 return Err(TypeError::at(
                     span,
@@ -529,8 +526,12 @@ impl<'a> Checker<'a> {
         {
             ETy::Num { al, sh } => {
                 let typer = self.typer(&env);
-                let zero = typer.dist_is_zero(&al).map_err(|m| TypeError::at(span, m))?
-                    && typer.dist_is_zero(&sh).map_err(|m| TypeError::at(span, m))?;
+                let zero = typer
+                    .dist_is_zero(&al)
+                    .map_err(|m| TypeError::at(span, m))?
+                    && typer
+                        .dist_is_zero(&sh)
+                        .map_err(|m| TypeError::at(span, m))?;
                 if !zero {
                     return Err(TypeError::at(
                         span,
@@ -721,9 +722,7 @@ impl<'a> Checker<'a> {
                     continue; // ⇛ under ⊤ only maintains aligned hats
                 }
                 let d = match under {
-                    Some((cond, polarity)) => {
-                        crate::env::simplify_expr_under(d, cond, polarity)
-                    }
+                    Some((cond, polarity)) => crate::env::simplify_expr_under(d, cond, polarity),
                     None => d.clone(),
                 };
                 let hat = if aligned {
@@ -954,9 +953,7 @@ impl<'a> Checker<'a> {
             .map_err(|m| TypeError::at(span, m))?;
         let typer = self.typer(&env);
         let ok = match &ety {
-            ETy::Num { al, .. } => typer
-                .dist_is_zero(al)
-                .map_err(|m| TypeError::at(span, m))?,
+            ETy::Num { al, .. } => typer.dist_is_zero(al).map_err(|m| TypeError::at(span, m))?,
             ETy::Bool | ETy::BoolList | ETy::NilList => true,
             ETy::NumList { al, .. } => match al {
                 Dist::D(d) => d.is_zero_lit(),

@@ -58,16 +58,18 @@ fn collect(cmds: &[Cmd], roots: &mut BTreeSet<Name>, edges: &mut Vec<(Name, BTre
                 collect(a, roots, edges);
                 collect(b, roots, edges);
             }
-            CmdKind::While { cond, invariants, body } => {
+            CmdKind::While {
+                cond,
+                invariants,
+                body,
+            } => {
                 hat_reads(cond, roots);
                 for inv in invariants {
                     hat_reads(inv, roots);
                 }
                 collect(body, roots, edges);
             }
-            CmdKind::Return(e) | CmdKind::Assert(e) | CmdKind::Assume(e) => {
-                hat_reads(e, roots)
-            }
+            CmdKind::Return(e) | CmdKind::Assert(e) | CmdKind::Assume(e) => hat_reads(e, roots),
             CmdKind::Havoc(_) => {}
         }
     }
@@ -130,10 +132,7 @@ mod tests {
     #[test]
     fn unread_hat_is_removed() {
         let max = Name::plain("max");
-        let mut cmds = vec![
-            assign(max.shadow_hat(), "0"),
-            assign(max.clone(), "1"),
-        ];
+        let mut cmds = vec![assign(max.shadow_hat(), "0"), assign(max.clone(), "1")];
         eliminate_dead_hats(&mut cmds);
         assert_eq!(cmds.len(), 1);
         assert!(matches!(&cmds[0].kind, CmdKind::Assign(n, _) if !n.is_hat()));
@@ -198,12 +197,17 @@ mod tests {
     fn nested_structures() {
         let bq = Name::plain("bq");
         let dead = Name::plain("dead");
-        let mut cmds = vec![Cmd::synth(CmdKind::If(
-            parse_expr("x > 0").unwrap(),
-            vec![assign(bq.aligned_hat(), "1"), assign(dead.aligned_hat(), "2")],
-            vec![],
-        )),
-        Cmd::synth(CmdKind::Return(parse_expr("^bq").unwrap()))];
+        let mut cmds = vec![
+            Cmd::synth(CmdKind::If(
+                parse_expr("x > 0").unwrap(),
+                vec![
+                    assign(bq.aligned_hat(), "1"),
+                    assign(dead.aligned_hat(), "2"),
+                ],
+                vec![],
+            )),
+            Cmd::synth(CmdKind::Return(parse_expr("^bq").unwrap())),
+        ];
         eliminate_dead_hats(&mut cmds);
         match &cmds[0].kind {
             CmdKind::If(_, t, _) => assert_eq!(t.len(), 1),

@@ -2,7 +2,10 @@
 //!
 //! Γ is keyed by interned [`Symbol`]s: every lookup and insertion compares
 //! `u32` ids, and iterating hands out `Copy` keys — no string hashing or
-//! cloning on the type-checking path.
+//! cloning on the type-checking path. Symbols are interned process-wide
+//! (unlike solver terms, which live in per-thread arena shards), so
+//! environments and distances are thread-agnostic; only lowered solver
+//! terms pin a verification to its worker thread.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -338,14 +341,8 @@ mod tests {
     #[test]
     fn expr_for_desugars_star() {
         let x = Name::plain("bq");
-        assert_eq!(
-            Dist::Star.expr_for(&x, true),
-            Expr::Var(x.aligned_hat())
-        );
-        assert_eq!(
-            Dist::Star.expr_for(&x, false),
-            Expr::Var(x.shadow_hat())
-        );
+        assert_eq!(Dist::Star.expr_for(&x, true), Expr::Var(x.aligned_hat()));
+        assert_eq!(Dist::Star.expr_for(&x, false), Expr::Var(x.shadow_hat()));
         let d = Dist::D(Expr::int(2));
         assert_eq!(d.expr_for(&x, true), Expr::int(2));
     }

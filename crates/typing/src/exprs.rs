@@ -97,10 +97,7 @@ impl<'a> ExprTyper<'a> {
                 return Ok(r.is_zero());
             }
         }
-        self.prove(
-            &Expr::cmp_op(BinOp::Eq, d.clone(), Expr::int(0)),
-            &[],
-        )
+        self.prove(&Expr::cmp_op(BinOp::Eq, d.clone(), Expr::int(0)), &[])
     }
 
     /// Whether two distance expressions are (provably) equal.
@@ -143,9 +140,7 @@ impl<'a> ExprTyper<'a> {
                 match it {
                     ETy::Num { al, sh } => {
                         if !(self.dist_is_zero(&al)? && self.dist_is_zero(&sh)?) {
-                            return Err(
-                                "list index must have distance ⟨0,0⟩ (rule T-Index)".into()
-                            );
+                            return Err("list index must have distance ⟨0,0⟩ (rule T-Index)".into());
                         }
                     }
                     _ => return Err("list index must be numeric".into()),
@@ -260,9 +255,7 @@ impl<'a> ExprTyper<'a> {
         // (T-ODot): the comparison's value must agree in the aligned and
         // shadow executions.
         debug_assert!(op.is_comparison());
-        let zero = [&n1, &n2, &n3, &n4]
-            .iter()
-            .all(|d| d.is_zero_lit());
+        let zero = [&n1, &n2, &n3, &n4].iter().all(|d| d.is_zero_lit());
         if zero {
             return Ok(ETy::Bool);
         }
@@ -337,11 +330,9 @@ impl<'a> ExprTyper<'a> {
                         }
                     }
                     Dist::Star => {
-                        return Err(
-                            "cons onto a list with dynamically tracked element \
+                        return Err("cons onto a list with dynamically tracked element \
                              distances is not supported"
-                                .into(),
-                        )
+                            .into())
                     }
                     Dist::Any => {}
                 }
@@ -357,11 +348,9 @@ impl<'a> ExprTyper<'a> {
                         }
                     }
                     Dist::Star => {
-                        return Err(
-                            "cons onto a list with dynamically tracked element \
+                        return Err("cons onto a list with dynamically tracked element \
                              distances is not supported"
-                                .into(),
-                        )
+                            .into())
                     }
                     Dist::Any => {}
                 }
@@ -447,7 +436,10 @@ mod tests {
         let (env, psi) = setup();
         let solver = Solver::new();
         let t = typer(&env, &psi, &solver);
-        assert_eq!(t.type_expr(&parse_expr("1").unwrap()).unwrap(), ETy::num00());
+        assert_eq!(
+            t.type_expr(&parse_expr("1").unwrap()).unwrap(),
+            ETy::num00()
+        );
         assert_eq!(
             t.type_expr(&parse_expr("true").unwrap()).unwrap(),
             ETy::Bool
@@ -563,9 +555,7 @@ mod tests {
             .type_expr(&parse_expr("(q[i] - q[i]) :: nout").unwrap())
             .is_ok());
         // element with nonzero aligned distance rejected
-        assert!(t
-            .type_expr(&parse_expr("q[i] :: nout").unwrap())
-            .is_err());
+        assert!(t.type_expr(&parse_expr("q[i] :: nout").unwrap()).is_err());
         // nil takes any element type
         assert_eq!(
             t.type_expr(&parse_expr("true :: nil").unwrap()).unwrap(),
@@ -578,12 +568,8 @@ mod tests {
         let (env, psi) = setup();
         let solver = Solver::new();
         let t = typer(&env, &psi, &solver);
-        assert!(t
-            .type_expr(&parse_expr("flag ? i : size").unwrap())
-            .is_ok());
-        assert!(t
-            .type_expr(&parse_expr("flag ? eta : i").unwrap())
-            .is_err());
+        assert!(t.type_expr(&parse_expr("flag ? i : size").unwrap()).is_ok());
+        assert!(t.type_expr(&parse_expr("flag ? eta : i").unwrap()).is_err());
     }
 
     #[test]

@@ -1,5 +1,13 @@
 //! Lowering ShadowDP expressions to solver terms.
 //!
+//! Lowered [`Term`]s are interned into the calling thread's arena shard
+//! (the chainable API in `shadowdp_solver::term`), so they must be
+//! consumed — typing side conditions discharged, obligations solved — on
+//! the same thread that lowered them. Each parallel corpus worker
+//! therefore lowers its own algorithm from scratch; identical side
+//! conditions still share solver verdicts across workers through the
+//! fingerprint-keyed query memo.
+//!
 //! The solver speaks QF-LRA over scalar symbols, so list indexing is
 //! *skolemized*: each syntactically distinct `q[idx]` becomes the scalar
 //! symbol `q[idx-pretty-printed]`. Two occurrences with syntactically equal
@@ -135,9 +143,7 @@ pub fn lower_bool(e: &Expr, ctx: &LowerCtx) -> Result<Term, LowerError> {
             if ctx.bool_vars.contains(&s) {
                 Ok(Term::bool_var(s))
             } else {
-                Err(err(format!(
-                    "real variable `{s}` in boolean position"
-                )))
+                Err(err(format!("real variable `{s}` in boolean position")))
             }
         }
         Expr::Unary(UnOp::Not, inner) => Ok(lower_bool(inner, ctx)?.not()),

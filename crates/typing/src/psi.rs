@@ -30,9 +30,7 @@ impl Psi {
         for p in &f.preconditions {
             match p {
                 Precondition::Plain(e) => psi.plain.push(e.clone()),
-                Precondition::Forall { var, body } => {
-                    psi.foralls.push((var.clone(), body.clone()))
-                }
+                Precondition::Forall { var, body } => psi.foralls.push((var.clone(), body.clone())),
                 Precondition::AtMostOne(q) => psi.at_most_one.push(q.clone()),
             }
         }
@@ -82,11 +80,7 @@ impl Psi {
                 // the paper writes the quantifier as `∀ i ≥ 0`.
                 // (Only emit when the index is non-constant.)
                 if !matches!(t, Expr::Num(_)) {
-                    let nonneg = Expr::cmp_op(
-                        shadowdp_syntax::BinOp::Ge,
-                        t.clone(),
-                        Expr::int(0),
-                    );
+                    let nonneg = Expr::cmp_op(shadowdp_syntax::BinOp::Ge, t.clone(), Expr::int(0));
                     out.push(lower_bool(&nonneg, ctx)?);
                 }
             }
@@ -98,9 +92,9 @@ impl Psi {
     /// the condition under which a `†`-selecting sampling command may leave
     /// list distances unchanged (rule T-Laplace's environment update).
     pub fn shadow_equals_aligned(&self, list: &str) -> bool {
-        self.foralls.iter().any(|(var, body)| {
-            clause_contains_shadow_eq(body, list, var)
-        })
+        self.foralls
+            .iter()
+            .any(|(var, body)| clause_contains_shadow_eq(body, list, var))
     }
 }
 
@@ -165,9 +159,7 @@ mod tests {
     fn instantiation_at_query_indices() {
         let psi = Psi::from_function(&noisy_max_header());
         let query = shadowdp_syntax::parse_expr("q[i] + ^q[i] > bq").unwrap();
-        let hyps = psi
-            .hypotheses_for(&[&query], &LowerCtx::new())
-            .unwrap();
+        let hyps = psi.hypotheses_for(&[&query], &LowerCtx::new()).unwrap();
         // 1 plain + 3 instantiated (bounds ∧ shadow-eq as one clause) + i>=0
         assert!(hyps.len() >= 3, "got {} hypotheses", hyps.len());
         // The instantiated clause mentions the skolem symbols for index i.

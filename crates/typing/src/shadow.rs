@@ -79,9 +79,7 @@ pub fn transform_expr(e: &Expr, env: &TypeEnv, version: Version) -> Expr {
                 _ => e.clone(),
             }
         }
-        Expr::Unary(op, inner) => {
-            Expr::Unary(*op, Box::new(transform_expr(inner, env, version)))
-        }
+        Expr::Unary(op, inner) => Expr::Unary(*op, Box::new(transform_expr(inner, env, version))),
         Expr::Binary(op, a, b) => Expr::Binary(
             *op,
             Box::new(transform_expr(a, env, version)),
@@ -162,9 +160,7 @@ pub fn shadow_cmds(cmds: &[Cmd], env: &TypeEnv) -> Result<Vec<Cmd>, String> {
                      sample counts"
                 ));
             }
-            CmdKind::Return(_) => {
-                return Err("return inside a shadow-diverged branch".to_string())
-            }
+            CmdKind::Return(_) => return Err("return inside a shadow-diverged branch".to_string()),
             CmdKind::Assert(_) | CmdKind::Assume(_) | CmdKind::Havoc(_) => {
                 return Err("verifier command reached shadow construction".to_string())
             }

@@ -40,8 +40,14 @@ fn transformation_matches_figure_1() {
     println!("{printed}");
 
     // Line 3 of Fig. 1: hat initialization before the loop.
-    assert!(printed.contains("^bq := 0;"), "missing ^bq init:\n{printed}");
-    assert!(printed.contains("~bq := 0;"), "missing ~bq init:\n{printed}");
+    assert!(
+        printed.contains("^bq := 0;"),
+        "missing ^bq init:\n{printed}"
+    );
+    assert!(
+        printed.contains("~bq := 0;"),
+        "missing ~bq init:\n{printed}"
+    );
 
     // Line 5: loop guard assert.
     assert!(printed.contains("assert(i < size);"), "{printed}");

@@ -92,8 +92,7 @@ pub fn check(info: &TargetInfo, opts: &BmcOptions, solver: &Solver) -> BmcOutcom
     for p in &f.params {
         match &p.ty {
             Ty::List(_) => {
-                if let Err(e) = exec.materialize_bounded_list(&p.name, opts.list_len, &mut st)
-                {
+                if let Err(e) = exec.materialize_bounded_list(&p.name, opts.list_len, &mut st) {
                     return BmcOutcome::Inconclusive {
                         reason: e.to_string(),
                     };

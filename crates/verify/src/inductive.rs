@@ -65,12 +65,7 @@ pub fn prove(info: &TargetInfo, opts: &InductiveOptions, solver: &Solver) -> Ind
 struct Engine;
 
 impl Engine {
-    fn run(
-        &self,
-        info: &TargetInfo,
-        opts: &InductiveOptions,
-        solver: &Solver,
-    ) -> InductiveOutcome {
+    fn run(&self, info: &TargetInfo, opts: &InductiveOptions, solver: &Solver) -> InductiveOutcome {
         let f = &info.function;
         let adjacency = AdjacencySpec::from_preconditions(&f.preconditions);
         let mut exec = SymExec::new(adjacency, solver);
@@ -336,9 +331,7 @@ fn body_reads_list(cmds: &[Cmd], list: &str) -> bool {
                 hit || expr_reads(idx, list)
             }
             Expr::Unary(_, a) => expr_reads(a, list),
-            Expr::Binary(_, a, b) | Expr::Cons(a, b) => {
-                expr_reads(a, list) || expr_reads(b, list)
-            }
+            Expr::Binary(_, a, b) | Expr::Cons(a, b) => expr_reads(a, list) || expr_reads(b, list),
             Expr::Ternary(a, b, c) => {
                 expr_reads(a, list) || expr_reads(b, list) || expr_reads(c, list)
             }
@@ -352,9 +345,7 @@ fn body_reads_list(cmds: &[Cmd], list: &str) -> bool {
         CmdKind::If(g, a, b) => {
             expr_reads(g, list) || body_reads_list(a, list) || body_reads_list(b, list)
         }
-        CmdKind::While { cond, body, .. } => {
-            expr_reads(cond, list) || body_reads_list(body, list)
-        }
+        CmdKind::While { cond, body, .. } => expr_reads(cond, list) || body_reads_list(body, list),
         _ => false,
     })
 }
@@ -466,11 +457,7 @@ fn generate_candidates(
         let he = Expr::Var(h.clone());
         for k in [1i128, 2] {
             out.push(Expr::cmp_op(BinOp::Le, he.clone(), Expr::int(k)));
-            out.push(Expr::cmp_op(
-                BinOp::Ge,
-                he.clone(),
-                Expr::int(-k),
-            ));
+            out.push(Expr::cmp_op(BinOp::Ge, he.clone(), Expr::int(-k)));
         }
         for g in &ghosts {
             let ge = Expr::Var(g.clone());
@@ -498,13 +485,12 @@ fn generate_candidates(
         // (Report Noisy Max's ^bq >= 1 after the first iteration).
         for (cname, _) in &counters {
             if let Some(c0) = const_entry(entry_states, cname) {
-                let at_init =
-                    Expr::cmp_op(BinOp::Eq, Expr::var(cname.clone()), Expr::Num(c0));
-                out.push(at_init.clone().or(Expr::cmp_op(
-                    BinOp::Ge,
-                    he.clone(),
-                    Expr::int(1),
-                )));
+                let at_init = Expr::cmp_op(BinOp::Eq, Expr::var(cname.clone()), Expr::Num(c0));
+                out.push(
+                    at_init
+                        .clone()
+                        .or(Expr::cmp_op(BinOp::Ge, he.clone(), Expr::int(1))),
+                );
                 out.push(at_init.or(Expr::cmp_op(BinOp::Le, he.clone(), Expr::int(-1))));
             }
         }
@@ -521,8 +507,7 @@ fn find_counters(body: &[Cmd]) -> Vec<(String, Rat)> {
             match &c.kind {
                 CmdKind::Assign(n, Expr::Binary(BinOp::Add, a, b)) if !n.is_hat() => {
                     if let (Expr::Var(v), Expr::Num(k)) = (&**a, &**b) {
-                        if v == n && k.is_positive() && !out.iter().any(|(x, _)| x == &n.base)
-                        {
+                        if v == n && k.is_positive() && !out.iter().any(|(x, _)| x == &n.base) {
                             out.push((n.base.clone(), *k));
                         }
                     }
@@ -581,11 +566,7 @@ fn guard_upper_bounds(guard: &Expr) -> Vec<(String, Expr)> {
 
 /// Smallest constant `B` such that Ψ proves every in-loop increment `<= B`,
 /// summed over the sites (each iteration passes each site at most once).
-fn per_iteration_bound(
-    sites: &[&CostSite],
-    exec: &SymExec<'_>,
-    solver: &Solver,
-) -> Option<Rat> {
+fn per_iteration_bound(sites: &[&CostSite], exec: &SymExec<'_>, solver: &Solver) -> Option<Rat> {
     let mut total = Rat::ZERO;
     for site in sites {
         let mut found = None;
@@ -596,11 +577,7 @@ fn per_iteration_bound(
             let mut probe_exec = SymExec::new(exec.adjacency.clone(), solver);
             let mut probe = SymState::new();
             seed_probe_state(&site.scaled_increment, &mut probe_exec, &mut probe);
-            let goal_expr = Expr::cmp_op(
-                BinOp::Le,
-                site.scaled_increment.clone(),
-                Expr::int(b),
-            );
+            let goal_expr = Expr::cmp_op(BinOp::Le, site.scaled_increment.clone(), Expr::int(b));
             if let Ok(goal) = probe_exec.eval_bool(&goal_expr, &mut probe) {
                 if solver.entails(&probe.path, &goal) {
                     found = Some(Rat::int(b));
@@ -626,11 +603,10 @@ fn seed_probe_state(e: &Expr, exec: &mut SymExec<'_>, st: &mut SymState) {
                 }
                 walk(idx, exec, st);
             }
-            Expr::Var(n)
-                if !st.vars.contains_key(n) => {
-                    let t = exec.fresh_symbol(&n.to_string());
-                    st.set_scalar(n.clone(), t);
-                }
+            Expr::Var(n) if !st.vars.contains_key(n) => {
+                let t = exec.fresh_symbol(&n.to_string());
+                st.set_scalar(n.clone(), t);
+            }
             Expr::Unary(_, a) => walk(a, exec, st),
             Expr::Binary(_, a, b) | Expr::Cons(a, b) => {
                 walk(a, exec, st);
@@ -730,8 +706,7 @@ mod tests {
         match &f.body[2].kind {
             CmdKind::While { body, .. } => {
                 let counters = find_counters(body);
-                let names: Vec<&str> =
-                    counters.iter().map(|(n, _)| n.as_str()).collect();
+                let names: Vec<&str> = counters.iter().map(|(n, _)| n.as_str()).collect();
                 assert!(names.contains(&"i"));
                 assert!(names.contains(&"c"));
             }

@@ -53,8 +53,8 @@ pub mod target;
 
 use shadowdp_syntax::Function;
 
-pub use bmc::{BmcOutcome, BmcOptions, Counterexample};
-pub use inductive::{InductiveOutcome, InductiveOptions};
+pub use bmc::{BmcOptions, BmcOutcome, Counterexample};
+pub use inductive::{InductiveOptions, InductiveOutcome};
 pub use sym::{Obligation, SymError};
 pub use target::{lower_to_target, CostSite, LowerTargetError, TargetInfo, VerifyMode};
 
@@ -178,9 +178,7 @@ pub fn verify_with(
 
     match bmc::check(&info, &options.bmc, solver) {
         BmcOutcome::Verified { bound } => {
-            let msg = format!(
-                "bounded verification only (all inputs with size <= {bound})"
-            );
+            let msg = format!("bounded verification only (all inputs with size <= {bound})");
             log.push(msg.clone());
             Report {
                 verdict: if run_inductive {

@@ -13,14 +13,20 @@
 //! adjacency invariant Ψ — including the *ghost encoding* of `atmostone`
 //! (at most one element of `^q` is non-zero): a 0/1 ghost variable
 //! `$changed_q` guards every materialization.
+//!
+//! Terms are built through the chainable [`Term`] API, which interns into
+//! **this thread's arena shard** — an [`Obligation`]'s `path`/`goal` ids
+//! are only meaningful on the thread that executed the program, so a whole
+//! verification (symbolic execution through solving) runs on one thread.
+//! The parallel corpus driver in `shadowdp` parallelizes *across*
+//! verifications; cached solver verdicts still transfer between threads
+//! because the solver keys its memo on structural fingerprints, not ids.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 use shadowdp_solver::{Solver, Term};
-use shadowdp_syntax::{
-    pretty_expr, BinOp, Cmd, CmdKind, Expr, Name, NameKind, Precondition, UnOp,
-};
+use shadowdp_syntax::{pretty_expr, BinOp, Cmd, CmdKind, Expr, Name, NameKind, Precondition, UnOp};
 
 /// Whether `e` is integer-valued assuming the variables in `ints` are.
 fn int_expr_over(e: &Expr, ints: &std::collections::BTreeSet<Name>) -> bool {
@@ -335,9 +341,7 @@ impl<'a> SymExec<'a> {
             }
             CmdKind::While { cond, body, .. } => {
                 let Some(max) = self.max_unroll else {
-                    return Err(err(
-                        "loop reached in loop-free execution mode (engine bug)",
-                    ));
+                    return Err(err("loop reached in loop-free execution mode (engine bug)"));
                 };
                 let mut exits = Vec::new();
                 let mut live = vec![st];
@@ -534,8 +538,7 @@ impl<'a> SymExec<'a> {
                 .cloned()
                 .ok_or_else(|| err(format!("ghost `{ghost}` not initialized")))?;
             let nonzero = elem.hat_aligned.ne_num(Term::int(0));
-            st.path
-                .push(nonzero.implies(g.eq_num(Term::int(0))));
+            st.path.push(nonzero.implies(g.eq_num(Term::int(0))));
             let g_next = Term::ite(nonzero, Term::int(1), g);
             st.set_scalar(ghost, g_next);
         }
@@ -553,12 +556,7 @@ impl<'a> SymExec<'a> {
         list: &str,
         elem: &Element,
     ) -> Result<Term, SymError> {
-        fn walk(
-            e: &Expr,
-            bound: &str,
-            list: &str,
-            elem: &Element,
-        ) -> Result<Term, SymError> {
+        fn walk(e: &Expr, bound: &str, list: &str, elem: &Element) -> Result<Term, SymError> {
             match e {
                 Expr::Num(r) => Ok(Term::rat(*r)),
                 Expr::Bool(b) => Ok(Term::bool_const(*b)),
@@ -569,9 +567,7 @@ impl<'a> SymExec<'a> {
                     let idx_is_bound =
                         matches!(&**idx, Expr::Var(i) if i.base == bound && !i.is_hat());
                     if !idx_is_bound {
-                        return Err(err(
-                            "precondition indexes a list at a non-bound index",
-                        ));
+                        return Err(err("precondition indexes a list at a non-bound index"));
                     }
                     if n.base != list {
                         // A clause about a different list: irrelevant here,
@@ -668,10 +664,8 @@ impl<'a> SymExec<'a> {
         }
         let base = Name::plain(list);
         st.vars.insert(base.clone(), SymVal::Concrete(values));
-        st.vars
-            .insert(base.aligned_hat(), SymVal::Concrete(hats));
-        st.vars
-            .insert(base.shadow_hat(), SymVal::Concrete(shadows));
+        st.vars.insert(base.aligned_hat(), SymVal::Concrete(hats));
+        st.vars.insert(base.shadow_hat(), SymVal::Concrete(shadows));
         Ok(())
     }
 
@@ -684,16 +678,10 @@ impl<'a> SymExec<'a> {
         // Collect assignments and disqualifying writes.
         let mut assigns: Vec<(Name, Expr)> = Vec::new();
         let mut disqualified: BTreeSet<Name> = BTreeSet::new();
-        fn walk(
-            cmds: &[Cmd],
-            assigns: &mut Vec<(Name, Expr)>,
-            dis: &mut BTreeSet<Name>,
-        ) {
+        fn walk(cmds: &[Cmd], assigns: &mut Vec<(Name, Expr)>, dis: &mut BTreeSet<Name>) {
             for c in cmds {
                 match &c.kind {
-                    CmdKind::Assign(n, e) if !n.is_hat() => {
-                        assigns.push((n.clone(), e.clone()))
-                    }
+                    CmdKind::Assign(n, e) if !n.is_hat() => assigns.push((n.clone(), e.clone())),
                     CmdKind::Havoc(n) | CmdKind::Sample { var: n, .. } => {
                         dis.insert(n.clone());
                     }
@@ -729,8 +717,7 @@ impl<'a> SymExec<'a> {
 
         // Parameters bounding integer counters in comparisons are integers
         // themselves.
-        let param_names: BTreeSet<String> =
-            f.params.iter().map(|p| p.name.clone()).collect();
+        let param_names: BTreeSet<String> = f.params.iter().map(|p| p.name.clone()).collect();
         let mut bound_params: BTreeSet<Name> = BTreeSet::new();
         fn scan_guards(
             cmds: &[Cmd],
@@ -752,10 +739,7 @@ impl<'a> SymExec<'a> {
                     ) => {
                         for (x, y) in [(a, b), (b, a)] {
                             if let (Expr::Var(xv), Expr::Var(yv)) = (&**x, &**y) {
-                                if ints.contains(xv)
-                                    && params.contains(&yv.base)
-                                    && !yv.is_hat()
-                                {
+                                if ints.contains(xv) && params.contains(&yv.base) && !yv.is_hat() {
                                     out.insert(yv.clone());
                                 }
                             }
@@ -792,8 +776,7 @@ impl<'a> SymExec<'a> {
     /// Registers an input list for inductive (skolem-cache) mode.
     pub fn register_input_list(&self, list: &str, st: &mut SymState) {
         let base = Name::plain(list);
-        st.vars
-            .insert(base.clone(), SymVal::Input(ListRole::Value));
+        st.vars.insert(base.clone(), SymVal::Input(ListRole::Value));
         st.vars
             .insert(base.aligned_hat(), SymVal::Input(ListRole::HatAligned));
         st.vars
@@ -854,10 +837,7 @@ mod tests {
         );
         // x := 1 makes the else branch infeasible.
         assert_eq!(states.len(), 1);
-        assert_eq!(
-            states[0].scalar(&Name::plain("out")),
-            Some(&Term::int(1))
-        );
+        assert_eq!(states[0].scalar(&Name::plain("out")), Some(&Term::int(1)));
     }
 
     #[test]
@@ -897,10 +877,7 @@ mod tests {
             Some(5),
         );
         assert_eq!(states.len(), 1);
-        assert_eq!(
-            states[0].scalar(&Name::plain("out")),
-            Some(&Term::int(2))
-        );
+        assert_eq!(states[0].scalar(&Name::plain("out")), Some(&Term::int(2)));
     }
 
     #[test]

@@ -150,9 +150,7 @@ fn parse_monomial(e: &Expr) -> Option<Monomial> {
     match e {
         Expr::Num(r) => Some(Monomial::constant(*r)),
         Expr::Var(n) if !n.is_hat() => Some(Monomial::var(&n.base)),
-        Expr::Binary(BinOp::Mul, a, b) => {
-            Some(parse_monomial(a)?.mul(&parse_monomial(b)?))
-        }
+        Expr::Binary(BinOp::Mul, a, b) => Some(parse_monomial(a)?.mul(&parse_monomial(b)?)),
         Expr::Binary(BinOp::Div, a, b) => {
             Some(parse_monomial(a)?.mul(&parse_monomial(b)?.recip()?))
         }
@@ -286,9 +284,10 @@ pub fn lower_to_target(
         if *p == 0 {
             continue;
         }
-        let positive_declared = transformed.preconditions.iter().any(|pr| {
-            matches!(pr, Precondition::Plain(e) if declares_positive(e, v))
-        });
+        let positive_declared = transformed
+            .preconditions
+            .iter()
+            .any(|pr| matches!(pr, Precondition::Plain(e) if declares_positive(e, v)));
         if !positive_declared {
             return Err(err(format!(
                 "cost rescaling needs `{v} > 0` (or `{v} >= 1`) as a declared \
@@ -305,14 +304,7 @@ pub fn lower_to_target(
 
     // Rewrite the body.
     let mut sites = Vec::new();
-    let mut body = lower_cmds(
-        &transformed.body,
-        &mode,
-        &mu,
-        &scaled_budget,
-        0,
-        &mut sites,
-    )?;
+    let mut body = lower_cmds(&transformed.body, &mode, &mu, &scaled_budget, 0, &mut sites)?;
     body.insert(
         0,
         Cmd::synth(CmdKind::Assign(Name::plain(V_EPS), Expr::int(0))),
@@ -372,15 +364,13 @@ fn lower_cmds(
                     .ok_or_else(|| err("unparseable scale"))?;
                 let scaled = inv_scale.mul(mu);
                 // scaled increment = |align| · coeff · leftover-vars
-                let monomial_part = scaled
-                    .to_expr()
-                    .ok_or_else(|| {
-                        err(format!(
-                            "scale `{}` leaves a negative parameter power after \
+                let monomial_part = scaled.to_expr().ok_or_else(|| {
+                    err(format!(
+                        "scale `{}` leaves a negative parameter power after \
                              rescaling; unsupported cost shape",
-                            pretty_expr(&scale)
-                        ))
-                    })?;
+                        pretty_expr(&scale)
+                    ))
+                })?;
                 let increment = fix_eps(align, mode).abs().mul(monomial_part);
                 let resets = selector.uses_shadow();
                 sites.push(CostSite {
@@ -526,15 +516,9 @@ mod tests {
         let info = lower_src(src, VerifyMode::Scaled);
         let printed = pretty_function(&info.function);
         // budget eps · (4N/eps) = 4N
-        assert!(
-            printed.contains("assert(v_eps <= 4 * NN);"),
-            "{printed}"
-        );
+        assert!(printed.contains("assert(v_eps <= 4 * NN);"), "{printed}");
         // η1 site: |1| · (eps/2) · (4N/eps) = 2N (|1| folded away)
-        assert!(
-            printed.contains("v_eps := v_eps + 2 * NN;"),
-            "{printed}"
-        );
+        assert!(printed.contains("v_eps := v_eps + 2 * NN;"), "{printed}");
         // η2 site: |Ω?2:0| · 1
         assert!(
             printed.contains("v_eps := v_eps + abs(q[i] + eta2 >= tt ? 2 : 0)"),

@@ -47,7 +47,10 @@ fn main() {
         )
         .expect("runs");
     println!("\n=== One run on q = {queries:?}, T = 6, N = 2 ===");
-    println!("released gaps (0 = below threshold, newest first): {}", run.output);
+    println!(
+        "released gaps (0 = below threshold, newest first): {}",
+        run.output
+    );
 
     // Empirical check on adjacent inputs: every query shifted by +1.
     println!("\n=== Empirical DP estimate (adjacent inputs, 20k trials/side) ===");
@@ -76,7 +79,13 @@ fn main() {
             v.as_list()
                 .map(|xs| {
                     xs.iter()
-                        .map(|x| if x.as_num().unwrap_or(0.0) > 0.0 { '1' } else { '0' })
+                        .map(|x| {
+                            if x.as_num().unwrap_or(0.0) > 0.0 {
+                                '1'
+                            } else {
+                                '0'
+                            }
+                        })
                         .collect::<String>()
                 })
                 .unwrap_or_default()

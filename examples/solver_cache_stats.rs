@@ -15,7 +15,9 @@ fn main() {
         "algorithm", "checks", "proves", "hits", "hit-rate", "theory", "verdict"
     );
     for alg in corpus::table1_algorithms() {
-        let report = Pipeline::new().run(alg.source).expect("corpus pipeline runs");
+        let report = Pipeline::new()
+            .run(alg.source)
+            .expect("corpus pipeline runs");
         let s = report.solver_stats;
         let rate = if s.checks > 0 {
             100.0 * s.cache_hits as f64 / s.checks as f64

@@ -2,12 +2,57 @@
 //! for all nine benchmark algorithms, in both cost-linearization modes,
 //! alongside the paper's reference numbers.
 //!
-//! Run with `cargo run --example table1 --release`.
+//! Run with `cargo run --example table1 --release`. Flags:
+//!
+//! - `--parallel [N]` — run the corpus through the work-stealing driver
+//!   (`N` workers, default all cores) instead of sequentially;
+//! - `--compare` — run it both ways, check the outputs are byte-identical,
+//!   and print the wall-clock speedup.
 
-use shadowdp::table1::{render, run_table1};
+use shadowdp::table1::{corpus_jobs, render, rows_from_outcome, run_table1_parallel};
+use shadowdp::Pipeline;
 
 fn main() {
-    let rows = run_table1();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parallel = args.iter().any(|a| a == "--parallel");
+    let compare = args.iter().any(|a| a == "--compare");
+    let threads: Option<usize> = args
+        .iter()
+        .skip_while(|a| *a != "--parallel")
+        .nth(1)
+        .and_then(|a| a.parse().ok());
+
+    let rows = if compare {
+        let jobs = corpus_jobs();
+        let pipeline = Pipeline::new();
+        let sequential = pipeline.verify_corpus(&jobs);
+        let (rows, outcome) = run_table1_parallel(threads);
+        assert_eq!(
+            sequential.digest(),
+            outcome.digest(),
+            "parallel driver diverged from the sequential reference"
+        );
+        println!(
+            "corpus wall-clock: sequential {:.3} s, parallel {:.3} s on {} workers \
+             ({:.2}x speedup); outputs byte-identical\n",
+            sequential.wall.as_secs_f64(),
+            outcome.wall.as_secs_f64(),
+            outcome.threads,
+            sequential.wall.as_secs_f64() / outcome.wall.as_secs_f64().max(1e-9),
+        );
+        rows
+    } else if parallel {
+        let (rows, outcome) = run_table1_parallel(threads);
+        println!(
+            "corpus wall-clock: {:.3} s on {} workers\n",
+            outcome.wall.as_secs_f64(),
+            outcome.threads
+        );
+        rows
+    } else {
+        rows_from_outcome(&Pipeline::new().verify_corpus(&corpus_jobs()))
+    };
+
     println!("{}", render(&rows));
     println!(
         "All proved: {}",

@@ -15,11 +15,7 @@ use shadowdp_typing::check_function;
 
 /// Builds a memory binding every parameter plus the hat lists `^q`/`~q`
 /// that a transformed program reads.
-fn memory_for(
-    f: &shadowdp_syntax::Function,
-    rng: &mut StdRng,
-    size: usize,
-) -> Memory {
+fn memory_for(f: &shadowdp_syntax::Function, rng: &mut StdRng, size: usize) -> Memory {
     let mut m = Memory::new();
     for p in &f.params {
         match &p.ty {
@@ -74,10 +70,7 @@ fn check_consistency(alg: &corpus::Algorithm, trials: usize) {
         let tr_run = interp
             .run_with_memory(&transformed, memory, Some(&noise))
             .unwrap_or_else(|e| {
-                panic!(
-                    "{}: transformed run failed (trial {trial}): {e}",
-                    alg.name
-                )
+                panic!("{}: transformed run failed (trial {trial}): {e}", alg.name)
             });
 
         assert_eq!(

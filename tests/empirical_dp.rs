@@ -114,7 +114,13 @@ fn gap_svt_is_empirically_private_on_sign_pattern() {
         v.as_list()
             .map(|xs| {
                 xs.iter()
-                    .map(|x| if x.as_num().unwrap_or(0.0) > 0.0 { '1' } else { '0' })
+                    .map(|x| {
+                        if x.as_num().unwrap_or(0.0) > 0.0 {
+                            '1'
+                        } else {
+                            '0'
+                        }
+                    })
                     .collect::<String>()
             })
             .unwrap_or_default()

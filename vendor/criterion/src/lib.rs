@@ -163,7 +163,12 @@ fn run_one<F: FnMut(&mut Bencher)>(mode: Mode, samples: usize, id: &str, mut f: 
     }
     let n = b.results.len() as f64;
     let mean = b.results.iter().sum::<f64>() / n;
-    let var = b.results.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    let var = b
+        .results
+        .iter()
+        .map(|x| (x - mean) * (x - mean))
+        .sum::<f64>()
+        / n;
     let sd = var.sqrt();
     println!("{id:<52} {:>14} ± {} per iter", fmt_ns(mean), fmt_ns(sd));
     if let Ok(path) = std::env::var("CRITERION_JSON") {

@@ -318,7 +318,9 @@ impl Default for ProptestConfig {
 pub mod prelude {
     pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
     pub use crate::ProptestConfig;
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Uniform choice among strategies of the same value type.
