@@ -1,0 +1,76 @@
+//! `service/warm-vs-cold` — the verification service's persistent-store
+//! payoff, measured on the Table 1 corpus (service variant: shared memo,
+//! the throughput configuration a daemon runs).
+//!
+//! `cold` verifies the 18-job corpus against an empty query memo — what
+//! the first daemon boot pays. `warm` replays the daemon-restart path
+//! byte for byte: the cold memo is snapshotted into a real on-disk
+//! [`VerdictStore`], loaded back, absorbed into a fresh memo, and the
+//! corpus is re-verified against it.
+//!
+//! Two invariants are **asserted inside the fresh run** (like the
+//! ≥10× memoized solver invariant, they hold on any hardware):
+//!
+//! - a warm re-verification performs **zero fresh solver queries** —
+//!   every validity check is a memo hit (`theory_calls == 0`);
+//! - its outcome digest is byte-identical to the cold run's.
+//!
+//! `bench_compare` additionally checks the machine-independent ratio
+//! warm < cold on the fresh dump (see `shadowdp_bench::check_invariants`).
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use shadowdp::{table1, Pipeline};
+use shadowdp_service::VerdictStore;
+use shadowdp_solver::QueryMemo;
+
+fn bench_warm_vs_cold(c: &mut Criterion) {
+    let jobs = table1::service_jobs();
+    let pipeline = Pipeline::new();
+
+    let mut group = c.benchmark_group("service/warm-vs-cold");
+    group.sample_size(10);
+
+    group.bench_function("cold", |b| {
+        b.iter(|| {
+            pipeline.verify_corpus_parallel_with_memo(&jobs, None, &Arc::new(QueryMemo::default()))
+        })
+    });
+
+    // Build the warm store exactly the way a daemon restart does: cold
+    // run → snapshot to disk → load in a "new process" → absorb.
+    let cold_memo = Arc::new(QueryMemo::default());
+    let cold = pipeline.verify_corpus_parallel_with_memo(&jobs, None, &cold_memo);
+    let path =
+        std::env::temp_dir().join(format!("shadowdp-bench-store-{}.bin", std::process::id()));
+    let mut store = VerdictStore::load(&path);
+    store.update_from_memo(&cold_memo);
+    store.flush().expect("store flush succeeds");
+    let reloaded = VerdictStore::load(&path);
+    let _ = std::fs::remove_file(&path);
+    assert!(reloaded.load_note().is_none());
+    assert_eq!(reloaded.solver_len(), cold_memo.len());
+
+    let cold_digest = cold.digest();
+    group.bench_function("warm", |b| {
+        b.iter(|| {
+            let memo = Arc::new(QueryMemo::default());
+            reloaded.warm_memo(&memo);
+            let warm = pipeline.verify_corpus_parallel_with_memo(&jobs, None, &memo);
+            let stats = warm.solver_stats;
+            assert_eq!(
+                stats.theory_calls, 0,
+                "warm re-verification did fresh solver work: {stats:?}"
+            );
+            assert_eq!(stats.cache_hits, stats.checks, "{stats:?}");
+            assert_eq!(warm.digest(), cold_digest, "warm run diverged from cold");
+            warm
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_warm_vs_cold);
+criterion_main!(benches);

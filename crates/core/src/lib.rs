@@ -34,9 +34,11 @@
 //! ```
 
 pub mod corpus;
+pub mod jobspec;
 pub mod pipeline;
 pub mod table1;
 
 pub use corpus::{Algorithm, Expected};
+pub use jobspec::{JobSpec, JobSpecError, OptionsSpec};
 pub use pipeline::{CorpusJob, CorpusOutcome, Phase, Pipeline, PipelineError, PipelineReport};
 pub use table1::{run_table1, run_table1_parallel, Table1Row};

@@ -230,8 +230,24 @@ impl Pipeline {
         jobs: &[CorpusJob],
         threads: Option<usize>,
     ) -> CorpusOutcome {
+        self.verify_corpus_parallel_with_memo(jobs, threads, &Arc::new(QueryMemo::default()))
+    }
+
+    /// [`Pipeline::verify_corpus_parallel`] against a **caller-provided**
+    /// shared memo, so solver work survives the corpus run: a daemon keeps
+    /// one long-lived table across every batch it schedules (and persists
+    /// it via [`QueryMemo::snapshot`]), which is what turns repeated
+    /// near-identical submissions — the CheckDP candidate-loop shape — into
+    /// pure cache hits. Per-job [`CorpusJob::with_isolated_memo`] opt-outs
+    /// are honored exactly as in the fresh-memo driver.
+    pub fn verify_corpus_parallel_with_memo(
+        &self,
+        jobs: &[CorpusJob],
+        threads: Option<usize>,
+        memo: &Arc<QueryMemo>,
+    ) -> CorpusOutcome {
         let start = Instant::now();
-        let memo = Arc::new(QueryMemo::default());
+        let memo = memo.clone();
         let workers = threads
             .unwrap_or_else(|| {
                 std::thread::available_parallelism()
@@ -370,27 +386,45 @@ impl CorpusOutcome {
     /// observable verification output is byte-identical.
     pub fn digest(&self) -> String {
         let mut out = String::new();
-        for (i, r) in self.reports.iter().enumerate() {
-            match r {
-                Ok(report) => {
-                    let _ = writeln!(out, "[{i}] {} {:?}", report.name, report.verdict);
-                    for line in &report.verification.log {
-                        let _ = writeln!(out, "[{i}]   log: {line}");
-                    }
-                    let _ = writeln!(
-                        out,
-                        "[{i}]   transformed:\n{}",
-                        pretty_function(&report.transformed)
-                    );
-                    let _ = writeln!(
-                        out,
-                        "[{i}]   target:\n{}",
-                        pretty_function(&report.verification.target)
-                    );
+        for i in 0..self.reports.len() {
+            let _ = writeln!(out, "[{i}]");
+            out.push_str(&self.report_digest(i));
+        }
+        out
+    }
+
+    /// The [`CorpusOutcome::digest`] fragment for one job, in the same
+    /// canonical rendering but **independent of the job's position** in
+    /// the batch. The verification service keys its pipeline-tier cache by
+    /// (source, options), so it persists and compares these per-job
+    /// digests — a warm daemon restart must reproduce them byte for byte,
+    /// and an identical program resubmitted at a different batch position
+    /// must digest identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range of [`CorpusOutcome::reports`].
+    pub fn report_digest(&self, index: usize) -> String {
+        let mut out = String::new();
+        match &self.reports[index] {
+            Ok(report) => {
+                let _ = writeln!(out, "{} {:?}", report.name, report.verdict);
+                for line in &report.verification.log {
+                    let _ = writeln!(out, "  log: {line}");
                 }
-                Err(e) => {
-                    let _ = writeln!(out, "[{i}] error in {:?}: {e}", e.phase());
-                }
+                let _ = writeln!(
+                    out,
+                    "  transformed:\n{}",
+                    pretty_function(&report.transformed)
+                );
+                let _ = writeln!(
+                    out,
+                    "  target:\n{}",
+                    pretty_function(&report.verification.target)
+                );
+            }
+            Err(e) => {
+                let _ = writeln!(out, "error in {:?}: {e}", e.phase());
             }
         }
         out
@@ -497,6 +531,41 @@ mod tests {
             second.theory_calls < first.theory_calls,
             "cached answers skip the theory solver: {first:?} vs {second:?}"
         );
+    }
+
+    /// The contract the verification service's persistent store rests on:
+    /// after a cold corpus run against a shared memo, transferring that
+    /// memo through `snapshot()`/`absorb()` into a fresh table (the daemon
+    /// restart shape) and re-running the identical corpus does **zero**
+    /// fresh solver work — every validity query is a memo hit — and the
+    /// outcome digest is byte-identical.
+    #[test]
+    fn warm_memo_rerun_does_zero_theory_work() {
+        let jobs: Vec<CorpusJob> = [
+            crate::corpus::laplace_mechanism(),
+            crate::corpus::prefix_sum(),
+            crate::corpus::svt(),
+        ]
+        .iter()
+        .map(|a| CorpusJob::new(a.source))
+        .collect();
+
+        let pipeline = Pipeline::new();
+        let cold_memo = Arc::new(QueryMemo::default());
+        let cold = pipeline.verify_corpus_parallel_with_memo(&jobs, Some(1), &cold_memo);
+        assert!(cold.solver_stats.theory_calls > 0);
+
+        let warm_memo = Arc::new(QueryMemo::default());
+        warm_memo.absorb(cold_memo.snapshot());
+        let warm = pipeline.verify_corpus_parallel_with_memo(&jobs, Some(2), &warm_memo);
+
+        assert_eq!(cold.digest(), warm.digest());
+        let stats = warm.solver_stats;
+        assert_eq!(
+            stats.theory_calls, 0,
+            "warm run did fresh solver work: {stats:?}"
+        );
+        assert_eq!(stats.cache_hits, stats.checks, "{stats:?}");
     }
 
     #[test]

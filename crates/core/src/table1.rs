@@ -95,6 +95,22 @@ pub fn corpus_jobs() -> Vec<CorpusJob> {
         .collect()
 }
 
+/// The Table 1 corpus in its **service** form: identical sources and
+/// options to [`corpus_jobs`], but sharing the corpus/daemon memo. The
+/// harness's per-job isolation exists for cold row timings; a
+/// throughput-oriented consumer (the verification daemon, the
+/// `service/warm-vs-cold` bench) deliberately trades that away, and both
+/// must agree on the corpus — hence one definition here.
+pub fn service_jobs() -> Vec<CorpusJob> {
+    corpus_jobs()
+        .into_iter()
+        .map(|mut job| {
+            job.isolated_memo = false;
+            job
+        })
+        .collect()
+}
+
 /// Assembles Table 1 rows from a [`corpus_jobs`] outcome (scaled/fix-ε job
 /// pairs, in order).
 pub fn rows_from_outcome(outcome: &CorpusOutcome) -> Vec<Table1Row> {

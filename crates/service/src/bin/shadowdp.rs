@@ -1,0 +1,243 @@
+//! The `shadowdp` CLI: verify programs directly or through a running
+//! (or auto-spawned) verification daemon.
+//!
+//! ```text
+//! shadowdp check <file>... [--fixeps <n>/<d>] [--socket <path> [--spawn]]
+//! shadowdp table1 [--socket <path> [--spawn]] [--store <path>] [--threads <n>]
+//! shadowdp status --socket <path>
+//! shadowdp shutdown --socket <path>
+//! ```
+//!
+//! - `check` verifies ShadowDP source files. Without `--socket` the
+//!   pipeline runs in this process; with it, jobs go over the wire
+//!   (`--spawn` starts `shadowdpd` automatically if nothing is
+//!   listening).
+//! - `table1` submits the paper's 18-job Table 1 corpus (both
+//!   verification modes of all nine algorithms, shared-memo service
+//!   variant) and prints one line per job with verdict, digest, and
+//!   whether the persistent store served it — the CI `service` job
+//!   drives the warm-restart check through this.
+//!
+//! Exit code: 0 iff every job verified (`proved`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use shadowdp::jobspec::OptionsSpec;
+use shadowdp::{corpus, table1, CorpusJob, JobSpec, Pipeline};
+use shadowdp_num::Rat;
+use shadowdp_service::daemon::{render_verdict, wire_digest};
+use shadowdp_service::Client;
+use shadowdp_verify::{Options, VerifyMode};
+
+struct Args {
+    command: String,
+    files: Vec<PathBuf>,
+    socket: Option<PathBuf>,
+    store: Option<PathBuf>,
+    spawn: bool,
+    threads: Option<usize>,
+    fixeps: Option<Rat>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: shadowdp check <file>... [--fixeps <n>/<d>] [--socket <path> [--spawn]]\n\
+         \x20      shadowdp table1 [--socket <path> [--spawn]] [--store <path>] [--threads <n>]\n\
+         \x20      shadowdp status --socket <path>\n\
+         \x20      shadowdp shutdown --socket <path>"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Option<Args> {
+    let mut raw = std::env::args().skip(1);
+    let command = raw.next()?;
+    let mut args = Args {
+        command,
+        files: Vec::new(),
+        socket: None,
+        store: None,
+        spawn: false,
+        threads: None,
+        fixeps: None,
+    };
+    while let Some(arg) = raw.next() {
+        match arg.as_str() {
+            "--socket" => args.socket = Some(PathBuf::from(raw.next()?)),
+            "--store" => args.store = Some(PathBuf::from(raw.next()?)),
+            "--spawn" => args.spawn = true,
+            "--threads" => args.threads = Some(raw.next()?.parse().ok()?),
+            "--fixeps" => {
+                let value = raw.next()?;
+                let (n, d) = value.split_once('/').unwrap_or((value.as_str(), "1"));
+                let (n, d): (i128, i128) = (n.parse().ok()?, d.parse().ok()?);
+                if d == 0 || d == i128::MIN || n == i128::MIN {
+                    return None; // usage error, not a Rat::new panic
+                }
+                args.fixeps = Some(Rat::new(n, d));
+            }
+            // A typo'd flag must be a usage error, not a phantom input
+            // file (several subcommands ignore positional files, so a
+            // mistyped --socket would silently change the execution path).
+            flag if flag.starts_with("--") => return None,
+            _ => args.files.push(PathBuf::from(arg)),
+        }
+    }
+    Some(args)
+}
+
+fn connect(args: &Args) -> Result<Client, ExitCode> {
+    let socket = args.socket.as_ref().expect("caller checked --socket");
+    let result = if args.spawn {
+        Client::connect_or_spawn(socket, args.store.as_deref(), args.threads)
+    } else {
+        Client::connect(socket)
+    };
+    result.map_err(|e| {
+        eprintln!("shadowdp: cannot reach daemon on {}: {e}", socket.display());
+        ExitCode::FAILURE
+    })
+}
+
+/// Prints one job line; returns whether the job verified.
+fn print_outcome(label: &str, from: &str, digest: &str, verdict: &str) -> bool {
+    // Verdicts can span lines (counterexamples); keep the line format
+    // stable for scripting by reporting only the first line.
+    let first = verdict.lines().next().unwrap_or("");
+    println!("{label} from={from} digest={digest} verdict={first}");
+    verdict == "proved"
+}
+
+fn run_specs_local(specs: &[(String, JobSpec)], threads: Option<usize>) -> Result<bool, ExitCode> {
+    let jobs = specs
+        .iter()
+        .map(|(label, spec)| {
+            spec.to_job().map_err(|e| {
+                eprintln!("shadowdp: {label}: {e}");
+                ExitCode::from(2)
+            })
+        })
+        .collect::<Result<Vec<CorpusJob>, ExitCode>>()?;
+    let outcome = Pipeline::new().verify_corpus_parallel(&jobs, threads);
+    let mut all_proved = true;
+    for (i, (label, _)) in specs.iter().enumerate() {
+        let verdict = render_verdict(&outcome.reports[i]);
+        let digest = wire_digest(&outcome.report_digest(i));
+        all_proved &= print_outcome(label, "local", &digest, &verdict);
+    }
+    Ok(all_proved)
+}
+
+fn run_specs_daemon(specs: &[(String, JobSpec)], args: &Args) -> Result<bool, ExitCode> {
+    let mut client = connect(args)?;
+    let outcomes = client
+        .run_corpus(&specs.iter().map(|(_, s)| s.clone()).collect::<Vec<_>>())
+        .map_err(|e| {
+            eprintln!("shadowdp: daemon request failed: {e}");
+            ExitCode::FAILURE
+        })?;
+    let mut all_proved = true;
+    for ((label, _), outcome) in specs.iter().zip(&outcomes) {
+        let from = if outcome.from_store { "store" } else { "fresh" };
+        all_proved &= print_outcome(label, from, &outcome.digest, &outcome.verdict);
+    }
+    Ok(all_proved)
+}
+
+fn check(args: &Args) -> Result<bool, ExitCode> {
+    if args.files.is_empty() {
+        eprintln!("shadowdp check: no input files");
+        return Err(ExitCode::from(2));
+    }
+    let options = args.fixeps.map(|eps| Options {
+        mode: VerifyMode::FixEps(eps),
+        ..Options::default()
+    });
+    let mut specs = Vec::new();
+    for file in &args.files {
+        let source = std::fs::read_to_string(file).map_err(|e| {
+            eprintln!("shadowdp: cannot read {}: {e}", file.display());
+            ExitCode::from(2)
+        })?;
+        let spec = JobSpec {
+            source,
+            options: options.as_ref().map(OptionsSpec::from_options),
+            isolated_memo: false,
+        };
+        specs.push((file.display().to_string(), spec));
+    }
+    if args.socket.is_some() {
+        run_specs_daemon(&specs, args)
+    } else {
+        run_specs_local(&specs, args.threads)
+    }
+}
+
+/// [`table1::service_jobs`] as labelled wire specs.
+fn table1_specs() -> Vec<(String, JobSpec)> {
+    let names: Vec<String> = corpus::table1_algorithms()
+        .iter()
+        .flat_map(|alg| {
+            [
+                format!("{} [scaled]", alg.name),
+                format!("{} [fix-eps]", alg.name),
+            ]
+        })
+        .collect();
+    table1::service_jobs()
+        .iter()
+        .map(JobSpec::from_job)
+        .zip(names)
+        .map(|(spec, name)| (name, spec))
+        .collect()
+}
+
+fn main() -> ExitCode {
+    let Some(args) = parse_args() else {
+        return usage();
+    };
+    let result = match args.command.as_str() {
+        "check" => check(&args),
+        "table1" => {
+            let specs = table1_specs();
+            if args.socket.is_some() {
+                run_specs_daemon(&specs, &args)
+            } else {
+                run_specs_local(&specs, args.threads)
+            }
+        }
+        "status" if args.socket.is_some() => match connect(&args) {
+            Err(code) => return code,
+            Ok(mut client) => match client.status() {
+                Ok(s) => {
+                    println!(
+                        "queued={} running={} done={} memo={} pipeline_store={} store_hits={}",
+                        s.queued, s.running, s.done, s.memo_entries, s.pipeline_store, s.store_hits
+                    );
+                    Ok(true)
+                }
+                Err(e) => {
+                    eprintln!("shadowdp: status failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+        },
+        "shutdown" if args.socket.is_some() => match connect(&args) {
+            Err(code) => return code,
+            Ok(mut client) => match client.shutdown() {
+                Ok(()) => Ok(true),
+                Err(e) => {
+                    eprintln!("shadowdp: shutdown failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+        },
+        _ => return usage(),
+    };
+    match result {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(code) => code,
+    }
+}

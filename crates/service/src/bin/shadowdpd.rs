@@ -1,0 +1,61 @@
+//! The verification daemon binary.
+//!
+//! ```text
+//! shadowdpd --socket <path> [--store <path>] [--threads <n>]
+//! ```
+//!
+//! Listens on the Unix socket, schedules submitted jobs in batches, and
+//! persists verdicts to the store (see `shadowdp_service` for the
+//! protocol and formats). Exits on a client `SHUTDOWN`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use shadowdp_service::daemon::{self, DaemonConfig};
+
+fn usage() -> ExitCode {
+    eprintln!("usage: shadowdpd --socket <path> [--store <path>] [--threads <n>]");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let mut socket: Option<PathBuf> = None;
+    let mut store: Option<PathBuf> = None;
+    let mut threads: Option<usize> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--socket" => socket = args.next().map(PathBuf::from),
+            "--store" => store = args.next().map(PathBuf::from),
+            "--threads" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => threads = Some(n),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let Some(socket) = socket else {
+        return usage();
+    };
+
+    println!(
+        "shadowdpd: listening on {} (store: {})",
+        socket.display(),
+        store
+            .as_ref()
+            .map(|p| p.display().to_string())
+            .unwrap_or_else(|| "in-memory".into())
+    );
+    match daemon::run(DaemonConfig {
+        socket,
+        store,
+        threads,
+    }) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("shadowdpd: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

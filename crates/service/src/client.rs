@@ -1,0 +1,199 @@
+//! Client side of the verification service: connect (or auto-spawn a
+//! daemon), submit jobs, await results.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+use shadowdp::JobSpec;
+
+use crate::proto::{encode_request, parse_response, JobOutcome, Request, Response, StatusInfo};
+
+fn bad_data(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// A connected protocol client. One request/response at a time, in order
+/// (the protocol is strictly synchronous per connection; open more
+/// connections for overlap — the daemon batches across all of them).
+pub struct Client {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+}
+
+impl Client {
+    /// Connects to a running daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket connection error (e.g. no daemon listening).
+    pub fn connect(socket: impl AsRef<Path>) -> io::Result<Client> {
+        let stream = UnixStream::connect(socket.as_ref())?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Connects, auto-spawning `shadowdpd` if nothing is listening: the
+    /// daemon binary is looked up next to the current executable (both
+    /// live in the same cargo target directory), spawned detached with
+    /// the given store path, and polled until its socket accepts.
+    ///
+    /// `store` and `threads` configure the *spawned* daemon only: if a
+    /// daemon is already listening on `socket`, it keeps whatever
+    /// configuration it was started with and these arguments are unused.
+    ///
+    /// This is a single-operator convenience with a check-then-spawn
+    /// race: two processes calling it concurrently for the same socket
+    /// can both spawn a daemon, and the second bind orphans the first
+    /// listener. Fleets that start daemons concurrently should manage
+    /// `shadowdpd` lifecycles explicitly (as the CI service job does).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if spawning fails or the daemon does not come up
+    /// within ~5 s.
+    pub fn connect_or_spawn(
+        socket: impl AsRef<Path>,
+        store: Option<&Path>,
+        threads: Option<usize>,
+    ) -> io::Result<Client> {
+        let socket = socket.as_ref();
+        if let Ok(client) = Client::connect(socket) {
+            return Ok(client);
+        }
+        let daemon_bin = daemon_binary()?;
+        let mut cmd = Command::new(&daemon_bin);
+        cmd.arg("--socket").arg(socket);
+        if let Some(store) = store {
+            cmd.arg("--store").arg(store);
+        }
+        if let Some(threads) = threads {
+            cmd.args(["--threads", &threads.to_string()]);
+        }
+        cmd.stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit());
+        cmd.spawn().map_err(|e| {
+            io::Error::new(e.kind(), format!("spawning {}: {e}", daemon_bin.display()))
+        })?;
+        for _ in 0..100 {
+            std::thread::sleep(Duration::from_millis(50));
+            if let Ok(client) = Client::connect(socket) {
+                return Ok(client);
+            }
+        }
+        Err(io::Error::new(
+            io::ErrorKind::TimedOut,
+            format!("daemon did not come up on {}", socket.display()),
+        ))
+    }
+
+    fn roundtrip(&mut self, request: &Request) -> io::Result<Response> {
+        writeln!(self.writer, "{}", encode_request(request))?;
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(bad_data("daemon closed the connection"));
+        }
+        parse_response(line.trim_end_matches(['\n', '\r'])).map_err(|e| bad_data(e.to_string()))
+    }
+
+    /// Liveness check.
+    ///
+    /// # Errors
+    ///
+    /// I/O or protocol failure.
+    pub fn ping(&mut self) -> io::Result<()> {
+        match self.roundtrip(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(bad_data(format!("expected PONG, got {other:?}"))),
+        }
+    }
+
+    /// Queues a job, returning its id.
+    ///
+    /// # Errors
+    ///
+    /// I/O or protocol failure, or a daemon-side `ERR` (e.g. shutting
+    /// down).
+    pub fn submit(&mut self, spec: &JobSpec) -> io::Result<u64> {
+        match self.roundtrip(&Request::Submit(spec.clone()))? {
+            Response::Queued(id) => Ok(id),
+            Response::Err(msg) => Err(bad_data(format!("daemon refused submit: {msg}"))),
+            other => Err(bad_data(format!("expected QUEUED, got {other:?}"))),
+        }
+    }
+
+    /// Blocks until the job is finished and returns its outcome.
+    ///
+    /// # Errors
+    ///
+    /// I/O or protocol failure, or a daemon-side `ERR` (unknown id,
+    /// shutdown while waiting).
+    pub fn result(&mut self, id: u64) -> io::Result<JobOutcome> {
+        match self.roundtrip(&Request::Result(id))? {
+            Response::Result(outcome) => Ok(outcome),
+            Response::Err(msg) => Err(bad_data(format!("daemon error: {msg}"))),
+            other => Err(bad_data(format!("expected RESULT, got {other:?}"))),
+        }
+    }
+
+    /// Fetches the daemon's counters.
+    ///
+    /// # Errors
+    ///
+    /// I/O or protocol failure.
+    pub fn status(&mut self) -> io::Result<StatusInfo> {
+        match self.roundtrip(&Request::Status)? {
+            Response::Status(info) => Ok(info),
+            other => Err(bad_data(format!("expected STATUS, got {other:?}"))),
+        }
+    }
+
+    /// Asks the daemon to flush its store and exit.
+    ///
+    /// # Errors
+    ///
+    /// I/O or protocol failure.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        match self.roundtrip(&Request::Shutdown)? {
+            Response::Bye => Ok(()),
+            other => Err(bad_data(format!("expected BYE, got {other:?}"))),
+        }
+    }
+
+    /// Convenience: submit every spec, then await every result, in
+    /// submission order.
+    ///
+    /// # Errors
+    ///
+    /// First I/O or protocol failure, if any.
+    pub fn run_corpus(&mut self, specs: &[JobSpec]) -> io::Result<Vec<JobOutcome>> {
+        let ids = specs
+            .iter()
+            .map(|spec| self.submit(spec))
+            .collect::<io::Result<Vec<u64>>>()?;
+        ids.into_iter().map(|id| self.result(id)).collect()
+    }
+}
+
+/// The `shadowdpd` binary expected to sit next to the current executable
+/// (cargo puts every workspace binary in the same target directory).
+fn daemon_binary() -> io::Result<PathBuf> {
+    let exe = std::env::current_exe()?;
+    let candidate = exe.with_file_name("shadowdpd");
+    if candidate.exists() {
+        Ok(candidate)
+    } else {
+        Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!(
+                "no daemon at {} — build it with `cargo build -p shadowdp-service`",
+                candidate.display()
+            ),
+        ))
+    }
+}

@@ -1,0 +1,396 @@
+//! `shadowdpd`: the verification daemon.
+//!
+//! A std-only [`UnixListener`] server speaking the line protocol of
+//! [`crate::proto`]. The architecture is three kinds of threads around two
+//! locks:
+//!
+//! - the **accept loop** (caller's thread inside [`run`]) spawns one
+//!   handler thread per connection;
+//! - **handler threads** parse requests and touch only the queue state —
+//!   `SUBMIT` enqueues and returns immediately, `RESULT` blocks on a
+//!   condvar until the job's outcome is published;
+//! - the **scheduler thread** drains everything queued at once and runs it
+//!   as *one batch* through
+//!   [`Pipeline::verify_corpus_parallel_with_memo`] — so jobs submitted
+//!   concurrently by any number of clients fan out over the work-stealing
+//!   corpus driver against the daemon's long-lived shared [`QueryMemo`],
+//!   and a burst of near-identical candidates (the CheckDP loop shape)
+//!   pays theory work once.
+//!
+//! Persistence: on startup the daemon loads the [`VerdictStore`] and warms
+//! the memo from its solver tier; after every batch (and once more on
+//! shutdown) it snapshots the memo back and atomically rewrites the store.
+//! Jobs whose (source, options) pair is already in the pipeline tier are
+//! answered from disk without scheduling at all and report
+//! `from = store` over the wire.
+//!
+//! Results are published per job id; each client receives `RESULT`
+//! replies in the order it asks for them, which the bundled client does
+//! in submission order.
+
+use std::collections::{HashMap, HashSet};
+use std::io::{BufRead, BufReader, Write};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+
+use shadowdp::{CorpusJob, JobSpec, Pipeline, PipelineError, PipelineReport};
+use shadowdp_solver::QueryMemo;
+use shadowdp_verify::Verdict;
+
+use crate::proto::{self, JobOutcome, Request, Response, StatusInfo};
+use crate::store::{fnv128, hex128, PipelineEntry, VerdictStore};
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct DaemonConfig {
+    /// Unix socket path to listen on (a stale file is replaced).
+    pub socket: PathBuf,
+    /// Verdict store path; `None` runs fully in memory (still batched and
+    /// memoized, just nothing survives the process).
+    pub store: Option<PathBuf>,
+    /// Worker threads per batch (`None` = all cores), forwarded to
+    /// [`Pipeline::verify_corpus_parallel_with_memo`].
+    pub threads: Option<usize>,
+}
+
+/// Queue state behind the daemon's mutex.
+#[derive(Default)]
+struct State {
+    pending: Vec<(u64, JobSpec)>,
+    done: HashMap<u64, JobOutcome>,
+    /// Ids whose outcome was handed to a RESULT request — or dropped
+    /// because the submitter disconnected first. Outcomes leave `done` on
+    /// delivery and disconnect-reaping, so a long-lived daemon's memory is
+    /// bounded by live connections' work, not total jobs served; this id
+    /// set (8 bytes per job, the only per-job residue) keeps a re-asked id
+    /// an error instead of an infinite wait.
+    delivered: HashSet<u64>,
+    /// Which connection submitted each undelivered job. Only the
+    /// submitting connection may consume the outcome — otherwise any
+    /// client probing ids could steal results and leave the rightful
+    /// submitter with a permanent error. Entries are removed on delivery.
+    owners: HashMap<u64, u64>,
+    next_id: u64,
+    running: u64,
+    store_hits: u64,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    cond: Condvar,
+    store: Mutex<VerdictStore>,
+    memo: Arc<QueryMemo>,
+    config: DaemonConfig,
+}
+
+/// Renders a per-job pipeline result as the wire verdict string.
+pub fn render_verdict(report: &Result<PipelineReport, PipelineError>) -> String {
+    match report {
+        Ok(report) => match &report.verdict {
+            Verdict::Proved => "proved".to_string(),
+            Verdict::Refuted(cex) => format!("refuted: {cex}"),
+            Verdict::Unknown(reason) => format!("unknown: {reason}"),
+        },
+        Err(e) => format!("error in {:?}: {e}", e.phase()),
+    }
+}
+
+/// The wire digest of a per-job report digest text.
+pub fn wire_digest(report_digest: &str) -> String {
+    hex128(fnv128(report_digest.as_bytes()))
+}
+
+/// Runs the daemon until a client sends `SHUTDOWN`. Blocks the calling
+/// thread (spawn it yourself for an in-process daemon — the integration
+/// tests and `examples/service_demo.rs` do).
+///
+/// # Errors
+///
+/// Returns an error if the socket cannot be bound. Per-connection and
+/// store-flush errors are logged to stderr and survived.
+pub fn run(config: DaemonConfig) -> std::io::Result<()> {
+    let store = match &config.store {
+        Some(path) => VerdictStore::load(path),
+        None => VerdictStore::in_memory(),
+    };
+    if let Some(note) = store.load_note() {
+        eprintln!("shadowdpd: {note}");
+    }
+    let memo = Arc::new(QueryMemo::default());
+    store.warm_memo(&memo);
+
+    // Replace a stale socket file (left by a killed daemon) so restarts
+    // are transparent; a live daemon on the same path would lose its
+    // listener, which is the operator's race to avoid, not ours.
+    let _ = std::fs::remove_file(&config.socket);
+    let listener = UnixListener::bind(&config.socket)?;
+
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State::default()),
+        cond: Condvar::new(),
+        store: Mutex::new(store),
+        memo,
+        config,
+    });
+
+    let scheduler = {
+        let shared = shared.clone();
+        thread::spawn(move || schedule(&shared))
+    };
+
+    let mut next_conn: u64 = 0;
+    for stream in listener.incoming() {
+        if shared.state.lock().unwrap().shutdown {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let conn = next_conn;
+        next_conn += 1;
+        let shared = shared.clone();
+        thread::spawn(move || {
+            if let Err(e) = handle(&shared, conn, stream) {
+                eprintln!("shadowdpd: connection error: {e}");
+            }
+        });
+    }
+
+    scheduler.join().expect("scheduler does not panic");
+    let _ = std::fs::remove_file(&shared.config.socket);
+    Ok(())
+}
+
+/// The scheduler thread: batch, verify, persist, publish — until
+/// shutdown.
+fn schedule(shared: &Shared) {
+    let pipeline = Pipeline::new();
+    loop {
+        let batch: Vec<(u64, JobSpec)> = {
+            let mut st = shared.state.lock().unwrap();
+            while st.pending.is_empty() && !st.shutdown {
+                st = shared.cond.wait(st).unwrap();
+            }
+            if st.pending.is_empty() {
+                break; // shutdown with nothing queued
+            }
+            let batch = std::mem::take(&mut st.pending);
+            st.running = batch.len() as u64;
+            batch
+        };
+
+        let mut outcomes: Vec<JobOutcome> = Vec::new();
+        let mut fresh: Vec<(u64, JobSpec, CorpusJob)> = Vec::new();
+        let mut hits = 0u64;
+        {
+            let store = shared.store.lock().unwrap();
+            for (id, spec) in batch {
+                if let Some(entry) = store.pipeline_get(&spec) {
+                    hits += 1;
+                    outcomes.push(JobOutcome {
+                        id,
+                        ok: entry.ok,
+                        from_store: true,
+                        digest: wire_digest(&entry.digest),
+                        checks: 0,
+                        cache_hits: 0,
+                        theory_calls: 0,
+                        verdict: entry.verdict.clone(),
+                    });
+                } else {
+                    match spec.to_job() {
+                        Ok(job) => fresh.push((id, spec, job)),
+                        Err(e) => outcomes.push(JobOutcome {
+                            id,
+                            ok: false,
+                            from_store: false,
+                            digest: wire_digest(&format!("{e}")),
+                            checks: 0,
+                            cache_hits: 0,
+                            theory_calls: 0,
+                            verdict: format!("error: {e}"),
+                        }),
+                    }
+                }
+            }
+        }
+
+        if !fresh.is_empty() {
+            let jobs: Vec<CorpusJob> = fresh.iter().map(|(_, _, job)| job.clone()).collect();
+            let outcome = pipeline.verify_corpus_parallel_with_memo(
+                &jobs,
+                shared.config.threads,
+                &shared.memo,
+            );
+            let mut store = shared.store.lock().unwrap();
+            for (slot, (id, spec, _)) in fresh.iter().enumerate() {
+                let digest_text = outcome.report_digest(slot);
+                let verdict = render_verdict(&outcome.reports[slot]);
+                let stats = outcome.reports[slot]
+                    .as_ref()
+                    .map(|r| r.solver_stats)
+                    .unwrap_or_default();
+                store.pipeline_put(
+                    spec,
+                    PipelineEntry {
+                        ok: outcome.reports[slot].is_ok(),
+                        verdict: verdict.clone(),
+                        digest: digest_text.clone(),
+                    },
+                );
+                outcomes.push(JobOutcome {
+                    id: *id,
+                    ok: outcome.reports[slot].is_ok(),
+                    from_store: false,
+                    digest: wire_digest(&digest_text),
+                    checks: stats.checks,
+                    cache_hits: stats.cache_hits,
+                    theory_calls: stats.theory_calls,
+                    verdict,
+                });
+            }
+            store.update_from_memo(&shared.memo);
+            if let Err(e) = store.flush() {
+                eprintln!("shadowdpd: store flush failed (continuing unpersisted): {e}");
+            }
+        }
+
+        let mut st = shared.state.lock().unwrap();
+        st.store_hits += hits;
+        for outcome in outcomes {
+            if st.owners.contains_key(&outcome.id) {
+                st.done.insert(outcome.id, outcome);
+            } else {
+                // The submitting connection disconnected while this job
+                // was in flight; nobody can ever collect it, so publishing
+                // would leak. The verdict is persisted either way.
+                st.delivered.insert(outcome.id);
+            }
+        }
+        st.running = 0;
+        shared.cond.notify_all();
+    }
+
+    // Final flush so a clean shutdown persists everything the last batch
+    // (or a warm start with no batches at all) left in the memo.
+    let mut store = shared.store.lock().unwrap();
+    store.update_from_memo(&shared.memo);
+    if let Err(e) = store.flush() {
+        eprintln!("shadowdpd: final store flush failed: {e}");
+    }
+}
+
+/// One connection: request lines in, response lines out, until EOF or
+/// `SHUTDOWN`, then reap whatever the client never collected. `conn`
+/// identifies this connection for job ownership.
+fn handle(shared: &Shared, conn: u64, stream: UnixStream) -> std::io::Result<()> {
+    let result = serve(shared, conn, stream);
+    // A client that disconnected without collecting its outcomes will
+    // never RESULT them; dropping them here (and letting the scheduler
+    // drop in-flight ones at publication, see above) keeps daemon memory
+    // bounded by live connections' work, not total jobs ever served.
+    let mut st = shared.state.lock().unwrap();
+    let orphaned: Vec<u64> = st
+        .owners
+        .iter()
+        .filter(|(_, owner)| **owner == conn)
+        .map(|(id, _)| *id)
+        .collect();
+    for id in orphaned {
+        st.owners.remove(&id);
+        if st.done.remove(&id).is_some() {
+            st.delivered.insert(id);
+        }
+    }
+    result
+}
+
+/// The request/response loop behind [`handle`].
+fn serve(shared: &Shared, conn: u64, stream: UnixStream) -> std::io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    for line in reader.lines() {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let response = match proto::parse_request(&line) {
+            Err(e) => Response::Err(e.to_string()),
+            Ok(Request::Ping) => Response::Pong,
+            Ok(Request::Status) => {
+                let (queued, running, done, store_hits) = {
+                    let st = shared.state.lock().unwrap();
+                    (
+                        st.pending.len() as u64,
+                        st.running,
+                        st.done.len() as u64 + st.delivered.len() as u64,
+                        st.store_hits,
+                    )
+                };
+                let pipeline_store = shared.store.lock().unwrap().pipeline_len() as u64;
+                Response::Status(StatusInfo {
+                    queued,
+                    running,
+                    done,
+                    memo_entries: shared.memo.len() as u64,
+                    pipeline_store,
+                    store_hits,
+                })
+            }
+            Ok(Request::Submit(spec)) => {
+                let mut st = shared.state.lock().unwrap();
+                if st.shutdown {
+                    Response::Err("shutting down".into())
+                } else {
+                    let id = st.next_id;
+                    st.next_id += 1;
+                    st.pending.push((id, spec));
+                    st.owners.insert(id, conn);
+                    shared.cond.notify_all();
+                    Response::Queued(id)
+                }
+            }
+            Ok(Request::Result(id)) => {
+                let mut st = shared.state.lock().unwrap();
+                loop {
+                    if id >= st.next_id {
+                        break Response::Err(format!("unknown job id {id}"));
+                    }
+                    if st.delivered.contains(&id) {
+                        break Response::Err(format!("job {id} already delivered"));
+                    }
+                    // Only the submitting connection may consume an
+                    // outcome; anyone else probing the id would otherwise
+                    // steal it and leave the submitter with an error.
+                    if st.owners.get(&id) != Some(&conn) {
+                        break Response::Err(format!("job {id} was submitted by another client"));
+                    }
+                    if let Some(outcome) = st.done.remove(&id) {
+                        st.delivered.insert(id);
+                        st.owners.remove(&id);
+                        break Response::Result(outcome);
+                    }
+                    // Note: no shutdown early-out here. Every issued id is
+                    // eventually published — the scheduler drains pending
+                    // batches before exiting even after the shutdown flag
+                    // is set — so waiting is always finite and correct.
+                    st = shared.cond.wait(st).unwrap();
+                }
+            }
+            Ok(Request::Shutdown) => {
+                {
+                    let mut st = shared.state.lock().unwrap();
+                    st.shutdown = true;
+                }
+                shared.cond.notify_all();
+                writeln!(writer, "{}", proto::encode_response(&Response::Bye))?;
+                // Wake the accept loop so `run` can observe the flag.
+                let _ = UnixStream::connect(&shared.config.socket);
+                return Ok(());
+            }
+        };
+        writeln!(writer, "{}", proto::encode_response(&response))?;
+    }
+    Ok(())
+}

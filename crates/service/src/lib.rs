@@ -1,0 +1,54 @@
+//! **shadowdp-service** — the verification service around the ShadowDP
+//! pipeline: a persistent verdict store, a Unix-socket daemon with batched
+//! corpus scheduling, and a client.
+//!
+//! The paper's pitch is that checking one algorithm takes seconds; this
+//! crate is what turns that into infrastructure. Every verification the
+//! process has ever done is remembered at two granularities
+//! ([`store::VerdictStore`]):
+//!
+//! - **solver tier** — validity-query verdicts keyed by arena-independent
+//!   structural fingerprints (exactly a [`shadowdp_solver::QueryMemo`]
+//!   snapshot), so a restarted daemon re-proves nothing it has proved
+//!   before, even for *new* programs that share obligations with old ones;
+//! - **pipeline tier** — whole-program verdict + report digest keyed by
+//!   (source, options), so a resubmitted program is answered without
+//!   running at all.
+//!
+//! The daemon ([`daemon::run`]) batches concurrently submitted jobs into
+//! one [`shadowdp::Pipeline::verify_corpus_parallel_with_memo`] call per
+//! scheduling round — the CheckDP-style serving shape, where a loop
+//! submitting near-identical candidates is dominated by cache hits.
+//! [`client::Client`] (and the `shadowdp` binary) talk the line protocol
+//! of [`proto`]; `shadowdpd` is the daemon binary.
+//!
+//! # Quickstart (in-process daemon)
+//!
+//! ```no_run
+//! use shadowdp::JobSpec;
+//! use shadowdp_service::{client::Client, daemon};
+//!
+//! let config = daemon::DaemonConfig {
+//!     socket: "/tmp/shadowdpd.sock".into(),
+//!     store: Some("/tmp/shadowdpd.store".into()),
+//!     threads: None,
+//! };
+//! std::thread::spawn(move || daemon::run(config).unwrap());
+//! let mut client = Client::connect_or_spawn("/tmp/shadowdpd.sock", None, None).unwrap();
+//! let alg = shadowdp::corpus::laplace_mechanism();
+//! let outcome = client
+//!     .run_corpus(&[JobSpec::new(alg.source)])
+//!     .unwrap()
+//!     .remove(0);
+//! assert_eq!(outcome.verdict, "proved");
+//! ```
+
+pub mod client;
+pub mod daemon;
+pub mod proto;
+pub mod store;
+
+pub use client::Client;
+pub use daemon::{render_verdict, wire_digest, DaemonConfig};
+pub use proto::{JobOutcome, ProtoError, Request, Response, StatusInfo};
+pub use store::{decode, fnv128, hex128, DecodeError, PipelineEntry, VerdictStore};

@@ -1,0 +1,441 @@
+//! The line-oriented wire protocol spoken over the daemon's Unix socket.
+//!
+//! One request per line, one response line per request, in order. Fields
+//! are **tab-separated**; any field that can contain tabs or newlines
+//! (source text, assumptions, verdicts) is escaped with
+//! [`esc`]/[`unesc`] (`\` → `\\`, tab → `\t`, newline → `\n`, CR → `\r`),
+//! so a physical line always holds exactly one message. The grammar:
+//!
+//! ```text
+//! request  = "PING" | "STATUS" | "SHUTDOWN"
+//!          | "RESULT" TAB id
+//!          | "SUBMIT" TAB isolated TAB mode TAB engine TAB list_len
+//!                     TAB max_unroll TAB max_rounds TAB n
+//!                     {TAB assumption}*n TAB source
+//! response = "PONG" | "BYE"
+//!          | "QUEUED" TAB id
+//!          | "STATUS" TAB queued TAB running TAB done TAB memo
+//!                     TAB pipeline_store TAB store_hits
+//!          | "RESULT" TAB id TAB ok TAB from TAB digest
+//!                     TAB checks TAB cache_hits TAB theory_calls TAB verdict
+//!          | "ERR" TAB message
+//! ```
+//!
+//! `mode = "-"` means "no per-job options" (the daemon's defaults); the
+//! remaining option fields are then ignored but still present, keeping
+//! field offsets fixed. `digest` is the 32-hex-char fnv128 of the job's
+//! [`shadowdp::CorpusOutcome::report_digest`] text; `from` is `store`
+//! (answered by the persistent pipeline tier) or `fresh` (scheduled this
+//! process). Job ids are owned by the connection that submitted them:
+//! `RESULT` from any other connection is an `ERR`, and a second `RESULT`
+//! for an already-delivered id is too (outcomes are dropped on delivery
+//! to bound daemon memory). Protocol errors never kill the connection:
+//! the daemon answers `ERR` and keeps reading.
+
+use std::fmt;
+
+use shadowdp::{JobSpec, OptionsSpec};
+
+/// A malformed protocol line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProtoError(pub String);
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "protocol error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// Escapes a field for single-line transport.
+pub fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Reverses [`esc`].
+///
+/// # Errors
+///
+/// Returns [`ProtoError`] on a dangling or unknown escape.
+pub fn unesc(s: &str) -> Result<String, ProtoError> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('\\') => out.push('\\'),
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some(other) => return Err(ProtoError(format!("unknown escape `\\{other}`"))),
+            None => return Err(ProtoError("dangling escape".into())),
+        }
+    }
+    Ok(out)
+}
+
+/// A client → daemon message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness check.
+    Ping,
+    /// Queue/store counters.
+    Status,
+    /// Queue a verification job; answered immediately with `QUEUED`.
+    Submit(JobSpec),
+    /// Block until the job is done, then return its outcome.
+    Result(u64),
+    /// Flush the store and exit.
+    Shutdown,
+}
+
+/// Daemon-side counters reported by `STATUS`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatusInfo {
+    /// Jobs submitted but not yet picked up by the scheduler.
+    pub queued: u64,
+    /// Jobs in the batch currently being verified.
+    pub running: u64,
+    /// Jobs completed since startup (awaiting pickup or already
+    /// delivered).
+    pub done: u64,
+    /// Entries in the live solver query memo.
+    pub memo_entries: u64,
+    /// Entries in the persistent pipeline tier.
+    pub pipeline_store: u64,
+    /// Jobs answered from the persistent pipeline tier since startup.
+    pub store_hits: u64,
+}
+
+/// One finished job as reported over the wire.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobOutcome {
+    /// The id `QUEUED` assigned.
+    pub id: u64,
+    /// Whether verification produced a verdict (`false` = the job failed
+    /// before verification: malformed spec, parse or type error).
+    pub ok: bool,
+    /// Answered by the persistent pipeline tier instead of a fresh run.
+    pub from_store: bool,
+    /// 32-hex-char fnv128 of the job's canonical report digest.
+    pub digest: String,
+    /// Solver `checks` spent on this job (0 for store-served jobs).
+    pub checks: u64,
+    /// Solver memo hits on this job.
+    pub cache_hits: u64,
+    /// Fresh theory calls on this job (0 when fully warm).
+    pub theory_calls: u64,
+    /// Rendered verdict or error.
+    pub verdict: String,
+}
+
+/// A daemon → client message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// Liveness answer.
+    Pong,
+    /// Job accepted under this id.
+    Queued(u64),
+    /// Counter snapshot.
+    Status(StatusInfo),
+    /// Finished job.
+    Result(JobOutcome),
+    /// The request could not be served (malformed line, unknown id).
+    Err(String),
+    /// Acknowledges `SHUTDOWN`; the daemon exits after sending it.
+    Bye,
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+/// Renders a request as one protocol line (no trailing newline).
+pub fn encode_request(req: &Request) -> String {
+    match req {
+        Request::Ping => "PING".into(),
+        Request::Status => "STATUS".into(),
+        Request::Shutdown => "SHUTDOWN".into(),
+        Request::Result(id) => format!("RESULT\t{id}"),
+        Request::Submit(spec) => {
+            let mut fields: Vec<String> = vec![
+                "SUBMIT".into(),
+                if spec.isolated_memo { "1" } else { "0" }.into(),
+            ];
+            match &spec.options {
+                None => fields.extend(["-", "-", "-", "-", "-", "0"].map(String::from)),
+                Some(o) => {
+                    fields.push(esc(&o.mode));
+                    fields.push(esc(&o.engine));
+                    fields.push(o.list_len.to_string());
+                    fields.push(
+                        o.max_unroll
+                            .map(|n| n.to_string())
+                            .unwrap_or_else(|| "-".into()),
+                    );
+                    fields.push(o.max_rounds.to_string());
+                    fields.push(o.assumptions.len().to_string());
+                    fields.extend(o.assumptions.iter().map(|a| esc(a)));
+                }
+            }
+            fields.push(esc(&spec.source));
+            fields.join("\t")
+        }
+    }
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// Returns [`ProtoError`] on unknown verbs, wrong arity, or bad escapes.
+pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
+    let fields: Vec<&str> = line.split('\t').collect();
+    match fields[0] {
+        "PING" if fields.len() == 1 => Ok(Request::Ping),
+        "STATUS" if fields.len() == 1 => Ok(Request::Status),
+        "SHUTDOWN" if fields.len() == 1 => Ok(Request::Shutdown),
+        "RESULT" if fields.len() == 2 => fields[1]
+            .parse()
+            .map(Request::Result)
+            .map_err(|_| ProtoError(format!("bad job id `{}`", fields[1]))),
+        "SUBMIT" => parse_submit(&fields),
+        verb => Err(ProtoError(format!("unknown request `{verb}`"))),
+    }
+}
+
+fn parse_submit(fields: &[&str]) -> Result<Request, ProtoError> {
+    // SUBMIT isolated mode engine list_len max_unroll max_rounds n [a]*n source
+    if fields.len() < 9 {
+        return Err(ProtoError("SUBMIT: too few fields".into()));
+    }
+    let isolated_memo = match fields[1] {
+        "0" => false,
+        "1" => true,
+        other => return Err(ProtoError(format!("SUBMIT: bad isolated flag `{other}`"))),
+    };
+    let n: usize = fields[7]
+        .parse()
+        .map_err(|_| ProtoError(format!("SUBMIT: bad assumption count `{}`", fields[7])))?;
+    // Compare against the actual field surplus instead of computing
+    // `9 + n`: a hostile count near usize::MAX must be an ERR reply, not
+    // an addition overflow that kills the connection's handler thread.
+    if n != fields.len() - 9 {
+        return Err(ProtoError(format!(
+            "SUBMIT: expected {} assumptions for {} fields, got {n}",
+            fields.len() - 9,
+            fields.len()
+        )));
+    }
+    let options = if fields[2] == "-" {
+        if n != 0 {
+            return Err(ProtoError("SUBMIT: assumptions without options".into()));
+        }
+        None
+    } else {
+        let parse_usize = |s: &str, what: &str| -> Result<usize, ProtoError> {
+            s.parse()
+                .map_err(|_| ProtoError(format!("SUBMIT: bad {what} `{s}`")))
+        };
+        Some(OptionsSpec {
+            mode: unesc(fields[2])?,
+            engine: unesc(fields[3])?,
+            list_len: parse_usize(fields[4], "list_len")?,
+            max_unroll: match fields[5] {
+                "-" => None,
+                s => Some(parse_usize(s, "max_unroll")?),
+            },
+            max_rounds: parse_usize(fields[6], "max_rounds")?,
+            assumptions: fields[8..8 + n]
+                .iter()
+                .map(|a| unesc(a))
+                .collect::<Result<Vec<_>, _>>()?,
+        })
+    };
+    Ok(Request::Submit(JobSpec {
+        source: unesc(fields[8 + n])?,
+        options,
+        isolated_memo,
+    }))
+}
+
+/// Renders a response as one protocol line (no trailing newline).
+pub fn encode_response(resp: &Response) -> String {
+    match resp {
+        Response::Pong => "PONG".into(),
+        Response::Bye => "BYE".into(),
+        Response::Queued(id) => format!("QUEUED\t{id}"),
+        Response::Err(msg) => format!("ERR\t{}", esc(msg)),
+        Response::Status(s) => format!(
+            "STATUS\t{}\t{}\t{}\t{}\t{}\t{}",
+            s.queued, s.running, s.done, s.memo_entries, s.pipeline_store, s.store_hits
+        ),
+        Response::Result(r) => format!(
+            "RESULT\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            r.id,
+            if r.ok { "ok" } else { "err" },
+            if r.from_store { "store" } else { "fresh" },
+            r.digest,
+            r.checks,
+            r.cache_hits,
+            r.theory_calls,
+            esc(&r.verdict)
+        ),
+    }
+}
+
+/// Parses one response line.
+///
+/// # Errors
+///
+/// Returns [`ProtoError`] on unknown verbs, wrong arity, or bad escapes.
+pub fn parse_response(line: &str) -> Result<Response, ProtoError> {
+    let fields: Vec<&str> = line.split('\t').collect();
+    let num = |s: &str, what: &str| -> Result<u64, ProtoError> {
+        s.parse()
+            .map_err(|_| ProtoError(format!("bad {what} `{s}`")))
+    };
+    match fields[0] {
+        "PONG" if fields.len() == 1 => Ok(Response::Pong),
+        "BYE" if fields.len() == 1 => Ok(Response::Bye),
+        "QUEUED" if fields.len() == 2 => Ok(Response::Queued(num(fields[1], "job id")?)),
+        "ERR" if fields.len() == 2 => Ok(Response::Err(unesc(fields[1])?)),
+        "STATUS" if fields.len() == 7 => Ok(Response::Status(StatusInfo {
+            queued: num(fields[1], "queued")?,
+            running: num(fields[2], "running")?,
+            done: num(fields[3], "done")?,
+            memo_entries: num(fields[4], "memo")?,
+            pipeline_store: num(fields[5], "pipeline_store")?,
+            store_hits: num(fields[6], "store_hits")?,
+        })),
+        "RESULT" if fields.len() == 9 => Ok(Response::Result(JobOutcome {
+            id: num(fields[1], "job id")?,
+            ok: match fields[2] {
+                "ok" => true,
+                "err" => false,
+                other => return Err(ProtoError(format!("bad ok flag `{other}`"))),
+            },
+            from_store: match fields[3] {
+                "store" => true,
+                "fresh" => false,
+                other => return Err(ProtoError(format!("bad from flag `{other}`"))),
+            },
+            digest: fields[4].to_string(),
+            checks: num(fields[5], "checks")?,
+            cache_hits: num(fields[6], "cache_hits")?,
+            theory_calls: num(fields[7], "theory_calls")?,
+            verdict: unesc(fields[8])?,
+        })),
+        verb => Err(ProtoError(format!("unknown response `{verb}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_round_trips() {
+        for s in [
+            "",
+            "plain",
+            "tabs\tand\nnewlines\r\\backslashes\\t",
+            "function F() {\n\tx := lap(1);\n}",
+        ] {
+            assert_eq!(unesc(&esc(s)).unwrap(), s);
+            assert!(!esc(s).contains('\t'));
+            assert!(!esc(s).contains('\n'));
+        }
+        assert!(unesc("dangling\\").is_err());
+        assert!(unesc("\\x").is_err());
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let table1_jobs = shadowdp::table1::corpus_jobs();
+        let mut specs: Vec<JobSpec> = table1_jobs.iter().map(JobSpec::from_job).collect();
+        specs.push(JobSpec::new(
+            "function F() returns o: num(0,0)\n{ o := 0; }",
+        ));
+        let mut requests: Vec<Request> = specs.into_iter().map(Request::Submit).collect();
+        requests.extend([
+            Request::Ping,
+            Request::Status,
+            Request::Result(17),
+            Request::Shutdown,
+        ]);
+        for req in requests {
+            let line = encode_request(&req);
+            assert!(!line.contains('\n'), "{line:?}");
+            assert_eq!(parse_request(&line).unwrap(), req, "{line:?}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let responses = [
+            Response::Pong,
+            Response::Bye,
+            Response::Queued(3),
+            Response::Err("no such job\tid".into()),
+            Response::Status(StatusInfo {
+                queued: 1,
+                running: 2,
+                done: 3,
+                memo_entries: 400,
+                pipeline_store: 18,
+                store_hits: 9,
+            }),
+            Response::Result(JobOutcome {
+                id: 7,
+                ok: true,
+                from_store: true,
+                digest: "00ff".repeat(8),
+                checks: 120,
+                cache_hits: 120,
+                theory_calls: 0,
+                verdict: "refuted: x = 1, size = 3\nsecond line".into(),
+            }),
+        ];
+        for resp in responses {
+            let line = encode_response(&resp);
+            assert!(!line.contains('\n'), "{line:?}");
+            assert_eq!(parse_response(&line).unwrap(), resp, "{line:?}");
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_errors_not_panics() {
+        for line in [
+            "",
+            "NOPE",
+            "RESULT",
+            "RESULT\tx",
+            "SUBMIT",
+            "SUBMIT\t2\t-\t-\t-\t-\t-\t0\tsrc",
+            "SUBMIT\t0\t-\t-\t-\t-\t-\t5\tsrc",
+            "SUBMIT\t0\tscaled\tinductive\tbad\t-\t24\t0\tsrc",
+            // A hostile assumption count must not overflow the arity
+            // check into a handler-thread panic.
+            "SUBMIT\t0\tscaled\tinductive\t3\t-\t24\t18446744073709551615\tsrc",
+        ] {
+            assert!(parse_request(line).is_err(), "{line:?}");
+        }
+        assert!(parse_response("RESULT\t1\tok\tstore\tabc\t0\t0\t0").is_err());
+        assert!(parse_response("QUEUED\tnope").is_err());
+    }
+}

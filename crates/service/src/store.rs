@@ -1,0 +1,584 @@
+//! The persistent verdict store: a disk-backed cache with two tiers.
+//!
+//! - **Solver tier** — `Fingerprint → CheckResult`, the exact contents of a
+//!   [`QueryMemo`] exported with [`QueryMemo::snapshot`] and re-imported
+//!   with [`QueryMemo::absorb`]. Fingerprints are arena-independent
+//!   structural hashes (see `shadowdp_solver::term`), so an entry written
+//!   by one daemon process answers the structurally identical validity
+//!   query in any later process — this tier is what makes a daemon restart
+//!   *warm*.
+//! - **Pipeline tier** — `fnv128(JobSpec::canonical()) → (verdict, digest)`:
+//!   whole-verification results keyed by source text plus options. A
+//!   resubmitted program is answered without running the pipeline at all,
+//!   and the stored per-job digest lets the caller check byte-identical
+//!   output across restarts.
+//!
+//! # On-disk format
+//!
+//! A hand-rolled length-prefixed binary format (the vendored `serde` is a
+//! minimal stub, and the format is simple enough that a schema language
+//! would cost more than it buys):
+//!
+//! ```text
+//! magic   b"SDPVERD1"
+//! u64     solver entry count
+//!         per entry: u128 fingerprint, u8 tag (0 = Unsat, 1 = Sat);
+//!         Sat carries a Model: u8 possibly_spurious,
+//!           u32 reals count, per real:  u32 name len, name bytes, i128 numer, i128 denom,
+//!           u32 bools count, per bool:  u32 name len, name bytes, u8 value
+//! u64     pipeline entry count
+//!         per entry: u128 key, u8 ok, u32 verdict len, verdict bytes,
+//!                    u32 digest len, digest bytes
+//! u128    FNV-1a-128 checksum of every preceding byte
+//! ```
+//!
+//! All integers are little-endian. The trailing checksum turns *any*
+//! truncation or bit corruption into a detectable mismatch, and the store
+//! treats every decode failure the same way: it **falls back to a cold
+//! (empty) cache** — never panics, never half-loads. Writes are atomic:
+//! the new image goes to a sibling temp file which is fsynced and then
+//! `rename`d over the store path, so a crash mid-flush leaves the previous
+//! image intact (rename is atomic on POSIX filesystems).
+
+use std::collections::HashMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use shadowdp::JobSpec;
+use shadowdp_num::Rat;
+use shadowdp_solver::{CheckResult, Fingerprint, Model, QueryMemo};
+
+/// The file magic: format name + version. Bump the trailing digit on any
+/// layout change — old daemons then treat new files as corrupt (cold
+/// start) instead of misreading them.
+const MAGIC: &[u8; 8] = b"SDPVERD1";
+
+const FNV128_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+const FNV128_PRIME: u128 = 0x0000000001000000000000000000013B;
+
+/// FNV-1a over a byte string, folded to 128 bits. Used both as the store
+/// checksum and as the pipeline-tier cache key (hashing
+/// [`JobSpec::canonical`], which is injective on specs, so key collisions
+/// are 128-bit-hash unlikely rather than structural).
+pub fn fnv128(bytes: &[u8]) -> u128 {
+    let mut h = FNV128_OFFSET;
+    for b in bytes {
+        h = (h ^ (*b as u128)).wrapping_mul(FNV128_PRIME);
+    }
+    h
+}
+
+/// Renders a 128-bit hash as 32 lowercase hex chars (the wire form of
+/// digests and keys).
+pub fn hex128(v: u128) -> String {
+    format!("{v:032x}")
+}
+
+/// One pipeline-tier record: the daemon's answer for a (source, options)
+/// pair.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PipelineEntry {
+    /// Whether verification produced a verdict (`false` = the job failed
+    /// before verification, e.g. a parse or type error). Persisted
+    /// explicitly so store-served jobs report the same flag a fresh run
+    /// would, independent of how verdicts happen to be rendered.
+    pub ok: bool,
+    /// Rendered verdict (`proved`, `refuted: …`, `unknown: …`,
+    /// `error: …`).
+    pub verdict: String,
+    /// The full per-job [`shadowdp::CorpusOutcome::report_digest`] text —
+    /// stored verbatim so a warm restart can reproduce the digest byte for
+    /// byte rather than merely hash-equal.
+    pub digest: String,
+}
+
+/// The disk-backed two-tier verdict cache. See the module docs for the
+/// format and durability contract.
+#[derive(Debug)]
+pub struct VerdictStore {
+    path: Option<PathBuf>,
+    solver: HashMap<Fingerprint, CheckResult>,
+    pipeline: HashMap<u128, PipelineEntry>,
+    /// Why the last load fell back to cold, if it did (missing file is
+    /// not noted — a first run is expected to be cold).
+    load_note: Option<String>,
+}
+
+impl VerdictStore {
+    /// An empty store with no backing file ([`VerdictStore::flush`] is a
+    /// no-op). Used by ephemeral daemons and unit tests.
+    pub fn in_memory() -> VerdictStore {
+        VerdictStore {
+            path: None,
+            solver: HashMap::new(),
+            pipeline: HashMap::new(),
+            load_note: None,
+        }
+    }
+
+    /// Opens the store at `path`, loading any previous image. A missing
+    /// file is a normal cold start; a truncated or corrupted file is a
+    /// cold start with [`VerdictStore::load_note`] explaining why — this
+    /// constructor never fails and never panics on file contents.
+    pub fn load(path: impl Into<PathBuf>) -> VerdictStore {
+        let path = path.into();
+        let mut store = VerdictStore {
+            path: Some(path.clone()),
+            solver: HashMap::new(),
+            pipeline: HashMap::new(),
+            load_note: None,
+        };
+        match std::fs::read(&path) {
+            Err(_) => {} // missing (or unreadable): cold start
+            Ok(bytes) => match decode(&bytes) {
+                Ok((solver, pipeline)) => {
+                    store.solver = solver;
+                    store.pipeline = pipeline;
+                }
+                Err(e) => {
+                    store.load_note = Some(format!(
+                        "store {} unusable ({e}); starting cold",
+                        path.display()
+                    ));
+                }
+            },
+        }
+        store
+    }
+
+    /// Why the last [`VerdictStore::load`] fell back to a cold cache, if
+    /// it did.
+    pub fn load_note(&self) -> Option<&str> {
+        self.load_note.as_deref()
+    }
+
+    /// Number of solver-tier entries.
+    pub fn solver_len(&self) -> usize {
+        self.solver.len()
+    }
+
+    /// Number of pipeline-tier entries.
+    pub fn pipeline_len(&self) -> usize {
+        self.pipeline.len()
+    }
+
+    /// Imports the solver tier into a live memo ([`QueryMemo::absorb`];
+    /// live entries win on key collisions).
+    pub fn warm_memo(&self, memo: &QueryMemo) {
+        memo.absorb(self.solver.iter().map(|(k, v)| (*k, v.clone())));
+    }
+
+    /// Replaces the solver tier with a live memo's current contents
+    /// ([`QueryMemo::snapshot`]). The memo only ever grows entries the
+    /// store already has (it was warmed from them), so "replace" is
+    /// "merge" in practice — and a snapshot is authoritative about what
+    /// the process actually proved.
+    pub fn update_from_memo(&mut self, memo: &QueryMemo) {
+        self.solver = memo.snapshot().into_iter().collect();
+    }
+
+    /// The pipeline-tier cache key for a job spec.
+    pub fn job_key(spec: &JobSpec) -> u128 {
+        fnv128(spec.canonical().as_bytes())
+    }
+
+    /// Looks up a previously stored whole-verification answer.
+    pub fn pipeline_get(&self, spec: &JobSpec) -> Option<&PipelineEntry> {
+        self.pipeline.get(&Self::job_key(spec))
+    }
+
+    /// Records a whole-verification answer.
+    pub fn pipeline_put(&mut self, spec: &JobSpec, entry: PipelineEntry) {
+        self.pipeline.insert(Self::job_key(spec), entry);
+    }
+
+    /// Serializes the current contents (deterministically: entries are
+    /// sorted by key, so equal stores encode to equal bytes).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+
+        let mut solver: Vec<(&Fingerprint, &CheckResult)> = self.solver.iter().collect();
+        solver.sort_by_key(|(k, _)| **k);
+        out.extend_from_slice(&(solver.len() as u64).to_le_bytes());
+        for (fp, result) in solver {
+            out.extend_from_slice(&fp.0.to_le_bytes());
+            encode_check_result(&mut out, result);
+        }
+
+        let mut pipeline: Vec<(&u128, &PipelineEntry)> = self.pipeline.iter().collect();
+        pipeline.sort_by_key(|(k, _)| **k);
+        out.extend_from_slice(&(pipeline.len() as u64).to_le_bytes());
+        for (key, entry) in pipeline {
+            out.extend_from_slice(&key.to_le_bytes());
+            out.push(entry.ok as u8);
+            encode_bytes(&mut out, entry.verdict.as_bytes());
+            encode_bytes(&mut out, entry.digest.as_bytes());
+        }
+
+        let checksum = fnv128(&out);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    }
+
+    /// Atomically writes the current contents to the backing file (no-op
+    /// for in-memory stores): temp file in the same directory, fsync,
+    /// rename over the store path. A crash at any point leaves either the
+    /// old image or the new image, never a mix.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors (callers log and continue — a failed flush
+    /// costs warmth, not correctness).
+    pub fn flush(&self) -> io::Result<()> {
+        let Some(path) = &self.path else {
+            return Ok(());
+        };
+        let tmp = tmp_path(path);
+        let bytes = self.encode();
+        {
+            let mut file = std::fs::File::create(&tmp)?;
+            io::Write::write_all(&mut file, &bytes)?;
+            file.sync_all()?;
+        }
+        match std::fs::rename(&tmp, path) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+}
+
+/// The sibling temp path a flush stages into (same directory, so the
+/// final rename never crosses a filesystem).
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn encode_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+fn encode_check_result(out: &mut Vec<u8>, result: &CheckResult) {
+    match result {
+        CheckResult::Unsat => out.push(0),
+        CheckResult::Sat(model) => {
+            out.push(1);
+            out.push(model.possibly_spurious as u8);
+            out.extend_from_slice(&(model.reals.len() as u32).to_le_bytes());
+            for (name, value) in &model.reals {
+                encode_bytes(out, name.as_bytes());
+                out.extend_from_slice(&value.numer().to_le_bytes());
+                out.extend_from_slice(&value.denom().to_le_bytes());
+            }
+            out.extend_from_slice(&(model.bools.len() as u32).to_le_bytes());
+            for (name, value) in &model.bools {
+                encode_bytes(out, name.as_bytes());
+                out.push(*value as u8);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decoding (bounds-checked; any failure rejects the whole file)
+// ---------------------------------------------------------------------------
+
+/// Why a store image was rejected. One variant per independent failure
+/// mode so the durability tests can pin each.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// File shorter than magic + checksum, or a record ran off the end.
+    Truncated,
+    /// Magic bytes don't match (wrong file or future format version).
+    BadMagic,
+    /// Checksum mismatch (bit corruption, or truncation that happened to
+    /// keep the length plausible).
+    BadChecksum,
+    /// A structurally invalid record (unknown tag, non-UTF-8 name,
+    /// zero denominator).
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "truncated"),
+            DecodeError::BadMagic => write!(f, "bad magic"),
+            DecodeError::BadChecksum => write!(f, "checksum mismatch"),
+            DecodeError::Malformed(what) => write!(f, "malformed {what}"),
+        }
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self.at.checked_add(n).ok_or(DecodeError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(DecodeError::Truncated);
+        }
+        let slice = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn u128(&mut self) -> Result<u128, DecodeError> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+    }
+
+    fn i128(&mut self) -> Result<i128, DecodeError> {
+        Ok(i128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+    }
+
+    fn string(&mut self) -> Result<String, DecodeError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::Malformed("string"))
+    }
+}
+
+type Decoded = (
+    HashMap<Fingerprint, CheckResult>,
+    HashMap<u128, PipelineEntry>,
+);
+
+/// Decodes a store image. Checksum is verified before any structural
+/// parsing, so corrupt length fields can at worst produce a `Truncated`
+/// error from the bounds-checked cursor, never an oversized allocation:
+/// every length is charged against the actual remaining bytes.
+pub fn decode(bytes: &[u8]) -> Result<Decoded, DecodeError> {
+    if bytes.len() < MAGIC.len() + 16 {
+        return Err(DecodeError::Truncated);
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - 16);
+    let stored = u128::from_le_bytes(trailer.try_into().unwrap());
+    if fnv128(body) != stored {
+        return Err(DecodeError::BadChecksum);
+    }
+
+    let mut cur = Cursor { bytes: body, at: 0 };
+    if cur.take(MAGIC.len())? != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+
+    let solver_count = cur.u64()?;
+    let mut solver = HashMap::new();
+    for _ in 0..solver_count {
+        let fp = Fingerprint(cur.u128()?);
+        let result = decode_check_result(&mut cur)?;
+        solver.insert(fp, result);
+    }
+
+    let pipeline_count = cur.u64()?;
+    let mut pipeline = HashMap::new();
+    for _ in 0..pipeline_count {
+        let key = cur.u128()?;
+        let ok = match cur.u8()? {
+            0 => false,
+            1 => true,
+            _ => return Err(DecodeError::Malformed("ok flag")),
+        };
+        let verdict = cur.string()?;
+        let digest = cur.string()?;
+        pipeline.insert(
+            key,
+            PipelineEntry {
+                ok,
+                verdict,
+                digest,
+            },
+        );
+    }
+
+    if cur.at != body.len() {
+        return Err(DecodeError::Malformed("trailing bytes"));
+    }
+    Ok((solver, pipeline))
+}
+
+fn decode_check_result(cur: &mut Cursor<'_>) -> Result<CheckResult, DecodeError> {
+    match cur.u8()? {
+        0 => Ok(CheckResult::Unsat),
+        1 => {
+            let possibly_spurious = cur.u8()? != 0;
+            let mut model = Model {
+                possibly_spurious,
+                ..Model::default()
+            };
+            let reals = cur.u32()?;
+            for _ in 0..reals {
+                let name = cur.string()?;
+                let numer = cur.i128()?;
+                let denom = cur.i128()?;
+                // Encoded rationals come from `Rat`, which keeps the
+                // denominator strictly positive and never holds i128::MIN
+                // (its reduction negates both fields). Anything else is a
+                // forged or corrupt record, and must be rejected *here*:
+                // `Rat::new` would panic (zero denominator, or `.abs()`
+                // overflow on i128::MIN), breaking load's never-panic
+                // contract.
+                if denom <= 0 || numer == i128::MIN || denom == i128::MIN {
+                    return Err(DecodeError::Malformed("rational"));
+                }
+                model.reals.insert(name, Rat::new(numer, denom));
+            }
+            let bools = cur.u32()?;
+            for _ in 0..bools {
+                let name = cur.string()?;
+                let value = cur.u8()? != 0;
+                model.bools.insert(name, value);
+            }
+            Ok(CheckResult::Sat(model))
+        }
+        _ => Err(DecodeError::Malformed("check-result tag")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn sample_model() -> Model {
+        let mut reals = BTreeMap::new();
+        reals.insert("x".to_string(), Rat::new(-7, 3));
+        reals.insert("v_eps".to_string(), Rat::ZERO);
+        let mut bools = BTreeMap::new();
+        bools.insert("p".to_string(), true);
+        Model {
+            reals,
+            bools,
+            possibly_spurious: false,
+        }
+    }
+
+    fn sample_store() -> VerdictStore {
+        let mut store = VerdictStore::in_memory();
+        store
+            .solver
+            .insert(Fingerprint(1), CheckResult::Sat(sample_model()));
+        store
+            .solver
+            .insert(Fingerprint(u128::MAX), CheckResult::Unsat);
+        store.pipeline.insert(
+            42,
+            PipelineEntry {
+                ok: true,
+                verdict: "proved".into(),
+                digest: "Laplace Proved\n  target:\n…\n".into(),
+            },
+        );
+        store
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let store = sample_store();
+        let (solver, pipeline) = decode(&store.encode()).unwrap();
+        assert_eq!(solver, store.solver);
+        assert_eq!(pipeline, store.pipeline);
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        assert_eq!(sample_store().encode(), sample_store().encode());
+    }
+
+    #[test]
+    fn every_truncation_is_rejected_cleanly() {
+        let bytes = sample_store().encode();
+        for len in 0..bytes.len() {
+            assert!(
+                decode(&bytes[..len]).is_err(),
+                "truncation to {len} bytes must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_rejected() {
+        let bytes = sample_store().encode();
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x40;
+            assert!(
+                decode(&corrupt).is_err(),
+                "flip at byte {i} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_magic_is_bad_magic_not_panic() {
+        let mut bytes = sample_store().encode();
+        bytes[0] = b'X';
+        // Re-seal the checksum so the magic check is what trips.
+        let body_len = bytes.len() - 16;
+        let sum = fnv128(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&sum.to_le_bytes());
+        assert_eq!(decode(&bytes), Err(DecodeError::BadMagic));
+    }
+
+    /// A checksum-valid image can still carry values `Rat` itself would
+    /// never produce (forged or bit-rotted before sealing); decode must
+    /// reject them as malformed, never reach a panicking `Rat::new`.
+    #[test]
+    fn checksum_valid_but_malformed_rational_is_rejected() {
+        for (numer, denom) in [(1i128, 0i128), (1, -1), (i128::MIN, 1), (1, i128::MIN)] {
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(MAGIC);
+            bytes.extend_from_slice(&1u64.to_le_bytes()); // one solver entry
+            bytes.extend_from_slice(&7u128.to_le_bytes()); // fingerprint
+            bytes.push(1); // Sat
+            bytes.push(0); // not spurious
+            bytes.extend_from_slice(&1u32.to_le_bytes()); // one real
+            encode_bytes(&mut bytes, b"x");
+            bytes.extend_from_slice(&numer.to_le_bytes());
+            bytes.extend_from_slice(&denom.to_le_bytes());
+            bytes.extend_from_slice(&0u32.to_le_bytes()); // no bools
+            bytes.extend_from_slice(&0u64.to_le_bytes()); // no pipeline entries
+            let sum = fnv128(&bytes);
+            bytes.extend_from_slice(&sum.to_le_bytes());
+            assert_eq!(
+                decode(&bytes),
+                Err(DecodeError::Malformed("rational")),
+                "numer={numer} denom={denom}"
+            );
+        }
+    }
+
+    #[test]
+    fn job_key_separates_specs() {
+        let a = JobSpec::new("function A() returns o: num(0,0) { o := 0; }");
+        let mut b = a.clone();
+        b.source.push(' ');
+        assert_ne!(VerdictStore::job_key(&a), VerdictStore::job_key(&b));
+        assert_eq!(VerdictStore::job_key(&a), VerdictStore::job_key(&a.clone()));
+    }
+}

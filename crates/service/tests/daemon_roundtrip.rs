@@ -1,0 +1,257 @@
+//! End-to-end daemon tests over a real Unix socket: warm restart served
+//! from the persistent store, solver-tier warmth crossing a restart for
+//! *new* cache keys, corrupted-store cold recovery, and protocol
+//! robustness.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use shadowdp::{corpus, JobSpec};
+use shadowdp_service::daemon::{self, DaemonConfig};
+use shadowdp_service::Client;
+
+/// Unique socket/store paths per test (tests in one binary run in
+/// parallel).
+fn temp_paths(tag: &str) -> (PathBuf, PathBuf) {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    (
+        dir.join(format!("sdpd-{pid}-{tag}-{n}.sock")),
+        dir.join(format!("sdpd-{pid}-{tag}-{n}.store")),
+    )
+}
+
+/// Starts an in-process daemon and waits until its socket answers PING.
+fn start_daemon(config: DaemonConfig) -> (JoinHandle<()>, Client) {
+    let run_config = config.clone();
+    let handle = thread::spawn(move || {
+        daemon::run(run_config).expect("daemon runs");
+    });
+    for _ in 0..200 {
+        if let Ok(mut client) = Client::connect(&config.socket) {
+            if client.ping().is_ok() {
+                return (handle, client);
+            }
+        }
+        thread::sleep(Duration::from_millis(25));
+    }
+    panic!("daemon did not come up on {}", config.socket.display());
+}
+
+fn corpus_specs() -> Vec<JobSpec> {
+    vec![
+        JobSpec::new(corpus::laplace_mechanism().source),
+        JobSpec::new(corpus::partial_sum().source),
+        // A parse error is a per-job outcome, not a protocol failure.
+        JobSpec::new("function {"),
+    ]
+}
+
+/// The acceptance criterion: submitting an identical corpus to a freshly
+/// restarted daemon yields byte-identical digests with zero solver work,
+/// served from the persistent store.
+#[test]
+fn warm_restart_serves_identical_digests_from_store() {
+    let (socket, store) = temp_paths("restart");
+    let config = DaemonConfig {
+        socket: socket.clone(),
+        store: Some(store.clone()),
+        threads: Some(2),
+    };
+    let specs = corpus_specs();
+
+    // Pass 1: cold daemon, everything fresh.
+    let (handle, mut client) = start_daemon(config.clone());
+    let pass1 = client.run_corpus(&specs).expect("pass 1 runs");
+    assert!(pass1.iter().all(|o| !o.from_store));
+    assert_eq!(pass1[0].verdict, "proved");
+    assert_eq!(pass1[1].verdict, "proved");
+    assert!(!pass1[2].ok, "{:?}", pass1[2]);
+    assert!(pass1[0].theory_calls > 0);
+
+    let status = client.status().expect("status");
+    assert_eq!(status.done, 3);
+    assert!(status.memo_entries > 0);
+    assert_eq!(status.pipeline_store, 3);
+    assert_eq!(status.store_hits, 0);
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("daemon exits cleanly");
+
+    // Pass 2: restarted daemon, identical corpus — all served from the
+    // persistent pipeline tier, digests byte-identical, no solver work.
+    let (handle, mut client) = start_daemon(config.clone());
+    let pass2 = client.run_corpus(&specs).expect("pass 2 runs");
+    for (a, b) in pass1.iter().zip(&pass2) {
+        assert!(b.from_store, "{b:?}");
+        assert_eq!(a.digest, b.digest);
+        assert_eq!(a.verdict, b.verdict);
+        assert_eq!(b.checks, 0);
+        assert_eq!(b.theory_calls, 0);
+    }
+    let status = client.status().expect("status");
+    assert_eq!(status.store_hits, 3);
+
+    // Solver-tier warmth crosses the restart for *new* pipeline keys: a
+    // spec that differs only in an inert option (a Houdini round cap the
+    // fixed point never reaches) misses the pipeline tier, runs fresh —
+    // and still needs zero fresh theory work, because every validity
+    // query it poses was loaded from the store's solver tier.
+    let mut nudged = JobSpec::new(corpus::laplace_mechanism().source);
+    let mut options = shadowdp::OptionsSpec::from_options(&shadowdp_verify::Options::default());
+    options.max_rounds += 1;
+    nudged.options = Some(options);
+    let outcome = client
+        .run_corpus(std::slice::from_ref(&nudged))
+        .expect("nudged runs");
+    let outcome = &outcome[0];
+    assert!(!outcome.from_store, "{outcome:?}");
+    assert_eq!(outcome.verdict, "proved");
+    assert!(outcome.checks > 0);
+    assert_eq!(
+        outcome.theory_calls, 0,
+        "solver tier did not warm the restarted daemon: {outcome:?}"
+    );
+    assert_eq!(outcome.cache_hits, outcome.checks);
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("daemon exits cleanly");
+    let _ = std::fs::remove_file(&store);
+}
+
+/// A corrupted store file must degrade to a cold (but working) daemon.
+#[test]
+fn corrupted_store_degrades_to_cold_run() {
+    let (socket, store) = temp_paths("corrupt");
+    std::fs::write(&store, b"not a store image at all").unwrap();
+    let config = DaemonConfig {
+        socket,
+        store: Some(store.clone()),
+        threads: Some(1),
+    };
+    let (handle, mut client) = start_daemon(config);
+    let spec = JobSpec::new(corpus::laplace_mechanism().source);
+    let outcome = client
+        .run_corpus(std::slice::from_ref(&spec))
+        .expect("runs cold");
+    assert!(!outcome[0].from_store);
+    assert_eq!(outcome[0].verdict, "proved");
+    assert!(outcome[0].theory_calls > 0, "cold run does real work");
+    client.shutdown().expect("shutdown");
+    handle.join().expect("daemon exits");
+
+    // The cold run's flush replaced the corrupt image with a valid one.
+    let reloaded = shadowdp_service::VerdictStore::load(&store);
+    assert!(reloaded.load_note().is_none());
+    assert!(reloaded.solver_len() > 0);
+    let _ = std::fs::remove_file(&store);
+}
+
+/// Concurrent submissions from several clients are batched but answered
+/// per client in submission order, and identical sibling jobs share the
+/// daemon memo.
+#[test]
+fn concurrent_clients_are_batched_and_ordered() {
+    let (socket, _store) = temp_paths("concurrent");
+    let config = DaemonConfig {
+        socket: socket.clone(),
+        store: None, // in-memory daemon: batching still works
+        threads: Some(2),
+    };
+    let (handle, mut control) = start_daemon(config);
+
+    let clients: Vec<JoinHandle<()>> = (0..3)
+        .map(|_| {
+            let socket = socket.clone();
+            thread::spawn(move || {
+                let mut client = Client::connect(&socket).expect("connect");
+                let spec = JobSpec::new(corpus::laplace_mechanism().source);
+                let outcomes = client
+                    .run_corpus(&[spec.clone(), spec])
+                    .expect("corpus runs");
+                assert_eq!(outcomes.len(), 2);
+                for outcome in outcomes {
+                    assert_eq!(outcome.verdict, "proved");
+                }
+            })
+        })
+        .collect();
+    for client in clients {
+        client.join().expect("client thread");
+    }
+
+    control.shutdown().expect("shutdown");
+    handle.join().expect("daemon exits");
+}
+
+/// Garbage on the wire gets an ERR line, not a dropped connection or a
+/// dead daemon.
+#[test]
+fn protocol_errors_do_not_kill_the_connection() {
+    use std::io::{BufRead, BufReader, Write};
+    use std::os::unix::net::UnixStream;
+
+    let (socket, _store) = temp_paths("proto");
+    let config = DaemonConfig {
+        socket: socket.clone(),
+        store: None,
+        threads: Some(1),
+    };
+    let (handle, mut control) = start_daemon(config);
+
+    let stream = UnixStream::connect(&socket).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut writer = stream;
+    let mut ask = |line: &str| -> String {
+        writeln!(writer, "{line}").expect("write");
+        let mut reply = String::new();
+        reader.read_line(&mut reply).expect("read");
+        reply.trim_end().to_string()
+    };
+    assert!(ask("GIBBERISH\twith\tfields").starts_with("ERR\t"));
+    assert!(ask("SUBMIT\t9\tbad").starts_with("ERR\t"));
+    assert_eq!(ask("PING"), "PONG");
+    assert!(
+        ask("RESULT\t999").starts_with("ERR\t"),
+        "unknown id is an ERR"
+    );
+
+    control.shutdown().expect("shutdown");
+    handle.join().expect("daemon exits");
+}
+
+/// Job ids belong to the connection that submitted them: another client
+/// cannot steal an outcome, and the submitter cannot collect twice.
+#[test]
+fn results_are_owned_by_the_submitting_connection() {
+    let (socket, _store) = temp_paths("owner");
+    let config = DaemonConfig {
+        socket: socket.clone(),
+        store: None,
+        threads: Some(1),
+    };
+    let (handle, mut submitter) = start_daemon(config);
+
+    let spec = JobSpec::new(corpus::laplace_mechanism().source);
+    let id = submitter.submit(&spec).expect("submit");
+
+    // A second connection probing the id gets an error, not the outcome.
+    let mut thief = Client::connect(&socket).expect("connect");
+    let stolen = thief.result(id);
+    assert!(stolen.is_err(), "{stolen:?}");
+
+    // The rightful submitter still collects it — exactly once.
+    let outcome = submitter.result(id).expect("owner collects");
+    assert_eq!(outcome.verdict, "proved");
+    assert!(
+        submitter.result(id).is_err(),
+        "second collection is an error"
+    );
+
+    submitter.shutdown().expect("shutdown");
+    handle.join().expect("daemon exits");
+}

@@ -1,0 +1,281 @@
+//! Durability contract of the persistent verdict store.
+//!
+//! Three properties, each pinned independently:
+//!
+//! 1. **Round trip** — a snapshot → flush → load → absorb cycle recovers
+//!    every solver verdict and every pipeline entry (property-tested over
+//!    randomized memo contents, and end-to-end over a real corpus run
+//!    that must then do zero fresh theory work).
+//! 2. **Corruption tolerance** — truncating or flipping any byte of the
+//!    store file degrades the next load to a cold start: no panic, no
+//!    partial load, a note explaining why.
+//! 3. **Atomicity** — a flush that dies before the final rename leaves
+//!    the previous image fully intact (temp-file-plus-rename check), so a
+//!    daemon restart never loses the last completed flush.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use shadowdp::{corpus, CorpusJob, JobSpec, Pipeline};
+use shadowdp_num::Rat;
+use shadowdp_service::{PipelineEntry, VerdictStore};
+use shadowdp_solver::{CheckResult, Fingerprint, Model, QueryMemo};
+
+/// A fresh path under the system temp dir, unique per test invocation.
+fn temp_path(tag: &str) -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "shadowdp-store-{}-{tag}-{n}.bin",
+        std::process::id()
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Property: snapshot → flush → load → absorb recovers every verdict
+// ---------------------------------------------------------------------------
+
+fn arb_name() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u8..26, 1..6)
+        .prop_map(|bytes| bytes.into_iter().map(|b| (b'a' + b) as char).collect())
+}
+
+fn arb_rat() -> impl Strategy<Value = Rat> {
+    (-9999i128..10000, 1i128..100).prop_map(|(n, d)| Rat::new(n, d))
+}
+
+fn arb_model() -> impl Strategy<Value = Model> {
+    (
+        proptest::collection::vec((arb_name(), arb_rat()), 0..5),
+        proptest::collection::vec((arb_name(), 0u8..2), 0..4),
+        0u8..2,
+    )
+        .prop_map(|(reals, bools, spurious)| Model {
+            reals: reals.into_iter().collect::<BTreeMap<_, _>>(),
+            bools: bools
+                .into_iter()
+                .map(|(k, v)| (k, v == 1))
+                .collect::<BTreeMap<_, _>>(),
+            possibly_spurious: spurious == 1,
+        })
+}
+
+fn arb_check_result() -> impl Strategy<Value = CheckResult> {
+    prop_oneof![
+        Just(CheckResult::Unsat),
+        arb_model().prop_map(CheckResult::Sat),
+    ]
+}
+
+fn arb_fingerprint() -> impl Strategy<Value = Fingerprint> {
+    (0u64..u64::MAX, 0u64..u64::MAX)
+        .prop_map(|(hi, lo)| Fingerprint(((hi as u128) << 64) | lo as u128))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn snapshot_flush_load_absorb_recovers_every_verdict(
+        entries in proptest::collection::vec((arb_fingerprint(), arb_check_result()), 0..24),
+        pipeline in proptest::collection::vec((arb_name(), arb_name(), arb_name()), 0..6),
+    ) {
+        let memo = QueryMemo::default();
+        memo.absorb(entries.clone());
+
+        let path = temp_path("prop");
+        let mut store = VerdictStore::load(&path);
+        store.update_from_memo(&memo);
+        for (source, verdict, digest) in &pipeline {
+            store.pipeline_put(
+                &JobSpec::new(source.clone()),
+                PipelineEntry { ok: true, verdict: verdict.clone(), digest: digest.clone() },
+            );
+        }
+        store.flush().expect("flush succeeds");
+
+        let reloaded = VerdictStore::load(&path);
+        prop_assert!(reloaded.load_note().is_none());
+        let recovered = QueryMemo::default();
+        reloaded.warm_memo(&recovered);
+        // Every verdict the memo held is back, byte for byte (snapshot is
+        // sorted, so direct comparison is order-insensitive).
+        prop_assert_eq!(recovered.snapshot(), memo.snapshot());
+        // Every pipeline entry answers again.
+        for (source, verdict, digest) in &pipeline {
+            let entry = reloaded.pipeline_get(&JobSpec::new(source.clone()));
+            let entry = entry.expect("pipeline entry survived");
+            // Later duplicates of the same source overwrite earlier ones,
+            // so only check the *last* write for each key.
+            if pipeline.iter().rev().find(|(s, _, _)| s == source)
+                == Some(&(source.clone(), verdict.clone(), digest.clone()))
+            {
+                prop_assert_eq!(&entry.verdict, verdict);
+                prop_assert_eq!(&entry.digest, digest);
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: a disk round trip preserves full warmth
+// ---------------------------------------------------------------------------
+
+/// The acceptance contract: re-verifying a corpus after a store round
+/// trip does **zero** fresh solver validity queries — every check is a
+/// memo hit — and the outcome digest is byte-identical.
+#[test]
+fn disk_round_trip_preserves_full_warmth() {
+    let jobs: Vec<CorpusJob> = [corpus::laplace_mechanism(), corpus::partial_sum()]
+        .iter()
+        .map(|alg| CorpusJob::new(alg.source))
+        .collect();
+    let pipeline = Pipeline::new();
+
+    let cold_memo = Arc::new(QueryMemo::default());
+    let cold = pipeline.verify_corpus_parallel_with_memo(&jobs, Some(1), &cold_memo);
+    assert!(cold.solver_stats.theory_calls > 0);
+
+    let path = temp_path("warmth");
+    let mut store = VerdictStore::load(&path);
+    store.update_from_memo(&cold_memo);
+    store.flush().expect("flush succeeds");
+
+    // A different process would do exactly this: load, warm, re-verify.
+    let reloaded = VerdictStore::load(&path);
+    let warm_memo = Arc::new(QueryMemo::default());
+    reloaded.warm_memo(&warm_memo);
+    let warm = pipeline.verify_corpus_parallel_with_memo(&jobs, Some(2), &warm_memo);
+
+    assert_eq!(cold.digest(), warm.digest());
+    let stats = warm.solver_stats;
+    assert_eq!(
+        stats.theory_calls, 0,
+        "fresh solver work after warm load: {stats:?}"
+    );
+    assert_eq!(stats.cache_hits, stats.checks, "{stats:?}");
+    let _ = std::fs::remove_file(&path);
+}
+
+// ---------------------------------------------------------------------------
+// Corruption tolerance
+// ---------------------------------------------------------------------------
+
+fn flushed_store_bytes(path: &PathBuf) -> Vec<u8> {
+    use shadowdp_solver::{Solver, Term};
+    let memo = Arc::new(QueryMemo::default());
+    let solver = Solver::with_memo(memo.clone());
+    let x = Term::real_var("x");
+    for i in 0..8 {
+        let _ = solver.check(&[x.le(Term::int(i))]);
+    }
+    let mut store = VerdictStore::load(path);
+    store.update_from_memo(&memo);
+    store.pipeline_put(
+        &JobSpec::new("function F() returns o: num(0,0) { o := 0; }"),
+        PipelineEntry {
+            ok: true,
+            verdict: "proved".into(),
+            digest: "F Proved\n".into(),
+        },
+    );
+    store.flush().expect("flush succeeds");
+    std::fs::read(path).expect("store file exists")
+}
+
+#[test]
+fn truncated_store_degrades_to_cold_start() {
+    let path = temp_path("trunc");
+    let bytes = flushed_store_bytes(&path);
+    assert!(bytes.len() > 32);
+    // Every truncation point, including an empty file.
+    for len in [0, 1, 7, 8, bytes.len() / 2, bytes.len() - 1] {
+        std::fs::write(&path, &bytes[..len]).unwrap();
+        let store = VerdictStore::load(&path);
+        assert_eq!(store.solver_len(), 0, "truncation to {len} must load cold");
+        assert_eq!(store.pipeline_len(), 0);
+        assert!(
+            store.load_note().is_some(),
+            "truncation to {len} must be noted"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn corrupted_store_degrades_to_cold_start() {
+    let path = temp_path("corrupt");
+    let bytes = flushed_store_bytes(&path);
+    for i in (0..bytes.len()).step_by(3) {
+        let mut corrupt = bytes.clone();
+        corrupt[i] ^= 0x55;
+        std::fs::write(&path, &corrupt).unwrap();
+        let store = VerdictStore::load(&path);
+        assert_eq!(store.solver_len(), 0, "flip at {i} must load cold");
+        assert!(store.load_note().is_some());
+    }
+    // And a file that is not a store at all.
+    std::fs::write(&path, b"definitely not a verdict store").unwrap();
+    let store = VerdictStore::load(&path);
+    assert_eq!(store.solver_len(), 0);
+    assert!(store.load_note().is_some());
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn missing_store_is_a_quiet_cold_start() {
+    let store = VerdictStore::load(temp_path("missing"));
+    assert_eq!(store.solver_len(), 0);
+    assert!(store.load_note().is_none(), "a first run is not an error");
+}
+
+// ---------------------------------------------------------------------------
+// Atomicity: a dead flush never damages the last completed image
+// ---------------------------------------------------------------------------
+
+#[test]
+fn crashed_flush_leaves_previous_image_intact() {
+    let path = temp_path("atomic");
+    let bytes = flushed_store_bytes(&path);
+    let before = VerdictStore::load(&path);
+    assert!(before.solver_len() > 0);
+
+    // Simulate a flush that died after staging but before the rename:
+    // the temp sibling holds garbage, the store path still holds v1.
+    let tmp = {
+        let mut name = path.file_name().unwrap().to_os_string();
+        name.push(".tmp");
+        path.with_file_name(name)
+    };
+    std::fs::write(&tmp, b"half-written garbage from a dead process").unwrap();
+
+    let after = VerdictStore::load(&path);
+    assert_eq!(after.solver_len(), before.solver_len());
+    assert_eq!(after.pipeline_len(), before.pipeline_len());
+    assert!(after.load_note().is_none());
+
+    // A later successful flush (the restarted daemon's) replaces both the
+    // image and any stale temp debris without losing entries.
+    let mut restarted = after;
+    restarted.pipeline_put(
+        &JobSpec::new("function G() returns o: num(0,0) { o := 0; }"),
+        PipelineEntry {
+            ok: true,
+            verdict: "proved".into(),
+            digest: "G Proved\n".into(),
+        },
+    );
+    restarted.flush().expect("flush over stale temp succeeds");
+    let final_image = std::fs::read(&path).unwrap();
+    assert_ne!(final_image, bytes);
+    let reloaded = VerdictStore::load(&path);
+    assert_eq!(reloaded.pipeline_len(), before.pipeline_len() + 1);
+    assert_eq!(reloaded.solver_len(), before.solver_len());
+
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&tmp);
+}

@@ -145,45 +145,105 @@ pub struct SolverStats {
     pub cache_hits: u64,
 }
 
+/// Number of lock shards in a [`QueryMemo`]. A power of two so the shard
+/// index is a mask of the fingerprint's low bits; 16 comfortably exceeds
+/// the worker counts of CI-class machines, so two workers touching the
+/// same shard at the same instant is the exception, not the rule.
+const MEMO_SHARDS: usize = 16;
+
 /// A validity/satisfiability memo table, shareable across solvers and
 /// threads.
 ///
 /// Keys are structural [`Fingerprint`]s of whole query conjunctions, so an
 /// entry written by a solver on one thread (against its own arena shard)
 /// answers the structurally identical query from any other thread. The
-/// table is a mutex-guarded map: queries hold the lock only for the lookup
-/// or the insert, never across a solve, so contention stays in the
-/// nanoseconds against solves in the tens of microseconds.
+/// table is split into [`MEMO_SHARDS`] fingerprint-hashed lock shards:
+/// queries hold one shard's lock only for the lookup or the insert, never
+/// across a solve, and two workers contend only when their queries land in
+/// the same shard — so the hit path stays constant-time as worker counts
+/// grow (a daemon serving a batched corpus hammers this path from every
+/// core at once). Fingerprints are already uniformly mixed 128-bit hashes,
+/// so the low bits are an adequate shard index.
 ///
 /// [`Solver::new`] gives each solver a private table; a corpus driver that
 /// wants cross-thread reuse creates one with [`QueryMemo::default`] inside
-/// an [`Arc`] and hands clones to [`Solver::with_memo`].
-#[derive(Debug, Default)]
+/// an [`Arc`] and hands clones to [`Solver::with_memo`]. For persistence,
+/// [`QueryMemo::snapshot`] exports every entry in deterministic order and
+/// [`QueryMemo::absorb`] merges entries back in — the pair is the contract
+/// the service crate's disk-backed verdict store is built on.
+#[derive(Debug)]
 pub struct QueryMemo {
-    entries: Mutex<HashMap<Fingerprint, CheckResult>>,
+    shards: Vec<Mutex<HashMap<Fingerprint, CheckResult>>>,
+}
+
+impl Default for QueryMemo {
+    fn default() -> QueryMemo {
+        QueryMemo {
+            shards: (0..MEMO_SHARDS)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+        }
+    }
 }
 
 impl QueryMemo {
-    /// Number of memoized queries.
-    pub fn len(&self) -> usize {
-        self.entries.lock().len()
+    fn shard(&self, key: Fingerprint) -> &Mutex<HashMap<Fingerprint, CheckResult>> {
+        &self.shards[(key.0 as usize) & (MEMO_SHARDS - 1)]
     }
 
-    /// Whether the table is empty.
+    /// Number of memoized queries, summed across shards. Consistent when
+    /// quiescent; during concurrent inserts it is a lower bound on the
+    /// entries any later reader will see (each shard is counted atomically).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether the table is empty (every shard is).
     pub fn is_empty(&self) -> bool {
-        self.entries.lock().is_empty()
+        self.shards.iter().all(|s| s.lock().is_empty())
+    }
+
+    /// Exports every memoized entry, sorted by fingerprint so the result
+    /// is deterministic regardless of shard layout or insertion order —
+    /// the persistence tier hashes serialized snapshots, so order matters.
+    pub fn snapshot(&self) -> Vec<(Fingerprint, CheckResult)> {
+        let mut out: Vec<(Fingerprint, CheckResult)> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .iter()
+                    .map(|(k, v)| (*k, v.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        out.sort_by_key(|(k, _)| *k);
+        out
+    }
+
+    /// Merges entries (e.g. a [`QueryMemo::snapshot`] loaded from disk)
+    /// into the table. Existing entries win: a live table's verdicts were
+    /// computed by this process and never need overwriting — and results
+    /// are structural, so a disagreement is impossible short of a corrupted
+    /// snapshot, which must not clobber good entries.
+    pub fn absorb(&self, entries: impl IntoIterator<Item = (Fingerprint, CheckResult)>) {
+        for (key, value) in entries {
+            self.shard(key).lock().entry(key).or_insert(value);
+        }
     }
 
     fn get(&self, key: Fingerprint) -> Option<CheckResult> {
-        self.entries.lock().get(&key).cloned()
+        self.shard(key).lock().get(&key).cloned()
     }
 
     fn insert(&self, key: Fingerprint, value: CheckResult) {
-        self.entries.lock().insert(key, value);
+        self.shard(key).lock().insert(key, value);
     }
 
     fn clear(&self) {
-        self.entries.lock().clear();
+        for shard in &self.shards {
+            shard.lock().clear();
+        }
     }
 }
 
@@ -648,6 +708,60 @@ mod tests {
         // A different bound must not be answered from the cache entry.
         assert!(s.check(&[x().le(Term::int(1)), x().ge(Term::int(2))]) == CheckResult::Unsat);
         assert_eq!(s.stats().cache_hits, 0);
+    }
+
+    #[test]
+    fn sharded_memo_len_counts_across_shards() {
+        // Distinct bounds produce distinct fingerprints that scatter over
+        // the shards; len/is_empty must aggregate all of them.
+        let s = Solver::new();
+        assert!(s.memo().is_empty());
+        for i in 0..64 {
+            let _ = s.check(&[x().le(Term::int(i))]);
+        }
+        assert_eq!(s.memo().len(), 64);
+        assert!(!s.memo().is_empty());
+        // Every one of them is answerable again (i.e. nothing was lost to
+        // a mis-indexed shard).
+        for i in 0..64 {
+            let _ = s.check(&[x().le(Term::int(i))]);
+        }
+        let st = s.stats();
+        assert_eq!(st.cache_hits, 64, "{st:?}");
+    }
+
+    #[test]
+    fn snapshot_absorb_transfers_every_entry() {
+        let warm = Solver::new();
+        for i in 0..32 {
+            let _ = warm.check(&[x().ge(Term::int(i))]);
+        }
+        let snap = warm.memo().snapshot();
+        assert_eq!(snap.len(), 32);
+        // Deterministic order regardless of shard layout.
+        assert!(snap.windows(2).all(|w| w[0].0 < w[1].0));
+
+        let cold = Solver::new();
+        cold.memo().absorb(snap);
+        assert_eq!(cold.memo().len(), 32);
+        for i in 0..32 {
+            let _ = cold.check(&[x().ge(Term::int(i))]);
+        }
+        let st = cold.stats();
+        assert_eq!(st.cache_hits, 32, "{st:?}");
+        assert_eq!(st.theory_calls, 0, "{st:?}");
+    }
+
+    #[test]
+    fn absorb_never_overwrites_live_entries() {
+        let s = Solver::new();
+        let _ = s.check(&[x().le(Term::int(1))]);
+        let snap = s.memo().snapshot();
+        let (fp, live) = (snap[0].0, snap[0].1.clone());
+        // A (hypothetically corrupt) snapshot entry for the same key must
+        // not clobber the live verdict.
+        s.memo().absorb([(fp, CheckResult::Unsat)]);
+        assert_eq!(s.memo().get(fp), Some(live));
     }
 
     #[test]
