@@ -14,7 +14,10 @@
 //! - `service_store` — the verification service's persistent-store payoff
 //!   (the `service/warm-vs-cold` group): the Table 1 corpus cold versus
 //!   re-verified against a memo loaded from a real on-disk verdict store,
-//!   asserting zero fresh solver queries inside the warm run;
+//!   asserting zero fresh solver queries inside the warm run; plus the
+//!   `service/flush-incremental` group pinning the O(delta) append-only
+//!   store flush (same dirty delta into a small vs. a ~128× larger store,
+//!   with per-batch appended bytes asserted flat inside the bench);
 //! - `baseline_synthesis` — the "Verification by [2] (s)" comparison
 //!   column: proof *search* over the §6.4 annotation space;
 //! - `substrates` — microbenchmarks of the home-grown substrates (QF-LRA
@@ -144,7 +147,16 @@ pub enum Comparison {
 ///   panics, failing the whole bench run, if a warm run performs any
 ///   theory call or diverges from the cold digest); the ratio here is
 ///   the independent end-to-end witness that the persistent store keeps
-///   paying off.
+///   paying off;
+/// - flushing one fixed-size dirty delta into a ~32k-entry store
+///   (`service/flush-incremental/late`) must stay within 3× of the same
+///   flush into a ~256-entry store (`early`) — the O(delta) append
+///   contract. The failure mode this guards, a write path that quietly
+///   went back to re-encoding the whole store per batch (quadratic over
+///   a candidate loop), shows up as `late` exceeding `early` by the
+///   stores' ~128× size ratio on any hardware. The byte-exact half of
+///   the contract (per-batch appended bytes flat across eight batches)
+///   is asserted inside the bench itself.
 ///
 /// Returns human-readable violation messages (empty = ok).
 pub fn check_invariants(fresh: &[BenchEntry]) -> Vec<String> {
@@ -185,6 +197,25 @@ pub fn check_invariants(fresh: &[BenchEntry]) -> Vec<String> {
         _ => violations.push(
             "fresh dump is missing the service warm-vs-cold pair needed for the \
              machine-independent store check"
+                .to_string(),
+        ),
+    }
+    match (
+        find("service/flush-incremental/early"),
+        find("service/flush-incremental/late"),
+    ) {
+        (Some(early), Some(late)) => {
+            if late > early * 3.0 {
+                violations.push(format!(
+                    "incremental store flush into a large store ({late:.1} ns) is more than \
+                     3x the same flush into a small store ({early:.1} ns): the write path \
+                     has stopped being O(delta)"
+                ));
+            }
+        }
+        _ => violations.push(
+            "fresh dump is missing the service flush-incremental early/late pair needed for \
+             the machine-independent O(delta) flush check"
                 .to_string(),
         ),
     }
@@ -298,33 +329,38 @@ mod tests {
             id: id.into(),
             mean_ns,
         };
-        // A healthy ratio passes at any absolute speed (fast or slow box).
-        for scale in [0.1, 1.0, 50.0] {
-            let fresh = vec![
+        let healthy = |scale: f64| {
+            vec![
                 entry("solver_micro/repeated-query/memoized", 220.0 * scale),
                 entry("solver_micro/repeated-query/uncached", 87_000.0 * scale),
                 entry("service/warm-vs-cold/warm", 6_800_000.0 * scale),
                 entry("service/warm-vs-cold/cold", 150_000_000.0 * scale),
-            ];
-            assert!(check_invariants(&fresh).is_empty(), "scale {scale}");
+                entry("service/flush-incremental/early", 90_000.0 * scale),
+                entry("service/flush-incremental/late", 110_000.0 * scale),
+            ]
+        };
+        // A healthy ratio passes at any absolute speed (fast or slow box).
+        for scale in [0.1, 1.0, 50.0] {
+            assert!(
+                check_invariants(&healthy(scale)).is_empty(),
+                "scale {scale}"
+            );
         }
         // A dead memo (hit path ~ uncached path) fails even on a fast box.
-        let dead = vec![
-            entry("solver_micro/repeated-query/memoized", 40_000.0),
-            entry("solver_micro/repeated-query/uncached", 41_000.0),
-            entry("service/warm-vs-cold/warm", 6_800_000.0),
-            entry("service/warm-vs-cold/cold", 150_000_000.0),
-        ];
+        let mut dead = healthy(1.0);
+        dead[0].mean_ns = 40_000.0;
+        dead[1].mean_ns = 41_000.0;
         assert_eq!(check_invariants(&dead).len(), 1);
         // A dead persistent store (warm ~ cold) fails the same way.
-        let dead_store = vec![
-            entry("solver_micro/repeated-query/memoized", 220.0),
-            entry("solver_micro/repeated-query/uncached", 87_000.0),
-            entry("service/warm-vs-cold/warm", 140_000_000.0),
-            entry("service/warm-vs-cold/cold", 150_000_000.0),
-        ];
+        let mut dead_store = healthy(1.0);
+        dead_store[2].mean_ns = 140_000_000.0;
         assert_eq!(check_invariants(&dead_store).len(), 1);
+        // A flush that went back to O(store) — the large-store flush pays
+        // the store-size ratio — fails on any hardware.
+        let mut quadratic = healthy(1.0);
+        quadratic[5].mean_ns = quadratic[4].mean_ns * 100.0;
+        assert_eq!(check_invariants(&quadratic).len(), 1);
         // Missing entries are flagged, not silently skipped.
-        assert_eq!(check_invariants(&[]).len(), 2);
+        assert_eq!(check_invariants(&[]).len(), 3);
     }
 }

@@ -10,7 +10,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
-use shadowdp_solver::{QueryMemo, Solver, SolverStats};
+use shadowdp_solver::{Fingerprint, QueryMemo, Solver, SolverStats};
 use shadowdp_syntax::{parse_function, pretty_function, Function, ParseError};
 use shadowdp_typing::{check_function_with, TypeError};
 use shadowdp_verify::{verify_with, Options, Report, Verdict};
@@ -76,6 +76,13 @@ pub struct PipelineReport {
     /// memo table — on Houdini-heavy verifications the majority of
     /// consecution queries land here.
     pub solver_stats: SolverStats,
+    /// The structural fingerprints of every memoized validity query this
+    /// run asked (hit or fresh solve), sorted and deduplicated — the
+    /// run's solver-tier dependency set. The verification service
+    /// persists these with the job's verdict so store compaction can drop
+    /// solver entries no surviving job depends on. Empty when the solver
+    /// ran with its memo disabled.
+    pub solver_fingerprints: Vec<Fingerprint>,
 }
 
 /// The ShadowDP pipeline: parse → type-check/transform → lower → verify.
@@ -167,6 +174,7 @@ impl Pipeline {
             transformed: transformed.function,
             verification,
             solver_stats: solver.stats(),
+            solver_fingerprints: solver.touched_fingerprints(),
         })
     }
 
@@ -443,6 +451,12 @@ mod tests {
         assert!(matches!(report.verdict, Verdict::Proved), "{report:?}");
         assert!(report.typecheck_time.as_secs() < 5);
         assert!(report.solver_stats.checks > 0, "{:?}", report.solver_stats);
+        // The dependency set the service persists: every memoized query
+        // this run asked, sorted and deduplicated.
+        let deps = &report.solver_fingerprints;
+        assert!(!deps.is_empty());
+        assert!(deps.windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
+        assert!(deps.len() as u64 <= report.solver_stats.checks + report.solver_stats.proves);
     }
 
     #[test]

@@ -1,20 +1,25 @@
 //! The verification daemon binary.
 //!
 //! ```text
-//! shadowdpd --socket <path> [--store <path>] [--threads <n>]
+//! shadowdpd --socket <path> [--store <path>] [--threads <n>] [--compact-ratio <r>]
 //! ```
 //!
 //! Listens on the Unix socket, schedules submitted jobs in batches, and
-//! persists verdicts to the store (see `shadowdp_service` for the
-//! protocol and formats). Exits on a client `SHUTDOWN`.
+//! persists verdicts to the store — an append-only record log that is
+//! compacted when it holds more than `r` times as many logged entries as
+//! live ones (default 2; `inf` disables ratio-triggered compaction —
+//! clean shutdown still compacts). See `shadowdp_service` for the
+//! protocol and formats. Exits on a client `SHUTDOWN`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use shadowdp_service::daemon::{self, DaemonConfig};
+use shadowdp_service::daemon::{self, DaemonConfig, DEFAULT_COMPACT_RATIO};
 
 fn usage() -> ExitCode {
-    eprintln!("usage: shadowdpd --socket <path> [--store <path>] [--threads <n>]");
+    eprintln!(
+        "usage: shadowdpd --socket <path> [--store <path>] [--threads <n>] [--compact-ratio <r>]"
+    );
     ExitCode::from(2)
 }
 
@@ -22,6 +27,7 @@ fn main() -> ExitCode {
     let mut socket: Option<PathBuf> = None;
     let mut store: Option<PathBuf> = None;
     let mut threads: Option<usize> = None;
+    let mut compact_ratio: f64 = DEFAULT_COMPACT_RATIO;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -31,6 +37,12 @@ fn main() -> ExitCode {
             "--threads" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) => threads = Some(n),
                 None => return usage(),
+            },
+            "--compact-ratio" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
+                // NaN would make every comparison false in a confusing
+                // way; reject it as a usage error like any other garbage.
+                Some(r) if !r.is_nan() && r >= 1.0 => compact_ratio = r,
+                _ => return usage(),
             },
             _ => return usage(),
         }
@@ -51,6 +63,7 @@ fn main() -> ExitCode {
         socket,
         store,
         threads,
+        compact_ratio,
     }) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

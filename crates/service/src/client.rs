@@ -39,57 +39,87 @@ impl Client {
 
     /// Connects, auto-spawning `shadowdpd` if nothing is listening: the
     /// daemon binary is looked up next to the current executable (both
-    /// live in the same cargo target directory), spawned detached with
-    /// the given store path, and polled until its socket accepts.
+    /// live in the same cargo target directory; `SHADOWDPD_BIN` overrides),
+    /// spawned detached with the given store path, and polled until its
+    /// socket accepts.
     ///
     /// `store` and `threads` configure the *spawned* daemon only: if a
     /// daemon is already listening on `socket`, it keeps whatever
     /// configuration it was started with and these arguments are unused.
     ///
-    /// This is a single-operator convenience with a check-then-spawn
-    /// race: two processes calling it concurrently for the same socket
-    /// can both spawn a daemon, and the second bind orphans the first
-    /// listener. Fleets that start daemons concurrently should manage
-    /// `shadowdpd` lifecycles explicitly (as the CI service job does).
+    /// # Concurrency
+    ///
+    /// Safe for concurrent callers: spawning is arbitrated by an OS
+    /// exclusive file lock on a **lockfile next to the socket**
+    /// (`<socket>.spawn-lock`), so exactly one caller spawns a daemon and
+    /// every loser re-polls the socket until that daemon answers —
+    /// nobody's listener gets orphaned by a second bind. The kernel
+    /// releases the lock automatically if its holder dies, so there is no
+    /// staleness heuristic to get wrong; the (empty) lockfile itself is
+    /// deliberately never unlinked, because unlinking a path others may
+    /// have already opened would let two callers hold "the" lock on
+    /// different inodes. (The daemon itself additionally refuses to bind
+    /// over a live socket.)
     ///
     /// # Errors
     ///
-    /// Returns an error if spawning fails or the daemon does not come up
-    /// within ~5 s.
+    /// Returns an error if spawning fails, the spawned daemon does not
+    /// come up within ~10 s, or another caller's spawn has not produced a
+    /// daemon within ~15 s.
     pub fn connect_or_spawn(
         socket: impl AsRef<Path>,
         store: Option<&Path>,
         threads: Option<usize>,
     ) -> io::Result<Client> {
         let socket = socket.as_ref();
-        if let Ok(client) = Client::connect(socket) {
-            return Ok(client);
-        }
-        let daemon_bin = daemon_binary()?;
-        let mut cmd = Command::new(&daemon_bin);
-        cmd.arg("--socket").arg(socket);
-        if let Some(store) = store {
-            cmd.arg("--store").arg(store);
-        }
-        if let Some(threads) = threads {
-            cmd.args(["--threads", &threads.to_string()]);
-        }
-        cmd.stdin(Stdio::null())
-            .stdout(Stdio::null())
-            .stderr(Stdio::inherit());
-        cmd.spawn().map_err(|e| {
-            io::Error::new(e.kind(), format!("spawning {}: {e}", daemon_bin.display()))
-        })?;
-        for _ in 0..100 {
-            std::thread::sleep(Duration::from_millis(50));
+        let lock_path = spawn_lock_path(socket);
+        // Longer than a lock holder may legitimately hold (its own spawn
+        // poll is ~10 s), so a waiter never gives up on a healthy spawn.
+        let deadline = std::time::Instant::now() + Duration::from_secs(15);
+        loop {
             if let Ok(client) = Client::connect(socket) {
                 return Ok(client);
             }
+            match SpawnLock::try_acquire(&lock_path)? {
+                Some(_lock) => {
+                    // We hold the spawn right. Re-check the socket first: a
+                    // daemon may have come up between our probe and the
+                    // lock (the previous holder's spawn finishing).
+                    if let Ok(client) = Client::connect(socket) {
+                        return Ok(client);
+                    }
+                    spawn_daemon(socket, store, threads)?;
+                    // Poll until the spawned daemon accepts. The lock is
+                    // held (released on every return path, and by the
+                    // kernel if we die) while we wait, so late arrivals
+                    // poll instead of double-spawning.
+                    for _ in 0..200 {
+                        std::thread::sleep(Duration::from_millis(50));
+                        if let Ok(client) = Client::connect(socket) {
+                            return Ok(client);
+                        }
+                    }
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        format!("daemon did not come up on {}", socket.display()),
+                    ));
+                }
+                None => {
+                    // Another caller is spawning; wait for its daemon.
+                    std::thread::sleep(Duration::from_millis(50));
+                    if std::time::Instant::now() > deadline {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            format!(
+                                "no daemon came up on {} (another process holds {})",
+                                socket.display(),
+                                lock_path.display()
+                            ),
+                        ));
+                    }
+                }
+            }
         }
-        Err(io::Error::new(
-            io::ErrorKind::TimedOut,
-            format!("daemon did not come up on {}", socket.display()),
-        ))
     }
 
     fn roundtrip(&mut self, request: &Request) -> io::Result<Response> {
@@ -180,20 +210,104 @@ impl Client {
     }
 }
 
-/// The `shadowdpd` binary expected to sit next to the current executable
-/// (cargo puts every workspace binary in the same target directory).
-fn daemon_binary() -> io::Result<PathBuf> {
-    let exe = std::env::current_exe()?;
-    let candidate = exe.with_file_name("shadowdpd");
-    if candidate.exists() {
-        Ok(candidate)
-    } else {
-        Err(io::Error::new(
-            io::ErrorKind::NotFound,
-            format!(
-                "no daemon at {} — build it with `cargo build -p shadowdp-service`",
-                candidate.display()
-            ),
-        ))
+/// The lockfile arbitrating concurrent auto-spawns for one socket. Lives
+/// next to the socket so it is on the same (local) filesystem, where the
+/// kernel lock is reliable.
+fn spawn_lock_path(socket: &Path) -> PathBuf {
+    crate::sibling_path(socket, ".spawn-lock")
+}
+
+/// An exclusive OS file lock on the spawn lockfile. The kernel is the
+/// arbiter: `try_lock` is atomic, the lock dies with its holder (no
+/// staleness heuristic, nothing to clean up after a crash), and dropping
+/// the handle releases it on every exit path.
+///
+/// The lockfile is intentionally **never unlinked**: removing a path
+/// other callers may already have open would hand out locks on two
+/// different inodes for "the same" file. An empty `<socket>.spawn-lock`
+/// sitting next to the socket is the whole cost.
+struct SpawnLock {
+    _file: std::fs::File,
+}
+
+impl SpawnLock {
+    /// Tries to acquire: `Ok(Some)` = we hold it, `Ok(None)` = another
+    /// live caller does (poll and retry).
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors (unwritable directory, lock not supported) —
+    /// waiting would never succeed.
+    fn try_acquire(path: &Path) -> io::Result<Option<SpawnLock>> {
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        match file.try_lock() {
+            Ok(()) => Ok(Some(SpawnLock { _file: file })),
+            Err(std::fs::TryLockError::WouldBlock) => Ok(None),
+            Err(std::fs::TryLockError::Error(e)) => Err(e),
+        }
     }
+}
+
+/// Spawns a detached `shadowdpd` for `socket`. Called only while holding
+/// the spawn lock.
+fn spawn_daemon(socket: &Path, store: Option<&Path>, threads: Option<usize>) -> io::Result<()> {
+    let daemon_bin = daemon_binary()?;
+    let mut cmd = Command::new(&daemon_bin);
+    cmd.arg("--socket").arg(socket);
+    if let Some(store) = store {
+        cmd.arg("--store").arg(store);
+    }
+    if let Some(threads) = threads {
+        cmd.args(["--threads", &threads.to_string()]);
+    }
+    cmd.stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit());
+    cmd.spawn()
+        .map(|_| ())
+        .map_err(|e| io::Error::new(e.kind(), format!("spawning {}: {e}", daemon_bin.display())))
+}
+
+/// Locates the `shadowdpd` binary: the `SHADOWDPD_BIN` environment
+/// variable if set, else next to the current executable (cargo puts every
+/// workspace binary in the same target directory), else — for test
+/// binaries, which live one level down in `target/<profile>/deps/` — next
+/// to the executable's parent directory.
+fn daemon_binary() -> io::Result<PathBuf> {
+    if let Some(path) = std::env::var_os("SHADOWDPD_BIN") {
+        let path = PathBuf::from(path);
+        if path.exists() {
+            return Ok(path);
+        }
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("SHADOWDPD_BIN points at missing {}", path.display()),
+        ));
+    }
+    let exe = std::env::current_exe()?;
+    let sibling = exe.with_file_name("shadowdpd");
+    if sibling.exists() {
+        return Ok(sibling);
+    }
+    if let Some(above_deps) = exe
+        .parent()
+        .filter(|dir| dir.file_name().is_some_and(|n| n == "deps"))
+        .and_then(Path::parent)
+    {
+        let candidate = above_deps.join("shadowdpd");
+        if candidate.exists() {
+            return Ok(candidate);
+        }
+    }
+    Err(io::Error::new(
+        io::ErrorKind::NotFound,
+        format!(
+            "no daemon at {} — build it with `cargo build -p shadowdp-service`",
+            sibling.display()
+        ),
+    ))
 }

@@ -17,12 +17,17 @@
 //!   and a burst of near-identical candidates (the CheckDP loop shape)
 //!   pays theory work once.
 //!
-//! Persistence: on startup the daemon loads the [`VerdictStore`] and warms
-//! the memo from its solver tier; after every batch (and once more on
-//! shutdown) it snapshots the memo back and atomically rewrites the store.
-//! Jobs whose (source, options) pair is already in the pipeline tier are
-//! answered from disk without scheduling at all and report
-//! `from = store` over the wire.
+//! Persistence: on startup the daemon loads the [`VerdictStore`] (an
+//! append-only record log) and warms the memo from its solver tier; after
+//! every batch it drains the memo's dirty delta and **appends one framed
+//! delta record** — O(batch), not O(store), so a long candidate loop pays
+//! constant flush cost per batch instead of quadratic total. When the log
+//! accumulates enough superseded weight (`--compact-ratio`), and always on
+//! clean shutdown, a compaction pass rewrites the log atomically and drops
+//! solver-tier entries unreachable from any pipeline-tier job. Jobs whose
+//! (source, options) pair is already in the pipeline tier are answered
+//! from disk without scheduling at all and report `from = store` over the
+//! wire.
 //!
 //! Results are published per job id; each client receives `RESULT`
 //! replies in the order it asks for them, which the bundled client does
@@ -42,10 +47,19 @@ use shadowdp_verify::Verdict;
 use crate::proto::{self, JobOutcome, Request, Response, StatusInfo};
 use crate::store::{fnv128, hex128, PipelineEntry, VerdictStore};
 
+/// Default live/dead compaction trigger: compact once the log holds more
+/// than twice as many record entries as there are live entries. Low
+/// enough that a long-lived candidate loop's log stays within a small
+/// constant factor of live state, high enough that compaction (an
+/// O(store) rewrite) stays rare next to O(batch) appends.
+pub const DEFAULT_COMPACT_RATIO: f64 = 2.0;
+
 /// Daemon configuration.
 #[derive(Clone, Debug)]
 pub struct DaemonConfig {
-    /// Unix socket path to listen on (a stale file is replaced).
+    /// Unix socket path to listen on. A leftover file from a crashed
+    /// daemon is probed first and replaced only if nothing answers;
+    /// binding over a *live* daemon's socket is refused.
     pub socket: PathBuf,
     /// Verdict store path; `None` runs fully in memory (still batched and
     /// memoized, just nothing survives the process).
@@ -53,6 +67,12 @@ pub struct DaemonConfig {
     /// Worker threads per batch (`None` = all cores), forwarded to
     /// [`Pipeline::verify_corpus_parallel_with_memo`].
     pub threads: Option<usize>,
+    /// Live/dead ratio that triggers a store compaction after a batch
+    /// flush (see [`VerdictStore::wants_compaction`]);
+    /// [`DEFAULT_COMPACT_RATIO`] unless overridden (`--compact-ratio`),
+    /// `f64::INFINITY` disables ratio-triggered compaction. Clean
+    /// shutdown always compacts.
+    pub compact_ratio: f64,
 }
 
 /// Queue state behind the daemon's mutex.
@@ -122,11 +142,46 @@ pub fn run(config: DaemonConfig) -> std::io::Result<()> {
     let memo = Arc::new(QueryMemo::default());
     store.warm_memo(&memo);
 
-    // Replace a stale socket file (left by a killed daemon) so restarts
-    // are transparent; a live daemon on the same path would lose its
-    // listener, which is the operator's race to avoid, not ours.
-    let _ = std::fs::remove_file(&config.socket);
+    // A socket file may be left over from a crashed daemon — or belong to
+    // a daemon that is alive right now. Probe before touching it: only a
+    // refused connection proves the file is stale, and a live listener is
+    // an error here (silently unlinking it would orphan that daemon's
+    // listener — the auto-spawn race this probe exists to prevent).
+    //
+    // Probe, unlink, and bind are three separate syscalls, so two daemons
+    // started concurrently over the *same stale file* could interleave
+    // them (both probe refused → both unlink+bind → the second unlink
+    // orphans the first daemon's fresh listener). An exclusive kernel
+    // lock on `<socket>.bind-lock` serializes the whole section: the
+    // second daemon enters it only after the first has bound, probes a
+    // live socket, and refuses. The lock is dropped right after the bind
+    // (the kernel also releases it on any early return or crash), and
+    // the lockfile itself is deliberately never unlinked (removing a
+    // path others may have open would split the lock across inodes).
+    let bind_lock = {
+        let lock = std::fs::OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(crate::sibling_path(&config.socket, ".bind-lock"))?;
+        lock.lock()?;
+        lock
+    };
+    match UnixStream::connect(&config.socket) {
+        Ok(_) => {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::AddrInUse,
+                format!("a daemon is already serving {}", config.socket.display()),
+            ));
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::ConnectionRefused => {
+            // Stale file from a dead daemon: safe to replace.
+            let _ = std::fs::remove_file(&config.socket);
+        }
+        Err(_) => {} // most commonly NotFound: nothing to replace
+    }
     let listener = UnixListener::bind(&config.socket)?;
+    drop(bind_lock);
 
     let shared = Arc::new(Shared {
         state: Mutex::new(State::default()),
@@ -231,12 +286,27 @@ fn schedule(shared: &Shared) {
                     .as_ref()
                     .map(|r| r.solver_stats)
                     .unwrap_or_default();
+                // The job's solver-tier dependency set: compaction keeps a
+                // persisted solver verdict alive iff some pipeline entry
+                // lists it. A job that failed before verification has no
+                // report to list dependencies from — its (empty) set is
+                // exact: it needs no solver entries to be re-served.
+                let deps = outcome.reports[slot]
+                    .as_ref()
+                    .map(|r| r.solver_fingerprints.clone())
+                    .unwrap_or_default();
+                // A dependency served purely by memo hits was never in
+                // this batch's dirty delta; if a past compaction dropped
+                // it as an orphan, re-persist it now so no pipeline
+                // entry's deps ever dangle.
+                store.ensure_deps(&shared.memo, &deps);
                 store.pipeline_put(
                     spec,
                     PipelineEntry {
                         ok: outcome.reports[slot].is_ok(),
                         verdict: verdict.clone(),
                         digest: digest_text.clone(),
+                        deps: Some(deps),
                     },
                 );
                 outcomes.push(JobOutcome {
@@ -250,9 +320,26 @@ fn schedule(shared: &Shared) {
                     verdict,
                 });
             }
-            store.update_from_memo(&shared.memo);
+            // O(batch), not O(store): drain only what this batch solved
+            // and append it as one delta record. A failed flush keeps the
+            // delta dirty, so the next successful flush (or the shutdown
+            // compaction) persists it.
+            store.absorb_dirty(&shared.memo);
             if let Err(e) = store.flush() {
-                eprintln!("shadowdpd: store flush failed (continuing unpersisted): {e}");
+                eprintln!("shadowdpd: store flush failed (delta retained, will retry): {e}");
+            } else if store.wants_compaction(shared.config.compact_ratio) {
+                match store.compact() {
+                    Ok(stats) => eprintln!(
+                        "shadowdpd: compacted store ({} -> {} logged entries, {} \
+                         unreachable solver entries dropped)",
+                        stats.logged_before, stats.logged_after, stats.dropped_solver
+                    ),
+                    Err(e) => {
+                        eprintln!(
+                            "shadowdpd: store compaction failed (continuing on the old log): {e}"
+                        );
+                    }
+                }
             }
         }
 
@@ -272,12 +359,17 @@ fn schedule(shared: &Shared) {
         shared.cond.notify_all();
     }
 
-    // Final flush so a clean shutdown persists everything the last batch
-    // (or a warm start with no batches at all) left in the memo.
+    // Clean shutdown: fold in whatever the last batch left in the memo and
+    // compact — the log collapses to one base record and solver entries no
+    // surviving job depends on are dropped. If the rewrite fails, fall
+    // back to an append so the final delta still lands.
     let mut store = shared.store.lock().unwrap();
-    store.update_from_memo(&shared.memo);
-    if let Err(e) = store.flush() {
-        eprintln!("shadowdpd: final store flush failed: {e}");
+    store.absorb_dirty(&shared.memo);
+    if let Err(e) = store.compact() {
+        eprintln!("shadowdpd: shutdown compaction failed: {e}");
+        if let Err(e) = store.flush() {
+            eprintln!("shadowdpd: final store flush failed: {e}");
+        }
     }
 }
 

@@ -5,15 +5,17 @@
 //! The paper's pitch is that checking one algorithm takes seconds; this
 //! crate is what turns that into infrastructure. Every verification the
 //! process has ever done is remembered at two granularities
-//! ([`store::VerdictStore`]):
+//! ([`store::VerdictStore`], an append-only record log with periodic
+//! compaction — flushes are O(batch), not O(store)):
 //!
 //! - **solver tier** — validity-query verdicts keyed by arena-independent
-//!   structural fingerprints (exactly a [`shadowdp_solver::QueryMemo`]
-//!   snapshot), so a restarted daemon re-proves nothing it has proved
-//!   before, even for *new* programs that share obligations with old ones;
-//! - **pipeline tier** — whole-program verdict + report digest keyed by
-//!   (source, options), so a resubmitted program is answered without
-//!   running at all.
+//!   structural fingerprints (the contents of a
+//!   [`shadowdp_solver::QueryMemo`]), so a restarted daemon re-proves
+//!   nothing it has proved before, even for *new* programs that share
+//!   obligations with old ones;
+//! - **pipeline tier** — whole-program verdict + report digest + solver
+//!   dependency set keyed by (source, options), so a resubmitted program
+//!   is answered without running at all.
 //!
 //! The daemon ([`daemon::run`]) batches concurrently submitted jobs into
 //! one [`shadowdp::Pipeline::verify_corpus_parallel_with_memo`] call per
@@ -32,6 +34,7 @@
 //!     socket: "/tmp/shadowdpd.sock".into(),
 //!     store: Some("/tmp/shadowdpd.store".into()),
 //!     threads: None,
+//!     compact_ratio: daemon::DEFAULT_COMPACT_RATIO,
 //! };
 //! std::thread::spawn(move || daemon::run(config).unwrap());
 //! let mut client = Client::connect_or_spawn("/tmp/shadowdpd.sock", None, None).unwrap();
@@ -48,7 +51,18 @@ pub mod daemon;
 pub mod proto;
 pub mod store;
 
+/// Derives a sibling of `path` in the same directory by appending
+/// `suffix` to its file name (`/run/x.sock` + `.lock` →
+/// `/run/x.sock.lock`). Same-directory placement matters everywhere this
+/// is used: rename targets must not cross filesystems and lockfiles must
+/// live beside the resource they guard.
+pub(crate) fn sibling_path(path: &std::path::Path, suffix: &str) -> std::path::PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(suffix);
+    path.with_file_name(name)
+}
+
 pub use client::Client;
-pub use daemon::{render_verdict, wire_digest, DaemonConfig};
+pub use daemon::{render_verdict, wire_digest, DaemonConfig, DEFAULT_COMPACT_RATIO};
 pub use proto::{JobOutcome, ProtoError, Request, Response, StatusInfo};
-pub use store::{decode, fnv128, hex128, DecodeError, PipelineEntry, VerdictStore};
+pub use store::{decode, fnv128, hex128, CompactStats, DecodeError, PipelineEntry, VerdictStore};

@@ -61,6 +61,7 @@ fn warm_restart_serves_identical_digests_from_store() {
         socket: socket.clone(),
         store: Some(store.clone()),
         threads: Some(2),
+        compact_ratio: shadowdp_service::DEFAULT_COMPACT_RATIO,
     };
     let specs = corpus_specs();
 
@@ -123,6 +124,77 @@ fn warm_restart_serves_identical_digests_from_store() {
     let _ = std::fs::remove_file(&store);
 }
 
+/// The candidate-loop steady state: resubmitting an identical corpus is
+/// served from the pipeline tier and flushes **nothing** — the log file
+/// does not grow by a byte across resubmission batches. New work appends
+/// a delta; the clean-shutdown compaction collapses the log back to live
+/// size; and a restarted daemon still serves everything from the store.
+#[test]
+fn resubmission_batches_keep_the_log_bounded() {
+    let (socket, store) = temp_paths("bounded");
+    let config = DaemonConfig {
+        socket: socket.clone(),
+        store: Some(store.clone()),
+        threads: Some(2),
+        compact_ratio: shadowdp_service::DEFAULT_COMPACT_RATIO,
+    };
+    let specs = vec![
+        JobSpec::new(corpus::laplace_mechanism().source),
+        JobSpec::new(corpus::partial_sum().source),
+    ];
+
+    let (handle, mut client) = start_daemon(config.clone());
+    client.run_corpus(&specs).expect("cold batch");
+    let after_cold = std::fs::metadata(&store).expect("store flushed").len();
+    assert!(after_cold > 0);
+
+    // N resubmission batches: all store hits, zero dirty delta, zero
+    // bytes appended.
+    for round in 0..3 {
+        let outcomes = client.run_corpus(&specs).expect("resubmission");
+        assert!(outcomes.iter().all(|o| o.from_store), "round {round}");
+        assert_eq!(
+            std::fs::metadata(&store).unwrap().len(),
+            after_cold,
+            "a store-served batch must not grow the log (round {round})"
+        );
+    }
+
+    // Fresh work appends an O(batch) delta on top.
+    let mut nudged = JobSpec::new(corpus::laplace_mechanism().source);
+    let mut options = shadowdp::OptionsSpec::from_options(&shadowdp_verify::Options::default());
+    options.max_rounds += 1;
+    nudged.options = Some(options);
+    client
+        .run_corpus(std::slice::from_ref(&nudged))
+        .expect("nudged batch");
+    let after_delta = std::fs::metadata(&store).unwrap().len();
+    assert!(after_delta > after_cold, "fresh work appends");
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("daemon exits");
+    // The shutdown compaction rewrote the log as one base record; with
+    // a duplicated pipeline answer gone it cannot exceed the pre-delta
+    // image by more than the one new entry it keeps.
+    let compacted = std::fs::metadata(&store).unwrap().len();
+    assert!(
+        compacted < after_delta,
+        "shutdown compaction shrinks the log ({compacted} vs {after_delta})"
+    );
+
+    // Restart: everything — including the nudged variant — from the store.
+    let (handle, mut client) = start_daemon(config);
+    let mut all = specs.clone();
+    all.push(nudged);
+    let outcomes = client.run_corpus(&all).expect("warm corpus");
+    for outcome in &outcomes {
+        assert!(outcome.from_store, "{outcome:?}");
+    }
+    client.shutdown().expect("shutdown");
+    handle.join().expect("daemon exits");
+    let _ = std::fs::remove_file(&store);
+}
+
 /// A corrupted store file must degrade to a cold (but working) daemon.
 #[test]
 fn corrupted_store_degrades_to_cold_run() {
@@ -132,6 +204,7 @@ fn corrupted_store_degrades_to_cold_run() {
         socket,
         store: Some(store.clone()),
         threads: Some(1),
+        compact_ratio: shadowdp_service::DEFAULT_COMPACT_RATIO,
     };
     let (handle, mut client) = start_daemon(config);
     let spec = JobSpec::new(corpus::laplace_mechanism().source);
@@ -161,6 +234,7 @@ fn concurrent_clients_are_batched_and_ordered() {
         socket: socket.clone(),
         store: None, // in-memory daemon: batching still works
         threads: Some(2),
+        compact_ratio: shadowdp_service::DEFAULT_COMPACT_RATIO,
     };
     let (handle, mut control) = start_daemon(config);
 
@@ -200,6 +274,7 @@ fn protocol_errors_do_not_kill_the_connection() {
         socket: socket.clone(),
         store: None,
         threads: Some(1),
+        compact_ratio: shadowdp_service::DEFAULT_COMPACT_RATIO,
     };
     let (handle, mut control) = start_daemon(config);
 
@@ -233,6 +308,7 @@ fn results_are_owned_by_the_submitting_connection() {
         socket: socket.clone(),
         store: None,
         threads: Some(1),
+        compact_ratio: shadowdp_service::DEFAULT_COMPACT_RATIO,
     };
     let (handle, mut submitter) = start_daemon(config);
 

@@ -1,17 +1,24 @@
-//! Durability contract of the persistent verdict store.
+//! Durability contract of the persistent verdict store (append-only log
+//! format, v2).
 //!
-//! Three properties, each pinned independently:
+//! Five properties, each pinned independently:
 //!
 //! 1. **Round trip** — a snapshot → flush → load → absorb cycle recovers
 //!    every solver verdict and every pipeline entry (property-tested over
 //!    randomized memo contents, and end-to-end over a real corpus run
 //!    that must then do zero fresh theory work).
-//! 2. **Corruption tolerance** — truncating or flipping any byte of the
-//!    store file degrades the next load to a cold start: no panic, no
-//!    partial load, a note explaining why.
-//! 3. **Atomicity** — a flush that dies before the final rename leaves
-//!    the previous image fully intact (temp-file-plus-rename check), so a
-//!    daemon restart never loses the last completed flush.
+//! 2. **Torn-tail tolerance** — truncating or corrupting the log degrades
+//!    the next load to the longest valid record prefix: no panic, no
+//!    half-merged record, a note explaining what was dropped. Only header
+//!    damage costs the whole store.
+//! 3. **Append atomicity** — a crash at *any byte* of an incremental
+//!    append recovers to exactly the pre-append or post-append view.
+//! 4. **Compaction atomicity** — a crash at *any byte* of a compaction
+//!    rewrite (staged in a temp file, renamed over the log) recovers to
+//!    exactly the pre- or post-compaction view, never a mix.
+//! 5. **v1 compatibility** — a store written in the old whole-image
+//!    format still loads in full (and conservatively pins every solver
+//!    entry through compaction).
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -32,6 +39,15 @@ fn temp_path(tag: &str) -> PathBuf {
         "shadowdp-store-{}-{tag}-{n}.bin",
         std::process::id()
     ))
+}
+
+fn entry(verdict: &str, digest: &str, deps: Option<Vec<Fingerprint>>) -> PipelineEntry {
+    PipelineEntry {
+        ok: true,
+        verdict: verdict.into(),
+        digest: digest.into(),
+        deps,
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -75,13 +91,22 @@ fn arb_fingerprint() -> impl Strategy<Value = Fingerprint> {
         .prop_map(|(hi, lo)| Fingerprint(((hi as u128) << 64) | lo as u128))
 }
 
+fn arb_deps() -> impl Strategy<Value = Option<Vec<Fingerprint>>> {
+    prop_oneof![
+        Just(None),
+        proptest::collection::vec(arb_fingerprint(), 0..4).prop_map(Some),
+    ]
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
+    /// One flush (all entries in one base record) round-trips every
+    /// verdict, including randomized dependency sets.
     #[test]
     fn snapshot_flush_load_absorb_recovers_every_verdict(
         entries in proptest::collection::vec((arb_fingerprint(), arb_check_result()), 0..24),
-        pipeline in proptest::collection::vec((arb_name(), arb_name(), arb_name()), 0..6),
+        pipeline in proptest::collection::vec((arb_name(), arb_name(), arb_name(), arb_deps()), 0..6),
     ) {
         let memo = QueryMemo::default();
         memo.absorb(entries.clone());
@@ -89,10 +114,10 @@ proptest! {
         let path = temp_path("prop");
         let mut store = VerdictStore::load(&path);
         store.update_from_memo(&memo);
-        for (source, verdict, digest) in &pipeline {
+        for (source, verdict, digest, deps) in &pipeline {
             store.pipeline_put(
                 &JobSpec::new(source.clone()),
-                PipelineEntry { ok: true, verdict: verdict.clone(), digest: digest.clone() },
+                PipelineEntry { ok: true, verdict: verdict.clone(), digest: digest.clone(), deps: deps.clone() },
             );
         }
         store.flush().expect("flush succeeds");
@@ -105,18 +130,45 @@ proptest! {
         // sorted, so direct comparison is order-insensitive).
         prop_assert_eq!(recovered.snapshot(), memo.snapshot());
         // Every pipeline entry answers again.
-        for (source, verdict, digest) in &pipeline {
+        for (source, verdict, digest, deps) in &pipeline {
             let entry = reloaded.pipeline_get(&JobSpec::new(source.clone()));
             let entry = entry.expect("pipeline entry survived");
             // Later duplicates of the same source overwrite earlier ones,
             // so only check the *last* write for each key.
-            if pipeline.iter().rev().find(|(s, _, _)| s == source)
-                == Some(&(source.clone(), verdict.clone(), digest.clone()))
+            if pipeline.iter().rev().find(|(s, _, _, _)| s == source)
+                == Some(&(source.clone(), verdict.clone(), digest.clone(), deps.clone()))
             {
                 prop_assert_eq!(&entry.verdict, verdict);
                 prop_assert_eq!(&entry.digest, digest);
+                prop_assert_eq!(&entry.deps, deps);
             }
         }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// The same contents spread over many incremental flushes (one base +
+    /// one delta record per step) replay to the same state as one flush.
+    #[test]
+    fn incremental_flushes_replay_like_one_flush(
+        entries in proptest::collection::vec((arb_fingerprint(), arb_check_result()), 1..24),
+        chunk in 1usize..6,
+    ) {
+        let path = temp_path("chunks");
+        let mut store = VerdictStore::load(&path);
+        for batch in entries.chunks(chunk) {
+            for (fp, result) in batch {
+                store.solver_put(*fp, result.clone());
+            }
+            store.flush().expect("flush succeeds");
+        }
+
+        let reloaded = VerdictStore::load(&path);
+        prop_assert!(reloaded.load_note().is_none());
+        let recovered = QueryMemo::default();
+        reloaded.warm_memo(&recovered);
+        let expected = QueryMemo::default();
+        expected.absorb(entries.clone());
+        prop_assert_eq!(recovered.snapshot(), expected.snapshot());
         let _ = std::fs::remove_file(&path);
     }
 }
@@ -161,8 +213,120 @@ fn disk_round_trip_preserves_full_warmth() {
     let _ = std::fs::remove_file(&path);
 }
 
+/// Same contract through the *incremental* path: a drained dirty delta
+/// appended to the log carries full warmth, and compaction (with the
+/// jobs' dependency sets recorded) keeps exactly the entries the corpus
+/// needs.
+#[test]
+fn incremental_flush_and_compaction_preserve_warmth() {
+    let jobs: Vec<CorpusJob> = [corpus::laplace_mechanism(), corpus::partial_sum()]
+        .iter()
+        .map(|alg| CorpusJob::new(alg.source))
+        .collect();
+    let pipeline = Pipeline::new();
+
+    let path = temp_path("inc-warmth");
+    let mut store = VerdictStore::load(&path);
+    let memo = Arc::new(QueryMemo::default());
+
+    // Two batches, each flushed incrementally with recorded deps.
+    let mut digests = Vec::new();
+    for (i, job) in jobs.iter().enumerate() {
+        let outcome =
+            pipeline.verify_corpus_parallel_with_memo(std::slice::from_ref(job), Some(1), &memo);
+        let report = outcome.reports[0].as_ref().expect("job verifies");
+        digests.push(outcome.digest());
+        store.pipeline_put(
+            &JobSpec::new(job.source.clone()),
+            entry(
+                "proved",
+                &outcome.report_digest(0),
+                Some(report.solver_fingerprints.clone()),
+            ),
+        );
+        let absorbed = store.absorb_dirty(&memo);
+        assert!(absorbed > 0, "batch {i} solved something new");
+        store.flush().expect("incremental flush succeeds");
+    }
+    let stats = store.compact().expect("compaction succeeds");
+    assert_eq!(
+        stats.dropped_solver, 0,
+        "every solver entry is reachable from a recorded job: {stats:?}"
+    );
+
+    // Restart: load, warm, re-verify — zero fresh theory work.
+    let reloaded = VerdictStore::load(&path);
+    assert!(reloaded.load_note().is_none());
+    assert_eq!(reloaded.solver_len(), store.solver_len());
+    let warm_memo = Arc::new(QueryMemo::default());
+    reloaded.warm_memo(&warm_memo);
+    for (i, job) in jobs.iter().enumerate() {
+        let warm = pipeline.verify_corpus_parallel_with_memo(
+            std::slice::from_ref(job),
+            Some(1),
+            &warm_memo,
+        );
+        assert_eq!(warm.digest(), digests[i]);
+        assert_eq!(warm.solver_stats.theory_calls, 0, "{:?}", warm.solver_stats);
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The dangling-deps regression: solver entries stranded by a job that
+/// produced no verdict are dropped by compaction — but a later job whose
+/// queries are all *memo hits* on those same entries must re-persist
+/// them ([`VerdictStore::ensure_deps`]), or its pipeline entry's deps
+/// would reference verdicts the store no longer has and a restart would
+/// quietly re-prove them.
+#[test]
+fn memo_served_deps_survive_an_earlier_compaction_drop() {
+    let path = temp_path("dangling");
+    let memo = QueryMemo::default();
+
+    // Batch 1: solver work lands in the memo and the store, but the job
+    // fails before a verdict — its pipeline entry pins nothing.
+    let orphan_spec = JobSpec::new("function Broken() returns o: num(0,0) { o := x; }");
+    let mut store = VerdictStore::load(&path);
+    for fp in [Fingerprint(1), Fingerprint(2)] {
+        memo.absorb([(fp, CheckResult::Unsat)]);
+        store.solver_put(fp, CheckResult::Unsat);
+    }
+    store.pipeline_put(
+        &orphan_spec,
+        entry("error: unbound x", "error\n", Some(vec![])),
+    );
+    store.flush().unwrap();
+
+    // Compaction drops the two entries: no pipeline entry reaches them.
+    let stats = store.compact().unwrap();
+    assert_eq!(stats.dropped_solver, 2, "{stats:?}");
+    assert_eq!(store.solver_len(), 0);
+
+    // Batch 2: a fixed job answers both queries from the live memo (no
+    // fresh solves, so nothing is dirty) and records them as deps.
+    let fixed_spec = JobSpec::new("function Fixed() returns o: num(0,0) { o := 0; }");
+    let deps = vec![Fingerprint(1), Fingerprint(2)];
+    store.ensure_deps(&memo, &deps);
+    store.pipeline_put(
+        &fixed_spec,
+        entry("proved", "Fixed Proved\n", Some(deps.clone())),
+    );
+    store.flush().unwrap();
+
+    // No dangling deps: the entries are back, compaction keeps them, and
+    // a restart serves them.
+    let stats = store.compact().unwrap();
+    assert_eq!(stats.dropped_solver, 0, "{stats:?}");
+    let reloaded = VerdictStore::load(&path);
+    assert_eq!(reloaded.solver_len(), 2);
+    let recovered = QueryMemo::default();
+    reloaded.warm_memo(&recovered);
+    assert_eq!(recovered.len(), 2);
+    let _ = std::fs::remove_file(&path);
+}
+
 // ---------------------------------------------------------------------------
-// Corruption tolerance
+// Torn-tail tolerance
 // ---------------------------------------------------------------------------
 
 fn flushed_store_bytes(path: &PathBuf) -> Vec<u8> {
@@ -177,37 +341,50 @@ fn flushed_store_bytes(path: &PathBuf) -> Vec<u8> {
     store.update_from_memo(&memo);
     store.pipeline_put(
         &JobSpec::new("function F() returns o: num(0,0) { o := 0; }"),
-        PipelineEntry {
-            ok: true,
-            verdict: "proved".into(),
-            digest: "F Proved\n".into(),
-        },
+        entry("proved", "F Proved\n", Some(solver.touched_fingerprints())),
     );
     store.flush().expect("flush succeeds");
     std::fs::read(path).expect("store file exists")
 }
 
+/// Truncating a single-record log anywhere behind the header loses the
+/// record but keeps a *working* store (with a note); cutting into the
+/// header itself is a noted cold start. No truncation point panics or
+/// half-loads.
 #[test]
-fn truncated_store_degrades_to_cold_start() {
+fn truncated_store_recovers_the_valid_prefix() {
     let path = temp_path("trunc");
     let bytes = flushed_store_bytes(&path);
     assert!(bytes.len() > 32);
-    // Every truncation point, including an empty file.
-    for len in [0, 1, 7, 8, bytes.len() / 2, bytes.len() - 1] {
+    const HEADER: usize = 8; // b"SDPVERD2"
+    for len in [0, 1, 7, 8, HEADER + 1, bytes.len() / 2, bytes.len() - 1] {
         std::fs::write(&path, &bytes[..len]).unwrap();
         let store = VerdictStore::load(&path);
-        assert_eq!(store.solver_len(), 0, "truncation to {len} must load cold");
-        assert_eq!(store.pipeline_len(), 0);
-        assert!(
-            store.load_note().is_some(),
-            "truncation to {len} must be noted"
+        assert_eq!(
+            store.solver_len(),
+            0,
+            "truncation to {len} drops the record"
         );
+        assert_eq!(store.pipeline_len(), 0);
+        if len == HEADER {
+            // Exactly the header is a legitimately empty log.
+            assert!(store.load_note().is_none());
+        } else {
+            assert!(
+                store.load_note().is_some(),
+                "truncation to {len} must be noted"
+            );
+        }
     }
     let _ = std::fs::remove_file(&path);
 }
 
+/// A flipped byte behind the header fails that record's checksum and
+/// drops it (noted); a flipped header byte is a noted cold start; and a
+/// file that is not a store at all is a noted cold start. Never a panic,
+/// never a half-merged record.
 #[test]
-fn corrupted_store_degrades_to_cold_start() {
+fn corrupted_store_degrades_cleanly() {
     let path = temp_path("corrupt");
     let bytes = flushed_store_bytes(&path);
     for i in (0..bytes.len()).step_by(3) {
@@ -215,14 +392,54 @@ fn corrupted_store_degrades_to_cold_start() {
         corrupt[i] ^= 0x55;
         std::fs::write(&path, &corrupt).unwrap();
         let store = VerdictStore::load(&path);
-        assert_eq!(store.solver_len(), 0, "flip at {i} must load cold");
-        assert!(store.load_note().is_some());
+        assert_eq!(store.solver_len(), 0, "flip at {i} must drop the record");
+        assert_eq!(store.pipeline_len(), 0);
+        assert!(store.load_note().is_some(), "flip at {i} must be noted");
     }
     // And a file that is not a store at all.
     std::fs::write(&path, b"definitely not a verdict store").unwrap();
     let store = VerdictStore::load(&path);
     assert_eq!(store.solver_len(), 0);
     assert!(store.load_note().is_some());
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Damage to a *later* record must not take earlier records with it: the
+/// log replays up to the last valid record.
+#[test]
+fn torn_tail_truncates_to_the_last_valid_record() {
+    let path = temp_path("tail");
+    let mut store = VerdictStore::load(&path);
+    store.solver_put(Fingerprint(1), CheckResult::Unsat);
+    store.flush().unwrap(); // base record
+    let base = std::fs::read(&path).unwrap();
+    store.solver_put(Fingerprint(2), CheckResult::Unsat);
+    store.pipeline_put(
+        &JobSpec::new("function F() returns o: num(0,0) { o := 0; }"),
+        entry("proved", "F Proved\n", Some(vec![Fingerprint(2)])),
+    );
+    store.flush().unwrap(); // delta record
+    let full = std::fs::read(&path).unwrap();
+    assert!(full.len() > base.len());
+
+    // Truncating to exactly the base record is a legitimately complete
+    // log; every cut *into* the delta record drops it with a note.
+    for len in (base.len() + 1)..full.len() {
+        std::fs::write(&path, &full[..len]).unwrap();
+        let reloaded = VerdictStore::load(&path);
+        assert_eq!(reloaded.solver_len(), 1, "truncation to {len}");
+        assert_eq!(reloaded.pipeline_len(), 0);
+        assert!(reloaded.load_note().is_some(), "dropped tail is noted");
+
+        // …and the recovered store keeps working: the next flush drops
+        // the torn tail and appends cleanly.
+        let mut recovered = VerdictStore::load(&path);
+        recovered.solver_put(Fingerprint(3), CheckResult::Unsat);
+        recovered.flush().unwrap();
+        let healed = VerdictStore::load(&path);
+        assert!(healed.load_note().is_none(), "truncation to {len} healed");
+        assert_eq!(healed.solver_len(), 2);
+    }
     let _ = std::fs::remove_file(&path);
 }
 
@@ -234,48 +451,185 @@ fn missing_store_is_a_quiet_cold_start() {
 }
 
 // ---------------------------------------------------------------------------
-// Atomicity: a dead flush never damages the last completed image
+// Append atomicity: a crash at any byte of a delta append recovers to
+// the pre- or post-append view
+// ---------------------------------------------------------------------------
+
+/// Compact comparable view of a store's contents.
+fn view(store: &VerdictStore) -> (Vec<(Fingerprint, CheckResult)>, usize) {
+    let memo = QueryMemo::default();
+    store.warm_memo(&memo);
+    (memo.snapshot(), store.pipeline_len())
+}
+
+#[test]
+fn killed_append_recovers_pre_or_post_view_at_every_byte() {
+    let path = temp_path("kill-append");
+    let mut store = VerdictStore::load(&path);
+    for i in 0..6u128 {
+        store.solver_put(Fingerprint(i), CheckResult::Unsat);
+    }
+    store.flush().unwrap();
+    let pre_bytes = std::fs::read(&path).unwrap();
+    let pre_view = view(&VerdictStore::load(&path));
+
+    store.solver_put(Fingerprint(100), CheckResult::Unsat);
+    store.pipeline_put(
+        &JobSpec::new("function F() returns o: num(0,0) { o := 0; }"),
+        entry("proved", "F Proved\n", Some(vec![Fingerprint(100)])),
+    );
+    store.flush().unwrap();
+    let post_bytes = std::fs::read(&path).unwrap();
+    let post_view = view(&VerdictStore::load(&path));
+    assert_ne!(pre_view, post_view);
+    assert_eq!(
+        &post_bytes[..pre_bytes.len()],
+        &pre_bytes[..],
+        "append-only"
+    );
+
+    // An append that died after `len` bytes leaves pre_bytes + a partial
+    // record; every such state must load as exactly pre or post.
+    for len in pre_bytes.len()..=post_bytes.len() {
+        std::fs::write(&path, &post_bytes[..len]).unwrap();
+        let recovered = view(&VerdictStore::load(&path));
+        assert!(
+            recovered == pre_view || recovered == post_view,
+            "crash at byte {len} produced a third state"
+        );
+        // Completeness is all-or-nothing: only the full append is post.
+        if len < post_bytes.len() {
+            assert_eq!(recovered, pre_view, "partial append at {len} must be pre");
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+// ---------------------------------------------------------------------------
+// Compaction atomicity: a rewrite killed at any byte offset leaves the
+// pre- or post-compaction view, never a corrupt one
 // ---------------------------------------------------------------------------
 
 #[test]
-fn crashed_flush_leaves_previous_image_intact() {
-    let path = temp_path("atomic");
-    let bytes = flushed_store_bytes(&path);
-    let before = VerdictStore::load(&path);
-    assert!(before.solver_len() > 0);
+fn killed_compaction_recovers_pre_or_post_view_at_every_byte() {
+    // Build a log with superseded weight: a base record plus several
+    // delta records overwriting one pipeline key.
+    let path = temp_path("kill-compact");
+    let spec = JobSpec::new("function F() returns o: num(0,0) { o := 0; }");
+    let mut store = VerdictStore::load(&path);
+    for i in 0..4u128 {
+        store.solver_put(Fingerprint(i), CheckResult::Unsat);
+        store.solver_put(Fingerprint(1000 + i), CheckResult::Unsat); // orphans
+        store.pipeline_put(
+            &spec,
+            entry(
+                "proved",
+                &format!("F Proved round {i}\n"),
+                Some((0..=i).map(Fingerprint).collect()),
+            ),
+        );
+        store.flush().unwrap();
+    }
+    let pre_bytes = std::fs::read(&path).unwrap();
+    let pre_view = view(&VerdictStore::load(&path));
 
-    // Simulate a flush that died after staging but before the rename:
-    // the temp sibling holds garbage, the store path still holds v1.
+    // The post-compaction image: what `compact()` stages into the temp
+    // file (compact on a copy of the store so `pre` stays on disk).
+    let stats = store.compact().unwrap();
+    assert_eq!(stats.dropped_solver, 4, "orphans dropped: {stats:?}");
+    let post_bytes = std::fs::read(&path).unwrap();
+    let post_view = view(&VerdictStore::load(&path));
+    assert!(post_bytes.len() < pre_bytes.len());
+    assert_ne!(pre_view, post_view);
+
     let tmp = {
         let mut name = path.file_name().unwrap().to_os_string();
         name.push(".tmp");
         path.with_file_name(name)
     };
-    std::fs::write(&tmp, b"half-written garbage from a dead process").unwrap();
 
-    let after = VerdictStore::load(&path);
-    assert_eq!(after.solver_len(), before.solver_len());
-    assert_eq!(after.pipeline_len(), before.pipeline_len());
-    assert!(after.load_note().is_none());
+    // Phase 1 — killed while staging the temp file, at every byte offset:
+    // the store path still holds the old log; the partial temp must be
+    // ignored entirely.
+    for len in 0..=post_bytes.len() {
+        std::fs::write(&path, &pre_bytes).unwrap();
+        std::fs::write(&tmp, &post_bytes[..len]).unwrap();
+        let recovered = view(&VerdictStore::load(&path));
+        assert_eq!(recovered, pre_view, "staging crash at byte {len}");
+    }
 
-    // A later successful flush (the restarted daemon's) replaces both the
-    // image and any stale temp debris without losing entries.
-    let mut restarted = after;
-    restarted.pipeline_put(
-        &JobSpec::new("function G() returns o: num(0,0) { o := 0; }"),
-        PipelineEntry {
-            ok: true,
-            verdict: "proved".into(),
-            digest: "G Proved\n".into(),
-        },
-    );
-    restarted.flush().expect("flush over stale temp succeeds");
-    let final_image = std::fs::read(&path).unwrap();
-    assert_ne!(final_image, bytes);
-    let reloaded = VerdictStore::load(&path);
-    assert_eq!(reloaded.pipeline_len(), before.pipeline_len() + 1);
-    assert_eq!(reloaded.solver_len(), before.solver_len());
+    // Phase 2 — killed after the rename: the store path holds the new
+    // log; temp debris is gone or irrelevant.
+    std::fs::write(&path, &post_bytes).unwrap();
+    let _ = std::fs::remove_file(&tmp);
+    assert_eq!(view(&VerdictStore::load(&path)), post_view);
+
+    // And a store that recovered from a staging crash keeps working: the
+    // next compaction replaces both the log and the stale temp debris.
+    std::fs::write(&path, &pre_bytes).unwrap();
+    std::fs::write(&tmp, &post_bytes[..post_bytes.len() / 2]).unwrap();
+    let mut recovered = VerdictStore::load(&path);
+    recovered.compact().expect("compaction over stale temp");
+    assert_eq!(view(&VerdictStore::load(&path)), post_view);
+    assert!(!tmp.exists(), "temp staging file consumed by rename");
 
     let _ = std::fs::remove_file(&path);
     let _ = std::fs::remove_file(&tmp);
+}
+
+// ---------------------------------------------------------------------------
+// v1 compatibility end-to-end: old image in, full warmth out
+// ---------------------------------------------------------------------------
+
+#[test]
+fn v1_store_round_trips_through_migration() {
+    // Forge a v1 image the way the old code did: v1 entry encodings, one
+    // whole-file checksum. (The v1 writer is gone; its byte layout is
+    // pinned here so read compatibility cannot silently rot.)
+    fn push_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+        out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+        out.extend_from_slice(bytes);
+    }
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"SDPVERD1");
+    bytes.extend_from_slice(&2u64.to_le_bytes());
+    for fp in [3u128, 9u128] {
+        bytes.extend_from_slice(&fp.to_le_bytes());
+        bytes.push(0); // Unsat
+    }
+    bytes.extend_from_slice(&1u64.to_le_bytes());
+    let spec = JobSpec::new("function F() returns o: num(0,0) { o := 0; }");
+    bytes.extend_from_slice(&VerdictStore::job_key(&spec).to_le_bytes());
+    bytes.push(1); // ok
+    push_bytes(&mut bytes, b"proved");
+    push_bytes(&mut bytes, b"F Proved\n");
+    let sum = shadowdp_service::fnv128(&bytes);
+    bytes.extend_from_slice(&sum.to_le_bytes());
+
+    let path = temp_path("v1-migrate");
+    std::fs::write(&path, &bytes).unwrap();
+
+    let mut store = VerdictStore::load(&path);
+    assert!(store.load_note().is_none());
+    assert_eq!(store.solver_len(), 2);
+    assert_eq!(store.pipeline_len(), 1);
+    let v1_entry = store.pipeline_get(&spec).unwrap();
+    assert_eq!(v1_entry.deps, None, "v1 entries have unknown provenance");
+
+    // Unknown deps pin the whole solver tier through compaction (which
+    // also migrates the file to v2).
+    let stats = store.compact().unwrap();
+    assert_eq!(stats.dropped_solver, 0);
+    let migrated = VerdictStore::load(&path);
+    assert!(migrated.load_note().is_none());
+    assert_eq!(migrated.solver_len(), 2);
+    assert_eq!(migrated.pipeline_get(&spec).unwrap().deps, None);
+    assert_eq!(migrated.pipeline_get(&spec).unwrap().digest, "F Proved\n");
+
+    // The migrated log appends like any v2 log.
+    let mut migrated = migrated;
+    migrated.solver_put(Fingerprint(77), CheckResult::Unsat);
+    migrated.flush().unwrap();
+    assert_eq!(VerdictStore::load(&path).solver_len(), 3);
+    let _ = std::fs::remove_file(&path);
 }

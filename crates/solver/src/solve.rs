@@ -19,7 +19,7 @@
 //! [`Solver::without_memo`] opts out (used by the microbenchmarks to pin
 //! the speedup).
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::Arc;
@@ -169,25 +169,38 @@ const MEMO_SHARDS: usize = 16;
 /// wants cross-thread reuse creates one with [`QueryMemo::default`] inside
 /// an [`Arc`] and hands clones to [`Solver::with_memo`]. For persistence,
 /// [`QueryMemo::snapshot`] exports every entry in deterministic order and
-/// [`QueryMemo::absorb`] merges entries back in — the pair is the contract
-/// the service crate's disk-backed verdict store is built on.
+/// [`QueryMemo::absorb`] merges entries back in; a long-lived process that
+/// flushes incrementally instead drains only what changed with
+/// [`QueryMemo::drain_dirty`] — the trio is the contract the service
+/// crate's disk-backed verdict store is built on.
 #[derive(Debug)]
 pub struct QueryMemo {
-    shards: Vec<Mutex<HashMap<Fingerprint, CheckResult>>>,
+    shards: Vec<Mutex<MemoShard>>,
+}
+
+/// One lock shard: the entry map plus the fingerprints *solved into* it
+/// since the last [`QueryMemo::drain_dirty`]. Only fresh solves
+/// ([`QueryMemo::insert`]) land in `dirty` — entries merged back from a
+/// persisted snapshot ([`QueryMemo::absorb`]) are by definition already on
+/// disk and must not be re-flushed.
+#[derive(Debug, Default)]
+struct MemoShard {
+    entries: HashMap<Fingerprint, CheckResult>,
+    dirty: Vec<Fingerprint>,
 }
 
 impl Default for QueryMemo {
     fn default() -> QueryMemo {
         QueryMemo {
             shards: (0..MEMO_SHARDS)
-                .map(|_| Mutex::new(HashMap::new()))
+                .map(|_| Mutex::new(MemoShard::default()))
                 .collect(),
         }
     }
 }
 
 impl QueryMemo {
-    fn shard(&self, key: Fingerprint) -> &Mutex<HashMap<Fingerprint, CheckResult>> {
+    fn shard(&self, key: Fingerprint) -> &Mutex<MemoShard> {
         &self.shards[(key.0 as usize) & (MEMO_SHARDS - 1)]
     }
 
@@ -195,12 +208,12 @@ impl QueryMemo {
     /// quiescent; during concurrent inserts it is a lower bound on the
     /// entries any later reader will see (each shard is counted atomically).
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
+        self.shards.iter().map(|s| s.lock().entries.len()).sum()
     }
 
     /// Whether the table is empty (every shard is).
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| s.lock().is_empty())
+        self.shards.iter().all(|s| s.lock().entries.is_empty())
     }
 
     /// Exports every memoized entry, sorted by fingerprint so the result
@@ -212,12 +225,40 @@ impl QueryMemo {
             .iter()
             .flat_map(|s| {
                 s.lock()
+                    .entries
                     .iter()
                     .map(|(k, v)| (*k, v.clone()))
                     .collect::<Vec<_>>()
             })
             .collect();
         out.sort_by_key(|(k, _)| *k);
+        out
+    }
+
+    /// Exports the entries *solved since the last drain* (or since the
+    /// table was created), sorted by fingerprint and deduplicated, and
+    /// resets the dirty tracking. This is the incremental sibling of
+    /// [`QueryMemo::snapshot`]: a daemon that appends delta records to its
+    /// verdict log after every batch calls this instead of re-exporting
+    /// the whole table, so flush cost tracks the batch, not the table.
+    ///
+    /// Entries merged in with [`QueryMemo::absorb`] are never dirty (they
+    /// came *from* persistence); only fresh solves are.
+    pub fn drain_dirty(&self) -> Vec<(Fingerprint, CheckResult)> {
+        let mut out: Vec<(Fingerprint, CheckResult)> = Vec::new();
+        for shard in &self.shards {
+            let mut shard = shard.lock();
+            let dirty = std::mem::take(&mut shard.dirty);
+            for key in dirty {
+                if let Some(value) = shard.entries.get(&key) {
+                    out.push((key, value.clone()));
+                }
+            }
+        }
+        out.sort_by_key(|(k, _)| *k);
+        // Two threads racing the same query both insert (and both mark);
+        // one export is enough.
+        out.dedup_by_key(|(k, _)| *k);
         out
     }
 
@@ -228,21 +269,29 @@ impl QueryMemo {
     /// snapshot, which must not clobber good entries.
     pub fn absorb(&self, entries: impl IntoIterator<Item = (Fingerprint, CheckResult)>) {
         for (key, value) in entries {
-            self.shard(key).lock().entry(key).or_insert(value);
+            self.shard(key).lock().entries.entry(key).or_insert(value);
         }
     }
 
-    fn get(&self, key: Fingerprint) -> Option<CheckResult> {
-        self.shard(key).lock().get(&key).cloned()
+    /// Looks up one memoized verdict. Public for the persistence layer:
+    /// a verdict store healing a dangling dependency (an entry a
+    /// compaction dropped but a later job turned out to need) re-reads it
+    /// from the live memo by fingerprint.
+    pub fn get(&self, key: Fingerprint) -> Option<CheckResult> {
+        self.shard(key).lock().entries.get(&key).cloned()
     }
 
     fn insert(&self, key: Fingerprint, value: CheckResult) {
-        self.shard(key).lock().insert(key, value);
+        let mut shard = self.shard(key).lock();
+        shard.entries.insert(key, value);
+        shard.dirty.push(key);
     }
 
     fn clear(&self) {
         for shard in &self.shards {
-            shard.lock().clear();
+            let mut shard = shard.lock();
+            shard.entries.clear();
+            shard.dirty.clear();
         }
     }
 }
@@ -270,6 +319,13 @@ pub struct Solver {
     stats: Cell<SolverStats>,
     memo: Arc<QueryMemo>,
     memo_enabled: Cell<bool>,
+    /// Fingerprints of every memoized query this solver asked (hit or
+    /// fresh solve), in ask order. The verification service records these
+    /// per job as the pipeline-tier entry's solver-tier dependencies, so
+    /// store compaction can prove which solver verdicts are still
+    /// reachable from some persisted job. Empty while the memo is
+    /// disabled (no fingerprints are computed at all on that path).
+    touched: RefCell<Vec<Fingerprint>>,
 }
 
 impl Default for Solver {
@@ -291,6 +347,7 @@ impl Solver {
             stats: Cell::new(SolverStats::default()),
             memo,
             memo_enabled: Cell::new(true),
+            touched: RefCell::new(Vec::new()),
         }
     }
 
@@ -329,6 +386,20 @@ impl Solver {
         self.stats.set(SolverStats::default());
     }
 
+    /// The fingerprints of every memoized query asked so far, sorted and
+    /// deduplicated. A solver that served one verification job yields
+    /// exactly that job's solver-tier dependency set (the service's store
+    /// compaction keeps a persisted solver verdict alive iff some
+    /// pipeline-tier entry lists it here). A solver reused across several
+    /// runs yields the union, which over-approximates — safe for
+    /// reachability (entries are only ever *kept* longer).
+    pub fn touched_fingerprints(&self) -> Vec<Fingerprint> {
+        let mut out = self.touched.borrow().clone();
+        out.sort();
+        out.dedup();
+        out
+    }
+
     /// Checks satisfiability of the conjunction of `terms` (thread shard).
     pub fn check(&self, terms: &[Term]) -> CheckResult {
         with_shard(|arena| self.check_in(arena, terms))
@@ -362,6 +433,7 @@ impl Solver {
         };
 
         if let Some((_, fp)) = key {
+            self.touched.borrow_mut().push(fp);
             if let Some(hit) = self.memo.get(fp) {
                 let mut stats = self.stats.get();
                 stats.checks += 1;
@@ -774,5 +846,80 @@ mod tests {
         let st = s.stats();
         assert_eq!(st.cache_hits, 0);
         assert!(st.theory_calls >= 3);
+        assert!(
+            s.touched_fingerprints().is_empty(),
+            "memo-less solvers compute no fingerprints to touch"
+        );
+    }
+
+    #[test]
+    fn drain_dirty_exports_only_fresh_solves_once() {
+        let s = Solver::new();
+        for i in 0..8 {
+            let _ = s.check(&[x().le(Term::int(i))]);
+        }
+        let first = s.memo().drain_dirty();
+        assert_eq!(first.len(), 8);
+        assert!(first.windows(2).all(|w| w[0].0 < w[1].0), "sorted");
+        // Drained entries stay in the table but are no longer dirty.
+        assert_eq!(s.memo().len(), 8);
+        assert!(s.memo().drain_dirty().is_empty());
+
+        // Cache hits do not re-dirty; only new solves do.
+        let _ = s.check(&[x().le(Term::int(0))]);
+        let _ = s.check(&[x().le(Term::int(99))]);
+        let delta = s.memo().drain_dirty();
+        assert_eq!(delta.len(), 1, "{delta:?}");
+        assert_eq!(s.stats().cache_hits, 1);
+    }
+
+    #[test]
+    fn absorbed_entries_are_never_dirty() {
+        let warm = Solver::new();
+        for i in 0..4 {
+            let _ = warm.check(&[x().ge(Term::int(i))]);
+        }
+        let snap = warm.memo().snapshot();
+
+        // A freshly warmed table has nothing to flush: its entries came
+        // *from* persistence.
+        let cold = QueryMemo::default();
+        cold.absorb(snap.clone());
+        assert_eq!(cold.len(), 4);
+        assert!(cold.drain_dirty().is_empty());
+
+        // A mixed table drains only the live solves.
+        let s = Solver::new();
+        let _ = s.check(&[x().le(Term::int(-3))]);
+        s.memo().absorb(snap);
+        let delta = s.memo().drain_dirty();
+        assert_eq!(delta.len(), 1, "{delta:?}");
+    }
+
+    #[test]
+    fn touched_fingerprints_cover_hits_and_fresh_solves() {
+        let shared = Arc::new(QueryMemo::default());
+        let warm = Solver::with_memo(shared.clone());
+        let _ = warm.check(&[x().le(Term::int(1))]);
+
+        // A second solver that only *hits* still reports the dependency.
+        let hitter = Solver::with_memo(shared.clone());
+        let _ = hitter.check(&[x().le(Term::int(1))]);
+        let _ = hitter.check(&[x().le(Term::int(2))]);
+        assert_eq!(hitter.stats().cache_hits, 1);
+        let touched = hitter.touched_fingerprints();
+        assert_eq!(touched.len(), 2);
+        assert_eq!(
+            touched,
+            warm.memo()
+                .snapshot()
+                .iter()
+                .map(|(k, _)| *k)
+                .collect::<Vec<_>>()
+        );
+
+        // Repeats are deduplicated.
+        let _ = hitter.check(&[x().le(Term::int(2))]);
+        assert_eq!(hitter.touched_fingerprints().len(), 2);
     }
 }

@@ -35,6 +35,7 @@ fn main() {
         socket: dir.join(format!("shadowdp-demo-{pid}.sock")),
         store: Some(dir.join(format!("shadowdp-demo-{pid}.store"))),
         threads: None,
+        compact_ratio: shadowdp_service::DEFAULT_COMPACT_RATIO,
     };
 
     let specs: Vec<JobSpec> = [
