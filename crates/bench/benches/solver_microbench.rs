@@ -10,13 +10,22 @@
 //!   throughput (it is orders of magnitude in practice — a `u32`-keyed hash
 //!   lookup vs. a full solve);
 //! - `houdini/*` — end-to-end inductive verification of a counter loop
-//!   with a per-round-replaying Houdini fixed point, memoized vs. not.
+//!   with a per-round-replaying Houdini fixed point, memoized vs. not;
+//! - `houdini-rekey/*` — the per-candidate assumption keying on a
+//!   drop-inducing Table 1 loop (Partial Sum): a cold verification timing,
+//!   plus the machine-independent **post-drop consecution hit rate**
+//!   published into the `CRITERION_JSON` dump (as a percentage in the
+//!   `mean_ns` field) and asserted ≥ 50 % both here and in
+//!   `bench_compare`'s invariant gate.
+
+use std::io::Write as _;
+use std::sync::{Arc, Mutex};
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use shadowdp_solver::{Solver, Term};
 use shadowdp_syntax::parse_function;
 use shadowdp_typing::check_function;
-use shadowdp_verify::{inductive, lower_to_target, InductiveOptions, VerifyMode};
+use shadowdp_verify::{inductive, lower_to_target, InductiveOptions, RoundProfileSink, VerifyMode};
 
 /// A NoisyMax-shaped verification condition: Ψ bounds, branch guard, and
 /// the (T-ODot) stability goal.
@@ -144,11 +153,96 @@ fn bench_houdini(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_houdini_rekey(c: &mut Criterion) {
+    // Partial Sum's Houdini run drops candidates before stabilizing, so it
+    // exercises exactly the path the per-candidate assumption keying
+    // exists for: the rounds *after* a drop re-ask every surviving
+    // candidate's consecution obligation, and the narrow
+    // (sibling-independent) keys answer most of them from the memo.
+    let alg = shadowdp::corpus::partial_sum();
+    let f = parse_function(alg.source).unwrap();
+    let t = check_function(&f).expect("type checks");
+    let info = lower_to_target(&t.function, VerifyMode::Scaled).expect("lowers");
+
+    let mut group = c.benchmark_group("solver_micro/houdini-rekey");
+    group.sample_size(10);
+    // Cold end-to-end proof, fresh solver and memo per iteration: all
+    // reuse is intra-run (later rounds hitting earlier rounds' entries).
+    group.bench_function("partial-sum-cold", |b| {
+        b.iter(|| {
+            let solver = Solver::new();
+            let out = inductive::prove(&info, &InductiveOptions::default(), &solver);
+            assert!(matches!(
+                out,
+                shadowdp_verify::InductiveOutcome::Proved { .. }
+            ));
+        })
+    });
+    group.finish();
+
+    // The machine-independent half: measure the post-drop consecution hit
+    // rate once with the profiling sink and publish it into the
+    // CRITERION_JSON dump — as a *percentage* carried in the `mean_ns`
+    // field — so `bench_compare` can gate it on any hardware. Asserted
+    // here too, so a plain `cargo bench` (or smoke run) fails loudly if
+    // the keying stops paying off.
+    let sink: RoundProfileSink = Arc::new(Mutex::new(Vec::new()));
+    let solver = Solver::new();
+    let out = inductive::prove(
+        &info,
+        &InductiveOptions {
+            profile: Some(sink.clone()),
+            ..InductiveOptions::default()
+        },
+        &solver,
+    );
+    assert!(matches!(
+        out,
+        shadowdp_verify::InductiveOutcome::Proved { .. }
+    ));
+    let rounds = sink.lock().unwrap();
+    let (queries, hits) = rounds
+        .iter()
+        .filter(|r| r.after_drop)
+        .fold((0u64, 0u64), |(q, h), r| (q + r.queries, h + r.hits));
+    assert!(
+        queries > 0,
+        "Partial Sum stopped dropping candidates; houdini-rekey needs a \
+         drop-inducing benchmark"
+    );
+    let rate_pct = 100.0 * hits as f64 / queries as f64;
+    println!(
+        "solver_micro/houdini-rekey/post-drop-hit-rate-pct    {rate_pct:.1} % \
+         ({hits}/{queries} post-drop consecution queries from the memo)"
+    );
+    assert!(
+        rate_pct >= 50.0,
+        "post-drop consecution hit rate {rate_pct:.1}% fell below 50% \
+         ({hits}/{queries}): per-candidate assumption keying stopped hitting"
+    );
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if !path.is_empty() {
+            if let Ok(mut file) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+            {
+                let _ = writeln!(
+                    file,
+                    "{{\"id\": \"solver_micro/houdini-rekey/post-drop-hit-rate-pct\", \
+                     \"mean_ns\": {rate_pct:.1}, \"stddev_ns\": 0.0, \"samples\": 1}}"
+                );
+            }
+        }
+    }
+}
+
 criterion_group!(
     benches,
     bench_construction,
     bench_normalize,
     bench_repeated_query,
-    bench_houdini
+    bench_houdini,
+    bench_houdini_rekey
 );
 criterion_main!(benches);

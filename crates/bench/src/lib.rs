@@ -156,7 +156,16 @@ pub enum Comparison {
 ///   a candidate loop), shows up as `late` exceeding `early` by the
 ///   stores' ~128× size ratio on any hardware. The byte-exact half of
 ///   the contract (per-batch appended bytes flat across eight batches)
-///   is asserted inside the bench itself.
+///   is asserted inside the bench itself;
+/// - the Houdini **post-drop consecution hit rate**
+///   (`solver_micro/houdini-rekey/post-drop-hit-rate-pct` — a percentage
+///   carried in the `mean_ns` field, not a time) must stay ≥ 50 %. Under
+///   per-candidate assumption keying, the round that follows a candidate
+///   drop re-asks each surviving candidate's obligation under an
+///   assumption set that never mentioned the dropped sibling, so most of
+///   those queries are memo hits; a regression back to candidate-set-
+///   sensitive keys shows up as this rate collapsing toward 0 on any
+///   hardware (it is ~80 % in practice on Partial Sum).
 ///
 /// Returns human-readable violation messages (empty = ok).
 pub fn check_invariants(fresh: &[BenchEntry]) -> Vec<String> {
@@ -216,6 +225,22 @@ pub fn check_invariants(fresh: &[BenchEntry]) -> Vec<String> {
         _ => violations.push(
             "fresh dump is missing the service flush-incremental early/late pair needed for \
              the machine-independent O(delta) flush check"
+                .to_string(),
+        ),
+    }
+    match find("solver_micro/houdini-rekey/post-drop-hit-rate-pct") {
+        Some(rate_pct) => {
+            if rate_pct < 50.0 {
+                violations.push(format!(
+                    "Houdini post-drop consecution hit rate ({rate_pct:.1} %) fell below 50 %: \
+                     per-candidate assumption keying has stopped answering post-drop rounds \
+                     from the memo"
+                ));
+            }
+        }
+        None => violations.push(
+            "fresh dump is missing the houdini-rekey post-drop-hit-rate-pct entry needed for \
+             the machine-independent consecution-keying check"
                 .to_string(),
         ),
     }
@@ -337,6 +362,8 @@ mod tests {
                 entry("service/warm-vs-cold/cold", 150_000_000.0 * scale),
                 entry("service/flush-incremental/early", 90_000.0 * scale),
                 entry("service/flush-incremental/late", 110_000.0 * scale),
+                // A rate in percent, not a time: deliberately NOT scaled.
+                entry("solver_micro/houdini-rekey/post-drop-hit-rate-pct", 80.0),
             ]
         };
         // A healthy ratio passes at any absolute speed (fast or slow box).
@@ -360,7 +387,12 @@ mod tests {
         let mut quadratic = healthy(1.0);
         quadratic[5].mean_ns = quadratic[4].mean_ns * 100.0;
         assert_eq!(check_invariants(&quadratic).len(), 1);
+        // A consecution-keying regression (post-drop rounds mostly missing
+        // the memo again) fails regardless of machine speed.
+        let mut rekeyed_away = healthy(1.0);
+        rekeyed_away[6].mean_ns = 12.0;
+        assert_eq!(check_invariants(&rekeyed_away).len(), 1);
         // Missing entries are flagged, not silently skipped.
-        assert_eq!(check_invariants(&[]).len(), 3);
+        assert_eq!(check_invariants(&[]).len(), 4);
     }
 }

@@ -568,6 +568,29 @@ pub fn table1_algorithms() -> Vec<Algorithm> {
     ]
 }
 
+/// A minimal provable counter loop with an `INV` placeholder where a
+/// user-supplied loop invariant can be spliced
+/// (`COUNTER_LOOP_TEMPLATE.replace("INV", …)` — use `""` for the plain
+/// program). Tests across the workspace use it to steer Houdini's
+/// candidate pool: e.g. `invariant (count <= 0)` passes initiation
+/// (count starts at 0) but fails consecution, forcing a candidate-drop
+/// round.
+pub const COUNTER_LOOP_TEMPLATE: &str = "function Loop(eps, NN, size: num(0,0), q: list num(*,*))
+     returns out: num(0,0)
+     precondition forall k :: -1 <= ^q[k] && ^q[k] <= 1 && ~q[k] == ^q[k]
+     precondition eps > 0
+     precondition NN >= 1
+     precondition size >= 0
+     {
+         e0 := lap(2 / eps) { select: aligned, align: 1 };
+         count := 0;
+         while (count < NN) INV {
+             e1 := lap(2 * NN / eps) { select: aligned, align: 1 };
+             count := count + 1;
+         }
+         out := count;
+     }";
+
 /// The incorrect variants (each must be rejected).
 pub fn buggy_algorithms() -> Vec<Algorithm> {
     vec![

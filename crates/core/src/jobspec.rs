@@ -128,6 +128,7 @@ impl OptionsSpec {
             },
             inductive: InductiveOptions {
                 max_rounds: self.max_rounds,
+                ..InductiveOptions::default()
             },
         })
     }

@@ -75,6 +75,11 @@ pub struct PipelineReport {
     /// per run). `cache_hits` counts queries answered from the solver's
     /// memo table — on Houdini-heavy verifications the majority of
     /// consecution queries land here.
+    /// `assumption_queries`/`assumption_hits` isolate the assumption-set-
+    /// keyed consecution entailments (see
+    /// [`SolverStats::assumption_hit_rate`]): under per-candidate keying,
+    /// Houdini rounds that follow a candidate drop answer most of their
+    /// queries from the memo instead of re-proving the whole round.
     pub solver_stats: SolverStats,
     /// The structural fingerprints of every memoized validity query this
     /// run asked (hit or fresh solve), sorted and deduplicated — the
@@ -311,6 +316,8 @@ impl Pipeline {
                 acc.theory_calls += r.solver_stats.theory_calls;
                 acc.micros += r.solver_stats.micros;
                 acc.cache_hits += r.solver_stats.cache_hits;
+                acc.assumption_queries += r.solver_stats.assumption_queries;
+                acc.assumption_hits += r.solver_stats.assumption_hits;
                 acc
             },
         );
@@ -485,6 +492,103 @@ mod tests {
         assert!(
             stats.cache_hits > 0,
             "Houdini rounds should repeat queries verbatim: {stats:?}"
+        );
+    }
+
+    /// Regression lock for the per-candidate assumption keying: on a
+    /// Table 1 loop algorithm whose Houdini run drops candidates, the
+    /// round *following* a drop must answer at least half its consecution
+    /// queries from the memo (the narrow, sibling-independent keys are
+    /// unchanged by the drop). Under the old monolithic all-candidates
+    /// prefix this rate was ~0: one dropped sibling perturbed every query.
+    #[test]
+    fn post_drop_consecution_rounds_hit_the_memo() {
+        use shadowdp_verify::{Engine, InductiveOptions, RoundProfileSink};
+        let sink: RoundProfileSink = std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+        let options = shadowdp_verify::Options {
+            engine: Engine::Inductive,
+            inductive: InductiveOptions {
+                profile: Some(sink.clone()),
+                ..InductiveOptions::default()
+            },
+            ..shadowdp_verify::Options::default()
+        };
+        let report = Pipeline::with_options(options)
+            .run(crate::corpus::partial_sum().source)
+            .unwrap();
+        assert!(matches!(report.verdict, Verdict::Proved), "{report:?}");
+
+        let rounds = sink.lock().unwrap();
+        let (queries, hits) = rounds
+            .iter()
+            .filter(|r| r.after_drop)
+            .fold((0u64, 0u64), |(q, h), r| (q + r.queries, h + r.hits));
+        assert!(
+            queries > 0,
+            "Partial Sum must drop candidates for this regression lock: {rounds:?}"
+        );
+        assert!(
+            hits * 2 >= queries,
+            "post-drop consecution hit rate below 50%: {hits}/{queries} ({rounds:?})"
+        );
+        // The rate also surfaces through the report's aggregate stats.
+        let stats = report.solver_stats;
+        assert!(stats.assumption_queries > 0, "{stats:?}");
+        assert_eq!(
+            stats.assumption_hits > 0,
+            stats.assumption_hit_rate().unwrap() > 0.0
+        );
+    }
+
+    /// Persisted per-candidate consecution verdicts transfer across
+    /// *candidate-set variations*: a variant program whose Houdini pool
+    /// differs (an extra doomed user invariant changes every round's
+    /// surviving set) still reuses the base program's assumption-keyed
+    /// entries, because those keys never mention sibling candidates.
+    #[test]
+    fn assumption_entries_transfer_across_candidate_set_variations() {
+        let base = crate::corpus::COUNTER_LOOP_TEMPLATE;
+        let plain = base.replace("INV", "");
+        // `count <= 0` passes initiation (count starts at 0) but fails
+        // consecution, so the variant's candidate set shrinks mid-run and
+        // never equals the plain program's.
+        let doomed = base.replace("INV", "invariant (count <= 0)");
+
+        let pipeline = Pipeline::new();
+        let warm_memo = Arc::new(QueryMemo::default());
+        let warm_up = pipeline.run_with_memo(&plain, &warm_memo).unwrap();
+        assert!(matches!(warm_up.verdict, Verdict::Proved));
+
+        // Cold reference for the variant.
+        let cold = pipeline.run(&doomed).unwrap();
+        assert!(matches!(cold.verdict, Verdict::Proved), "{cold:?}");
+
+        // The variant against the plain program's memo (the restarted-
+        // daemon shape: snapshot → absorb → resubmit a variation).
+        let transferred = Arc::new(QueryMemo::default());
+        transferred.absorb(warm_memo.snapshot());
+        let warm = pipeline.run_with_memo(&doomed, &transferred).unwrap();
+        assert!(matches!(warm.verdict, Verdict::Proved));
+        assert_eq!(warm.verdict, cold.verdict);
+        assert_eq!(
+            warm.verification.log, cold.verification.log,
+            "memo transfer must not change observable output"
+        );
+        assert_eq!(
+            pretty_function(&warm.verification.target),
+            pretty_function(&cold.verification.target)
+        );
+        assert!(
+            warm.solver_stats.assumption_hits > cold.solver_stats.assumption_hits,
+            "the variant must reuse per-candidate verdicts: cold {:?} vs warm {:?}",
+            cold.solver_stats,
+            warm.solver_stats
+        );
+        assert!(
+            warm.solver_stats.theory_calls < cold.solver_stats.theory_calls,
+            "cold {:?} vs warm {:?}",
+            cold.solver_stats,
+            warm.solver_stats
         );
     }
 

@@ -38,12 +38,27 @@ fn main() -> ExitCode {
                 Some(n) => threads = Some(n),
                 None => return usage(),
             },
-            "--compact-ratio" => match args.next().and_then(|v| v.parse::<f64>().ok()) {
-                // NaN would make every comparison false in a confusing
-                // way; reject it as a usage error like any other garbage.
-                Some(r) if !r.is_nan() && r >= 1.0 => compact_ratio = r,
-                _ => return usage(),
-            },
+            "--compact-ratio" => {
+                let Some(raw) = args.next() else {
+                    eprintln!("shadowdpd: --compact-ratio needs a value");
+                    return usage();
+                };
+                // A ratio below 1 would trigger an O(store) compaction
+                // after every batch, and NaN would make the trigger
+                // comparison silently false forever — both are config
+                // mistakes worth a precise message, not a generic usage
+                // line.
+                match raw.parse::<f64>() {
+                    Ok(r) if !r.is_nan() && r >= 1.0 => compact_ratio = r,
+                    _ => {
+                        eprintln!(
+                            "shadowdpd: --compact-ratio must be a number >= 1 (got `{raw}`); \
+                             `inf` disables ratio-triggered compaction"
+                        );
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             _ => return usage(),
         }
     }

@@ -132,6 +132,21 @@ pub fn wire_digest(report_digest: &str) -> String {
 /// Returns an error if the socket cannot be bound. Per-connection and
 /// store-flush errors are logged to stderr and survived.
 pub fn run(config: DaemonConfig) -> std::io::Result<()> {
+    // `compact_ratio` semantics only make sense at >= 1 (logged entries
+    // can never be fewer than live ones): NaN would make the trigger
+    // comparison silently false forever, and a sub-1 ratio would fire an
+    // O(store) compaction after every batch. Reject both up front — the
+    // CLI validates its flag, but `DaemonConfig` is a public API.
+    if config.compact_ratio.is_nan() || config.compact_ratio < 1.0 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!(
+                "compact-ratio must be a number >= 1 (got {}); use `inf` to disable \
+                 ratio-triggered compaction",
+                config.compact_ratio
+            ),
+        ));
+    }
     let store = match &config.store {
         Some(path) => VerdictStore::load(path),
         None => VerdictStore::in_memory(),
@@ -251,6 +266,8 @@ fn schedule(shared: &Shared) {
                         checks: 0,
                         cache_hits: 0,
                         theory_calls: 0,
+                        assumption_queries: 0,
+                        assumption_hits: 0,
                         verdict: entry.verdict.clone(),
                     });
                 } else {
@@ -264,6 +281,8 @@ fn schedule(shared: &Shared) {
                             checks: 0,
                             cache_hits: 0,
                             theory_calls: 0,
+                            assumption_queries: 0,
+                            assumption_hits: 0,
                             verdict: format!("error: {e}"),
                         }),
                     }
@@ -317,6 +336,8 @@ fn schedule(shared: &Shared) {
                     checks: stats.checks,
                     cache_hits: stats.cache_hits,
                     theory_calls: stats.theory_calls,
+                    assumption_queries: stats.assumption_queries,
+                    assumption_hits: stats.assumption_hits,
                     verdict,
                 });
             }

@@ -17,7 +17,8 @@
 //!          | "STATUS" TAB queued TAB running TAB done TAB memo
 //!                     TAB pipeline_store TAB store_hits
 //!          | "RESULT" TAB id TAB ok TAB from TAB digest
-//!                     TAB checks TAB cache_hits TAB theory_calls TAB verdict
+//!                     TAB checks TAB cache_hits TAB theory_calls
+//!                     TAB assumption_queries TAB assumption_hits TAB verdict
 //!          | "ERR" TAB message
 //! ```
 //!
@@ -139,6 +140,14 @@ pub struct JobOutcome {
     pub cache_hits: u64,
     /// Fresh theory calls on this job (0 when fully warm).
     pub theory_calls: u64,
+    /// Assumption-set-keyed entailment queries (per-candidate Houdini
+    /// consecution obligations) this job asked.
+    pub assumption_queries: u64,
+    /// How many of `assumption_queries` the solver answered from its memo
+    /// — including entries persisted by *other* candidate-set variations,
+    /// which is the cross-variation transfer the per-candidate keying
+    /// exists for.
+    pub assumption_hits: u64,
     /// Rendered verdict or error.
     pub verdict: String,
 }
@@ -285,7 +294,7 @@ pub fn encode_response(resp: &Response) -> String {
             s.queued, s.running, s.done, s.memo_entries, s.pipeline_store, s.store_hits
         ),
         Response::Result(r) => format!(
-            "RESULT\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            "RESULT\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
             r.id,
             if r.ok { "ok" } else { "err" },
             if r.from_store { "store" } else { "fresh" },
@@ -293,6 +302,8 @@ pub fn encode_response(resp: &Response) -> String {
             r.checks,
             r.cache_hits,
             r.theory_calls,
+            r.assumption_queries,
+            r.assumption_hits,
             esc(&r.verdict)
         ),
     }
@@ -322,7 +333,7 @@ pub fn parse_response(line: &str) -> Result<Response, ProtoError> {
             pipeline_store: num(fields[5], "pipeline_store")?,
             store_hits: num(fields[6], "store_hits")?,
         })),
-        "RESULT" if fields.len() == 9 => Ok(Response::Result(JobOutcome {
+        "RESULT" if fields.len() == 11 => Ok(Response::Result(JobOutcome {
             id: num(fields[1], "job id")?,
             ok: match fields[2] {
                 "ok" => true,
@@ -338,7 +349,9 @@ pub fn parse_response(line: &str) -> Result<Response, ProtoError> {
             checks: num(fields[5], "checks")?,
             cache_hits: num(fields[6], "cache_hits")?,
             theory_calls: num(fields[7], "theory_calls")?,
-            verdict: unesc(fields[8])?,
+            assumption_queries: num(fields[8], "assumption_queries")?,
+            assumption_hits: num(fields[9], "assumption_hits")?,
+            verdict: unesc(fields[10])?,
         })),
         verb => Err(ProtoError(format!("unknown response `{verb}`"))),
     }
@@ -408,6 +421,8 @@ mod tests {
                 checks: 120,
                 cache_hits: 120,
                 theory_calls: 0,
+                assumption_queries: 40,
+                assumption_hits: 40,
                 verdict: "refuted: x = 1, size = 3\nsecond line".into(),
             }),
         ];
@@ -436,6 +451,8 @@ mod tests {
             assert!(parse_request(line).is_err(), "{line:?}");
         }
         assert!(parse_response("RESULT\t1\tok\tstore\tabc\t0\t0\t0").is_err());
+        // The pre-rekeying 9-field RESULT line is no longer valid.
+        assert!(parse_response("RESULT\t1\tok\tstore\tabc\t0\t0\t0\tproved").is_err());
         assert!(parse_response("QUEUED\tnope").is_err());
     }
 }

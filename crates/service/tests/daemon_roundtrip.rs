@@ -124,6 +124,89 @@ fn warm_restart_serves_identical_digests_from_store() {
     let _ = std::fs::remove_file(&store);
 }
 
+/// Per-candidate Houdini assumption stats travel the wire, and the
+/// persisted solver tier transfers those verdicts **across candidate-set
+/// variations**: a restarted daemon serving a *variant* program (an extra
+/// doomed loop invariant, so the Houdini pool and every round's surviving
+/// set differ from the original's) misses the pipeline tier, runs fresh —
+/// and still answers most of its per-candidate consecution queries from
+/// the store-loaded solver tier, because those memo keys never mention
+/// sibling candidates.
+#[test]
+fn assumption_verdicts_transfer_across_candidate_set_variations() {
+    const LOOP_SRC: &str = corpus::COUNTER_LOOP_TEMPLATE;
+    let (socket, store) = temp_paths("variation");
+    let config = DaemonConfig {
+        socket: socket.clone(),
+        store: Some(store.clone()),
+        threads: Some(2),
+        compact_ratio: shadowdp_service::DEFAULT_COMPACT_RATIO,
+    };
+
+    // Pass 1: the plain program, cold. Its Houdini run asks
+    // assumption-set-keyed consecution queries, reported over the wire.
+    let (handle, mut client) = start_daemon(config.clone());
+    let plain = JobSpec::new(LOOP_SRC.replace("INV", ""));
+    let cold = &client
+        .run_corpus(std::slice::from_ref(&plain))
+        .expect("plain runs")[0];
+    assert_eq!(cold.verdict, "proved");
+    assert!(cold.assumption_queries > 0, "{cold:?}");
+    client.shutdown().expect("shutdown");
+    handle.join().expect("daemon exits cleanly");
+
+    // Pass 2: restarted daemon, a variant whose candidate set differs
+    // (`count <= 0` survives initiation, then drops in consecution).
+    let (handle, mut client) = start_daemon(config.clone());
+    let variant = JobSpec::new(LOOP_SRC.replace("INV", "invariant (count <= 0)"));
+    let warm = &client
+        .run_corpus(std::slice::from_ref(&variant))
+        .expect("variant runs")[0];
+    assert!(!warm.from_store, "a variant must miss the pipeline tier");
+    assert_eq!(warm.verdict, "proved");
+    assert!(
+        warm.assumption_hits > 0,
+        "per-candidate verdicts must transfer across the variation: {warm:?}"
+    );
+    client.shutdown().expect("shutdown");
+    handle.join().expect("daemon exits cleanly");
+    let _ = std::fs::remove_file(&store);
+}
+
+/// `DaemonConfig::compact_ratio` is validated before anything is touched:
+/// a sub-1 ratio would compact after every batch and NaN would never
+/// compact at all, so both are errors — and the socket/store must not
+/// have been created by the failed start.
+#[test]
+fn nonsensical_compact_ratio_is_rejected_up_front() {
+    for bad in [0.0, 0.5, -3.0, f64::NAN, f64::NEG_INFINITY] {
+        let (socket, store) = temp_paths("badratio");
+        let err = daemon::run(DaemonConfig {
+            socket: socket.clone(),
+            store: Some(store.clone()),
+            threads: Some(1),
+            compact_ratio: bad,
+        })
+        .expect_err("ratio {bad} must be rejected");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput, "{bad}: {err}");
+        assert!(err.to_string().contains("compact-ratio"), "{err}");
+        assert!(!socket.exists(), "failed start must not bind {bad}");
+        assert!(!store.exists(), "failed start must not create a store");
+    }
+    // `inf` stays a valid opt-out of ratio-triggered compaction.
+    let (socket, store) = temp_paths("infratio");
+    let config = DaemonConfig {
+        socket,
+        store: Some(store.clone()),
+        threads: Some(1),
+        compact_ratio: f64::INFINITY,
+    };
+    let (handle, mut client) = start_daemon(config);
+    client.shutdown().expect("shutdown");
+    handle.join().expect("daemon exits cleanly");
+    let _ = std::fs::remove_file(&store);
+}
+
 /// The candidate-loop steady state: resubmitting an identical corpus is
 /// served from the pipeline tier and flushes **nothing** — the log file
 /// does not grow by a byte across resubmission batches. New work appends

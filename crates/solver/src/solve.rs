@@ -143,6 +143,27 @@ pub struct SolverStats {
     pub micros: u64,
     /// Queries answered from the memo table without a search.
     pub cache_hits: u64,
+    /// Assumption-set-keyed entailment queries ([`Solver::prove_assuming`])
+    /// answered, including memo hits. These are also counted in
+    /// `checks`/`proves`/`cache_hits`; the separate counters exist so the
+    /// Houdini engine's per-candidate consecution hit rate is observable on
+    /// its own.
+    pub assumption_queries: u64,
+    /// Assumption-set-keyed entailment queries answered from the memo.
+    pub assumption_hits: u64,
+}
+
+impl SolverStats {
+    /// Fraction of assumption-set-keyed entailment queries answered from
+    /// the memo (`None` when no such query was asked). This is the
+    /// consecution hit rate the per-candidate Houdini keying exists for.
+    pub fn assumption_hit_rate(&self) -> Option<f64> {
+        if self.assumption_queries == 0 {
+            None
+        } else {
+            Some(self.assumption_hits as f64 / self.assumption_queries as f64)
+        }
+    }
 }
 
 /// Number of lock shards in a [`QueryMemo`]. A power of two so the shard
@@ -444,9 +465,35 @@ impl Solver {
             }
         }
 
+        let out = self.solve_terms(arena, terms, key.map(|(key_id, _)| key_id));
+
+        if let Some((_, fp)) = key {
+            self.memo.insert(fp, out.clone());
+        }
+
+        let mut stats = self.stats.get();
+        stats.micros += start.elapsed().as_micros() as u64;
+        self.stats.set(stats);
+        out
+    }
+
+    /// The uncached solve pipeline — normalize, tableau search, model
+    /// conversion — shared by the monolithic ([`Solver::check_in`]) and
+    /// assumption-set ([`Solver::prove_assuming`]) query paths. `folded`
+    /// is the pre-interned n-ary And the memoized monolithic path already
+    /// built for its cache key (normalized as one formula); without it the
+    /// terms normalize individually, so a memo-less query never grows the
+    /// arena with key nodes. Updates `checks`/`theory_calls`; callers own
+    /// `micros` and their memo insertions.
+    fn solve_terms(
+        &self,
+        arena: &mut TermArena,
+        terms: &[Term],
+        folded: Option<Term>,
+    ) -> CheckResult {
         let mut norm = Normalizer::new();
-        let formulas: Vec<Formula> = match key {
-            Some((key_id, _)) => vec![norm.normalize(arena, key_id, true)],
+        let formulas: Vec<Formula> = match folded {
+            Some(key_id) => vec![norm.normalize(arena, key_id, true)],
             None => terms
                 .iter()
                 .map(|t| norm.normalize(arena, *t, true))
@@ -462,7 +509,7 @@ impl Solver {
         stats.theory_calls += search.theory_calls;
         self.stats.set(stats);
 
-        let out = match result {
+        match result {
             Some((reals, bools)) => CheckResult::Sat(Model {
                 reals: reals
                     .into_iter()
@@ -475,16 +522,7 @@ impl Solver {
                 possibly_spurious: abstracted,
             }),
             None => CheckResult::Unsat,
-        };
-
-        if let Some((_, fp)) = key {
-            self.memo.insert(fp, out.clone());
         }
-
-        let mut stats = self.stats.get();
-        stats.micros += start.elapsed().as_micros() as u64;
-        self.stats.set(stats);
-        out
     }
 
     /// Attempts to prove `assumptions ⊢ goal` by refutation: checks
@@ -509,11 +547,137 @@ impl Solver {
         self.prove(assumptions, goal).is_proved()
     }
 
+    /// Assumption-set-aware [`Solver::prove`]: attempts to prove
+    /// `assumptions ⊢ goal` with the memo keyed on the **multiset of the
+    /// individual assumption fingerprints** plus the goal fingerprint,
+    /// instead of the fingerprint of one monolithic conjunction term.
+    ///
+    /// The difference matters whenever the same entailment is re-asked with
+    /// its assumptions in a different order, grouping, or surrounding
+    /// context: a multiset key is insensitive to all of that, so the repeat
+    /// is a memo hit. The Houdini engine is the motivating caller — each
+    /// candidate's consecution obligation is keyed by the assumptions *it*
+    /// is checked under, so a round whose candidate set shrank re-uses
+    /// every verdict for candidates whose own assumption sets are unchanged
+    /// (under the old whole-conjunction key, one dropped sibling perturbed
+    /// every query in the round).
+    ///
+    /// Entries land in the same [`QueryMemo`] as plain queries (the key is
+    /// domain-separated so the two families cannot collide), so they
+    /// snapshot, absorb, drain, and persist through the verification
+    /// service's store exactly like monolithic-key entries — a persisted
+    /// consecution verdict transfers across candidate-set variations and
+    /// across processes. Hits and totals are counted in
+    /// [`SolverStats::assumption_hits`]/[`SolverStats::assumption_queries`]
+    /// (as well as the aggregate `checks`/`cache_hits`).
+    pub fn prove_assuming(&self, assumptions: &[Term], goal: &Term) -> ProveResult {
+        let start = Instant::now();
+        let r = with_shard(|arena| {
+            let key = if self.memo_enabled.get() {
+                Some(assumption_set_key(arena, assumptions, *goal))
+            } else {
+                None
+            };
+
+            if let Some(fp) = key {
+                self.touched.borrow_mut().push(fp);
+                if let Some(hit) = self.memo.get(fp) {
+                    let mut stats = self.stats.get();
+                    stats.checks += 1;
+                    stats.cache_hits += 1;
+                    stats.assumption_queries += 1;
+                    stats.assumption_hits += 1;
+                    self.stats.set(stats);
+                    return hit;
+                }
+            }
+
+            // Miss: refute `assumptions ∧ ¬goal` with a fresh search. The
+            // verdict is memoized under the multiset key only — no folded
+            // And node is interned, so this path never grows the arena
+            // with key nodes (memoized or not).
+            let mut terms: Vec<Term> = Vec::with_capacity(assumptions.len() + 1);
+            terms.extend_from_slice(assumptions);
+            terms.push(arena.not(*goal));
+            let out = self.solve_terms(arena, &terms, None);
+
+            let mut stats = self.stats.get();
+            stats.assumption_queries += 1;
+            self.stats.set(stats);
+
+            if let Some(fp) = key {
+                self.memo.insert(fp, out.clone());
+            }
+            out
+        });
+
+        let mut stats = self.stats.get();
+        stats.proves += 1;
+        stats.micros += start.elapsed().as_micros() as u64;
+        self.stats.set(stats);
+        match r {
+            CheckResult::Unsat => ProveResult::Proved,
+            CheckResult::Sat(m) => ProveResult::Refuted(m),
+        }
+    }
+
+    /// Convenience: whether `assumptions ⊢ goal` holds, keyed per
+    /// assumption set (see [`Solver::prove_assuming`]).
+    pub fn entails_assuming(&self, assumptions: &[Term], goal: &Term) -> bool {
+        self.prove_assuming(assumptions, goal).is_proved()
+    }
+
     /// Convenience: whether two boolean terms are equivalent under the
     /// assumptions.
     pub fn equivalent(&self, assumptions: &[Term], a: &Term, b: &Term) -> bool {
         self.entails(assumptions, &(*a).iff(*b))
     }
+}
+
+/// Domain-separation tag for assumption-set memo keys: structural
+/// fingerprints are FNV chains over node tags, this family is a scrambled
+/// multiset sum — the tag keeps the two key spaces from ever starting from
+/// the same offset.
+const ASSUMPTION_KEY_TAG: u128 = 0x9e3779b97f4a7c15_f39cc0605cedc835;
+
+/// A full-avalanche 128-bit finalizer (two murmur3-style 64-bit rounds
+/// with cross-feeding halves). Applied to each assumption fingerprint
+/// before summing: a raw wrapping sum of structured values would admit
+/// easy accidental collisions ({a+δ, b} vs {a, b+δ}); summing scrambled
+/// values is the standard multiset-hash construction, collision-resistant
+/// to the same 128-bit standard the fingerprints themselves are trusted
+/// for.
+#[inline]
+fn scramble(x: u128) -> u128 {
+    #[inline]
+    fn fmix64(mut k: u64) -> u64 {
+        k ^= k >> 33;
+        k = k.wrapping_mul(0xff51afd7ed558ccd);
+        k ^= k >> 33;
+        k = k.wrapping_mul(0xc4ceb9fe1a85ec53);
+        k ^= k >> 33;
+        k
+    }
+    let lo = fmix64(x as u64);
+    let hi = fmix64((x >> 64) as u64 ^ lo);
+    ((hi as u128) << 64) | fmix64(lo ^ hi) as u128
+}
+
+/// The memo key of an assumption-set entailment query: a commutative hash
+/// of the assumption fingerprint multiset, mixed with the assumption count
+/// and the goal's fingerprint. Insensitive to assumption order and
+/// grouping by construction; different multisets or goals key apart up to
+/// 128-bit collisions (the same standard the structural fingerprints carry).
+fn assumption_set_key(arena: &TermArena, assumptions: &[Term], goal: Term) -> Fingerprint {
+    let mut sum: u128 = 0;
+    for t in assumptions {
+        sum = sum.wrapping_add(scramble(arena.fingerprint(*t).0));
+    }
+    let mut h = ASSUMPTION_KEY_TAG;
+    h = scramble(h ^ sum);
+    h = scramble(h ^ assumptions.len() as u128);
+    h = scramble(h ^ arena.fingerprint(goal).0);
+    Fingerprint(h)
 }
 
 /// The recursive tableau search.
@@ -894,6 +1058,129 @@ mod tests {
         s.memo().absorb(snap);
         let delta = s.memo().drain_dirty();
         assert_eq!(delta.len(), 1, "{delta:?}");
+    }
+
+    #[test]
+    fn prove_assuming_agrees_with_prove() {
+        let s = Solver::new();
+        let hyp = x().ge(Term::int(1));
+        let goal = Term::int(2).mul(x()).gt(Term::int(1));
+        assert!(s.prove_assuming(&[hyp], &goal).is_proved());
+        // x >= 0 ⊬ x > 0, with the counterexample surfaced the same way.
+        let r = s.prove_assuming(&[x().ge(Term::int(0))], &x().gt(Term::int(0)));
+        let m = r.counterexample().expect("definite counterexample");
+        assert_eq!(m.real("x"), Rat::ZERO);
+        // The empty assumption set proves tautologies.
+        assert!(s.entails_assuming(&[], &x().abs().ge(x())));
+    }
+
+    #[test]
+    fn assumption_key_is_order_and_grouping_insensitive() {
+        let s = Solver::new();
+        let a = x().ge(Term::int(1));
+        let b = y().ge(Term::int(2));
+        let c = x().le(Term::int(10));
+        let goal = x().add(y()).ge(Term::int(3));
+        assert!(s.entails_assuming(&[a, b, c], &goal));
+        let fresh = s.stats();
+        assert_eq!(fresh.assumption_queries, 1);
+        assert_eq!(fresh.assumption_hits, 0);
+        // Any permutation of the same multiset is a hit.
+        for perm in [[c, b, a], [b, a, c], [a, c, b]] {
+            assert!(s.entails_assuming(&perm, &goal));
+        }
+        let st = s.stats();
+        assert_eq!(st.assumption_queries, 4);
+        assert_eq!(st.assumption_hits, 3, "{st:?}");
+        assert_eq!(st.theory_calls, fresh.theory_calls, "hits do no theory");
+        // A shrunk assumption set keys apart (it is a different obligation).
+        assert!(s.entails_assuming(&[a, b], &goal));
+        assert_eq!(s.stats().assumption_hits, 3);
+        // ... and so does the same multiset against a different goal.
+        assert!(s.entails_assuming(&[a, b, c], &x().ge(Term::int(1))));
+        assert_eq!(s.stats().assumption_hits, 3);
+    }
+
+    #[test]
+    fn assumption_keys_do_not_alias_plain_keys() {
+        // The same semantic query through `prove` and `prove_assuming`
+        // lives under two different memo keys (monolithic fingerprint vs
+        // domain-separated multiset hash): neither path may be answered by
+        // the other's entry, because the plain key is order-sensitive and
+        // the multiset key is not — aliasing would let one family's policy
+        // leak into the other.
+        let s = Solver::new();
+        let hyp = x().ge(Term::int(1));
+        let goal = Term::int(2).mul(x()).gt(Term::int(1));
+        assert!(s.prove(&[hyp], &goal).is_proved());
+        assert!(s.prove_assuming(&[hyp], &goal).is_proved());
+        let st = s.stats();
+        assert_eq!(st.cache_hits, 0, "{st:?}");
+        assert_eq!(s.memo().len(), 2);
+    }
+
+    #[test]
+    fn assumption_entries_transfer_through_snapshot_absorb() {
+        // The persistence contract: assumption-keyed verdicts ride the
+        // same snapshot/absorb/drain machinery as plain ones, so a daemon
+        // restart (or a candidate-set variation in a later submission)
+        // re-serves them without fresh theory work.
+        let warm = Solver::new();
+        let a = x().ge(Term::int(1));
+        let b = y().le(Term::int(5));
+        let goal = x().sub(y()).ge(Term::int(-4));
+        assert!(warm.entails_assuming(&[a, b], &goal));
+        let snap = warm.memo().snapshot();
+        assert_eq!(snap.len(), 1);
+        let dirty = warm.memo().drain_dirty();
+        assert_eq!(dirty.len(), 1);
+
+        let cold = Solver::new();
+        cold.memo().absorb(snap);
+        // Re-asked in the other order, from a different arena: still a hit.
+        assert!(cold.entails_assuming(&[b, a], &goal));
+        let st = cold.stats();
+        assert_eq!(st.assumption_hits, 1, "{st:?}");
+        assert_eq!(st.theory_calls, 0, "{st:?}");
+        // The hit is recorded as a dependency for store compaction.
+        assert_eq!(cold.touched_fingerprints(), vec![dirty[0].0]);
+    }
+
+    #[test]
+    fn prove_assuming_without_memo_never_hits() {
+        let s = Solver::without_memo();
+        let hyp = x().ge(Term::int(1));
+        let goal = x().ge(Term::int(0));
+        for _ in 0..3 {
+            assert!(s.prove_assuming(&[hyp], &goal).is_proved());
+        }
+        let st = s.stats();
+        assert_eq!(st.assumption_queries, 3);
+        assert_eq!(st.assumption_hits, 0);
+        assert!(st.theory_calls >= 3);
+        assert!(s.touched_fingerprints().is_empty());
+    }
+
+    #[test]
+    fn equal_sum_multisets_key_apart() {
+        // Same elements distributed differently — {a, a, b} vs {a, b, b} vs
+        // {a, b} — and swapped pairs with the same underlying atoms must
+        // all key apart (a raw unscrambled sum would conflate several of
+        // these shapes far too easily).
+        let s = Solver::new();
+        let a = x().ge(Term::int(1));
+        let b = y().ge(Term::int(1));
+        let goal = x().add(y()).ge(Term::int(2));
+        assert!(s.entails_assuming(&[a, a, b], &goal));
+        assert!(s.entails_assuming(&[a, b, b], &goal));
+        assert!(s.entails_assuming(&[a, b], &goal));
+        assert_eq!(
+            s.stats().assumption_hits,
+            0,
+            "distinct multisets must not alias: {:?}",
+            s.stats()
+        );
+        assert_eq!(s.memo().len(), 3);
     }
 
     #[test]

@@ -19,24 +19,63 @@
 //!    negated guard.
 
 use std::collections::BTreeSet;
+use std::sync::{Arc, Mutex};
 
 use shadowdp_num::Rat;
-use shadowdp_solver::{Solver, TermNode};
+use shadowdp_solver::{Solver, Term, TermNode};
 use shadowdp_syntax::{pretty_expr, BinOp, Cmd, CmdKind, Expr, Name, Ty};
 
 use crate::sym::{AdjacencySpec, SymExec, SymState, SymVal};
 use crate::target::{CostSite, TargetInfo, V_EPS};
 
+/// Per-round Houdini consecution metrics, collected when
+/// [`InductiveOptions::profile`] is set.
+///
+/// `queries`/`hits` count the round's assumption-set-keyed consecution
+/// entailments ([`Solver::prove_assuming`]) and how many the solver
+/// answered from its memo. The figure of merit is the hit rate of rounds
+/// with `after_drop` set: under per-candidate assumption keying, a round
+/// that follows a candidate drop re-uses every verdict for candidates
+/// whose own assumption sets the drop did not touch (the old monolithic
+/// all-candidates prefix missed on every query there).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RoundProfile {
+    /// Round index within this loop's fixed point (0-based).
+    pub round: usize,
+    /// Candidates dropped at the end of this round.
+    pub dropped: usize,
+    /// Assumption-set-keyed consecution queries asked this round.
+    pub queries: u64,
+    /// How many of `queries` were memo hits.
+    pub hits: u64,
+    /// Whether any previous round of this loop dropped a candidate (the
+    /// post-drop rounds are the ones the per-candidate keying speeds up).
+    pub after_drop: bool,
+}
+
+/// Shared sink for [`RoundProfile`]s: the engine appends one entry per
+/// consecution round (across all loops, in execution order).
+pub type RoundProfileSink = Arc<Mutex<Vec<RoundProfile>>>;
+
 /// Inductive-engine knobs.
 #[derive(Clone, Debug)]
 pub struct InductiveOptions {
-    /// Safety valve on Houdini rounds.
+    /// Safety valve on Houdini rounds: at most this many *drop* rounds; a
+    /// set stabilized by the last permitted round's drops still gets one
+    /// final verification pass before the engine gives up.
     pub max_rounds: usize,
+    /// Optional per-round profiling sink (`None` collects nothing). Used
+    /// by the `houdini-rekey` bench and the consecution-hit-rate
+    /// regression tests; has no effect on verdicts.
+    pub profile: Option<RoundProfileSink>,
 }
 
 impl Default for InductiveOptions {
     fn default() -> Self {
-        InductiveOptions { max_rounds: 24 }
+        InductiveOptions {
+            max_rounds: 24,
+            profile: None,
+        }
     }
 }
 
@@ -174,27 +213,50 @@ impl Engine {
             })
         });
 
-        // Houdini consecution fixed point.
+        // Houdini consecution fixed point, with **per-candidate assumption
+        // keying**.
         //
         // Every round replays the same havoc → assume → body-iteration
         // shape from the same fresh-naming mark, so the terms a round
         // builds are *identical* (same hash-consed ids) to the previous
-        // round's wherever the surviving candidate set is unchanged — and
-        // the solver answers those consecution queries from its memo table
-        // instead of re-proving them. Only the round after a candidate
-        // drops pays for fresh solving.
+        // round's wherever the surviving candidate set is unchanged. The
+        // candidate terms still go into the head path (body execution, its
+        // feasibility pruning, and therefore the end states are exactly
+        // those of the monolithic formulation), but each term's path
+        // position is recorded so the per-candidate queries below can key
+        // on assumption sets of their own:
+        //
+        // - **narrow** (tried first): the end path *minus every sibling
+        //   candidate's term* — only base facts plus the candidate's own
+        //   assumption. This set does not mention the rest of the
+        //   candidate pool at all, so its assumption-set memo key
+        //   ([`Solver::prove_assuming`]) is identical across rounds no
+        //   matter which siblings dropped — the round after a drop answers
+        //   every self-inductive candidate from the memo.
+        // - **full** (the authoritative fallback): the whole end path,
+        //   exactly the monolithic obligation. A candidate is dropped only
+        //   when this one fails, so the fixed point computed here is the
+        //   same as the monolithic formulation's: the narrow set is a
+        //   subset of the full one, and entailment is monotone in its
+        //   assumptions, so a narrow success can never contradict a full
+        //   check.
         let fresh_mark = exec.fresh_mark();
-        for round in 0..opts.max_rounds {
+        let mut dropped_any = false;
+        for round in 0..=opts.max_rounds {
             exec.reset_fresh(fresh_mark);
+            let stats_before = solver.stats();
             let mut failed: BTreeSet<usize> = BTreeSet::new();
             for entry in &entry_states {
                 let mut head = havoc_state(entry, &assigned, exec);
-                // Assume all current candidates and the guard.
+                // Assume all current candidates (recording each assumption
+                // term's path position) and the guard.
+                let mut cand_pos: Vec<usize> = Vec::with_capacity(candidates.len());
                 for c in &candidates {
                     let t = exec
                         .eval_bool(c, &mut head)
                         .map_err(|e| format!("candidate eval: {e}"))?;
                     head.path.push(t);
+                    cand_pos.push(head.path.len() - 1);
                 }
                 let g = exec
                     .eval_bool(guard, &mut head)
@@ -209,38 +271,66 @@ impl Engine {
                     .map_err(|e| e.to_string())?;
                 exec.obligations.truncate(saved_obligations);
 
+                let cand_pos_set: BTreeSet<usize> = cand_pos.iter().copied().collect();
                 for (i, c) in candidates.iter().enumerate() {
                     if failed.contains(&i) {
                         continue;
                     }
                     for end in &ends {
                         let mut probe = end.clone();
-                        let t = match exec.eval_bool(c, &mut probe) {
-                            Ok(t) => t,
-                            Err(_) => {
-                                failed.insert(i);
-                                break;
-                            }
-                        };
-                        if !solver.entails(&probe.path, &t) {
+                        // An evaluation failure here is a semantics or
+                        // lowering bug (the same candidate evaluated fine
+                        // on the head state), not a weak candidate:
+                        // surface it instead of masking it as a benign
+                        // drop.
+                        let t = exec.eval_bool(c, &mut probe).map_err(|e| {
+                            format!("candidate `{}` consecution eval: {e}", pretty_expr(c))
+                        })?;
+                        let narrow: Vec<Term> = probe
+                            .path
+                            .iter()
+                            .enumerate()
+                            .filter(|(k, _)| !cand_pos_set.contains(k) || *k == cand_pos[i])
+                            .map(|(_, t)| *t)
+                            .collect();
+                        if narrow.len() < probe.path.len() && solver.entails_assuming(&narrow, &t) {
+                            continue;
+                        }
+                        if !solver.entails_assuming(&probe.path, &t) {
                             failed.insert(i);
                             break;
                         }
                     }
                 }
             }
+            if let Some(sink) = &opts.profile {
+                let stats_after = solver.stats();
+                sink.lock()
+                    .expect("profile sink not poisoned")
+                    .push(RoundProfile {
+                        round,
+                        dropped: failed.len(),
+                        queries: stats_after.assumption_queries - stats_before.assumption_queries,
+                        hits: stats_after.assumption_hits - stats_before.assumption_hits,
+                        after_drop: dropped_any,
+                    });
+            }
             if failed.is_empty() {
                 break;
             }
+            // The budget bounds *drop* rounds; the `0..=` above grants the
+            // set produced by the last permitted round's drops its own
+            // verification pass (the old `0..` loop rejected it unseen).
+            if round == opts.max_rounds {
+                return Err("Houdini did not stabilize".into());
+            }
+            dropped_any = true;
             let mut idx = 0;
             candidates.retain(|_| {
                 let keep = !failed.contains(&idx);
                 idx += 1;
                 keep
             });
-            if round + 1 == opts.max_rounds {
-                return Err("Houdini did not stabilize".into());
-            }
         }
 
         // Final pass: collect body obligations under the stable invariant.
@@ -688,6 +778,104 @@ mod tests {
              }",
         );
         assert!(matches!(out, InductiveOutcome::Proved { .. }), "{out:?}");
+    }
+
+    const COUNTER_LOOP_WITH_INV: &str = "function Loop(eps, NN, size: num(0,0), q: list num(*,*))
+         returns out: num(0,0)
+         precondition forall k :: -1 <= ^q[k] && ^q[k] <= 1 && ~q[k] == ^q[k]
+         precondition eps > 0
+         precondition NN >= 1
+         precondition size >= 0
+         {
+             e0 := lap(2 / eps) { select: aligned, align: 1 };
+             count := 0;
+             while (count < NN) INV {
+                 e1 := lap(2 * NN / eps) { select: aligned, align: 1 };
+                 count := count + 1;
+             }
+             out := count;
+         }";
+
+    fn prove_with_rounds(src: &str, max_rounds: usize) -> InductiveOutcome {
+        let f = parse_function(src).unwrap();
+        let t = check_function(&f).expect("type checks");
+        let info = lower_to_target(&t.function, VerifyMode::Scaled).expect("lowers");
+        let solver = Solver::new();
+        let opts = InductiveOptions {
+            max_rounds,
+            ..InductiveOptions::default()
+        };
+        prove(&info, &opts, &solver)
+    }
+
+    /// The final-round off-by-one: a candidate set stabilized *by* the
+    /// last permitted round's drops gets one more verification pass
+    /// instead of an unconditional "did not stabilize".
+    #[test]
+    fn set_stabilized_by_final_round_drops_still_proves() {
+        // `count <= 0` passes initiation (count starts at 0) but fails
+        // consecution, so round 0 must drop it; with a budget of one drop
+        // round, the old loop rejected the (already stable) remainder
+        // unseen.
+        let src = COUNTER_LOOP_WITH_INV.replace("INV", "invariant (count <= 0)");
+        let out = prove_with_rounds(&src, 1);
+        assert!(matches!(out, InductiveOutcome::Proved { .. }), "{out:?}");
+        // The doomed candidate must not appear in the surviving invariant.
+        if let InductiveOutcome::Proved { invariants } = out {
+            assert!(!invariants.join(" ").contains("count <= 0"));
+        }
+        // A zero budget genuinely cannot stabilize this set: the one
+        // permitted pass finds the failing candidate and has no drop
+        // round left.
+        let out = prove_with_rounds(&src, 0);
+        assert!(
+            matches!(&out, InductiveOutcome::Failed { reason } if reason.contains("stabilize")),
+            "{out:?}"
+        );
+        // And the plain program (nothing to drop) proves within any budget.
+        let plain = COUNTER_LOOP_WITH_INV.replace("INV", "");
+        let out = prove_with_rounds(&plain, 0);
+        assert!(matches!(out, InductiveOutcome::Proved { .. }), "{out:?}");
+    }
+
+    /// Consecution-time candidate evaluation errors are engine/semantics
+    /// bugs, not weak candidates: they must surface as a failure naming
+    /// the candidate, never be masked as a silent drop (the old
+    /// `Err(_) => failed.insert(i)` made real bugs look like benign
+    /// Houdini refinement).
+    #[test]
+    fn poisoned_candidate_eval_error_propagates() {
+        // `t` is a scalar at loop entry (so the invariant passes
+        // initiation and evaluates fine on the havocked head state) but
+        // the body rebinds it to a list, so evaluating the candidate on
+        // the post-body state is a type confusion the engine must report.
+        let f = parse_function(
+            "function F(eps, NN: num(0,0)) returns out: num(0,0)
+             precondition eps > 0
+             precondition NN >= 1
+             {
+                 t := 0;
+                 count := 0;
+                 while (count < NN) invariant (t <= 0) {
+                     t := 0 :: nil;
+                     count := count + 1;
+                 }
+                 out := count;
+             }",
+        )
+        .unwrap();
+        let info = lower_to_target(&f, VerifyMode::Scaled).expect("lowers");
+        let solver = Solver::new();
+        let out = prove(&info, &InductiveOptions::default(), &solver);
+        match out {
+            InductiveOutcome::Failed { reason } => {
+                assert!(
+                    reason.contains("consecution eval") && reason.contains("t <= 0"),
+                    "error must name the poisoned candidate: {reason}"
+                );
+            }
+            other => panic!("expected a propagated eval error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -54,7 +54,7 @@ pub mod target;
 use shadowdp_syntax::Function;
 
 pub use bmc::{BmcOptions, BmcOutcome, Counterexample};
-pub use inductive::{InductiveOptions, InductiveOutcome};
+pub use inductive::{InductiveOptions, InductiveOutcome, RoundProfile, RoundProfileSink};
 pub use sym::{Obligation, SymError};
 pub use target::{lower_to_target, CostSite, LowerTargetError, TargetInfo, VerifyMode};
 

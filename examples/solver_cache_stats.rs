@@ -1,5 +1,7 @@
 //! Prints per-algorithm solver statistics — query counts, theory calls,
-//! and memo-table hit rates — for the Table 1 corpus.
+//! memo-table hit rates, and the per-candidate Houdini consecution hit
+//! rate (`consec`: assumption-set-keyed entailments answered from the
+//! memo) — for the Table 1 corpus.
 //!
 //! ```text
 //! cargo run --release --example solver_cache_stats
@@ -11,8 +13,8 @@ use shadowdp_verify::Verdict;
 
 fn main() {
     println!(
-        "{:<22} {:>8} {:>8} {:>8} {:>10} {:>8} {:>9}",
-        "algorithm", "checks", "proves", "hits", "hit-rate", "theory", "verdict"
+        "{:<22} {:>8} {:>8} {:>8} {:>10} {:>8} {:>8} {:>9}",
+        "algorithm", "checks", "proves", "hits", "hit-rate", "consec", "theory", "verdict"
     );
     for alg in corpus::table1_algorithms() {
         let report = Pipeline::new()
@@ -24,13 +26,18 @@ fn main() {
         } else {
             0.0
         };
+        let consec = s
+            .assumption_hit_rate()
+            .map(|r| format!("{:.1}%", 100.0 * r))
+            .unwrap_or_else(|| "-".into());
         println!(
-            "{:<22} {:>8} {:>8} {:>8} {:>9.1}% {:>8} {:>9}",
+            "{:<22} {:>8} {:>8} {:>8} {:>9.1}% {:>8} {:>8} {:>9}",
             alg.name,
             s.checks,
             s.proves,
             s.cache_hits,
             rate,
+            consec,
             s.theory_calls,
             match report.verdict {
                 Verdict::Proved => "proved",
