@@ -49,6 +49,11 @@ pub struct OptionsSpec {
     pub assumptions: Vec<String>,
     /// [`InductiveOptions::max_rounds`].
     pub max_rounds: usize,
+    /// Resource-budget wall-clock deadline in milliseconds
+    /// ([`shadowdp_verify::Options::budget`]); `None` = no deadline.
+    pub budget_millis: Option<u64>,
+    /// Resource-budget theory-call cap; `None` = no cap.
+    pub budget_theory_calls: Option<u64>,
 }
 
 impl OptionsSpec {
@@ -70,6 +75,12 @@ impl OptionsSpec {
             max_unroll: options.bmc.max_unroll,
             assumptions: options.bmc.assumptions.iter().map(pretty_expr).collect(),
             max_rounds: options.inductive.max_rounds,
+            budget_millis: options
+                .budget
+                .as_ref()
+                .and_then(|b| b.deadline)
+                .map(|d| d.as_millis().min(u64::MAX as u128) as u64),
+            budget_theory_calls: options.budget.as_ref().and_then(|b| b.max_theory_calls),
         }
     }
 
@@ -118,6 +129,13 @@ impl OptionsSpec {
             .iter()
             .map(|s| parse_expr(s).map_err(|e| JobSpecError(format!("assumption `{s}`: {e}"))))
             .collect::<Result<Vec<_>, _>>()?;
+        let budget = match (self.budget_millis, self.budget_theory_calls) {
+            (None, None) => None,
+            (millis, calls) => Some(shadowdp_solver::Budget {
+                deadline: millis.map(std::time::Duration::from_millis),
+                max_theory_calls: calls,
+            }),
+        };
         Ok(Options {
             mode,
             engine,
@@ -130,6 +148,7 @@ impl OptionsSpec {
                 max_rounds: self.max_rounds,
                 ..InductiveOptions::default()
             },
+            budget,
         })
     }
 }
@@ -208,6 +227,17 @@ impl JobSpec {
                         .unwrap_or_else(|| "-".into()),
                 );
                 field("max_rounds", &o.max_rounds.to_string());
+                // Budget fields are emitted only when set, so specs
+                // predating resource budgets keep their store keys — and a
+                // resubmission with a larger budget gets a *distinct* key,
+                // which is what lets it bypass a ResourceExhausted-era
+                // cache line and re-verify for real.
+                if let Some(ms) = o.budget_millis {
+                    field("budget_ms", &ms.to_string());
+                }
+                if let Some(calls) = o.budget_theory_calls {
+                    field("budget_calls", &calls.to_string());
+                }
                 field("assumptions", &o.assumptions.len().to_string());
                 for a in &o.assumptions {
                     field("assume", a);

@@ -5,6 +5,7 @@
 
 use std::fmt;
 use std::fmt::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -22,6 +23,9 @@ pub enum Phase {
     Parse,
     /// Type checking / transformation.
     TypeCheck,
+    /// The job panicked somewhere inside the pipeline (the corpus drivers
+    /// isolate panics per job, so a crash cannot name a finer phase).
+    Crash,
 }
 
 /// A pipeline failure.
@@ -31,6 +35,10 @@ pub enum PipelineError {
     Parse(ParseError),
     /// Type-system rejection (with the source for span rendering).
     Type(TypeError),
+    /// The job panicked; the payload message is preserved. Produced only
+    /// by the corpus drivers, which catch per-job unwinds so one poisoned
+    /// job cannot take down its batch (or the daemon scheduling it).
+    Crashed(String),
 }
 
 impl PipelineError {
@@ -39,6 +47,7 @@ impl PipelineError {
         match self {
             PipelineError::Parse(_) => Phase::Parse,
             PipelineError::Type(_) => Phase::TypeCheck,
+            PipelineError::Crashed(_) => Phase::Crash,
         }
     }
 }
@@ -48,11 +57,24 @@ impl fmt::Display for PipelineError {
         match self {
             PipelineError::Parse(e) => write!(f, "{e}"),
             PipelineError::Type(e) => write!(f, "{e}"),
+            PipelineError::Crashed(msg) => write!(f, "job panicked: {msg}"),
         }
     }
 }
 
 impl std::error::Error for PipelineError {}
+
+/// Extracts the human-readable message from a caught panic payload
+/// (`panic!` with a literal yields `&str`, with a format string `String`).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
 
 /// The result of a full pipeline run.
 #[derive(Clone, Debug)]
@@ -274,10 +296,21 @@ impl Pipeline {
                 Some(options) => Pipeline::with_options(options.clone()),
                 None => self.clone(),
             };
-            if job.isolated_memo {
-                pipeline.run(&job.source)
-            } else {
-                pipeline.run_with_memo(&job.source, &memo)
+            // Panic isolation: a poisoned job becomes a `Crashed` entry in
+            // its slot while every other job completes normally. Unwinding
+            // here is safe to assert across: per-job state (solver, arena
+            // terms) is dropped with the closure, and the shared memo's
+            // locks are panic-released with entry-atomic inserts.
+            let attempt = catch_unwind(AssertUnwindSafe(|| {
+                if job.isolated_memo {
+                    pipeline.run(&job.source)
+                } else {
+                    pipeline.run_with_memo(&job.source, &memo)
+                }
+            }));
+            match attempt {
+                Ok(result) => result,
+                Err(payload) => Err(PipelineError::Crashed(panic_message(payload.as_ref()))),
             }
         };
 
@@ -684,6 +717,85 @@ mod tests {
             "warm run did fresh solver work: {stats:?}"
         );
         assert_eq!(stats.cache_hits, stats.checks, "{stats:?}");
+    }
+
+    /// Panic isolation: a job whose solver panics mid-search becomes a
+    /// `Crashed` entry in its own slot while its batch-mates verify
+    /// normally — one poisoned job must never take down the corpus run.
+    #[test]
+    fn corpus_isolates_a_panicking_job() {
+        use shadowdp_fault::{FaultKind, FaultPlan};
+        let _plan = FaultPlan::new()
+            .once("solver.step", FaultKind::Panic)
+            .install();
+        // Single-threaded so the injected panic lands deterministically in
+        // the first job to reach the solver.
+        let jobs = [
+            CorpusJob::new(crate::corpus::laplace_mechanism().source),
+            CorpusJob::new(crate::corpus::prefix_sum().source),
+        ];
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let outcome = Pipeline::new().verify_corpus(&jobs);
+        std::panic::set_hook(prev_hook);
+
+        match &outcome.reports[0] {
+            Err(PipelineError::Crashed(msg)) => {
+                assert!(msg.contains("injected panic at solver.step"), "{msg}");
+            }
+            other => panic!("expected the first job to crash, got {other:?}"),
+        }
+        assert_eq!(
+            outcome.reports[0].as_ref().unwrap_err().phase(),
+            Phase::Crash
+        );
+        assert!(
+            matches!(
+                outcome.reports[1].as_ref().unwrap().verdict,
+                Verdict::Proved
+            ),
+            "the sibling job must complete normally"
+        );
+    }
+
+    /// The work-stealing driver also survives a crashing job: the panic is
+    /// caught inside the worker closure, so the crossbeam scope joins
+    /// cleanly and every other slot is filled.
+    #[test]
+    fn parallel_corpus_survives_a_panicking_job() {
+        use shadowdp_fault::{FaultKind, FaultPlan};
+        let _plan = FaultPlan::new()
+            .once("solver.step", FaultKind::Panic)
+            .install();
+        let jobs: Vec<CorpusJob> = [
+            crate::corpus::laplace_mechanism(),
+            crate::corpus::prefix_sum(),
+            crate::corpus::svt(),
+        ]
+        .iter()
+        .map(|a| CorpusJob::new(a.source))
+        .collect();
+        let prev_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let outcome = Pipeline::new().verify_corpus_parallel(&jobs, Some(2));
+        std::panic::set_hook(prev_hook);
+
+        let crashed = outcome
+            .reports
+            .iter()
+            .filter(|r| matches!(r, Err(PipelineError::Crashed(_))))
+            .count();
+        assert_eq!(
+            crashed, 1,
+            "exactly one injected crash: {:?}",
+            outcome.reports
+        );
+        let proved = outcome
+            .reports
+            .iter()
+            .filter(|r| matches!(r, Ok(rep) if rep.verdict == Verdict::Proved))
+            .count();
+        assert_eq!(proved, jobs.len() - 1, "{:?}", outcome.reports);
     }
 
     #[test]

@@ -64,6 +64,7 @@ fn mode_options(alg: &Algorithm, mode: VerifyMode) -> Options {
         engine: Engine::Inductive,
         bmc: bmc_options(alg),
         inductive: Default::default(),
+        budget: None,
     }
 }
 

@@ -1,0 +1,426 @@
+//! Deterministic fault injection for the verification service.
+//!
+//! Crash-safety claims are only as good as the faults they were tested
+//! against. This crate turns the service's ad-hoc "kill the write at every
+//! byte" experiments into one shared vocabulary: code under test declares
+//! named **sites** (`store.append.write`, `daemon.socket.read`,
+//! `solver.step`, …), and a [`FaultPlan`] — installed programmatically by a
+//! test, or armed via the `SHADOWDP_FAULTS` environment variable for
+//! soak-testing real daemon processes — decides deterministically which hit
+//! of which site fails, and how.
+//!
+//! # Fault kinds
+//!
+//! - [`FaultKind::Error`] — the site reports an injected I/O error.
+//! - [`FaultKind::TornWrite`] — a write site persists only the first
+//!   `keep` bytes of its buffer, then reports an error (the on-disk state
+//!   a crash mid-write leaves behind).
+//! - [`FaultKind::Panic`] — the site panics (what a logic bug does).
+//! - [`FaultKind::Delay`] — the site stalls for a fixed duration (what a
+//!   wedged disk or peer does).
+//!
+//! # Determinism and cost
+//!
+//! A plan fires on an exact hit count per site (`@n`, 1-based, default the
+//! first hit), optionally on every hit from there on (`sticky`). There is
+//! no randomness at fire time; the optional seed only parameterizes
+//! torn-write lengths when a plan asks for seed-derived ones. When no plan
+//! is armed, a site check is a single relaxed atomic load.
+//!
+//! # Arming from the environment
+//!
+//! `SHADOWDP_FAULTS` holds a comma-separated list of `site=kind` items,
+//! where `kind` is `error`, `panic`, `delay:<millis>`, or `torn:<keep>`,
+//! optionally suffixed with `@<hit>` (fire on the n-th hit) and/or `+`
+//! (sticky — keep firing on every later hit too):
+//!
+//! ```text
+//! SHADOWDP_FAULTS="store.append.write=torn:7@2,daemon.socket.read=delay:50+"
+//! ```
+//!
+//! The variable is read once, on the first site check in the process.
+//!
+//! # In-process plans and test isolation
+//!
+//! [`FaultPlan::install`] arms a plan process-wide and returns a guard that
+//! disarms on drop. Because the plan is global, installation also takes a
+//! process-wide test lock: two tests installing plans serialize instead of
+//! corrupting each other's fault schedules.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, Once, OnceLock};
+use std::time::Duration;
+
+/// What an injected fault does at its site.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The site reports an injected error.
+    Error,
+    /// A write persists only the first `keep` bytes, then errors.
+    TornWrite {
+        /// Bytes of the buffer that reach their destination.
+        keep: u64,
+    },
+    /// The site panics.
+    Panic,
+    /// The site stalls before proceeding normally.
+    Delay {
+        /// Stall duration in milliseconds.
+        millis: u64,
+    },
+}
+
+/// One scheduled fault: a site, a kind, and when it fires.
+#[derive(Clone, Debug)]
+struct SiteFault {
+    site: String,
+    kind: FaultKind,
+    /// 1-based hit number on which the fault fires.
+    at_hit: u64,
+    /// Whether the fault also fires on every hit after `at_hit`.
+    sticky: bool,
+}
+
+/// A deterministic schedule of faults, keyed by site name and hit count.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    faults: Vec<SiteFault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing until faults are added).
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Adds a fault firing on the first hit of `site`.
+    #[must_use]
+    pub fn once(self, site: &str, kind: FaultKind) -> FaultPlan {
+        self.at(site, kind, 1)
+    }
+
+    /// Adds a fault firing on the `at_hit`-th (1-based) hit of `site`.
+    #[must_use]
+    pub fn at(mut self, site: &str, kind: FaultKind, at_hit: u64) -> FaultPlan {
+        self.faults.push(SiteFault {
+            site: site.to_string(),
+            kind,
+            at_hit: at_hit.max(1),
+            sticky: false,
+        });
+        self
+    }
+
+    /// Adds a fault firing on the `at_hit`-th hit of `site` **and every
+    /// hit after it**.
+    #[must_use]
+    pub fn sticky(mut self, site: &str, kind: FaultKind, at_hit: u64) -> FaultPlan {
+        self.faults.push(SiteFault {
+            site: site.to_string(),
+            kind,
+            at_hit: at_hit.max(1),
+            sticky: true,
+        });
+        self
+    }
+
+    /// Whether the plan schedules anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Parses the `SHADOWDP_FAULTS` specification format (see the crate
+    /// docs).
+    ///
+    /// # Errors
+    ///
+    /// A message naming the malformed item.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::new();
+        for item in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            let (site, mut rest) = item
+                .split_once('=')
+                .ok_or_else(|| format!("fault item `{item}` is missing `=`"))?;
+            let sticky = rest.ends_with('+');
+            if sticky {
+                rest = &rest[..rest.len() - 1];
+            }
+            let (kind_str, at_hit) = match rest.split_once('@') {
+                Some((k, n)) => (
+                    k,
+                    n.parse::<u64>()
+                        .map_err(|_| format!("fault item `{item}`: bad hit count `{n}`"))?,
+                ),
+                None => (rest, 1),
+            };
+            let kind = match kind_str.split_once(':') {
+                None => match kind_str {
+                    "error" => FaultKind::Error,
+                    "panic" => FaultKind::Panic,
+                    other => return Err(format!("fault item `{item}`: unknown kind `{other}`")),
+                },
+                Some(("delay", ms)) => FaultKind::Delay {
+                    millis: ms
+                        .parse()
+                        .map_err(|_| format!("fault item `{item}`: bad delay `{ms}`"))?,
+                },
+                Some(("torn", keep)) => FaultKind::TornWrite {
+                    keep: keep
+                        .parse()
+                        .map_err(|_| format!("fault item `{item}`: bad torn length `{keep}`"))?,
+                },
+                Some((other, _)) => {
+                    return Err(format!("fault item `{item}`: unknown kind `{other}`"))
+                }
+            };
+            let fault = SiteFault {
+                site: site.trim().to_string(),
+                kind,
+                at_hit: at_hit.max(1),
+                sticky,
+            };
+            if fault.site.is_empty() {
+                return Err(format!("fault item `{item}` has an empty site"));
+            }
+            plan.faults.push(fault);
+        }
+        Ok(plan)
+    }
+
+    /// Arms the plan process-wide. The returned guard disarms it (and
+    /// releases the cross-test serialization lock) when dropped.
+    pub fn install(self) -> PlanGuard {
+        // Serialize tests that install plans: the schedule is global.
+        let lock = TEST_LOCK
+            .get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        {
+            let mut active = active_slot().lock().unwrap_or_else(|p| p.into_inner());
+            *active = Some(Active {
+                plan: self,
+                hits: HashMap::new(),
+            });
+        }
+        ARMED.store(true, Ordering::Release);
+        PlanGuard { _lock: lock }
+    }
+}
+
+/// Keeps an installed [`FaultPlan`] armed; disarms on drop.
+pub struct PlanGuard {
+    _lock: MutexGuard<'static, ()>,
+}
+
+impl Drop for PlanGuard {
+    fn drop(&mut self) {
+        ARMED.store(false, Ordering::Release);
+        let mut active = active_slot().lock().unwrap_or_else(|p| p.into_inner());
+        *active = None;
+    }
+}
+
+struct Active {
+    plan: FaultPlan,
+    /// Hit counters per site, shared by every thread in the process.
+    hits: HashMap<String, u64>,
+}
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static ENV_INIT: Once = Once::new();
+static TEST_LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+
+fn active_slot() -> &'static Mutex<Option<Active>> {
+    static ACTIVE: OnceLock<Mutex<Option<Active>>> = OnceLock::new();
+    ACTIVE.get_or_init(|| Mutex::new(None))
+}
+
+/// Arms the plan from `SHADOWDP_FAULTS` exactly once per process. A parse
+/// error disables injection (a soak harness misconfiguring its faults must
+/// not silently test nothing: the error goes to stderr).
+fn env_init() {
+    ENV_INIT.call_once(|| {
+        if let Ok(spec) = std::env::var("SHADOWDP_FAULTS") {
+            match FaultPlan::parse(&spec) {
+                Ok(plan) if !plan.is_empty() => {
+                    let mut active = active_slot().lock().unwrap_or_else(|p| p.into_inner());
+                    *active = Some(Active {
+                        plan,
+                        hits: HashMap::new(),
+                    });
+                    ARMED.store(true, Ordering::Release);
+                }
+                Ok(_) => {}
+                Err(e) => eprintln!("SHADOWDP_FAULTS ignored: {e}"),
+            }
+        }
+    });
+}
+
+/// Records one hit of `site` and returns the fault to inject there, if the
+/// armed plan schedules one for this hit. The disabled path is one relaxed
+/// atomic load (after a one-time environment probe).
+pub fn check(site: &str) -> Option<FaultKind> {
+    env_init();
+    if !ARMED.load(Ordering::Relaxed) {
+        return None;
+    }
+    let mut active = active_slot().lock().unwrap_or_else(|p| p.into_inner());
+    let active = active.as_mut()?;
+    let any_at_site = active.plan.faults.iter().any(|f| f.site == site);
+    if !any_at_site {
+        return None;
+    }
+    let hit = active.hits.entry(site.to_string()).or_insert(0);
+    *hit += 1;
+    let hit = *hit;
+    active
+        .plan
+        .faults
+        .iter()
+        .find(|f| f.site == site && (hit == f.at_hit || (f.sticky && hit >= f.at_hit)))
+        .map(|f| f.kind.clone())
+}
+
+/// An injected-error constructor, distinguishable in messages.
+fn injected(site: &str, what: &str) -> std::io::Error {
+    std::io::Error::other(format!("injected fault at {site}: {what}"))
+}
+
+/// A plain fail point for non-write sites (opens, fsyncs, renames, socket
+/// reads, solver steps): applies the scheduled fault, if any.
+///
+/// `Error` and `TornWrite` (meaningless without a buffer) report an
+/// injected error; `Panic` panics; `Delay` stalls, then succeeds.
+///
+/// # Errors
+///
+/// The injected error, when the plan schedules one for this hit.
+pub fn fail_point(site: &str) -> std::io::Result<()> {
+    match check(site) {
+        None => Ok(()),
+        Some(FaultKind::Delay { millis }) => {
+            std::thread::sleep(Duration::from_millis(millis));
+            Ok(())
+        }
+        Some(FaultKind::Panic) => panic!("injected panic at {site}"),
+        Some(FaultKind::Error) => Err(injected(site, "error")),
+        Some(FaultKind::TornWrite { .. }) => Err(injected(site, "error (torn at non-write site)")),
+    }
+}
+
+/// A fault-aware `write_all` for write sites: on `TornWrite { keep }`,
+/// writes only the first `keep` bytes of `buf` and reports an injected
+/// error — exactly the bytes a crash mid-write leaves behind.
+///
+/// # Errors
+///
+/// The writer's own errors, or the injected one.
+pub fn write_all(site: &str, writer: &mut impl std::io::Write, buf: &[u8]) -> std::io::Result<()> {
+    match check(site) {
+        None => writer.write_all(buf),
+        Some(FaultKind::Delay { millis }) => {
+            std::thread::sleep(Duration::from_millis(millis));
+            writer.write_all(buf)
+        }
+        Some(FaultKind::Panic) => panic!("injected panic at {site}"),
+        Some(FaultKind::Error) => Err(injected(site, "write error")),
+        Some(FaultKind::TornWrite { keep }) => {
+            let keep = (keep as usize).min(buf.len());
+            writer.write_all(&buf[..keep])?;
+            writer.flush()?;
+            Err(injected(site, &format!("torn write after {keep} bytes")))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_sites_are_quiet() {
+        // No plan installed: every site is a no-op.
+        assert_eq!(check("nowhere"), None);
+        assert!(fail_point("nowhere").is_ok());
+    }
+
+    #[test]
+    fn fires_on_the_scheduled_hit_only() {
+        let _guard = FaultPlan::new().at("site.a", FaultKind::Error, 3).install();
+        assert_eq!(check("site.a"), None, "hit 1");
+        assert_eq!(check("site.a"), None, "hit 2");
+        assert_eq!(check("site.a"), Some(FaultKind::Error), "hit 3 fires");
+        assert_eq!(check("site.a"), None, "hit 4: one-shot");
+        assert_eq!(check("site.b"), None, "other sites unaffected");
+    }
+
+    #[test]
+    fn sticky_faults_keep_firing() {
+        let _guard = FaultPlan::new()
+            .sticky("site.s", FaultKind::Error, 2)
+            .install();
+        assert_eq!(check("site.s"), None);
+        for hit in 2..5 {
+            assert_eq!(check("site.s"), Some(FaultKind::Error), "hit {hit}");
+        }
+    }
+
+    #[test]
+    fn torn_write_keeps_a_prefix_and_errors() {
+        let _guard = FaultPlan::new()
+            .once("w", FaultKind::TornWrite { keep: 3 })
+            .install();
+        let mut out = Vec::new();
+        let err = write_all("w", &mut out, b"abcdef").expect_err("torn write errors");
+        assert_eq!(out, b"abc");
+        assert!(err.to_string().contains("injected fault at w"), "{err}");
+        // The next write at the site goes through whole.
+        write_all("w", &mut out, b"ghi").expect("one-shot");
+        assert_eq!(out, b"abcghi");
+    }
+
+    #[test]
+    fn plans_parse_from_the_env_format() {
+        let plan = FaultPlan::parse("a.b=error, c=torn:7@2,d=delay:50+,e=panic@4").expect("parses");
+        assert_eq!(plan.faults.len(), 4);
+        assert_eq!(plan.faults[0].site, "a.b");
+        assert_eq!(plan.faults[0].kind, FaultKind::Error);
+        assert_eq!(plan.faults[0].at_hit, 1);
+        assert_eq!(plan.faults[1].kind, FaultKind::TornWrite { keep: 7 });
+        assert_eq!(plan.faults[1].at_hit, 2);
+        assert_eq!(plan.faults[2].kind, FaultKind::Delay { millis: 50 });
+        assert!(plan.faults[2].sticky);
+        assert_eq!(plan.faults[3].kind, FaultKind::Panic);
+        assert_eq!(plan.faults[3].at_hit, 4);
+
+        for bad in [
+            "justasite",
+            "x=frobnicate",
+            "x=torn:abc",
+            "=error",
+            "x=delay:",
+        ] {
+            assert!(FaultPlan::parse(bad).is_err(), "`{bad}` must not parse");
+        }
+        assert!(FaultPlan::parse("").expect("empty spec").is_empty());
+    }
+
+    #[test]
+    fn injected_panic_is_catchable() {
+        let _guard = FaultPlan::new().once("p", FaultKind::Panic).install();
+        let caught = std::panic::catch_unwind(|| fail_point("p"));
+        assert!(caught.is_err(), "panic fault panics");
+        assert!(fail_point("p").is_ok(), "one-shot");
+    }
+
+    #[test]
+    fn guard_drop_disarms() {
+        {
+            let _guard = FaultPlan::new().once("g", FaultKind::Error).install();
+            assert_eq!(check("g"), Some(FaultKind::Error));
+        }
+        assert_eq!(check("g"), None, "disarmed after guard drop");
+    }
+}

@@ -212,8 +212,16 @@ fn main() -> ExitCode {
             Ok(mut client) => match client.status() {
                 Ok(s) => {
                     println!(
-                        "queued={} running={} done={} memo={} pipeline_store={} store_hits={}",
-                        s.queued, s.running, s.done, s.memo_entries, s.pipeline_store, s.store_hits
+                        "queued={} running={} done={} memo={} pipeline_store={} store_hits={} \
+                         queue_capacity={} journaled={}",
+                        s.queued,
+                        s.running,
+                        s.done,
+                        s.memo_entries,
+                        s.pipeline_store,
+                        s.store_hits,
+                        s.queue_capacity,
+                        s.journaled
                     );
                     Ok(true)
                 }

@@ -2,14 +2,18 @@
 //!
 //! ```text
 //! shadowdpd --socket <path> [--store <path>] [--threads <n>] [--compact-ratio <r>]
+//!           [--queue-limit <n>] [--io-timeout-ms <ms>]
 //! ```
 //!
 //! Listens on the Unix socket, schedules submitted jobs in batches, and
 //! persists verdicts to the store — an append-only record log that is
 //! compacted when it holds more than `r` times as many logged entries as
 //! live ones (default 2; `inf` disables ratio-triggered compaction —
-//! clean shutdown still compacts). See `shadowdp_service` for the
-//! protocol and formats. Exits on a client `SHUTDOWN`.
+//! clean shutdown still compacts). `--queue-limit` bounds the submission
+//! queue (`SUBMIT` past it answers `BUSY`); `--io-timeout-ms` puts
+//! read/write deadlines on daemon-side connection sockets. See
+//! `shadowdp_service` for the protocol and formats. Exits on a client
+//! `SHUTDOWN`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -18,7 +22,8 @@ use shadowdp_service::daemon::{self, DaemonConfig, DEFAULT_COMPACT_RATIO};
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: shadowdpd --socket <path> [--store <path>] [--threads <n>] [--compact-ratio <r>]"
+        "usage: shadowdpd --socket <path> [--store <path>] [--threads <n>] [--compact-ratio <r>] \
+         [--queue-limit <n>] [--io-timeout-ms <ms>]"
     );
     ExitCode::from(2)
 }
@@ -28,6 +33,8 @@ fn main() -> ExitCode {
     let mut store: Option<PathBuf> = None;
     let mut threads: Option<usize> = None;
     let mut compact_ratio: f64 = DEFAULT_COMPACT_RATIO;
+    let mut queue_limit: Option<usize> = None;
+    let mut io_timeout: Option<std::time::Duration> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -37,6 +44,16 @@ fn main() -> ExitCode {
             "--threads" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) => threads = Some(n),
                 None => return usage(),
+            },
+            "--queue-limit" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => queue_limit = Some(n),
+                None => return usage(),
+            },
+            "--io-timeout-ms" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
+                // A zero socket timeout is an error at `set_read_timeout`
+                // time; catch the config mistake here instead.
+                Some(ms) if ms > 0 => io_timeout = Some(std::time::Duration::from_millis(ms)),
+                _ => return usage(),
             },
             "--compact-ratio" => {
                 let Some(raw) = args.next() else {
@@ -79,6 +96,8 @@ fn main() -> ExitCode {
         store,
         threads,
         compact_ratio,
+        queue_limit,
+        io_timeout,
     }) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

@@ -5,7 +5,7 @@ use std::io::{self, BufRead, BufReader, Write};
 use std::os::unix::net::UnixStream;
 use std::path::{Path, PathBuf};
 use std::process::{Command, Stdio};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use shadowdp::JobSpec;
 
@@ -13,6 +13,35 @@ use crate::proto::{encode_request, parse_response, JobOutcome, Request, Response
 
 fn bad_data(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// How long [`Client::connect_or_spawn`]'s spawner polls its own daemon.
+const SPAWN_POLL_BUDGET: Duration = Duration::from_secs(10);
+
+/// How long a [`Client::connect_or_spawn`] caller that lost the spawn
+/// lock waits for the winner's daemon. Longer than [`SPAWN_POLL_BUDGET`]
+/// so a waiter never gives up on a healthy spawn.
+const SPAWN_WAIT_BUDGET: Duration = Duration::from_secs(15);
+
+/// How long [`Client::submit`] retries a `BUSY` submission queue before
+/// surfacing the rejection as an error.
+const SUBMIT_BUSY_BUDGET: Duration = Duration::from_secs(5);
+
+/// Capped exponential backoff with deterministic jitter — shared by the
+/// auto-spawn poll loops and the `BUSY` submit retry. Attempt 0 waits
+/// ~10 ms, each attempt doubles up to a 500 ms cap, and a jitter derived
+/// from (pid, attempt) — no RNG dependency, reproducible within a process
+/// — adds up to 25% so a herd of waiters spreads out instead of polling
+/// in lockstep.
+fn backoff(attempt: u32) -> Duration {
+    let capped = 10u64.saturating_mul(1 << attempt.min(10)).min(500);
+    let mut x = u64::from(std::process::id())
+        ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ 0x5DEE_CE66_D1CE_4E5D;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    Duration::from_millis(capped + x % (capped / 4 + 1))
 }
 
 /// A connected protocol client. One request/response at a time, in order
@@ -64,8 +93,9 @@ impl Client {
     /// # Errors
     ///
     /// Returns an error if spawning fails, the spawned daemon does not
-    /// come up within ~10 s, or another caller's spawn has not produced a
-    /// daemon within ~15 s.
+    /// come up within [`SPAWN_POLL_BUDGET`] (~10 s), or another caller's
+    /// spawn has not produced a daemon within [`SPAWN_WAIT_BUDGET`]
+    /// (~15 s).
     pub fn connect_or_spawn(
         socket: impl AsRef<Path>,
         store: Option<&Path>,
@@ -73,9 +103,8 @@ impl Client {
     ) -> io::Result<Client> {
         let socket = socket.as_ref();
         let lock_path = spawn_lock_path(socket);
-        // Longer than a lock holder may legitimately hold (its own spawn
-        // poll is ~10 s), so a waiter never gives up on a healthy spawn.
-        let deadline = std::time::Instant::now() + Duration::from_secs(15);
+        let wait_deadline = Instant::now() + SPAWN_WAIT_BUDGET;
+        let mut wait_attempt = 0u32;
         loop {
             if let Ok(client) = Client::connect(socket) {
                 return Ok(client);
@@ -89,30 +118,42 @@ impl Client {
                         return Ok(client);
                     }
                     spawn_daemon(socket, store, threads)?;
-                    // Poll until the spawned daemon accepts. The lock is
+                    // Poll until the spawned daemon accepts, backing off
+                    // instead of hammering a fixed interval. The lock is
                     // held (released on every return path, and by the
                     // kernel if we die) while we wait, so late arrivals
                     // poll instead of double-spawning.
-                    for _ in 0..200 {
-                        std::thread::sleep(Duration::from_millis(50));
+                    let poll_deadline = Instant::now() + SPAWN_POLL_BUDGET;
+                    let mut attempt = 0u32;
+                    loop {
+                        std::thread::sleep(backoff(attempt));
+                        attempt += 1;
                         if let Ok(client) = Client::connect(socket) {
                             return Ok(client);
                         }
+                        if Instant::now() > poll_deadline {
+                            return Err(io::Error::new(
+                                io::ErrorKind::TimedOut,
+                                format!(
+                                    "spawned daemon did not come up on {} within {:?}",
+                                    socket.display(),
+                                    SPAWN_POLL_BUDGET
+                                ),
+                            ));
+                        }
                     }
-                    return Err(io::Error::new(
-                        io::ErrorKind::TimedOut,
-                        format!("daemon did not come up on {}", socket.display()),
-                    ));
                 }
                 None => {
                     // Another caller is spawning; wait for its daemon.
-                    std::thread::sleep(Duration::from_millis(50));
-                    if std::time::Instant::now() > deadline {
+                    std::thread::sleep(backoff(wait_attempt));
+                    wait_attempt += 1;
+                    if Instant::now() > wait_deadline {
                         return Err(io::Error::new(
                             io::ErrorKind::TimedOut,
                             format!(
-                                "no daemon came up on {} (another process holds {})",
+                                "no daemon came up on {} within {:?} (another process holds {})",
                                 socket.display(),
+                                SPAWN_WAIT_BUDGET,
                                 lock_path.display()
                             ),
                         ));
@@ -143,17 +184,38 @@ impl Client {
         }
     }
 
-    /// Queues a job, returning its id.
+    /// Queues a job, returning its id. A `BUSY` answer (the daemon's
+    /// submission queue is full) is retried with capped exponential
+    /// backoff — honoring the daemon's advertised retry-after as a floor —
+    /// for up to [`SUBMIT_BUSY_BUDGET`] before surfacing as an error.
     ///
     /// # Errors
     ///
-    /// I/O or protocol failure, or a daemon-side `ERR` (e.g. shutting
-    /// down).
+    /// I/O or protocol failure, a daemon-side `ERR` (e.g. shutting down),
+    /// or a queue that stayed full past the retry budget.
     pub fn submit(&mut self, spec: &JobSpec) -> io::Result<u64> {
-        match self.roundtrip(&Request::Submit(spec.clone()))? {
-            Response::Queued(id) => Ok(id),
-            Response::Err(msg) => Err(bad_data(format!("daemon refused submit: {msg}"))),
-            other => Err(bad_data(format!("expected QUEUED, got {other:?}"))),
+        let deadline = Instant::now() + SUBMIT_BUSY_BUDGET;
+        let mut attempt = 0u32;
+        loop {
+            match self.roundtrip(&Request::Submit(spec.clone()))? {
+                Response::Queued(id) => return Ok(id),
+                Response::Busy(retry_ms) => {
+                    if Instant::now() > deadline {
+                        return Err(io::Error::new(
+                            io::ErrorKind::WouldBlock,
+                            format!(
+                                "daemon busy: submission queue stayed full for {SUBMIT_BUSY_BUDGET:?}"
+                            ),
+                        ));
+                    }
+                    std::thread::sleep(backoff(attempt).max(Duration::from_millis(retry_ms)));
+                    attempt += 1;
+                }
+                Response::Err(msg) => {
+                    return Err(bad_data(format!("daemon refused submit: {msg}")))
+                }
+                other => return Err(bad_data(format!("expected QUEUED, got {other:?}"))),
+            }
         }
     }
 

@@ -32,19 +32,52 @@
 //! Results are published per job id; each client receives `RESULT`
 //! replies in the order it asks for them, which the bundled client does
 //! in submission order.
+//!
+//! # Fault tolerance
+//!
+//! The daemon is built to degrade per job, never per process:
+//!
+//! - **Panic isolation** — each corpus job runs under the pipeline's
+//!   `catch_unwind` boundary, so one poisoned job becomes a `crashed`
+//!   outcome while the rest of its batch completes and the daemon keeps
+//!   serving the same socket.
+//! - **Resource budgets** — a job's [`shadowdp::OptionsSpec`] budget
+//!   fields bound wall clock and theory calls; exhaustion comes back as a
+//!   `resource-exhausted` verdict with `kind = exhausted`. Exhausted and
+//!   crashed outcomes are **never persisted** to the pipeline tier:
+//!   re-submitting (say, with a larger budget) re-verifies from scratch
+//!   instead of replaying a partial verdict.
+//! - **Backpressure** — with [`DaemonConfig::queue_limit`] set, a
+//!   `SUBMIT` past the bound answers `BUSY <retry-after-ms>` instead of
+//!   queueing without limit; the bundled client retries with capped
+//!   exponential backoff.
+//! - **In-flight journal** — when a store is configured, every accepted
+//!   submission is appended to `<store>.journal` *before* `QUEUED` is
+//!   sent and dropped only after its batch's verdicts are durably
+//!   flushed. A daemon killed mid-batch re-verifies the journaled
+//!   submissions on restart, so an accepted job is never silently lost.
+//!   The journal reuses the store's framing discipline: an 8-byte magic
+//!   (`SDPJRNL1`) then per-record `u32` LE payload length + payload (one
+//!   encoded `SUBMIT` line) + 16-byte LE fnv128 of the payload; replay
+//!   stops at the first torn or corrupt record, keeping the valid
+//!   prefix.
+//! - **I/O deadlines** — [`DaemonConfig::io_timeout`] puts read/write
+//!   timeouts on every connection so a stalled client cannot wedge a
+//!   handler thread forever (it also bounds idle connection lifetime).
 
 use std::collections::{HashMap, HashSet};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
+use std::time::Duration;
 
-use shadowdp::{CorpusJob, JobSpec, Pipeline, PipelineError, PipelineReport};
+use shadowdp::{CorpusJob, JobSpec, Phase, Pipeline, PipelineError, PipelineReport};
 use shadowdp_solver::QueryMemo;
 use shadowdp_verify::Verdict;
 
-use crate::proto::{self, JobOutcome, Request, Response, StatusInfo};
+use crate::proto::{self, JobOutcome, OutcomeKind, Request, Response, StatusInfo};
 use crate::store::{fnv128, hex128, PipelineEntry, VerdictStore};
 
 /// Default live/dead compaction trigger: compact once the log holds more
@@ -53,6 +86,11 @@ use crate::store::{fnv128, hex128, PipelineEntry, VerdictStore};
 /// constant factor of live state, high enough that compaction (an
 /// O(store) rewrite) stays rare next to O(batch) appends.
 pub const DEFAULT_COMPACT_RATIO: f64 = 2.0;
+
+/// What `BUSY` tells a rejected submitter to wait before retrying.
+/// Batches normally turn around well within this; the client treats it
+/// as a floor and backs off further on repeated rejections.
+pub const BUSY_RETRY_MS: u64 = 100;
 
 /// Daemon configuration.
 #[derive(Clone, Debug)]
@@ -73,6 +111,148 @@ pub struct DaemonConfig {
     /// `f64::INFINITY` disables ratio-triggered compaction. Clean
     /// shutdown always compacts.
     pub compact_ratio: f64,
+    /// Bound on the submission queue (`--queue-limit`). A `SUBMIT` that
+    /// would push `pending` past this answers `BUSY` instead of queueing;
+    /// `None` keeps the queue unbounded (the pre-backpressure behavior).
+    pub queue_limit: Option<usize>,
+    /// Read/write timeout for daemon-side connection sockets
+    /// (`--io-timeout-ms`). `None` = no deadline. Note this also bounds
+    /// how long an *idle* connection may sit between requests.
+    pub io_timeout: Option<Duration>,
+}
+
+impl DaemonConfig {
+    /// A config with defaults for everything but the socket path: no
+    /// store, all cores, [`DEFAULT_COMPACT_RATIO`], unbounded queue, no
+    /// I/O deadline. Construct variants with struct-update syntax:
+    /// `DaemonConfig { store: Some(p), ..DaemonConfig::new(sock) }`.
+    pub fn new(socket: impl Into<PathBuf>) -> DaemonConfig {
+        DaemonConfig {
+            socket: socket.into(),
+            store: None,
+            threads: None,
+            compact_ratio: DEFAULT_COMPACT_RATIO,
+            queue_limit: None,
+            io_timeout: None,
+        }
+    }
+}
+
+/// The in-flight submission journal (see the module docs for the file
+/// format). `Journal` itself is immutable — all state lives in the file —
+/// but appends and resets race each other, so **every call must hold the
+/// daemon's state lock** (lock order: state, then journal file I/O).
+struct Journal {
+    /// `<store>.journal`, or `None` for a storeless (in-memory) daemon,
+    /// where every method is a no-op.
+    path: Option<PathBuf>,
+}
+
+const JOURNAL_MAGIC: &[u8; 8] = b"SDPJRNL1";
+
+impl Journal {
+    fn for_store(store: Option<&std::path::Path>) -> Journal {
+        Journal {
+            path: store.map(|p| crate::sibling_path(p, ".journal")),
+        }
+    }
+
+    /// One framed record: `u32` LE payload length, payload, fnv128 LE.
+    fn frame(line: &str) -> Vec<u8> {
+        let payload = line.as_bytes();
+        let mut out = Vec::with_capacity(4 + payload.len() + 16);
+        out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        out.extend_from_slice(payload);
+        out.extend_from_slice(&fnv128(payload).to_le_bytes());
+        out
+    }
+
+    /// Reads back journaled submissions, stopping at the first torn or
+    /// corrupt record (a crash mid-append leaves exactly such a tail).
+    /// A missing or unreadable journal is a quiet empty start.
+    fn replay(&self) -> Vec<JobSpec> {
+        let Some(path) = &self.path else {
+            return Vec::new();
+        };
+        let Ok(bytes) = std::fs::read(path) else {
+            return Vec::new();
+        };
+        let mut specs = Vec::new();
+        if bytes.len() < JOURNAL_MAGIC.len() || &bytes[..JOURNAL_MAGIC.len()] != JOURNAL_MAGIC {
+            return specs;
+        }
+        let mut off = JOURNAL_MAGIC.len();
+        while let Some(len_bytes) = bytes.get(off..off + 4) {
+            let len = u32::from_le_bytes(len_bytes.try_into().unwrap()) as usize;
+            let Some(payload) = bytes.get(off + 4..off + 4 + len) else {
+                break;
+            };
+            let Some(sum) = bytes.get(off + 4 + len..off + 4 + len + 16) else {
+                break;
+            };
+            if sum != fnv128(payload).to_le_bytes() {
+                break;
+            }
+            match std::str::from_utf8(payload)
+                .ok()
+                .and_then(|line| proto::parse_request(line).ok())
+            {
+                Some(Request::Submit(spec)) => specs.push(spec),
+                _ => break, // checksummed but not a SUBMIT: foreign file
+            }
+            off += 4 + len + 16;
+        }
+        specs
+    }
+
+    /// Appends one accepted submission, creating the journal on first
+    /// use, and fsyncs so the entry survives a crash the instant after
+    /// `QUEUED` is acknowledged.
+    fn append(&self, spec: &JobSpec) -> std::io::Result<()> {
+        let Some(path) = &self.path else {
+            return Ok(());
+        };
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        let line = proto::encode_request(&Request::Submit(spec.clone()));
+        let mut bytes = Vec::new();
+        if file.metadata()?.len() == 0 {
+            bytes.extend_from_slice(JOURNAL_MAGIC);
+        }
+        bytes.extend_from_slice(&Self::frame(&line));
+        shadowdp_fault::write_all("journal.append", &mut file, &bytes)?;
+        file.sync_data()
+    }
+
+    /// Rewrites the journal to exactly the still-outstanding submissions
+    /// (atomically, via a temp sibling) — called after a batch's verdicts
+    /// are durably flushed. An empty outstanding set removes the file.
+    fn reset(&self, outstanding: &[(u64, JobSpec)]) -> std::io::Result<()> {
+        let Some(path) = &self.path else {
+            return Ok(());
+        };
+        if outstanding.is_empty() {
+            shadowdp_fault::fail_point("journal.reset")?;
+            return match std::fs::remove_file(path) {
+                Err(e) if e.kind() != std::io::ErrorKind::NotFound => Err(e),
+                _ => Ok(()),
+            };
+        }
+        let mut bytes = JOURNAL_MAGIC.to_vec();
+        for (_, spec) in outstanding {
+            let line = proto::encode_request(&Request::Submit(spec.clone()));
+            bytes.extend_from_slice(&Self::frame(&line));
+        }
+        let tmp = crate::sibling_path(path, ".tmp");
+        {
+            let mut file = std::fs::File::create(&tmp)?;
+            shadowdp_fault::write_all("journal.reset", &mut file, &bytes)?;
+            file.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)
+    }
 }
 
 /// Queue state behind the daemon's mutex.
@@ -95,6 +275,10 @@ struct State {
     next_id: u64,
     running: u64,
     store_hits: u64,
+    /// Submissions currently covered by the on-disk journal (reported by
+    /// `STATUS`). Incremented per successful append, reset to the
+    /// still-outstanding count after each batch's journal rewrite.
+    journaled: u64,
     shutdown: bool,
 }
 
@@ -103,6 +287,7 @@ struct Shared {
     cond: Condvar,
     store: Mutex<VerdictStore>,
     memo: Arc<QueryMemo>,
+    journal: Journal,
     config: DaemonConfig,
 }
 
@@ -113,8 +298,26 @@ pub fn render_verdict(report: &Result<PipelineReport, PipelineError>) -> String 
             Verdict::Proved => "proved".to_string(),
             Verdict::Refuted(cex) => format!("refuted: {cex}"),
             Verdict::Unknown(reason) => format!("unknown: {reason}"),
+            Verdict::ResourceExhausted { reason } => format!("resource-exhausted: {reason}"),
         },
-        Err(e) => format!("error in {:?}: {e}", e.phase()),
+        Err(e) => match e.phase() {
+            Phase::Crash => format!("crashed: {e}"),
+            phase => format!("error in {phase:?}: {e}"),
+        },
+    }
+}
+
+/// Classifies a per-job pipeline result for the wire `kind` field.
+pub fn outcome_kind(report: &Result<PipelineReport, PipelineError>) -> OutcomeKind {
+    match report {
+        Ok(report) => match &report.verdict {
+            Verdict::ResourceExhausted { .. } => OutcomeKind::Exhausted,
+            _ => OutcomeKind::Completed,
+        },
+        Err(e) => match e.phase() {
+            Phase::Crash => OutcomeKind::Crashed,
+            _ => OutcomeKind::Error,
+        },
     }
 }
 
@@ -156,6 +359,25 @@ pub fn run(config: DaemonConfig) -> std::io::Result<()> {
     }
     let memo = Arc::new(QueryMemo::default());
     store.warm_memo(&memo);
+
+    // Submissions journaled by a previous run that crashed before their
+    // verdicts were flushed: requeue them ownerless. Nobody collects the
+    // outcomes (the submitting connections are gone), but the verdicts
+    // land in the store, so resubmitting clients get store hits.
+    let journal = Journal::for_store(config.store.as_deref());
+    let mut initial = State::default();
+    for spec in journal.replay() {
+        let id = initial.next_id;
+        initial.next_id += 1;
+        initial.pending.push((id, spec));
+    }
+    if !initial.pending.is_empty() {
+        eprintln!(
+            "shadowdpd: journal: re-verifying {} in-flight submission(s) from a previous run",
+            initial.pending.len()
+        );
+        initial.journaled = initial.pending.len() as u64;
+    }
 
     // A socket file may be left over from a crashed daemon — or belong to
     // a daemon that is alive right now. Probe before touching it: only a
@@ -199,10 +421,11 @@ pub fn run(config: DaemonConfig) -> std::io::Result<()> {
     drop(bind_lock);
 
     let shared = Arc::new(Shared {
-        state: Mutex::new(State::default()),
+        state: Mutex::new(initial),
         cond: Condvar::new(),
         store: Mutex::new(store),
         memo,
+        journal,
         config,
     });
 
@@ -262,6 +485,13 @@ fn schedule(shared: &Shared) {
                         id,
                         ok: entry.ok,
                         from_store: true,
+                        // Exhausted and crashed runs are never persisted,
+                        // so a store entry is exactly completed-or-error.
+                        kind: if entry.ok {
+                            OutcomeKind::Completed
+                        } else {
+                            OutcomeKind::Error
+                        },
                         digest: wire_digest(&entry.digest),
                         checks: 0,
                         cache_hits: 0,
@@ -277,6 +507,7 @@ fn schedule(shared: &Shared) {
                             id,
                             ok: false,
                             from_store: false,
+                            kind: OutcomeKind::Error,
                             digest: wire_digest(&format!("{e}")),
                             checks: 0,
                             cache_hits: 0,
@@ -290,6 +521,10 @@ fn schedule(shared: &Shared) {
             }
         }
 
+        // Whether this batch's verdicts are durably persisted by the time
+        // we publish — the precondition for dropping the batch's journal
+        // entries. An all-store-hit batch adds nothing to persist.
+        let mut persisted = true;
         if !fresh.is_empty() {
             let jobs: Vec<CorpusJob> = fresh.iter().map(|(_, _, job)| job.clone()).collect();
             let outcome = pipeline.verify_corpus_parallel_with_memo(
@@ -301,37 +536,47 @@ fn schedule(shared: &Shared) {
             for (slot, (id, spec, _)) in fresh.iter().enumerate() {
                 let digest_text = outcome.report_digest(slot);
                 let verdict = render_verdict(&outcome.reports[slot]);
+                let kind = outcome_kind(&outcome.reports[slot]);
                 let stats = outcome.reports[slot]
                     .as_ref()
                     .map(|r| r.solver_stats)
                     .unwrap_or_default();
-                // The job's solver-tier dependency set: compaction keeps a
-                // persisted solver verdict alive iff some pipeline entry
-                // lists it. A job that failed before verification has no
-                // report to list dependencies from — its (empty) set is
-                // exact: it needs no solver entries to be re-served.
-                let deps = outcome.reports[slot]
-                    .as_ref()
-                    .map(|r| r.solver_fingerprints.clone())
-                    .unwrap_or_default();
-                // A dependency served purely by memo hits was never in
-                // this batch's dirty delta; if a past compaction dropped
-                // it as an orphan, re-persist it now so no pipeline
-                // entry's deps ever dangle.
-                store.ensure_deps(&shared.memo, &deps);
-                store.pipeline_put(
-                    spec,
-                    PipelineEntry {
-                        ok: outcome.reports[slot].is_ok(),
-                        verdict: verdict.clone(),
-                        digest: digest_text.clone(),
-                        deps: Some(deps),
-                    },
-                );
+                // Exhausted and crashed runs are properties of this
+                // attempt (budget size, poisoned worker), not of the
+                // program: persisting them would answer future
+                // re-submissions — possibly with a *larger* budget — from
+                // a partial verdict. They stay out of the store entirely.
+                if matches!(kind, OutcomeKind::Completed | OutcomeKind::Error) {
+                    // The job's solver-tier dependency set: compaction
+                    // keeps a persisted solver verdict alive iff some
+                    // pipeline entry lists it. A job that failed before
+                    // verification has no report to list dependencies
+                    // from — its (empty) set is exact: it needs no solver
+                    // entries to be re-served.
+                    let deps = outcome.reports[slot]
+                        .as_ref()
+                        .map(|r| r.solver_fingerprints.clone())
+                        .unwrap_or_default();
+                    // A dependency served purely by memo hits was never
+                    // in this batch's dirty delta; if a past compaction
+                    // dropped it as an orphan, re-persist it now so no
+                    // pipeline entry's deps ever dangle.
+                    store.ensure_deps(&shared.memo, &deps);
+                    store.pipeline_put(
+                        spec,
+                        PipelineEntry {
+                            ok: outcome.reports[slot].is_ok(),
+                            verdict: verdict.clone(),
+                            digest: digest_text.clone(),
+                            deps: Some(deps),
+                        },
+                    );
+                }
                 outcomes.push(JobOutcome {
                     id: *id,
                     ok: outcome.reports[slot].is_ok(),
                     from_store: false,
+                    kind,
                     digest: wire_digest(&digest_text),
                     checks: stats.checks,
                     cache_hits: stats.cache_hits,
@@ -347,6 +592,7 @@ fn schedule(shared: &Shared) {
             // compaction) persists it.
             store.absorb_dirty(&shared.memo);
             if let Err(e) = store.flush() {
+                persisted = false;
                 eprintln!("shadowdpd: store flush failed (delta retained, will retry): {e}");
             } else if store.wants_compaction(shared.config.compact_ratio) {
                 match store.compact() {
@@ -376,6 +622,17 @@ fn schedule(shared: &Shared) {
                 st.delivered.insert(outcome.id);
             }
         }
+        // The batch is done and (if anything was fresh) durably flushed:
+        // shrink the journal to what's still outstanding — submissions
+        // accepted while this batch ran. On a failed flush the journal
+        // keeps covering the batch, so a crash before the retry succeeds
+        // still re-verifies it.
+        if persisted {
+            match shared.journal.reset(&st.pending) {
+                Ok(()) => st.journaled = st.pending.len() as u64,
+                Err(e) => eprintln!("shadowdpd: journal reset failed (will retry): {e}"),
+            }
+        }
         st.running = 0;
         shared.cond.notify_all();
     }
@@ -390,6 +647,17 @@ fn schedule(shared: &Shared) {
         eprintln!("shadowdpd: shutdown compaction failed: {e}");
         if let Err(e) = store.flush() {
             eprintln!("shadowdpd: final store flush failed: {e}");
+        }
+    }
+    let clean = store.dirty_len() == 0;
+    drop(store);
+    if clean {
+        // Everything is persisted and the queue drained; an empty journal
+        // (removed file) marks the shutdown as clean.
+        let mut st = shared.state.lock().unwrap();
+        match shared.journal.reset(&st.pending) {
+            Ok(()) => st.journaled = st.pending.len() as u64,
+            Err(e) => eprintln!("shadowdpd: shutdown journal reset failed: {e}"),
         }
     }
 }
@@ -419,11 +687,24 @@ fn handle(shared: &Shared, conn: u64, stream: UnixStream) -> std::io::Result<()>
     result
 }
 
+/// Writes one response line through the `daemon.socket.write` fault site.
+fn write_response(writer: &mut UnixStream, resp: &Response) -> std::io::Result<()> {
+    let mut line = proto::encode_response(resp);
+    line.push('\n');
+    shadowdp_fault::write_all("daemon.socket.write", writer, line.as_bytes())
+}
+
 /// The request/response loop behind [`handle`].
 fn serve(shared: &Shared, conn: u64, stream: UnixStream) -> std::io::Result<()> {
+    // Per-connection deadlines: a peer that stops reading or writing
+    // cannot wedge this handler thread past the configured timeout
+    // (`None` keeps the pre-hardening blocking behavior).
+    stream.set_read_timeout(shared.config.io_timeout)?;
+    stream.set_write_timeout(shared.config.io_timeout)?;
     let reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
     for line in reader.lines() {
+        shadowdp_fault::fail_point("daemon.socket.read")?;
         let line = line?;
         if line.is_empty() {
             continue;
@@ -432,13 +713,14 @@ fn serve(shared: &Shared, conn: u64, stream: UnixStream) -> std::io::Result<()> 
             Err(e) => Response::Err(e.to_string()),
             Ok(Request::Ping) => Response::Pong,
             Ok(Request::Status) => {
-                let (queued, running, done, store_hits) = {
+                let (queued, running, done, store_hits, journaled) = {
                     let st = shared.state.lock().unwrap();
                     (
                         st.pending.len() as u64,
                         st.running,
                         st.done.len() as u64 + st.delivered.len() as u64,
                         st.store_hits,
+                        st.journaled,
                     )
                 };
                 let pipeline_store = shared.store.lock().unwrap().pipeline_len() as u64;
@@ -449,13 +731,31 @@ fn serve(shared: &Shared, conn: u64, stream: UnixStream) -> std::io::Result<()> 
                     memo_entries: shared.memo.len() as u64,
                     pipeline_store,
                     store_hits,
+                    queue_capacity: shared.config.queue_limit.map_or(0, |n| n as u64),
+                    journaled,
                 })
             }
             Ok(Request::Submit(spec)) => {
                 let mut st = shared.state.lock().unwrap();
                 if st.shutdown {
                     Response::Err("shutting down".into())
+                } else if shared
+                    .config
+                    .queue_limit
+                    .is_some_and(|cap| st.pending.len() >= cap)
+                {
+                    Response::Busy(BUSY_RETRY_MS)
                 } else {
+                    // Journal before acknowledging: once `QUEUED` is on
+                    // the wire the submission must survive a daemon
+                    // crash. A failed append degrades durability, not
+                    // availability — the job still runs in this process.
+                    match shared.journal.append(&spec) {
+                        Ok(()) => st.journaled += 1,
+                        Err(e) => eprintln!(
+                            "shadowdpd: journal append failed (submission accepted unjournaled): {e}"
+                        ),
+                    }
                     let id = st.next_id;
                     st.next_id += 1;
                     st.pending.push((id, spec));
@@ -497,13 +797,13 @@ fn serve(shared: &Shared, conn: u64, stream: UnixStream) -> std::io::Result<()> 
                     st.shutdown = true;
                 }
                 shared.cond.notify_all();
-                writeln!(writer, "{}", proto::encode_response(&Response::Bye))?;
+                write_response(&mut writer, &Response::Bye)?;
                 // Wake the accept loop so `run` can observe the flag.
                 let _ = UnixStream::connect(&shared.config.socket);
                 return Ok(());
             }
         };
-        writeln!(writer, "{}", proto::encode_response(&response))?;
+        write_response(&mut writer, &response)?;
     }
     Ok(())
 }

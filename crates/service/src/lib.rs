@@ -31,10 +31,8 @@
 //! use shadowdp_service::{client::Client, daemon};
 //!
 //! let config = daemon::DaemonConfig {
-//!     socket: "/tmp/shadowdpd.sock".into(),
 //!     store: Some("/tmp/shadowdpd.store".into()),
-//!     threads: None,
-//!     compact_ratio: daemon::DEFAULT_COMPACT_RATIO,
+//!     ..daemon::DaemonConfig::new("/tmp/shadowdpd.sock")
 //! };
 //! std::thread::spawn(move || daemon::run(config).unwrap());
 //! let mut client = Client::connect_or_spawn("/tmp/shadowdpd.sock", None, None).unwrap();
@@ -63,6 +61,8 @@ pub(crate) fn sibling_path(path: &std::path::Path, suffix: &str) -> std::path::P
 }
 
 pub use client::Client;
-pub use daemon::{render_verdict, wire_digest, DaemonConfig, DEFAULT_COMPACT_RATIO};
-pub use proto::{JobOutcome, ProtoError, Request, Response, StatusInfo};
+pub use daemon::{
+    outcome_kind, render_verdict, wire_digest, DaemonConfig, BUSY_RETRY_MS, DEFAULT_COMPACT_RATIO,
+};
+pub use proto::{JobOutcome, OutcomeKind, ProtoError, Request, Response, StatusInfo};
 pub use store::{decode, fnv128, hex128, CompactStats, DecodeError, PipelineEntry, VerdictStore};

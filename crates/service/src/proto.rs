@@ -10,13 +10,16 @@
 //! request  = "PING" | "STATUS" | "SHUTDOWN"
 //!          | "RESULT" TAB id
 //!          | "SUBMIT" TAB isolated TAB mode TAB engine TAB list_len
-//!                     TAB max_unroll TAB max_rounds TAB n
+//!                     TAB max_unroll TAB max_rounds
+//!                     TAB budget_ms TAB budget_calls TAB n
 //!                     {TAB assumption}*n TAB source
 //! response = "PONG" | "BYE"
 //!          | "QUEUED" TAB id
+//!          | "BUSY" TAB retry_after_ms
 //!          | "STATUS" TAB queued TAB running TAB done TAB memo
 //!                     TAB pipeline_store TAB store_hits
-//!          | "RESULT" TAB id TAB ok TAB from TAB digest
+//!                     TAB queue_capacity TAB journaled
+//!          | "RESULT" TAB id TAB ok TAB from TAB kind TAB digest
 //!                     TAB checks TAB cache_hits TAB theory_calls
 //!                     TAB assumption_queries TAB assumption_hits TAB verdict
 //!          | "ERR" TAB message
@@ -24,13 +27,19 @@
 //!
 //! `mode = "-"` means "no per-job options" (the daemon's defaults); the
 //! remaining option fields are then ignored but still present, keeping
-//! field offsets fixed. `digest` is the 32-hex-char fnv128 of the job's
-//! [`shadowdp::CorpusOutcome::report_digest`] text; `from` is `store`
-//! (answered by the persistent pipeline tier) or `fresh` (scheduled this
-//! process). Job ids are owned by the connection that submitted them:
-//! `RESULT` from any other connection is an `ERR`, and a second `RESULT`
-//! for an already-delivered id is too (outcomes are dropped on delivery
-//! to bound daemon memory). Protocol errors never kill the connection:
+//! field offsets fixed. `budget_ms`/`budget_calls` carry the job's
+//! optional resource budget (wall-clock deadline in milliseconds,
+//! theory-call cap); `-` means unlimited. `digest` is the 32-hex-char
+//! fnv128 of the job's [`shadowdp::CorpusOutcome::report_digest`] text;
+//! `from` is `store` (answered by the persistent pipeline tier) or
+//! `fresh` (scheduled this process); `kind` is one of
+//! `completed`/`error`/`crashed`/`exhausted` (see [`OutcomeKind`]).
+//! `BUSY` rejects a `SUBMIT` when the daemon's bounded submission queue
+//! is full; the client should wait roughly `retry_after_ms` and retry.
+//! Job ids are owned by the connection that submitted them: `RESULT`
+//! from any other connection is an `ERR`, and a second `RESULT` for an
+//! already-delivered id is too (outcomes are dropped on delivery to
+//! bound daemon memory). Protocol errors never kill the connection:
 //! the daemon answers `ERR` and keeps reading.
 
 use std::fmt;
@@ -120,6 +129,59 @@ pub struct StatusInfo {
     pub pipeline_store: u64,
     /// Jobs answered from the persistent pipeline tier since startup.
     pub store_hits: u64,
+    /// Submission-queue bound (`0` = unbounded). Together with `queued`
+    /// this lets clients make backpressure decisions before a `SUBMIT`
+    /// comes back `BUSY`.
+    pub queue_capacity: u64,
+    /// Accepted submissions currently covered by the in-flight journal
+    /// (queued + in the running batch); they re-verify on restart if the
+    /// daemon crashes before their verdicts are persisted.
+    pub journaled: u64,
+}
+
+/// How a job's run ended, beyond the coarse `ok` flag.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OutcomeKind {
+    /// Verification ran to a verdict (proved / refuted / unknown).
+    Completed,
+    /// The job failed before verification (malformed spec, parse or type
+    /// error).
+    Error,
+    /// The job panicked. Panic isolation converts this into a per-job
+    /// outcome: the rest of the batch completes and the daemon keeps
+    /// serving.
+    Crashed,
+    /// The job hit its resource budget before reaching a conclusion.
+    /// Never persisted to the store: re-submitting with a larger budget
+    /// re-verifies from scratch.
+    Exhausted,
+}
+
+impl OutcomeKind {
+    /// The wire token (`completed`/`error`/`crashed`/`exhausted`).
+    pub fn as_wire(self) -> &'static str {
+        match self {
+            OutcomeKind::Completed => "completed",
+            OutcomeKind::Error => "error",
+            OutcomeKind::Crashed => "crashed",
+            OutcomeKind::Exhausted => "exhausted",
+        }
+    }
+
+    /// Parses a wire token.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProtoError`] on an unknown token.
+    pub fn from_wire(s: &str) -> Result<OutcomeKind, ProtoError> {
+        match s {
+            "completed" => Ok(OutcomeKind::Completed),
+            "error" => Ok(OutcomeKind::Error),
+            "crashed" => Ok(OutcomeKind::Crashed),
+            "exhausted" => Ok(OutcomeKind::Exhausted),
+            other => Err(ProtoError(format!("bad outcome kind `{other}`"))),
+        }
+    }
 }
 
 /// One finished job as reported over the wire.
@@ -132,6 +194,11 @@ pub struct JobOutcome {
     pub ok: bool,
     /// Answered by the persistent pipeline tier instead of a fresh run.
     pub from_store: bool,
+    /// How the run ended (completed/error/crashed/exhausted). `ok` stays
+    /// the coarse flag (`kind != error && kind != crashed`); `kind`
+    /// distinguishes budget exhaustion and panic isolation, which `ok`
+    /// alone cannot.
+    pub kind: OutcomeKind,
     /// 32-hex-char fnv128 of the job's canonical report digest.
     pub digest: String,
     /// Solver `checks` spent on this job (0 for store-served jobs).
@@ -159,6 +226,9 @@ pub enum Response {
     Pong,
     /// Job accepted under this id.
     Queued(u64),
+    /// The submission queue is full; retry after roughly this many
+    /// milliseconds.
+    Busy(u64),
     /// Counter snapshot.
     Status(StatusInfo),
     /// Finished job.
@@ -185,8 +255,9 @@ pub fn encode_request(req: &Request) -> String {
                 "SUBMIT".into(),
                 if spec.isolated_memo { "1" } else { "0" }.into(),
             ];
+            let opt_u64 = |v: Option<u64>| v.map(|n| n.to_string()).unwrap_or_else(|| "-".into());
             match &spec.options {
-                None => fields.extend(["-", "-", "-", "-", "-", "0"].map(String::from)),
+                None => fields.extend(["-", "-", "-", "-", "-", "-", "-", "0"].map(String::from)),
                 Some(o) => {
                     fields.push(esc(&o.mode));
                     fields.push(esc(&o.engine));
@@ -197,6 +268,8 @@ pub fn encode_request(req: &Request) -> String {
                             .unwrap_or_else(|| "-".into()),
                     );
                     fields.push(o.max_rounds.to_string());
+                    fields.push(opt_u64(o.budget_millis));
+                    fields.push(opt_u64(o.budget_theory_calls));
                     fields.push(o.assumptions.len().to_string());
                     fields.extend(o.assumptions.iter().map(|a| esc(a)));
                 }
@@ -228,8 +301,9 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
 }
 
 fn parse_submit(fields: &[&str]) -> Result<Request, ProtoError> {
-    // SUBMIT isolated mode engine list_len max_unroll max_rounds n [a]*n source
-    if fields.len() < 9 {
+    // SUBMIT isolated mode engine list_len max_unroll max_rounds
+    //        budget_ms budget_calls n [a]*n source
+    if fields.len() < 11 {
         return Err(ProtoError("SUBMIT: too few fields".into()));
     }
     let isolated_memo = match fields[1] {
@@ -237,16 +311,16 @@ fn parse_submit(fields: &[&str]) -> Result<Request, ProtoError> {
         "1" => true,
         other => return Err(ProtoError(format!("SUBMIT: bad isolated flag `{other}`"))),
     };
-    let n: usize = fields[7]
+    let n: usize = fields[9]
         .parse()
-        .map_err(|_| ProtoError(format!("SUBMIT: bad assumption count `{}`", fields[7])))?;
+        .map_err(|_| ProtoError(format!("SUBMIT: bad assumption count `{}`", fields[9])))?;
     // Compare against the actual field surplus instead of computing
-    // `9 + n`: a hostile count near usize::MAX must be an ERR reply, not
+    // `11 + n`: a hostile count near usize::MAX must be an ERR reply, not
     // an addition overflow that kills the connection's handler thread.
-    if n != fields.len() - 9 {
+    if n != fields.len() - 11 {
         return Err(ProtoError(format!(
             "SUBMIT: expected {} assumptions for {} fields, got {n}",
-            fields.len() - 9,
+            fields.len() - 11,
             fields.len()
         )));
     }
@@ -260,6 +334,15 @@ fn parse_submit(fields: &[&str]) -> Result<Request, ProtoError> {
             s.parse()
                 .map_err(|_| ProtoError(format!("SUBMIT: bad {what} `{s}`")))
         };
+        let parse_opt_u64 = |s: &str, what: &str| -> Result<Option<u64>, ProtoError> {
+            match s {
+                "-" => Ok(None),
+                s => s
+                    .parse()
+                    .map(Some)
+                    .map_err(|_| ProtoError(format!("SUBMIT: bad {what} `{s}`"))),
+            }
+        };
         Some(OptionsSpec {
             mode: unesc(fields[2])?,
             engine: unesc(fields[3])?,
@@ -269,14 +352,16 @@ fn parse_submit(fields: &[&str]) -> Result<Request, ProtoError> {
                 s => Some(parse_usize(s, "max_unroll")?),
             },
             max_rounds: parse_usize(fields[6], "max_rounds")?,
-            assumptions: fields[8..8 + n]
+            budget_millis: parse_opt_u64(fields[7], "budget_ms")?,
+            budget_theory_calls: parse_opt_u64(fields[8], "budget_calls")?,
+            assumptions: fields[10..10 + n]
                 .iter()
                 .map(|a| unesc(a))
                 .collect::<Result<Vec<_>, _>>()?,
         })
     };
     Ok(Request::Submit(JobSpec {
-        source: unesc(fields[8 + n])?,
+        source: unesc(fields[10 + n])?,
         options,
         isolated_memo,
     }))
@@ -288,16 +373,25 @@ pub fn encode_response(resp: &Response) -> String {
         Response::Pong => "PONG".into(),
         Response::Bye => "BYE".into(),
         Response::Queued(id) => format!("QUEUED\t{id}"),
+        Response::Busy(ms) => format!("BUSY\t{ms}"),
         Response::Err(msg) => format!("ERR\t{}", esc(msg)),
         Response::Status(s) => format!(
-            "STATUS\t{}\t{}\t{}\t{}\t{}\t{}",
-            s.queued, s.running, s.done, s.memo_entries, s.pipeline_store, s.store_hits
+            "STATUS\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            s.queued,
+            s.running,
+            s.done,
+            s.memo_entries,
+            s.pipeline_store,
+            s.store_hits,
+            s.queue_capacity,
+            s.journaled
         ),
         Response::Result(r) => format!(
-            "RESULT\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            "RESULT\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
             r.id,
             if r.ok { "ok" } else { "err" },
             if r.from_store { "store" } else { "fresh" },
+            r.kind.as_wire(),
             r.digest,
             r.checks,
             r.cache_hits,
@@ -324,16 +418,19 @@ pub fn parse_response(line: &str) -> Result<Response, ProtoError> {
         "PONG" if fields.len() == 1 => Ok(Response::Pong),
         "BYE" if fields.len() == 1 => Ok(Response::Bye),
         "QUEUED" if fields.len() == 2 => Ok(Response::Queued(num(fields[1], "job id")?)),
+        "BUSY" if fields.len() == 2 => Ok(Response::Busy(num(fields[1], "retry_after_ms")?)),
         "ERR" if fields.len() == 2 => Ok(Response::Err(unesc(fields[1])?)),
-        "STATUS" if fields.len() == 7 => Ok(Response::Status(StatusInfo {
+        "STATUS" if fields.len() == 9 => Ok(Response::Status(StatusInfo {
             queued: num(fields[1], "queued")?,
             running: num(fields[2], "running")?,
             done: num(fields[3], "done")?,
             memo_entries: num(fields[4], "memo")?,
             pipeline_store: num(fields[5], "pipeline_store")?,
             store_hits: num(fields[6], "store_hits")?,
+            queue_capacity: num(fields[7], "queue_capacity")?,
+            journaled: num(fields[8], "journaled")?,
         })),
-        "RESULT" if fields.len() == 11 => Ok(Response::Result(JobOutcome {
+        "RESULT" if fields.len() == 12 => Ok(Response::Result(JobOutcome {
             id: num(fields[1], "job id")?,
             ok: match fields[2] {
                 "ok" => true,
@@ -345,13 +442,14 @@ pub fn parse_response(line: &str) -> Result<Response, ProtoError> {
                 "fresh" => false,
                 other => return Err(ProtoError(format!("bad from flag `{other}`"))),
             },
-            digest: fields[4].to_string(),
-            checks: num(fields[5], "checks")?,
-            cache_hits: num(fields[6], "cache_hits")?,
-            theory_calls: num(fields[7], "theory_calls")?,
-            assumption_queries: num(fields[8], "assumption_queries")?,
-            assumption_hits: num(fields[9], "assumption_hits")?,
-            verdict: unesc(fields[10])?,
+            kind: OutcomeKind::from_wire(fields[4])?,
+            digest: fields[5].to_string(),
+            checks: num(fields[6], "checks")?,
+            cache_hits: num(fields[7], "cache_hits")?,
+            theory_calls: num(fields[8], "theory_calls")?,
+            assumption_queries: num(fields[9], "assumption_queries")?,
+            assumption_hits: num(fields[10], "assumption_hits")?,
+            verdict: unesc(fields[11])?,
         })),
         verb => Err(ProtoError(format!("unknown response `{verb}`"))),
     }
@@ -384,6 +482,13 @@ mod tests {
         specs.push(JobSpec::new(
             "function F() returns o: num(0,0)\n{ o := 0; }",
         ));
+        // A budgeted spec: both budget fields ride the wire.
+        let mut budgeted = specs[0].clone();
+        if let Some(o) = budgeted.options.as_mut() {
+            o.budget_millis = Some(1500);
+            o.budget_theory_calls = Some(10_000);
+        }
+        specs.push(budgeted);
         let mut requests: Vec<Request> = specs.into_iter().map(Request::Submit).collect();
         requests.extend([
             Request::Ping,
@@ -404,6 +509,7 @@ mod tests {
             Response::Pong,
             Response::Bye,
             Response::Queued(3),
+            Response::Busy(100),
             Response::Err("no such job\tid".into()),
             Response::Status(StatusInfo {
                 queued: 1,
@@ -412,11 +518,14 @@ mod tests {
                 memo_entries: 400,
                 pipeline_store: 18,
                 store_hits: 9,
+                queue_capacity: 64,
+                journaled: 3,
             }),
             Response::Result(JobOutcome {
                 id: 7,
                 ok: true,
                 from_store: true,
+                kind: OutcomeKind::Completed,
                 digest: "00ff".repeat(8),
                 checks: 120,
                 cache_hits: 120,
@@ -424,6 +533,19 @@ mod tests {
                 assumption_queries: 40,
                 assumption_hits: 40,
                 verdict: "refuted: x = 1, size = 3\nsecond line".into(),
+            }),
+            Response::Result(JobOutcome {
+                id: 8,
+                ok: true,
+                from_store: false,
+                kind: OutcomeKind::Exhausted,
+                digest: "ab12".repeat(8),
+                checks: 1,
+                cache_hits: 0,
+                theory_calls: 1,
+                assumption_queries: 0,
+                assumption_hits: 0,
+                verdict: "resource-exhausted: theory-call cap (1) reached".into(),
             }),
         ];
         for resp in responses {
@@ -441,18 +563,25 @@ mod tests {
             "RESULT",
             "RESULT\tx",
             "SUBMIT",
-            "SUBMIT\t2\t-\t-\t-\t-\t-\t0\tsrc",
-            "SUBMIT\t0\t-\t-\t-\t-\t-\t5\tsrc",
-            "SUBMIT\t0\tscaled\tinductive\tbad\t-\t24\t0\tsrc",
+            "SUBMIT\t2\t-\t-\t-\t-\t-\t-\t-\t0\tsrc",
+            "SUBMIT\t0\t-\t-\t-\t-\t-\t-\t-\t5\tsrc",
+            "SUBMIT\t0\tscaled\tinductive\tbad\t-\t24\t-\t-\t0\tsrc",
+            "SUBMIT\t0\tscaled\tinductive\t3\t-\t24\tbad\t-\t0\tsrc",
+            // The pre-budget 9-fixed-field SUBMIT is no longer valid.
+            "SUBMIT\t0\t-\t-\t-\t-\t-\t0\tsrc",
             // A hostile assumption count must not overflow the arity
             // check into a handler-thread panic.
-            "SUBMIT\t0\tscaled\tinductive\t3\t-\t24\t18446744073709551615\tsrc",
+            "SUBMIT\t0\tscaled\tinductive\t3\t-\t24\t-\t-\t18446744073709551615\tsrc",
         ] {
             assert!(parse_request(line).is_err(), "{line:?}");
         }
         assert!(parse_response("RESULT\t1\tok\tstore\tabc\t0\t0\t0").is_err());
-        // The pre-rekeying 9-field RESULT line is no longer valid.
-        assert!(parse_response("RESULT\t1\tok\tstore\tabc\t0\t0\t0\tproved").is_err());
+        // The pre-kind 11-field RESULT and 7-field STATUS are no longer
+        // valid: the arity bump is deliberate, not backward-compatible.
+        assert!(parse_response("RESULT\t1\tok\tstore\tabc\t0\t0\t0\t0\t0\tproved").is_err());
+        assert!(parse_response("STATUS\t1\t2\t3\t4\t5\t6").is_err());
+        assert!(parse_response("RESULT\t1\tok\tstore\tbogus\tabc\t0\t0\t0\t0\t0\tproved").is_err());
+        assert!(parse_response("BUSY\tnope").is_err());
         assert!(parse_response("QUEUED\tnope").is_err());
     }
 }

@@ -66,7 +66,7 @@
 //! The first flush after loading a v1 image rewrites it as v2.
 
 use std::collections::{HashMap, HashSet};
-use std::io::{self, Seek, Write as _};
+use std::io::{self, Seek};
 use std::path::{Path, PathBuf};
 
 use shadowdp::JobSpec;
@@ -494,10 +494,13 @@ impl VerdictStore {
 
         let tmp = tmp_path(&path);
         {
+            shadowdp_fault::fail_point("store.rewrite.create")?;
             let mut file = std::fs::File::create(&tmp)?;
-            file.write_all(&bytes)?;
+            shadowdp_fault::write_all("store.rewrite.write", &mut file, &bytes)?;
+            shadowdp_fault::fail_point("store.rewrite.sync")?;
             file.sync_all()?;
         }
+        shadowdp_fault::fail_point("store.rewrite.rename")?;
         if let Err(e) = std::fs::rename(&tmp, &path) {
             let _ = std::fs::remove_file(&tmp);
             return Err(e);
@@ -551,10 +554,13 @@ impl VerdictStore {
             store.dirty_pipeline = pipeline_keys.clone();
         };
         let result = (|| -> io::Result<()> {
+            shadowdp_fault::fail_point("store.append.open")?;
             let mut file = std::fs::OpenOptions::new().write(true).open(&path)?;
+            shadowdp_fault::fail_point("store.append.setlen")?;
             file.set_len(self.log_valid_len)?;
             file.seek(io::SeekFrom::Start(self.log_valid_len))?;
-            file.write_all(&bytes)?;
+            shadowdp_fault::write_all("store.append.write", &mut file, &bytes)?;
+            shadowdp_fault::fail_point("store.append.sync")?;
             file.sync_all()?;
             Ok(())
         })();

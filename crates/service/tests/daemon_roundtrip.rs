@@ -62,6 +62,8 @@ fn warm_restart_serves_identical_digests_from_store() {
         store: Some(store.clone()),
         threads: Some(2),
         compact_ratio: shadowdp_service::DEFAULT_COMPACT_RATIO,
+        queue_limit: None,
+        io_timeout: None,
     };
     let specs = corpus_specs();
 
@@ -141,6 +143,8 @@ fn assumption_verdicts_transfer_across_candidate_set_variations() {
         store: Some(store.clone()),
         threads: Some(2),
         compact_ratio: shadowdp_service::DEFAULT_COMPACT_RATIO,
+        queue_limit: None,
+        io_timeout: None,
     };
 
     // Pass 1: the plain program, cold. Its Houdini run asks
@@ -186,6 +190,8 @@ fn nonsensical_compact_ratio_is_rejected_up_front() {
             store: Some(store.clone()),
             threads: Some(1),
             compact_ratio: bad,
+            queue_limit: None,
+            io_timeout: None,
         })
         .expect_err("ratio {bad} must be rejected");
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput, "{bad}: {err}");
@@ -200,6 +206,8 @@ fn nonsensical_compact_ratio_is_rejected_up_front() {
         store: Some(store.clone()),
         threads: Some(1),
         compact_ratio: f64::INFINITY,
+        queue_limit: None,
+        io_timeout: None,
     };
     let (handle, mut client) = start_daemon(config);
     client.shutdown().expect("shutdown");
@@ -220,6 +228,8 @@ fn resubmission_batches_keep_the_log_bounded() {
         store: Some(store.clone()),
         threads: Some(2),
         compact_ratio: shadowdp_service::DEFAULT_COMPACT_RATIO,
+        queue_limit: None,
+        io_timeout: None,
     };
     let specs = vec![
         JobSpec::new(corpus::laplace_mechanism().source),
@@ -288,6 +298,8 @@ fn corrupted_store_degrades_to_cold_run() {
         store: Some(store.clone()),
         threads: Some(1),
         compact_ratio: shadowdp_service::DEFAULT_COMPACT_RATIO,
+        queue_limit: None,
+        io_timeout: None,
     };
     let (handle, mut client) = start_daemon(config);
     let spec = JobSpec::new(corpus::laplace_mechanism().source);
@@ -318,6 +330,8 @@ fn concurrent_clients_are_batched_and_ordered() {
         store: None, // in-memory daemon: batching still works
         threads: Some(2),
         compact_ratio: shadowdp_service::DEFAULT_COMPACT_RATIO,
+        queue_limit: None,
+        io_timeout: None,
     };
     let (handle, mut control) = start_daemon(config);
 
@@ -358,6 +372,8 @@ fn protocol_errors_do_not_kill_the_connection() {
         store: None,
         threads: Some(1),
         compact_ratio: shadowdp_service::DEFAULT_COMPACT_RATIO,
+        queue_limit: None,
+        io_timeout: None,
     };
     let (handle, mut control) = start_daemon(config);
 
@@ -392,6 +408,8 @@ fn results_are_owned_by_the_submitting_connection() {
         store: None,
         threads: Some(1),
         compact_ratio: shadowdp_service::DEFAULT_COMPACT_RATIO,
+        queue_limit: None,
+        io_timeout: None,
     };
     let (handle, mut submitter) = start_daemon(config);
 

@@ -633,3 +633,96 @@ fn v1_store_round_trips_through_migration() {
     assert_eq!(VerdictStore::load(&path).solver_len(), 3);
     let _ = std::fs::remove_file(&path);
 }
+
+// ---------------------------------------------------------------------------
+// FaultPlan ports of the kill sweeps: the same atomicity contracts, but
+// driven through the injection sites of `shadowdp_fault` — the mechanism
+// the daemon soak and the fault matrix use — so the crash scenarios stay
+// reproducible without byte-surgery on the log file.
+// ---------------------------------------------------------------------------
+
+use shadowdp_fault::{FaultKind, FaultPlan};
+
+#[test]
+fn faultplan_torn_append_recovers_the_valid_prefix_at_any_tear() {
+    // `keep = 0` tears before any byte lands; `u64::MAX` writes the whole
+    // delta and errors after (the lost-fsync analogue). Every tear must
+    // leave exactly the pre-append view on disk, with the dirty delta
+    // retained in memory so a retry heals to post.
+    for keep in [0u64, 1, 3, 4, 17, 40, u64::MAX] {
+        let path = temp_path("fault-torn-append");
+        let mut store = VerdictStore::load(&path);
+        for i in 0..6u128 {
+            store.solver_put(Fingerprint(i), CheckResult::Unsat);
+        }
+        store.flush().unwrap();
+        let pre_view = view(&VerdictStore::load(&path));
+        store.solver_put(Fingerprint(100), CheckResult::Unsat);
+
+        let guard = FaultPlan::new()
+            .once("store.append.write", FaultKind::TornWrite { keep })
+            .install();
+        let err = store.flush().expect_err("torn append must error");
+        drop(guard);
+        assert!(err.to_string().contains("injected fault"), "{err}");
+        assert_eq!(view(&VerdictStore::load(&path)), pre_view, "tear at {keep}");
+        assert!(store.dirty_len() > 0, "delta retained after tear at {keep}");
+
+        store.flush().expect("retry heals");
+        let healed = view(&VerdictStore::load(&path));
+        assert_eq!(healed.0.len(), 7, "retry after tear at {keep} reaches post");
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+#[test]
+fn faultplan_torn_compaction_is_atomic() {
+    for keep in [0u64, 1, 9, 33, u64::MAX] {
+        let path = temp_path("fault-torn-compact");
+        let spec = JobSpec::new("function F() returns o: num(0,0) { o := 0; }");
+        let mut store = VerdictStore::load(&path);
+        // Every delta references all four fingerprints, so compaction
+        // drops no solver entries and the live view is invariant across
+        // the collapse — one expected view serves fault and retry alike.
+        for i in 0..4u128 {
+            store.solver_put(Fingerprint(i), CheckResult::Unsat);
+            store.pipeline_put(
+                &spec,
+                entry(
+                    "proved",
+                    &format!("F Proved round {i}\n"),
+                    Some((0..4).map(Fingerprint).collect()),
+                ),
+            );
+            store.flush().unwrap();
+        }
+        let live_view = view(&VerdictStore::load(&path));
+
+        let guard = FaultPlan::new()
+            .once("store.rewrite.write", FaultKind::TornWrite { keep })
+            .install();
+        let err = store.compact().expect_err("torn rewrite must error");
+        drop(guard);
+        assert!(err.to_string().contains("injected fault"), "{err}");
+        // The rename never ran: the old log is still authoritative.
+        assert_eq!(
+            view(&VerdictStore::load(&path)),
+            live_view,
+            "tear at {keep}"
+        );
+
+        store.compact().expect("retry heals");
+        assert_eq!(
+            view(&VerdictStore::load(&path)),
+            live_view,
+            "view preserved across retried compaction at {keep}"
+        );
+        let tmp = {
+            let mut name = path.file_name().unwrap().to_os_string();
+            name.push(".tmp");
+            path.with_file_name(name)
+        };
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&tmp);
+    }
+}

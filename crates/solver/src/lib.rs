@@ -85,7 +85,7 @@ pub mod term;
 
 pub use fm::{Constraint, Rel};
 pub use linear::LinExpr;
-pub use solve::{CheckResult, Model, ProveResult, QueryMemo, Solver, SolverStats};
+pub use solve::{Budget, CheckResult, Model, ProveResult, QueryMemo, Solver, SolverStats};
 #[allow(deprecated)]
 pub use term::with_global_arena;
 pub use term::{with_shard, Fingerprint, Symbol, Term, TermArena, TermId, TermNode};

@@ -23,7 +23,7 @@ use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
@@ -164,6 +164,58 @@ impl SolverStats {
             Some(self.assumption_hits as f64 / self.assumption_queries as f64)
         }
     }
+}
+
+/// A resource budget for a solver: a wall-clock deadline and/or a cap on
+/// theory (Fourier–Motzkin) steps, shared by every query the solver runs
+/// until the budget is cleared.
+///
+/// Budgets make a pathological query **bounded instead of hanging**: when
+/// either limit trips mid-search, the search aborts, the solver records a
+/// sticky exhaustion reason ([`Solver::exhausted`]), and the query — plus
+/// every later query until [`Solver::clear_budget`]/[`Solver::set_budget`]
+/// resets the state — returns a *possibly-spurious* `Sat`. That degradation
+/// is sound by the same argument as non-linear abstraction: exhaustion only
+/// ever turns would-be answers into "maybe Sat", so `Unsat` (and therefore
+/// `Proved`) can never be produced by a budget trip. Exhausted results are
+/// **never memoized** — the memo holds only verdicts that were actually
+/// computed, so a later run with a larger budget starts clean.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Wall-clock allowance, measured from [`Solver::set_budget`].
+    pub deadline: Option<Duration>,
+    /// Total theory-call allowance across all queries under this budget.
+    pub max_theory_calls: Option<u64>,
+}
+
+impl Budget {
+    /// A budget with only a wall-clock deadline.
+    pub fn with_deadline(deadline: Duration) -> Budget {
+        Budget {
+            deadline: Some(deadline),
+            max_theory_calls: None,
+        }
+    }
+
+    /// A budget with only a theory-call cap.
+    pub fn with_theory_calls(max: u64) -> Budget {
+        Budget {
+            deadline: None,
+            max_theory_calls: Some(max),
+        }
+    }
+
+    /// Whether the budget imposes no limit at all.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.max_theory_calls.is_none()
+    }
+}
+
+/// Live countdown state for an installed [`Budget`].
+#[derive(Clone, Copy, Debug)]
+struct BudgetState {
+    deadline: Option<Instant>,
+    calls_left: Option<u64>,
 }
 
 /// Number of lock shards in a [`QueryMemo`]. A power of two so the shard
@@ -347,6 +399,13 @@ pub struct Solver {
     /// reachable from some persisted job. Empty while the memo is
     /// disabled (no fingerprints are computed at all on that path).
     touched: RefCell<Vec<Fingerprint>>,
+    /// Countdown state of the installed [`Budget`], if any.
+    budget: RefCell<Option<BudgetState>>,
+    /// Why the budget ran out, once it has: set on the first trip, cleared
+    /// only by [`Solver::set_budget`]/[`Solver::clear_budget`]. While set,
+    /// every fresh solve short-circuits to a possibly-spurious `Sat` and
+    /// nothing is memoized.
+    exhausted: RefCell<Option<String>>,
 }
 
 impl Default for Solver {
@@ -369,6 +428,46 @@ impl Solver {
             memo,
             memo_enabled: Cell::new(true),
             touched: RefCell::new(Vec::new()),
+            budget: RefCell::new(None),
+            exhausted: RefCell::new(None),
+        }
+    }
+
+    /// Installs a resource budget covering every query from now on. The
+    /// deadline clock starts here. Replaces any previous budget and clears
+    /// any previous exhaustion.
+    pub fn set_budget(&self, budget: Budget) {
+        *self.budget.borrow_mut() = if budget.is_unlimited() {
+            None
+        } else {
+            Some(BudgetState {
+                deadline: budget.deadline.map(|d| Instant::now() + d),
+                calls_left: budget.max_theory_calls,
+            })
+        };
+        *self.exhausted.borrow_mut() = None;
+    }
+
+    /// Removes the budget and clears any exhaustion, restoring unlimited
+    /// operation.
+    pub fn clear_budget(&self) {
+        *self.budget.borrow_mut() = None;
+        *self.exhausted.borrow_mut() = None;
+    }
+
+    /// Why the installed budget ran out, if it has. Sticky until the
+    /// budget is reset; while set, every fresh solve returns a
+    /// possibly-spurious `Sat` without searching (memo hits are still
+    /// served — they are complete verdicts and cost nothing).
+    pub fn exhausted(&self) -> Option<String> {
+        self.exhausted.borrow().clone()
+    }
+
+    /// Records the first exhaustion reason (later trips keep the first).
+    fn mark_exhausted(&self, reason: String) {
+        let mut slot = self.exhausted.borrow_mut();
+        if slot.is_none() {
+            *slot = Some(reason);
         }
     }
 
@@ -467,8 +566,13 @@ impl Solver {
 
         let out = self.solve_terms(arena, terms, key.map(|(key_id, _)| key_id));
 
+        // A result produced under (or after) budget exhaustion is a
+        // placeholder, not a verdict — memoizing it would poison every
+        // later run, including ones with a larger budget.
         if let Some((_, fp)) = key {
-            self.memo.insert(fp, out.clone());
+            if self.exhausted.borrow().is_none() {
+                self.memo.insert(fp, out.clone());
+            }
         }
 
         let mut stats = self.stats.get();
@@ -491,6 +595,35 @@ impl Solver {
         terms: &[Term],
         folded: Option<Term>,
     ) -> CheckResult {
+        // Sticky exhaustion: once the budget tripped, later queries must
+        // not burn what little may remain of the deadline — answer with
+        // the same sound possibly-spurious `Sat` placeholder immediately.
+        if self.exhausted.borrow().is_some() {
+            let mut stats = self.stats.get();
+            stats.checks += 1;
+            self.stats.set(stats);
+            return exhausted_placeholder();
+        }
+        // Fault-injection site for the whole solve step: `Panic` models a
+        // logic bug inside the solver (the corpus driver's isolation must
+        // contain it), `Delay` a pathological query, and `Error`/torn
+        // faults degrade to budget exhaustion — bounded, reportable, never
+        // a wrong verdict.
+        match shadowdp_fault::check("solver.step") {
+            None => {}
+            Some(shadowdp_fault::FaultKind::Panic) => panic!("injected panic at solver.step"),
+            Some(shadowdp_fault::FaultKind::Delay { millis }) => {
+                std::thread::sleep(Duration::from_millis(millis));
+            }
+            Some(_) => {
+                self.mark_exhausted("injected solver fault".to_string());
+                let mut stats = self.stats.get();
+                stats.checks += 1;
+                self.stats.set(stats);
+                return exhausted_placeholder();
+            }
+        }
+
         let mut norm = Normalizer::new();
         let formulas: Vec<Formula> = match folded {
             Some(key_id) => vec![norm.normalize(arena, key_id, true)],
@@ -501,13 +634,34 @@ impl Solver {
         };
         let abstracted = norm.abstracted;
 
-        let mut search = Search { theory_calls: 0 };
+        let (deadline, calls_left) = match *self.budget.borrow() {
+            Some(state) => (state.deadline, state.calls_left),
+            None => (None, None),
+        };
+        let mut search = Search {
+            theory_calls: 0,
+            deadline,
+            calls_left,
+            exhausted_reason: None,
+        };
         let result = search.solve(formulas, &mut Vec::new(), &mut BTreeMap::new());
+
+        // Charge this search's theory work against the budget.
+        if let Some(state) = self.budget.borrow_mut().as_mut() {
+            if let Some(left) = state.calls_left.as_mut() {
+                *left = left.saturating_sub(search.theory_calls);
+            }
+        }
 
         let mut stats = self.stats.get();
         stats.checks += 1;
         stats.theory_calls += search.theory_calls;
         self.stats.set(stats);
+
+        if let Some(reason) = search.exhausted_reason {
+            self.mark_exhausted(reason);
+            return exhausted_placeholder();
+        }
 
         match result {
             Some((reals, bools)) => CheckResult::Sat(Model {
@@ -606,7 +760,11 @@ impl Solver {
             self.stats.set(stats);
 
             if let Some(fp) = key {
-                self.memo.insert(fp, out.clone());
+                // Same discipline as `check_in`: exhausted placeholders
+                // are never memoized.
+                if self.exhausted.borrow().is_none() {
+                    self.memo.insert(fp, out.clone());
+                }
             }
             out
         });
@@ -680,15 +838,54 @@ fn assumption_set_key(arena: &TermArena, assumptions: &[Term], goal: Term) -> Fi
     Fingerprint(h)
 }
 
+/// The placeholder result a budget-exhausted (or fault-degraded) solve
+/// returns: an empty model flagged possibly-spurious. Callers already
+/// treat spurious `Sat` as "unknown, never proved", so the degradation is
+/// sound by construction.
+fn exhausted_placeholder() -> CheckResult {
+    CheckResult::Sat(Model {
+        reals: BTreeMap::new(),
+        bools: BTreeMap::new(),
+        possibly_spurious: true,
+    })
+}
+
 /// The recursive tableau search.
 struct Search {
     theory_calls: u64,
+    /// Absolute deadline from the solver's budget, if any.
+    deadline: Option<Instant>,
+    /// Theory calls this search may still spend (the budget's remaining
+    /// allowance at search start), if capped.
+    calls_left: Option<u64>,
+    /// Set on the first budget trip; the search unwinds immediately after.
+    exhausted_reason: Option<String>,
 }
 
 type RealModel = BTreeMap<Symbol, Rat>;
 type BoolModel = BTreeMap<Symbol, bool>;
 
 impl Search {
+    /// Checks the budget at a theory step; once it trips, the search stops
+    /// doing theory work and unwinds with a placeholder model.
+    fn out_of_budget(&mut self) -> bool {
+        if self.exhausted_reason.is_some() {
+            return true;
+        }
+        if let Some(cap) = self.calls_left {
+            if self.theory_calls >= cap {
+                self.exhausted_reason = Some(format!("theory-call budget exhausted (cap {cap})"));
+                return true;
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                self.exhausted_reason = Some("deadline exceeded".to_string());
+                return true;
+            }
+        }
+        false
+    }
     /// Tries to satisfy `pending ∧ constraints ∧ bools`; returns a model on
     /// success.
     fn solve(
@@ -718,6 +915,12 @@ impl Search {
                     }
                 },
                 Formula::Atom(c) => {
+                    if self.out_of_budget() {
+                        // Unwind with a placeholder: `Some` short-circuits
+                        // every enclosing branch point, and the caller
+                        // replaces the model with the spurious marker.
+                        return Some((RealModel::new(), bools.clone()));
+                    }
                     constraints.push(c);
                     self.theory_calls += 1;
                     if let FmResult::Unsat = check_sat(constraints) {
@@ -744,6 +947,9 @@ impl Search {
             }
         }
         // All boolean structure satisfied; final theory check yields values.
+        if self.out_of_budget() {
+            return Some((RealModel::new(), bools.clone()));
+        }
         self.theory_calls += 1;
         match check_sat(constraints) {
             FmResult::Sat(reals) => Some((reals, bools.clone())),
@@ -1181,6 +1387,99 @@ mod tests {
             s.stats()
         );
         assert_eq!(s.memo().len(), 3);
+    }
+
+    #[test]
+    fn theory_call_budget_trips_sticky_and_sound() {
+        let s = Solver::new();
+        s.set_budget(Budget::with_theory_calls(1));
+        // The first query burns the single allowed call and trips.
+        let conj = [
+            x().ge(Term::int(0)),
+            y().ge(Term::int(0)),
+            x().add(y()).le(Term::int(10)),
+        ];
+        let r = s.check(&conj);
+        match r {
+            CheckResult::Sat(m) => assert!(m.possibly_spurious, "exhausted result is spurious"),
+            CheckResult::Unsat => panic!("exhaustion must never produce Unsat"),
+        }
+        let reason = s.exhausted().expect("budget tripped");
+        assert!(reason.contains("theory-call"), "{reason}");
+
+        // Sticky: a later prove cannot claim Proved, even of a tautology.
+        match s.prove(&[], &x().le(x())) {
+            ProveResult::Proved => panic!("exhausted solver must never prove"),
+            ProveResult::Refuted(m) => assert!(m.possibly_spurious),
+        }
+
+        // Nothing was memoized: a reset budget re-solves for real.
+        assert_eq!(s.memo().len(), 0, "no partial verdicts in the memo");
+        assert!(s.memo().drain_dirty().is_empty());
+        s.clear_budget();
+        assert!(s.exhausted().is_none());
+        assert!(s.check(&conj).is_sat());
+        assert!(s.prove(&[], &x().le(x())).is_proved());
+        assert!(!s.memo().is_empty());
+    }
+
+    #[test]
+    fn expired_deadline_trips_immediately() {
+        let s = Solver::new();
+        s.set_budget(Budget::with_deadline(Duration::ZERO));
+        let r = s.check(&[x().ge(Term::int(1))]);
+        match r {
+            CheckResult::Sat(m) => assert!(m.possibly_spurious),
+            CheckResult::Unsat => panic!("deadline trip must never produce Unsat"),
+        }
+        assert!(s.exhausted().unwrap().contains("deadline"));
+        assert_eq!(
+            s.stats().theory_calls,
+            0,
+            "no theory work past the deadline"
+        );
+        // Replacing the budget clears exhaustion and the clock restarts.
+        s.set_budget(Budget::with_deadline(Duration::from_secs(60)));
+        assert!(s.exhausted().is_none());
+        assert!(s.check(&[x().ge(Term::int(1))]).is_sat());
+    }
+
+    #[test]
+    fn memo_hits_are_served_even_when_exhausted() {
+        let s = Solver::new();
+        let q = [x().le(Term::int(1)), x().ge(Term::int(2))];
+        assert_eq!(s.check(&q), CheckResult::Unsat);
+        s.set_budget(Budget::with_theory_calls(0));
+        // A memo hit is a complete verdict and costs no theory work, so
+        // even a zero-budget solver answers it exactly.
+        assert_eq!(s.check(&q), CheckResult::Unsat);
+        assert_eq!(s.stats().cache_hits, 1);
+        assert!(s.exhausted().is_none(), "hits never trip the budget");
+    }
+
+    #[test]
+    fn exhausted_assumption_queries_are_not_memoized() {
+        let s = Solver::new();
+        s.set_budget(Budget::with_theory_calls(0));
+        let hyp = x().ge(Term::int(1));
+        let goal = x().ge(Term::int(0));
+        match s.prove_assuming(&[hyp], &goal) {
+            ProveResult::Proved => panic!("exhausted solver must never prove"),
+            ProveResult::Refuted(m) => assert!(m.possibly_spurious),
+        }
+        assert_eq!(s.memo().len(), 0);
+        // With the budget lifted the same entailment proves and memoizes.
+        s.clear_budget();
+        assert!(s.prove_assuming(&[hyp], &goal).is_proved());
+        assert_eq!(s.memo().len(), 1);
+    }
+
+    #[test]
+    fn unlimited_budget_is_a_no_op() {
+        let s = Solver::new();
+        s.set_budget(Budget::default());
+        assert!(s.check(&[x().ge(Term::int(1))]).is_sat());
+        assert!(s.exhausted().is_none());
     }
 
     #[test]

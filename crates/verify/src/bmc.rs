@@ -148,6 +148,14 @@ pub fn check(info: &TargetInfo, opts: &BmcOptions, solver: &Solver) -> BmcOutcom
 
     let mut saw_spurious = false;
     for ob in &exec.obligations {
+        // An exhausted solver answers every fresh obligation with a
+        // possibly-spurious refutation; bail out with the real reason
+        // instead of burning through the remaining obligations.
+        if let Some(reason) = solver.exhausted() {
+            return BmcOutcome::Inconclusive {
+                reason: format!("resource budget exhausted: {reason}"),
+            };
+        }
         match solver.prove(&ob.path, &ob.goal) {
             shadowdp_solver::ProveResult::Proved => {}
             shadowdp_solver::ProveResult::Refuted(model) => {

@@ -166,6 +166,11 @@ impl Engine {
 
         // Discharge every collected obligation.
         for ob in &exec.obligations {
+            if let Some(reason) = solver.exhausted() {
+                return InductiveOutcome::Failed {
+                    reason: format!("resource budget exhausted: {reason}"),
+                };
+            }
             if !solver.entails(&ob.path, &ob.goal) {
                 return InductiveOutcome::Failed {
                     reason: format!("could not prove {}", ob.description),
@@ -243,6 +248,13 @@ impl Engine {
         let fresh_mark = exec.fresh_mark();
         let mut dropped_any = false;
         for round in 0..=opts.max_rounds {
+            // Budget check at the round boundary: once the solver is
+            // exhausted every fresh entailment comes back unproved, so
+            // continuing would drop every candidate and report a
+            // misleading "too weak" failure instead of the budget.
+            if let Some(reason) = solver.exhausted() {
+                return Err(format!("resource budget exhausted: {reason}"));
+            }
             exec.reset_fresh(fresh_mark);
             let stats_before = solver.stats();
             let mut failed: BTreeSet<usize> = BTreeSet::new();
@@ -337,6 +349,9 @@ impl Engine {
         // Replayed from the same mark as the rounds, so the obligations'
         // entailment checks hit the memo for everything the last round
         // already proved.
+        if let Some(reason) = solver.exhausted() {
+            return Err(format!("resource budget exhausted: {reason}"));
+        }
         exec.reset_fresh(fresh_mark);
         for entry in &entry_states {
             let mut head = havoc_state(entry, &assigned, exec);

@@ -80,6 +80,12 @@ pub struct Options {
     pub bmc: BmcOptions,
     /// Inductive-engine knobs.
     pub inductive: InductiveOptions,
+    /// Optional resource budget (wall-clock deadline and/or theory-call
+    /// cap) enforced across *both* engines. Exhaustion yields
+    /// [`Verdict::ResourceExhausted`] rather than a hang or a spurious
+    /// `Unknown`; partial results from an exhausted run are never
+    /// memoized, so re-verifying with a larger budget starts clean.
+    pub budget: Option<shadowdp_solver::Budget>,
 }
 
 impl Default for Options {
@@ -89,6 +95,7 @@ impl Default for Options {
             engine: Engine::InductiveThenBmc,
             bmc: BmcOptions::default(),
             inductive: InductiveOptions::default(),
+            budget: None,
         }
     }
 }
@@ -103,6 +110,14 @@ pub enum Verdict {
     /// Neither proved nor refuted (e.g. invariant inference too weak and
     /// BMC found nothing within bounds).
     Unknown(String),
+    /// The run hit its [`Options::budget`] before reaching a conclusion.
+    /// Unlike [`Verdict::Unknown`] this is a property of the budget, not
+    /// the program: re-verification with a larger budget may still prove
+    /// or refute.
+    ResourceExhausted {
+        /// What ran out (deadline or theory-call cap).
+        reason: String,
+    },
 }
 
 /// A verification report.
@@ -130,7 +145,33 @@ pub fn verify(transformed: &Function, options: &Options) -> Report {
 }
 
 /// [`verify`] against a caller-provided solver (for stats aggregation).
+///
+/// When [`Options::budget`] is set it is installed on the solver for the
+/// duration of the call and cleared afterwards; an exhausted run reports
+/// [`Verdict::ResourceExhausted`] regardless of what the engines managed
+/// to conclude from placeholder answers.
 pub fn verify_with(
+    transformed: &Function,
+    options: &Options,
+    solver: &shadowdp_solver::Solver,
+) -> Report {
+    if let Some(budget) = &options.budget {
+        solver.set_budget(budget.clone());
+    }
+    let mut report = verify_inner(transformed, options, solver);
+    if let Some(reason) = solver.exhausted() {
+        report
+            .log
+            .push(format!("resource budget exhausted: {reason}"));
+        report.verdict = Verdict::ResourceExhausted { reason };
+    }
+    if options.budget.is_some() {
+        solver.clear_budget();
+    }
+    report
+}
+
+fn verify_inner(
     transformed: &Function,
     options: &Options,
     solver: &shadowdp_solver::Solver,
@@ -204,5 +245,110 @@ pub fn verify_with(
             target: info.function,
             log,
         },
+    }
+}
+
+#[cfg(test)]
+mod budget_tests {
+    use super::*;
+    use shadowdp_solver::{Budget, Solver};
+    use shadowdp_syntax::parse_function;
+    use shadowdp_typing::check_function;
+
+    const LOOP_SRC: &str = "function Loop(eps, NN, size: num(0,0), q: list num(*,*))
+         returns out: num(0,0)
+         precondition forall k :: -1 <= ^q[k] && ^q[k] <= 1 && ~q[k] == ^q[k]
+         precondition eps > 0
+         precondition NN >= 1
+         precondition size >= 0
+         {
+             e0 := lap(2 / eps) { select: aligned, align: 1 };
+             count := 0;
+             while (count < NN) {
+                 e1 := lap(2 * NN / eps) { select: aligned, align: 1 };
+                 count := count + 1;
+             }
+             out := count;
+         }";
+
+    fn transformed() -> Function {
+        let f = parse_function(LOOP_SRC).unwrap();
+        check_function(&f).expect("type checks").function
+    }
+
+    /// A starved budget yields `ResourceExhausted` (not a misleading
+    /// `Unknown`), and the same solver proves the program once the budget
+    /// is lifted: queries that *completed* before exhaustion are sound and
+    /// may be memoized, but the placeholder answers minted after the trip
+    /// never are, so the re-run is not poisoned.
+    #[test]
+    fn starved_budget_reports_exhaustion_and_rerun_proves() {
+        let t = transformed();
+        let solver = Solver::new();
+        let opts = Options {
+            budget: Some(Budget::with_theory_calls(1)),
+            ..Options::default()
+        };
+        let report = verify_with(&t, &opts, &solver);
+        match &report.verdict {
+            Verdict::ResourceExhausted { reason } => {
+                assert!(reason.contains("theory-call"), "{reason}");
+            }
+            other => panic!("expected ResourceExhausted, got {other:?}"),
+        }
+        let report = verify_with(&t, &Options::default(), &solver);
+        assert!(
+            matches!(report.verdict, Verdict::Proved),
+            "{:?}",
+            report.verdict
+        );
+    }
+
+    /// A generous budget is a no-op: same verdict as the unbudgeted run.
+    #[test]
+    fn generous_budget_still_proves() {
+        let t = transformed();
+        let solver = Solver::new();
+        let opts = Options {
+            budget: Some(shadowdp_solver::Budget {
+                deadline: Some(std::time::Duration::from_secs(600)),
+                max_theory_calls: Some(10_000_000),
+            }),
+            ..Options::default()
+        };
+        let report = verify_with(&t, &opts, &solver);
+        assert!(
+            matches!(report.verdict, Verdict::Proved),
+            "{:?}",
+            report.verdict
+        );
+        // The budget was installed for the call only.
+        assert!(solver.exhausted().is_none());
+    }
+
+    /// An already-expired deadline trips before any engine makes progress,
+    /// and the report still carries the engines' logs for diagnosis.
+    #[test]
+    fn expired_deadline_exhausts_immediately() {
+        let t = transformed();
+        let solver = Solver::new();
+        let opts = Options {
+            budget: Some(Budget::with_deadline(std::time::Duration::ZERO)),
+            ..Options::default()
+        };
+        let report = verify_with(&t, &opts, &solver);
+        match &report.verdict {
+            Verdict::ResourceExhausted { reason } => {
+                assert!(reason.contains("deadline"), "{reason}");
+            }
+            other => panic!("expected ResourceExhausted, got {other:?}"),
+        }
+        assert!(report
+            .log
+            .iter()
+            .any(|l| l.contains("resource budget exhausted")));
+        // Nothing could complete before the trip, so nothing may be
+        // memoized: no partial verdicts survive the exhausted run.
+        assert_eq!(solver.memo().len(), 0, "exhausted run polluted the memo");
     }
 }

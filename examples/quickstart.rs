@@ -30,6 +30,7 @@ fn main() {
         Verdict::Proved => println!("PROVED: Report Noisy Max is eps-differentially private."),
         Verdict::Refuted(cex) => println!("REFUTED: {cex}"),
         Verdict::Unknown(why) => println!("UNKNOWN: {why}"),
+        Verdict::ResourceExhausted { reason } => println!("RESOURCE EXHAUSTED: {reason}"),
     }
     for line in &report.verification.log {
         println!("  {line}");

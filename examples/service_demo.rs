@@ -32,10 +32,8 @@ fn main() {
     let dir = std::env::temp_dir();
     let pid = std::process::id();
     let config = DaemonConfig {
-        socket: dir.join(format!("shadowdp-demo-{pid}.sock")),
         store: Some(dir.join(format!("shadowdp-demo-{pid}.store"))),
-        threads: None,
-        compact_ratio: shadowdp_service::DEFAULT_COMPACT_RATIO,
+        ..DaemonConfig::new(dir.join(format!("shadowdp-demo-{pid}.sock")))
     };
 
     let specs: Vec<JobSpec> = [

@@ -43,6 +43,7 @@ fn main() {
                 Verdict::Proved => "proved",
                 Verdict::Refuted(_) => "refuted",
                 Verdict::Unknown(_) => "unknown",
+                Verdict::ResourceExhausted { .. } => "exhausted",
             }
         );
     }
