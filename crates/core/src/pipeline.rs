@@ -16,6 +16,74 @@ use shadowdp_syntax::{parse_function, pretty_function, Function, ParseError};
 use shadowdp_typing::{check_function_with, TypeError};
 use shadowdp_verify::{verify_with, Options, Report, Verdict};
 
+/// Per-phase wall-clock histogram. Shares its name with the `lower`
+/// member observed inside `shadowdp-verify` — the obs registry dedupes
+/// by name, so both crates feed one family.
+static PHASE_US: shadowdp_obs::LazyHistogramFamily = shadowdp_obs::LazyHistogramFamily::new(
+    "shadowdp_phase_us",
+    "Wall-clock latency per pipeline phase (microseconds)",
+    "phase",
+);
+
+/// Per-algorithm verification latency — what `shadowdp top`'s
+/// per-algorithm rows are built from. One observation per verified job,
+/// so the dynamic label set stays bounded by the corpus.
+static ALGO_VERIFY_US: shadowdp_obs::LazyHistogramFamily = shadowdp_obs::LazyHistogramFamily::new(
+    "shadowdp_verify_algorithm_us",
+    "Wall-clock verification latency per algorithm (microseconds)",
+    "algorithm",
+);
+
+static SOLVER_QUERIES: shadowdp_obs::LazyCounter = shadowdp_obs::LazyCounter::new(
+    "shadowdp_solver_queries_total",
+    "Validity queries asked by corpus jobs (memo hits included)",
+);
+static MEMO_HITS: shadowdp_obs::LazyCounter = shadowdp_obs::LazyCounter::new(
+    "shadowdp_solver_memo_hits_total",
+    "Validity queries answered from the shared query memo",
+);
+static THEORY_CALLS: shadowdp_obs::LazyCounter = shadowdp_obs::LazyCounter::new(
+    "shadowdp_solver_theory_calls_total",
+    "Fresh theory-solver invocations (simplex + case splits)",
+);
+static ASSUMPTION_QUERIES: shadowdp_obs::LazyCounter = shadowdp_obs::LazyCounter::new(
+    "shadowdp_solver_assumption_queries_total",
+    "Assumption-set-keyed consecution entailment queries",
+);
+static ASSUMPTION_HITS: shadowdp_obs::LazyCounter = shadowdp_obs::LazyCounter::new(
+    "shadowdp_solver_assumption_hits_total",
+    "Assumption-set-keyed consecution queries answered from the memo",
+);
+
+/// Forces registration of every pipeline-level metric (and the solver's)
+/// so a scrape exposes the full schema even before any job has run a
+/// given phase — a warm daemon serving entirely from its store would
+/// otherwise be missing the solver counters from its exposition.
+pub fn register_metrics() {
+    PHASE_US.get();
+    ALGO_VERIFY_US.get();
+    SOLVER_QUERIES.get();
+    MEMO_HITS.get();
+    THEORY_CALLS.get();
+    ASSUMPTION_QUERIES.get();
+    ASSUMPTION_HITS.get();
+    shadowdp_solver::solve::register_metrics();
+}
+
+/// Parse with a span + phase observation; shared by the source-text
+/// entry points.
+fn parse_timed(source: &str) -> Result<Function, PipelineError> {
+    let start = Instant::now();
+    let parsed = {
+        let _span = shadowdp_obs::span("parse");
+        parse_function(source)
+    };
+    PHASE_US
+        .with("parse")
+        .observe(start.elapsed().as_micros() as u64);
+    parsed.map_err(PipelineError::Parse)
+}
+
 /// Which phase produced an error.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Phase {
@@ -143,7 +211,7 @@ impl Pipeline {
     /// verification failures are reported in the
     /// [`PipelineReport::verdict`], not as errors.
     pub fn run(&self, source: &str) -> Result<PipelineReport, PipelineError> {
-        let f = parse_function(source).map_err(PipelineError::Parse)?;
+        let f = parse_timed(source)?;
         self.run_parsed(&f)
     }
 
@@ -161,7 +229,7 @@ impl Pipeline {
         source: &str,
         memo: &Arc<QueryMemo>,
     ) -> Result<PipelineReport, PipelineError> {
-        let f = parse_function(source).map_err(PipelineError::Parse)?;
+        let f = parse_timed(source)?;
         self.run_parsed_with(&f, &Solver::with_memo(memo.clone()))
     }
 
@@ -186,12 +254,29 @@ impl Pipeline {
         solver: &Solver,
     ) -> Result<PipelineReport, PipelineError> {
         let t0 = Instant::now();
-        let transformed = check_function_with(f, solver).map_err(PipelineError::Type)?;
+        let transformed = {
+            let _span = shadowdp_obs::span_labeled("typecheck", &f.name);
+            check_function_with(f, solver).map_err(PipelineError::Type)
+        }?;
         let typecheck_time = t0.elapsed();
+        PHASE_US
+            .with("typecheck")
+            .observe(typecheck_time.as_micros() as u64);
 
         let t1 = Instant::now();
-        let verification = verify_with(&transformed.function, &self.options, solver);
+        let verification = {
+            // Labeled with the algorithm name so a Table 1 trace attributes
+            // verification time per algorithm.
+            let _span = shadowdp_obs::span_labeled("verify", &f.name);
+            verify_with(&transformed.function, &self.options, solver)
+        };
         let verify_time = t1.elapsed();
+        PHASE_US
+            .with("verify")
+            .observe(verify_time.as_micros() as u64);
+        ALGO_VERIFY_US
+            .with(&f.name)
+            .observe(verify_time.as_micros() as u64);
 
         Ok(PipelineReport {
             name: f.name.clone(),
@@ -282,6 +367,7 @@ impl Pipeline {
         memo: &Arc<QueryMemo>,
     ) -> CorpusOutcome {
         let start = Instant::now();
+        let mut corpus_span = shadowdp_obs::span("corpus");
         let memo = memo.clone();
         let workers = threads
             .unwrap_or_else(|| {
@@ -354,6 +440,18 @@ impl Pipeline {
                 acc
             },
         );
+
+        // Always-on global counters (the METRICS verb exposes these);
+        // counter totals are schedule-independent, so two identical
+        // cold runs increment them identically.
+        SOLVER_QUERIES.add(solver_stats.checks + solver_stats.proves);
+        MEMO_HITS.add(solver_stats.cache_hits);
+        THEORY_CALLS.add(solver_stats.theory_calls);
+        ASSUMPTION_QUERIES.add(solver_stats.assumption_queries);
+        ASSUMPTION_HITS.add(solver_stats.assumption_hits);
+        if shadowdp_obs::armed() {
+            corpus_span.set_label(&format!("jobs={} threads={workers}", jobs.len()));
+        }
 
         CorpusOutcome {
             reports,

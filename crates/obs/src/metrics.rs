@@ -1,0 +1,625 @@
+//! The metrics registry: counters, gauges, and fixed-bucket log2
+//! histograms behind process-global lazily-registered handles.
+//!
+//! Metric updates are always on (no arming): each is one atomic RMW on a
+//! `&'static` handle that call-sites cache in a `Lazy*` static, so the
+//! registry lock is only taken on the *first* touch of each site and
+//! when rendering. Histograms are arrays of atomics, so they merge
+//! across threads for free and render deterministically.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Number of histogram buckets: upper bounds `2^0 .. 2^26` plus +Inf.
+/// With microsecond observations the finite range spans 1 µs … ~67 s.
+pub const HIST_BUCKETS: usize = 28;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// New zeroed counter.
+    pub const fn new() -> Counter {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// An integer gauge (set to the latest observation).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// New zeroed gauge.
+    pub const fn new() -> Gauge {
+        Gauge {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A float gauge (f64 bits in an atomic) — for ratios.
+#[derive(Debug, Default)]
+pub struct FloatGauge {
+    bits: AtomicU64,
+}
+
+impl FloatGauge {
+    /// New gauge holding 0.0.
+    pub const fn new() -> FloatGauge {
+        FloatGauge {
+            bits: AtomicU64::new(0),
+        }
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// A fixed-bucket log2 histogram. Bucket `i < 27` counts observations
+/// `<= 2^i`; bucket 27 is +Inf. Observations are unit-agnostic u64s
+/// (microseconds by convention for latency metrics).
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+/// Index of the (non-cumulative) bucket an observation lands in.
+fn bucket_index(v: u64) -> usize {
+    if v <= 1 {
+        return 0;
+    }
+    let ceil_log2 = 64 - (v - 1).leading_zeros() as usize;
+    ceil_log2.min(HIST_BUCKETS - 1)
+}
+
+impl Histogram {
+    /// New empty histogram.
+    pub const fn new() -> Histogram {
+        Histogram {
+            buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The finite upper bound of bucket `i`, or `None` for +Inf.
+    pub fn bucket_upper(i: usize) -> Option<u64> {
+        (i < HIST_BUCKETS - 1).then(|| 1u64 << i)
+    }
+
+    /// Per-bucket (non-cumulative) counts.
+    pub fn counts(&self) -> [u64; HIST_BUCKETS] {
+        let mut out = [0; HIST_BUCKETS];
+        for (o, b) in out.iter_mut().zip(&self.buckets) {
+            *o = b.load(Ordering::Relaxed);
+        }
+        out
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile (0 when
+    /// empty; the last finite bound for observations past the finite
+    /// range). Coarse by construction — within a 2× bucket — which is
+    /// plenty for a p50/p99 live view.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let counts = self.counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * total as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (i, c) in counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= rank {
+                return Histogram::bucket_upper(i).unwrap_or(1 << (HIST_BUCKETS - 2));
+            }
+        }
+        1 << (HIST_BUCKETS - 2)
+    }
+}
+
+/// A histogram family keyed by one label dimension (e.g. `phase` or
+/// `algorithm`). Members are created on first use and render as
+/// `name_bucket{<key>="<value>",le="…"}` series.
+#[derive(Debug)]
+pub struct HistogramFamily {
+    label_key: &'static str,
+    members: Mutex<BTreeMap<String, &'static Histogram>>,
+}
+
+impl HistogramFamily {
+    fn new(label_key: &'static str) -> HistogramFamily {
+        HistogramFamily {
+            label_key,
+            members: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The label key this family is split by.
+    pub fn label_key(&self) -> &'static str {
+        self.label_key
+    }
+
+    /// The member histogram for `label_value` (created empty on first
+    /// use). Takes the family lock — cache the returned handle when
+    /// observing in a loop.
+    pub fn with(&self, label_value: &str) -> &'static Histogram {
+        let mut members = self.members.lock().unwrap_or_else(|p| p.into_inner());
+        if let Some(h) = members.get(label_value) {
+            return h;
+        }
+        let h: &'static Histogram = Box::leak(Box::new(Histogram::new()));
+        members.insert(label_value.to_string(), h);
+        h
+    }
+
+    /// Snapshot of `(label_value, histogram)` members, sorted by label.
+    pub fn members(&self) -> Vec<(String, &'static Histogram)> {
+        self.members
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .iter()
+            .map(|(k, &v)| (k.clone(), v))
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy)]
+pub(crate) enum Handle {
+    Counter(&'static Counter),
+    Gauge(&'static Gauge),
+    FloatGauge(&'static FloatGauge),
+    Histogram(&'static Histogram),
+    Family(&'static HistogramFamily),
+}
+
+pub(crate) struct Entry {
+    pub(crate) name: &'static str,
+    pub(crate) help: &'static str,
+    pub(crate) handle: Handle,
+}
+
+pub(crate) fn registry() -> MutexGuard<'static, Vec<Entry>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Entry>>> = OnceLock::new();
+    REGISTRY
+        .get_or_init(|| Mutex::new(Vec::new()))
+        .lock()
+        .unwrap_or_else(|p| p.into_inner())
+}
+
+fn register(name: &'static str, help: &'static str, make: impl FnOnce() -> Handle) -> Handle {
+    let mut reg = registry();
+    if let Some(entry) = reg.iter().find(|e| e.name == name) {
+        return entry.handle;
+    }
+    let handle = make();
+    reg.push(Entry { name, help, handle });
+    handle
+}
+
+/// Registers (or fetches) the counter `name`.
+///
+/// # Panics
+///
+/// If `name` was already registered as a different metric type.
+pub fn counter(name: &'static str, help: &'static str) -> &'static Counter {
+    match register(name, help, || {
+        Handle::Counter(Box::leak(Box::new(Counter::new())))
+    }) {
+        Handle::Counter(c) => c,
+        _ => panic!("metric `{name}` already registered with a different type"),
+    }
+}
+
+/// Registers (or fetches) the gauge `name`.
+///
+/// # Panics
+///
+/// If `name` was already registered as a different metric type.
+pub fn gauge(name: &'static str, help: &'static str) -> &'static Gauge {
+    match register(name, help, || {
+        Handle::Gauge(Box::leak(Box::new(Gauge::new())))
+    }) {
+        Handle::Gauge(g) => g,
+        _ => panic!("metric `{name}` already registered with a different type"),
+    }
+}
+
+/// Registers (or fetches) the float gauge `name`.
+///
+/// # Panics
+///
+/// If `name` was already registered as a different metric type.
+pub fn float_gauge(name: &'static str, help: &'static str) -> &'static FloatGauge {
+    match register(name, help, || {
+        Handle::FloatGauge(Box::leak(Box::new(FloatGauge::new())))
+    }) {
+        Handle::FloatGauge(g) => g,
+        _ => panic!("metric `{name}` already registered with a different type"),
+    }
+}
+
+/// Registers (or fetches) the histogram `name`.
+///
+/// # Panics
+///
+/// If `name` was already registered as a different metric type.
+pub fn histogram(name: &'static str, help: &'static str) -> &'static Histogram {
+    match register(name, help, || {
+        Handle::Histogram(Box::leak(Box::new(Histogram::new())))
+    }) {
+        Handle::Histogram(h) => h,
+        _ => panic!("metric `{name}` already registered with a different type"),
+    }
+}
+
+/// Registers (or fetches) the histogram family `name` split by
+/// `label_key`.
+///
+/// # Panics
+///
+/// If `name` was already registered as a different metric type.
+pub fn histogram_family(
+    name: &'static str,
+    help: &'static str,
+    label_key: &'static str,
+) -> &'static HistogramFamily {
+    match register(name, help, || {
+        Handle::Family(Box::leak(Box::new(HistogramFamily::new(label_key))))
+    }) {
+        Handle::Family(f) => f,
+        _ => panic!("metric `{name}` already registered with a different type"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lazy call-site handles
+// ---------------------------------------------------------------------------
+
+macro_rules! lazy_handle {
+    ($lazy:ident, $target:ident, $ctor:ident, $doc:literal) => {
+        #[doc = $doc]
+        /// Declared `static` at the call-site; registers on first touch,
+        /// after which every access is one `OnceLock` load.
+        pub struct $lazy {
+            name: &'static str,
+            help: &'static str,
+            cell: OnceLock<&'static $target>,
+        }
+
+        impl $lazy {
+            /// Const constructor for `static` declarations.
+            pub const fn new(name: &'static str, help: &'static str) -> $lazy {
+                $lazy {
+                    name,
+                    help,
+                    cell: OnceLock::new(),
+                }
+            }
+
+            /// The registered metric handle.
+            pub fn get(&self) -> &'static $target {
+                self.cell.get_or_init(|| $ctor(self.name, self.help))
+            }
+        }
+    };
+}
+
+lazy_handle!(
+    LazyCounter,
+    Counter,
+    counter,
+    "A lazily registered [`Counter`]."
+);
+lazy_handle!(LazyGauge, Gauge, gauge, "A lazily registered [`Gauge`].");
+lazy_handle!(
+    LazyFloatGauge,
+    FloatGauge,
+    float_gauge,
+    "A lazily registered [`FloatGauge`]."
+);
+lazy_handle!(
+    LazyHistogram,
+    Histogram,
+    histogram,
+    "A lazily registered [`Histogram`]."
+);
+
+impl LazyCounter {
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.get().inc();
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.get().add(n);
+    }
+}
+
+impl LazyGauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.get().set(v);
+    }
+}
+
+impl LazyFloatGauge {
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.get().set(v);
+    }
+}
+
+impl LazyHistogram {
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.get().observe(v);
+    }
+}
+
+/// A lazily registered [`HistogramFamily`].
+pub struct LazyHistogramFamily {
+    name: &'static str,
+    help: &'static str,
+    label_key: &'static str,
+    cell: OnceLock<&'static HistogramFamily>,
+}
+
+impl LazyHistogramFamily {
+    /// Const constructor for `static` declarations.
+    pub const fn new(
+        name: &'static str,
+        help: &'static str,
+        label_key: &'static str,
+    ) -> LazyHistogramFamily {
+        LazyHistogramFamily {
+            name,
+            help,
+            label_key,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// The registered family handle.
+    pub fn get(&self) -> &'static HistogramFamily {
+        self.cell
+            .get_or_init(|| histogram_family(self.name, self.help, self.label_key))
+    }
+
+    /// The member histogram for `label_value`.
+    #[inline]
+    pub fn with(&self, label_value: &str) -> &'static Histogram {
+        self.get().with(label_value)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots (determinism tests, deltas)
+// ---------------------------------------------------------------------------
+
+/// One metric's state in a [`snapshot`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum SnapValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(u64),
+    /// Float gauge value.
+    Float(f64),
+    /// Histogram buckets (non-cumulative), total count, and sum.
+    Histogram {
+        /// Per-bucket counts.
+        buckets: Vec<u64>,
+        /// Total observations.
+        count: u64,
+        /// Sum of observations.
+        sum: u64,
+    },
+}
+
+/// A point-in-time snapshot of every registered metric, keyed by
+/// `name` (family members as `name{key="value"}`), sorted. Counters are
+/// monotone, so two snapshots diff into exact per-interval deltas —
+/// the substrate of the metrics-determinism test.
+pub fn snapshot() -> Vec<(String, SnapValue)> {
+    let mut out = Vec::new();
+    for entry in registry().iter() {
+        match entry.handle {
+            Handle::Counter(c) => out.push((entry.name.to_string(), SnapValue::Counter(c.get()))),
+            Handle::Gauge(g) => out.push((entry.name.to_string(), SnapValue::Gauge(g.get()))),
+            Handle::FloatGauge(g) => out.push((entry.name.to_string(), SnapValue::Float(g.get()))),
+            Handle::Histogram(h) => out.push((
+                entry.name.to_string(),
+                SnapValue::Histogram {
+                    buckets: h.counts().to_vec(),
+                    count: h.count(),
+                    sum: h.sum(),
+                },
+            )),
+            Handle::Family(f) => {
+                for (label, h) in f.members() {
+                    out.push((
+                        format!("{}{{{}=\"{}\"}}", entry.name, f.label_key(), label),
+                        SnapValue::Histogram {
+                            buckets: h.counts().to_vec(),
+                            count: h.count(),
+                            sum: h.sum(),
+                        },
+                    ));
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_indexing_is_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(5), 3);
+        assert_eq!(bucket_index(1 << 26), 26);
+        assert_eq!(bucket_index((1 << 26) + 1), 27);
+        assert_eq!(bucket_index(u64::MAX), 27);
+        // Every finite bucket's upper bound maps into that bucket.
+        for i in 0..HIST_BUCKETS - 1 {
+            assert_eq!(bucket_index(Histogram::bucket_upper(i).unwrap()), i);
+        }
+        assert_eq!(Histogram::bucket_upper(HIST_BUCKETS - 1), None);
+    }
+
+    #[test]
+    fn histogram_observe_and_quantiles() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        for v in [1, 1, 2, 4, 100] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 108);
+        let counts = h.counts();
+        assert_eq!(counts[0], 2); // both 1s
+        assert_eq!(counts[1], 1); // the 2
+        assert_eq!(counts[2], 1); // the 4
+        assert_eq!(counts[7], 1); // 100 ≤ 128
+                                  // p50 of {1,1,2,4,100} sits in the le=2 bucket (rank 3 of 5).
+        assert_eq!(h.quantile(0.5), 2);
+        assert_eq!(h.quantile(1.0), 128);
+        // Past-the-end observations saturate into +Inf and quantiles
+        // report the largest finite bound.
+        h.observe(u64::MAX);
+        assert_eq!(h.quantile(1.0), 1 << (HIST_BUCKETS - 2));
+    }
+
+    #[test]
+    fn registry_dedupes_and_snapshot_diffs() {
+        let c1 = counter("obs_test_requests_total", "test counter");
+        let c2 = counter("obs_test_requests_total", "test counter");
+        assert!(std::ptr::eq(c1, c2));
+        let before = snapshot();
+        c1.inc();
+        c1.add(2);
+        let after = snapshot();
+        let find = |snap: &[(String, SnapValue)]| match snap
+            .iter()
+            .find(|(n, _)| n == "obs_test_requests_total")
+            .map(|(_, v)| v.clone())
+        {
+            Some(SnapValue::Counter(v)) => v,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(find(&after) - find(&before), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn type_confusion_panics() {
+        counter("obs_test_confused", "a counter");
+        gauge("obs_test_confused", "now a gauge");
+    }
+
+    #[test]
+    fn family_members_render_into_snapshot() {
+        let fam = histogram_family("obs_test_phase_us", "per-phase", "phase");
+        fam.with("verify").observe(1000);
+        fam.with("parse").observe(2);
+        let snap = snapshot();
+        assert!(snap
+            .iter()
+            .any(|(n, _)| n == "obs_test_phase_us{phase=\"verify\"}"));
+        assert!(snap
+            .iter()
+            .any(|(n, _)| n == "obs_test_phase_us{phase=\"parse\"}"));
+        // Repeated `with` returns the same member.
+        assert!(std::ptr::eq(fam.with("verify"), fam.with("verify")));
+        assert_eq!(fam.members().len(), 2);
+    }
+}

@@ -2,9 +2,13 @@
 //! (or auto-spawned) verification daemon.
 //!
 //! ```text
-//! shadowdp check <file>... [--fixeps <n>/<d>] [--socket <path> [--spawn]]
-//! shadowdp table1 [--socket <path> [--spawn]] [--store <path>] [--threads <n>]
+//! shadowdp check <file>... [--fixeps <n>/<d>] [--trace-out <path>]
+//!                [--socket <path> [--spawn]]
+//! shadowdp table1 [--trace-out <path>] [--socket <path> [--spawn]]
+//!                 [--store <path>] [--threads <n>]
 //! shadowdp status --socket <path>
+//! shadowdp metrics --socket <path>
+//! shadowdp top --socket <path> [--interval-ms <n>] [--iterations <n>]
 //! shadowdp shutdown --socket <path>
 //! ```
 //!
@@ -17,6 +21,15 @@
 //!   variant) and prints one line per job with verdict, digest, and
 //!   whether the persistent store served it — the CI `service` job
 //!   drives the warm-restart check through this.
+//! - `--trace-out` arms span collection for the (local, in-process) run
+//!   and writes a Chrome `trace_event` JSON file on exit — load it in
+//!   `about:tracing` or Perfetto for a per-phase, per-algorithm
+//!   flame view. With `--socket` the spans live in the *daemon*
+//!   process; trace that side with `SHADOWDP_TRACE=1 shadowdpd …`.
+//! - `metrics` prints a daemon's registry in raw Prometheus text
+//!   exposition format (scrape-ready: pipe to a pushgateway or a file).
+//! - `top` polls `METRICS` and redraws a live per-phase/per-algorithm
+//!   latency table (p50/p99), solver hit rates, and queue/store state.
 //!
 //! Exit code: 0 iff every job verified (`proved`).
 
@@ -38,13 +51,20 @@ struct Args {
     spawn: bool,
     threads: Option<usize>,
     fixeps: Option<Rat>,
+    trace_out: Option<PathBuf>,
+    interval_ms: u64,
+    iterations: Option<u64>,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: shadowdp check <file>... [--fixeps <n>/<d>] [--socket <path> [--spawn]]\n\
-         \x20      shadowdp table1 [--socket <path> [--spawn]] [--store <path>] [--threads <n>]\n\
+        "usage: shadowdp check <file>... [--fixeps <n>/<d>] [--trace-out <path>] \
+         [--socket <path> [--spawn]]\n\
+         \x20      shadowdp table1 [--trace-out <path>] [--socket <path> [--spawn]] \
+         [--store <path>] [--threads <n>]\n\
          \x20      shadowdp status --socket <path>\n\
+         \x20      shadowdp metrics --socket <path>\n\
+         \x20      shadowdp top --socket <path> [--interval-ms <n>] [--iterations <n>]\n\
          \x20      shadowdp shutdown --socket <path>"
     );
     ExitCode::from(2)
@@ -61,6 +81,9 @@ fn parse_args() -> Option<Args> {
         spawn: false,
         threads: None,
         fixeps: None,
+        trace_out: None,
+        interval_ms: 1000,
+        iterations: None,
     };
     while let Some(arg) = raw.next() {
         match arg.as_str() {
@@ -68,6 +91,9 @@ fn parse_args() -> Option<Args> {
             "--store" => args.store = Some(PathBuf::from(raw.next()?)),
             "--spawn" => args.spawn = true,
             "--threads" => args.threads = Some(raw.next()?.parse().ok()?),
+            "--trace-out" => args.trace_out = Some(PathBuf::from(raw.next()?)),
+            "--interval-ms" => args.interval_ms = raw.next()?.parse().ok()?,
+            "--iterations" => args.iterations = Some(raw.next()?.parse().ok()?),
             "--fixeps" => {
                 let value = raw.next()?;
                 let (n, d) = value.split_once('/').unwrap_or((value.as_str(), "1"));
@@ -193,10 +219,288 @@ fn table1_specs() -> Vec<(String, JobSpec)> {
         .collect()
 }
 
+/// The live `shadowdp top` view: polls the daemon's `METRICS` verb and
+/// redraws per-phase / per-algorithm latency tables plus queue and
+/// store state.
+mod top {
+    use std::process::ExitCode;
+    use std::time::Duration;
+
+    use shadowdp_obs::Sample;
+    use shadowdp_service::Client;
+
+    /// One histogram series reduced to the numbers the table shows.
+    struct HistRow {
+        label: String,
+        count: u64,
+        sum_us: f64,
+        p50_us: f64,
+        p99_us: f64,
+    }
+
+    /// Estimates a quantile from cumulative `_bucket` samples: the
+    /// upper bound of the first bucket whose cumulative count reaches
+    /// `q * count`. Log2 buckets make this a ≤2× overestimate, which
+    /// is enough to rank phases and spot regressions.
+    fn quantile(buckets: &[(f64, f64)], count: f64, q: f64) -> f64 {
+        let target = q * count;
+        for (bound, cumulative) in buckets {
+            if *cumulative >= target {
+                return *bound;
+            }
+        }
+        f64::INFINITY
+    }
+
+    /// Collects every series of histogram family `family` keyed by
+    /// label `key`, reduced to count/sum/p50/p99. Sorted by
+    /// descending total time so the busiest row tops the table.
+    fn hist_rows(samples: &[Sample], family: &str, key: &str) -> Vec<HistRow> {
+        let bucket_name = format!("{family}_bucket");
+        let sum_name = format!("{family}_sum");
+        let count_name = format!("{family}_count");
+        let mut labels: Vec<String> = Vec::new();
+        for s in samples {
+            if s.name == count_name {
+                if let Some(v) = s.label(key) {
+                    if !labels.iter().any(|l| l == v) {
+                        labels.push(v.to_string());
+                    }
+                }
+            }
+        }
+        let mut rows: Vec<HistRow> = labels
+            .into_iter()
+            .map(|label| {
+                let mut buckets: Vec<(f64, f64)> = samples
+                    .iter()
+                    .filter(|s| s.name == bucket_name && s.label(key) == Some(&label))
+                    .filter_map(|s| {
+                        let le = s.label("le")?;
+                        let bound = match le {
+                            "+Inf" => f64::INFINITY,
+                            t => t.parse().ok()?,
+                        };
+                        Some((bound, s.value))
+                    })
+                    .collect();
+                buckets.sort_by(|a, b| a.0.total_cmp(&b.0));
+                let pick = |name: &str| {
+                    samples
+                        .iter()
+                        .find(|s| s.name == name && s.label(key) == Some(&label))
+                        .map_or(0.0, |s| s.value)
+                };
+                let count = pick(&count_name);
+                HistRow {
+                    p50_us: quantile(&buckets, count, 0.50),
+                    p99_us: quantile(&buckets, count, 0.99),
+                    sum_us: pick(&sum_name),
+                    count: count as u64,
+                    label,
+                }
+            })
+            .filter(|r| r.count > 0)
+            .collect();
+        rows.sort_by(|a, b| b.sum_us.total_cmp(&a.sum_us));
+        rows
+    }
+
+    /// A label-less sample's value (counters and gauges), 0 if absent.
+    fn value(samples: &[Sample], name: &str) -> f64 {
+        samples
+            .iter()
+            .find(|s| s.name == name && s.labels.is_empty())
+            .map_or(0.0, |s| s.value)
+    }
+
+    /// Microseconds as a short human latency (`840µs`, `3.2ms`, `1.7s`).
+    fn fmt_us(us: f64) -> String {
+        if !us.is_finite() {
+            "-".to_string()
+        } else if us < 1_000.0 {
+            format!("{us:.0}µs")
+        } else if us < 1_000_000.0 {
+            format!("{:.1}ms", us / 1_000.0)
+        } else {
+            format!("{:.1}s", us / 1_000_000.0)
+        }
+    }
+
+    fn print_table(title: &str, rows: &[HistRow]) {
+        if rows.is_empty() {
+            return;
+        }
+        println!("{title}");
+        println!(
+            "  {:<28} {:>8} {:>9} {:>9} {:>10}",
+            "", "count", "p50", "p99", "total"
+        );
+        for r in rows {
+            println!(
+                "  {:<28} {:>8} {:>9} {:>9} {:>10}",
+                r.label,
+                r.count,
+                fmt_us(r.p50_us),
+                fmt_us(r.p99_us),
+                fmt_us(r.sum_us)
+            );
+        }
+    }
+
+    fn render(samples: &[Sample]) {
+        let queries = value(samples, "shadowdp_solver_queries_total");
+        let hits = value(samples, "shadowdp_solver_memo_hits_total");
+        let hit_rate = if queries > 0.0 {
+            100.0 * hits / queries
+        } else {
+            0.0
+        };
+        println!(
+            "jobs done {}  batches {}  store hits {}  solver memo {:.1}% ({:.0}/{:.0})",
+            value(samples, "shadowdp_jobs_done_total"),
+            value(samples, "shadowdp_batches_total"),
+            value(samples, "shadowdp_store_hits_total"),
+            hit_rate,
+            hits,
+            queries
+        );
+        println!(
+            "queue {}/{}  journal {}  memo {}  pipeline {} (stamps {}..{})  log {}B (ratio {:.2})  \
+             last flush {}",
+            value(samples, "shadowdp_queue_depth"),
+            value(samples, "shadowdp_queue_capacity"),
+            value(samples, "shadowdp_journal_entries"),
+            value(samples, "shadowdp_memo_entries"),
+            value(samples, "shadowdp_store_pipeline_entries"),
+            value(samples, "shadowdp_pipeline_stamp_oldest"),
+            value(samples, "shadowdp_pipeline_stamp_newest"),
+            value(samples, "shadowdp_store_log_bytes"),
+            value(samples, "shadowdp_store_compaction_ratio"),
+            fmt_us(value(samples, "shadowdp_store_last_flush_us"))
+        );
+        let crashes = value(samples, "shadowdp_crashes_total");
+        let exhausted = value(samples, "shadowdp_budget_exhausted_total");
+        let replayed = value(samples, "shadowdp_journal_replayed_total");
+        if crashes + exhausted + replayed > 0.0 {
+            println!("faults: crashes {crashes}  budget exhausted {exhausted}  journal replayed {replayed}");
+        }
+        println!();
+        print_table(
+            "verify by algorithm",
+            &hist_rows(samples, "shadowdp_verify_algorithm_us", "algorithm"),
+        );
+        print_table(
+            "pipeline by phase",
+            &hist_rows(samples, "shadowdp_phase_us", "phase"),
+        );
+        print_table(
+            "solver queries",
+            &hist_rows(samples, "shadowdp_solver_query_us", "path"),
+        );
+        let daemon: Vec<HistRow> = [
+            ("batch jobs", "shadowdp_batch_jobs"),
+            ("store flush", "shadowdp_store_flush_us"),
+        ]
+        .iter()
+        .filter_map(|(label, family)| bare_hist_row(samples, label, family))
+        .collect();
+        print_table("daemon (batch jobs are counts, not µs)", &daemon);
+    }
+
+    /// A label-less histogram as one table row, if it has observations.
+    fn bare_hist_row(samples: &[Sample], label: &str, family: &str) -> Option<HistRow> {
+        let bucket_name = format!("{family}_bucket");
+        let mut buckets: Vec<(f64, f64)> = samples
+            .iter()
+            .filter(|s| s.name == bucket_name)
+            .filter_map(|s| {
+                let bound = match s.label("le")? {
+                    "+Inf" => f64::INFINITY,
+                    t => t.parse().ok()?,
+                };
+                Some((bound, s.value))
+            })
+            .collect();
+        buckets.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let count = value(samples, &format!("{family}_count"));
+        if count == 0.0 {
+            return None;
+        }
+        Some(HistRow {
+            label: label.to_string(),
+            count: count as u64,
+            sum_us: value(samples, &format!("{family}_sum")),
+            p50_us: quantile(&buckets, count, 0.50),
+            p99_us: quantile(&buckets, count, 0.99),
+        })
+    }
+
+    pub fn run(
+        mut client: Client,
+        interval_ms: u64,
+        iterations: Option<u64>,
+    ) -> Result<bool, ExitCode> {
+        let mut frame: u64 = 0;
+        loop {
+            let exposition = client.metrics().map_err(|e| {
+                eprintln!("shadowdp top: metrics poll failed: {e}");
+                ExitCode::FAILURE
+            })?;
+            // Full validation (not just parsing) so a single-frame
+            // `top --iterations 1` doubles as an exposition checker.
+            shadowdp_obs::validate_exposition(&exposition).map_err(|e| {
+                eprintln!("shadowdp top: malformed exposition: {e}");
+                ExitCode::FAILURE
+            })?;
+            let samples = shadowdp_obs::parse_exposition(&exposition).map_err(|e| {
+                eprintln!("shadowdp top: malformed exposition: {e}");
+                ExitCode::FAILURE
+            })?;
+            if frame > 0 {
+                // Redraw in place; the first frame appends so
+                // single-shot runs (CI) leave a clean transcript.
+                print!("\x1b[2J\x1b[H");
+            }
+            render(&samples);
+            frame += 1;
+            if iterations.is_some_and(|n| frame >= n) {
+                return Ok(true);
+            }
+            std::thread::sleep(Duration::from_millis(interval_ms));
+        }
+    }
+}
+
+/// Writes collected spans as a Chrome `trace_event` file and reports
+/// how much the ring saw (and dropped) on stderr.
+fn write_trace(path: &PathBuf) -> Result<(), ExitCode> {
+    shadowdp_obs::disarm();
+    let spans = shadowdp_obs::take_spans();
+    let overwritten = shadowdp_obs::spans_overwritten();
+    let json = shadowdp_obs::chrome_trace_json(&spans);
+    std::fs::write(path, json).map_err(|e| {
+        eprintln!("shadowdp: cannot write trace to {}: {e}", path.display());
+        ExitCode::FAILURE
+    })?;
+    eprintln!(
+        "shadowdp: wrote {} spans to {} ({overwritten} overwritten)",
+        spans.len(),
+        path.display()
+    );
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let Some(args) = parse_args() else {
         return usage();
     };
+    // Arm before dispatch so parse/typecheck/verify spans from local
+    // runs land in the ring; daemon-side spans are the daemon's
+    // (SHADOWDP_TRACE=1), not ours.
+    if args.trace_out.is_some() {
+        shadowdp_obs::arm();
+    }
     let result = match args.command.as_str() {
         "check" => check(&args),
         "table1" => {
@@ -213,7 +517,7 @@ fn main() -> ExitCode {
                 Ok(s) => {
                     println!(
                         "queued={} running={} done={} memo={} pipeline_store={} store_hits={} \
-                         queue_capacity={} journaled={}",
+                         queue_capacity={} journaled={} store_bytes={} last_flush_us={}",
                         s.queued,
                         s.running,
                         s.done,
@@ -221,7 +525,9 @@ fn main() -> ExitCode {
                         s.pipeline_store,
                         s.store_hits,
                         s.queue_capacity,
-                        s.journaled
+                        s.journaled,
+                        s.store_bytes,
+                        s.last_flush_micros
                     );
                     Ok(true)
                 }
@@ -230,6 +536,23 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+        },
+        "metrics" if args.socket.is_some() => match connect(&args) {
+            Err(code) => return code,
+            Ok(mut client) => match client.metrics() {
+                Ok(exposition) => {
+                    print!("{exposition}");
+                    Ok(true)
+                }
+                Err(e) => {
+                    eprintln!("shadowdp: metrics failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+        },
+        "top" if args.socket.is_some() => match connect(&args) {
+            Err(code) => return code,
+            Ok(client) => top::run(client, args.interval_ms, args.iterations),
         },
         "shutdown" if args.socket.is_some() => match connect(&args) {
             Err(code) => return code,
@@ -243,6 +566,11 @@ fn main() -> ExitCode {
         },
         _ => return usage(),
     };
+    if let Some(path) = &args.trace_out {
+        if let Err(code) = write_trace(path) {
+            return code;
+        }
+    }
     match result {
         Ok(true) => ExitCode::SUCCESS,
         Ok(false) => ExitCode::FAILURE,

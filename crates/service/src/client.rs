@@ -245,6 +245,20 @@ impl Client {
         }
     }
 
+    /// Fetches the daemon's full metrics registry in Prometheus text
+    /// exposition format (the `METRICS` verb, unescaped back to its
+    /// multi-line form).
+    ///
+    /// # Errors
+    ///
+    /// I/O or protocol failure.
+    pub fn metrics(&mut self) -> io::Result<String> {
+        match self.roundtrip(&Request::Metrics)? {
+            Response::Metrics(exposition) => Ok(exposition),
+            other => Err(bad_data(format!("expected METRICS, got {other:?}"))),
+        }
+    }
+
     /// Asks the daemon to flush its store and exit.
     ///
     /// # Errors

@@ -92,6 +92,141 @@ pub const DEFAULT_COMPACT_RATIO: f64 = 2.0;
 /// as a floor and backs off further on repeated rejections.
 pub const BUSY_RETRY_MS: u64 = 100;
 
+// ---------------------------------------------------------------------------
+// Metrics (always-on; exposed over the METRICS verb)
+// ---------------------------------------------------------------------------
+
+use shadowdp_obs::{LazyCounter, LazyFloatGauge, LazyGauge, LazyHistogram};
+
+static JOBS_DONE: LazyCounter = LazyCounter::new(
+    "shadowdp_jobs_done_total",
+    "Job outcomes published since daemon startup (store hits included)",
+);
+static STORE_HITS_TOTAL: LazyCounter = LazyCounter::new(
+    "shadowdp_store_hits_total",
+    "Jobs answered from the persistent pipeline tier without scheduling",
+);
+static BUSY_REJECTIONS: LazyCounter = LazyCounter::new(
+    "shadowdp_busy_rejections_total",
+    "SUBMIT requests rejected with BUSY by queue backpressure",
+);
+static CRASHES: LazyCounter = LazyCounter::new(
+    "shadowdp_crashes_total",
+    "Jobs that panicked and were isolated as crashed outcomes",
+);
+static BUDGET_EXHAUSTED: LazyCounter = LazyCounter::new(
+    "shadowdp_budget_exhausted_total",
+    "Jobs that hit their resource budget before reaching a verdict",
+);
+static JOURNAL_REPLAYED: LazyCounter = LazyCounter::new(
+    "shadowdp_journal_replayed_total",
+    "In-flight submissions re-verified from the journal at startup",
+);
+static COMPACTIONS: LazyCounter = LazyCounter::new(
+    "shadowdp_store_compactions_total",
+    "Successful store compaction passes (ratio-triggered and shutdown)",
+);
+static BATCHES: LazyCounter = LazyCounter::new(
+    "shadowdp_batches_total",
+    "Scheduler batches run (store-hit-only batches included)",
+);
+static QUEUE_DEPTH: LazyGauge = LazyGauge::new(
+    "shadowdp_queue_depth",
+    "Submissions accepted but not yet drained into a batch",
+);
+static QUEUE_CAPACITY: LazyGauge = LazyGauge::new(
+    "shadowdp_queue_capacity",
+    "Submission-queue bound (0 = unbounded)",
+);
+static JOURNAL_ENTRIES: LazyGauge = LazyGauge::new(
+    "shadowdp_journal_entries",
+    "Accepted submissions currently covered by the in-flight journal",
+);
+static MEMO_ENTRIES: LazyGauge = LazyGauge::new(
+    "shadowdp_memo_entries",
+    "Entries in the live solver query memo",
+);
+static PIPELINE_ENTRIES: LazyGauge = LazyGauge::new(
+    "shadowdp_store_pipeline_entries",
+    "Whole-verification entries in the persistent pipeline tier",
+);
+static STORE_LOG_BYTES: LazyGauge = LazyGauge::new(
+    "shadowdp_store_log_bytes",
+    "On-disk size of the verdict store log in bytes",
+);
+static LAST_FLUSH_US: LazyGauge = LazyGauge::new(
+    "shadowdp_store_last_flush_us",
+    "Wall-clock microseconds the most recent store flush took",
+);
+static COMPACTION_RATIO: LazyFloatGauge = LazyFloatGauge::new(
+    "shadowdp_store_compaction_ratio",
+    "Logged entries (superseded included) over live entries; the \
+     --compact-ratio trigger compares against this",
+);
+static STAMP_OLDEST: LazyGauge = LazyGauge::new(
+    "shadowdp_pipeline_stamp_oldest",
+    "Oldest last-served-batch stamp across pipeline-tier entries \
+     (eviction groundwork; 0 until an entry is served)",
+);
+static STAMP_NEWEST: LazyGauge = LazyGauge::new(
+    "shadowdp_pipeline_stamp_newest",
+    "Newest last-served-batch stamp across pipeline-tier entries \
+     (eviction groundwork; 0 until an entry is served)",
+);
+static BATCH_JOBS: LazyHistogram = LazyHistogram::new(
+    "shadowdp_batch_jobs",
+    "Jobs per scheduler batch (occupancy of each corpus fan-out)",
+);
+static FLUSH_US: LazyHistogram = LazyHistogram::new(
+    "shadowdp_store_flush_us",
+    "Store flush latency in microseconds (delta appends and rewrites)",
+);
+
+/// Forces registration of every daemon metric so the very first scrape
+/// exposes the full set (a never-incremented counter reads 0 instead of
+/// being absent — scrape consumers can rely on the schema).
+fn register_metrics() {
+    JOBS_DONE.get();
+    STORE_HITS_TOTAL.get();
+    BUSY_REJECTIONS.get();
+    CRASHES.get();
+    BUDGET_EXHAUSTED.get();
+    JOURNAL_REPLAYED.get();
+    COMPACTIONS.get();
+    BATCHES.get();
+    QUEUE_DEPTH.get();
+    QUEUE_CAPACITY.get();
+    JOURNAL_ENTRIES.get();
+    MEMO_ENTRIES.get();
+    PIPELINE_ENTRIES.get();
+    STORE_LOG_BYTES.get();
+    LAST_FLUSH_US.get();
+    COMPACTION_RATIO.get();
+    STAMP_OLDEST.get();
+    STAMP_NEWEST.get();
+    BATCH_JOBS.get();
+    FLUSH_US.get();
+    // Pipeline + solver metrics live in their own crates; pull them in
+    // too, or a warm daemon serving everything from its store would
+    // scrape without the solver counters.
+    shadowdp::pipeline::register_metrics();
+}
+
+/// Refreshes the store-shaped gauges from a locked store. Called after
+/// every batch and on METRICS reads so scrapes see current state even
+/// when the daemon is idle.
+fn refresh_store_gauges(store: &VerdictStore) {
+    PIPELINE_ENTRIES.set(store.pipeline_len() as u64);
+    STORE_LOG_BYTES.set(store.log_bytes());
+    let live = store.live_entries();
+    if live > 0 {
+        COMPACTION_RATIO.set(store.logged_entries() as f64 / live as f64);
+    }
+    let (oldest, newest) = store.pipeline_stamp_range().unwrap_or((0, 0));
+    STAMP_OLDEST.set(oldest);
+    STAMP_NEWEST.set(newest);
+}
+
 /// Daemon configuration.
 #[derive(Clone, Debug)]
 pub struct DaemonConfig {
@@ -279,6 +414,13 @@ struct State {
     /// `STATUS`). Incremented per successful append, reset to the
     /// still-outstanding count after each batch's journal rewrite.
     journaled: u64,
+    /// Wall-clock microseconds of the most recent store flush (0 until
+    /// the first), reported by `STATUS`.
+    last_flush_micros: u64,
+    /// Monotonic batch counter. Stamped onto pipeline-tier entries at
+    /// put/serve time (eviction groundwork; see
+    /// [`VerdictStore::stamp_served`]).
+    batch_seq: u64,
     shutdown: bool,
 }
 
@@ -377,7 +519,16 @@ pub fn run(config: DaemonConfig) -> std::io::Result<()> {
             initial.pending.len()
         );
         initial.journaled = initial.pending.len() as u64;
+        JOURNAL_REPLAYED.add(initial.pending.len() as u64);
     }
+    // Spans stay disarmed unless SHADOWDP_TRACE asks for them; metrics
+    // are always on.
+    shadowdp_obs::arm_from_env();
+    register_metrics();
+    QUEUE_CAPACITY.set(config.queue_limit.map_or(0, |n| n as u64));
+    QUEUE_DEPTH.set(initial.pending.len() as u64);
+    JOURNAL_ENTRIES.set(initial.journaled);
+    refresh_store_gauges(&store);
 
     // A socket file may be left over from a crashed daemon — or belong to
     // a daemon that is alive right now. Probe before touching it: only a
@@ -460,7 +611,7 @@ pub fn run(config: DaemonConfig) -> std::io::Result<()> {
 fn schedule(shared: &Shared) {
     let pipeline = Pipeline::new();
     loop {
-        let batch: Vec<(u64, JobSpec)> = {
+        let (batch, seq): (Vec<(u64, JobSpec)>, u64) = {
             let mut st = shared.state.lock().unwrap();
             while st.pending.is_empty() && !st.shutdown {
                 st = shared.cond.wait(st).unwrap();
@@ -470,14 +621,20 @@ fn schedule(shared: &Shared) {
             }
             let batch = std::mem::take(&mut st.pending);
             st.running = batch.len() as u64;
-            batch
+            st.batch_seq += 1;
+            QUEUE_DEPTH.set(0);
+            (batch, st.batch_seq)
         };
+        let mut batch_span = shadowdp_obs::span("daemon.batch");
+        let batch_len = batch.len();
+        BATCHES.inc();
+        BATCH_JOBS.observe(batch_len as u64);
 
         let mut outcomes: Vec<JobOutcome> = Vec::new();
         let mut fresh: Vec<(u64, JobSpec, CorpusJob)> = Vec::new();
         let mut hits = 0u64;
         {
-            let store = shared.store.lock().unwrap();
+            let mut store = shared.store.lock().unwrap();
             for (id, spec) in batch {
                 if let Some(entry) = store.pipeline_get(&spec) {
                     hits += 1;
@@ -500,6 +657,8 @@ fn schedule(shared: &Shared) {
                         assumption_hits: 0,
                         verdict: entry.verdict.clone(),
                     });
+                    // Serve-time stamp: this batch is the entry's last use.
+                    store.stamp_served(&spec, seq);
                 } else {
                     match spec.to_job() {
                         Ok(job) => fresh.push((id, spec, job)),
@@ -519,12 +678,14 @@ fn schedule(shared: &Shared) {
                     }
                 }
             }
+            refresh_store_gauges(&store);
         }
 
         // Whether this batch's verdicts are durably persisted by the time
         // we publish — the precondition for dropping the batch's journal
         // entries. An all-store-hit batch adds nothing to persist.
         let mut persisted = true;
+        let mut flush_micros: Option<u64> = None;
         if !fresh.is_empty() {
             let jobs: Vec<CorpusJob> = fresh.iter().map(|(_, _, job)| job.clone()).collect();
             let outcome = pipeline.verify_corpus_parallel_with_memo(
@@ -571,6 +732,8 @@ fn schedule(shared: &Shared) {
                             deps: Some(deps),
                         },
                     );
+                    // Put-time stamp (eviction groundwork).
+                    store.stamp_served(spec, seq);
                 }
                 outcomes.push(JobOutcome {
                     id: *id,
@@ -591,16 +754,28 @@ fn schedule(shared: &Shared) {
             // delta dirty, so the next successful flush (or the shutdown
             // compaction) persists it.
             store.absorb_dirty(&shared.memo);
-            if let Err(e) = store.flush() {
+            let flush_start = std::time::Instant::now();
+            let flushed = {
+                let _span = shadowdp_obs::span("daemon.flush");
+                store.flush()
+            };
+            let us = flush_start.elapsed().as_micros() as u64;
+            flush_micros = Some(us);
+            FLUSH_US.observe(us);
+            LAST_FLUSH_US.set(us);
+            if let Err(e) = flushed {
                 persisted = false;
                 eprintln!("shadowdpd: store flush failed (delta retained, will retry): {e}");
             } else if store.wants_compaction(shared.config.compact_ratio) {
                 match store.compact() {
-                    Ok(stats) => eprintln!(
-                        "shadowdpd: compacted store ({} -> {} logged entries, {} \
-                         unreachable solver entries dropped)",
-                        stats.logged_before, stats.logged_after, stats.dropped_solver
-                    ),
+                    Ok(stats) => {
+                        COMPACTIONS.inc();
+                        eprintln!(
+                            "shadowdpd: compacted store ({} -> {} logged entries, {} \
+                             unreachable solver entries dropped)",
+                            stats.logged_before, stats.logged_after, stats.dropped_solver
+                        );
+                    }
                     Err(e) => {
                         eprintln!(
                             "shadowdpd: store compaction failed (continuing on the old log): {e}"
@@ -608,10 +783,29 @@ fn schedule(shared: &Shared) {
                     }
                 }
             }
+            refresh_store_gauges(&store);
         }
+
+        STORE_HITS_TOTAL.add(hits);
+        JOBS_DONE.add(outcomes.len() as u64);
+        for outcome in &outcomes {
+            match outcome.kind {
+                OutcomeKind::Crashed => CRASHES.inc(),
+                OutcomeKind::Exhausted => BUDGET_EXHAUSTED.inc(),
+                OutcomeKind::Completed | OutcomeKind::Error => {}
+            }
+        }
+        MEMO_ENTRIES.set(shared.memo.len() as u64);
+        if shadowdp_obs::armed() {
+            batch_span.set_label(&format!("seq={seq} jobs={batch_len} store_hits={hits}"));
+        }
+        drop(batch_span);
 
         let mut st = shared.state.lock().unwrap();
         st.store_hits += hits;
+        if let Some(us) = flush_micros {
+            st.last_flush_micros = us;
+        }
         for outcome in outcomes {
             if st.owners.contains_key(&outcome.id) {
                 st.done.insert(outcome.id, outcome);
@@ -634,6 +828,8 @@ fn schedule(shared: &Shared) {
             }
         }
         st.running = 0;
+        QUEUE_DEPTH.set(st.pending.len() as u64);
+        JOURNAL_ENTRIES.set(st.journaled);
         shared.cond.notify_all();
     }
 
@@ -643,12 +839,16 @@ fn schedule(shared: &Shared) {
     // back to an append so the final delta still lands.
     let mut store = shared.store.lock().unwrap();
     store.absorb_dirty(&shared.memo);
-    if let Err(e) = store.compact() {
-        eprintln!("shadowdpd: shutdown compaction failed: {e}");
-        if let Err(e) = store.flush() {
-            eprintln!("shadowdpd: final store flush failed: {e}");
+    match store.compact() {
+        Ok(_) => COMPACTIONS.inc(),
+        Err(e) => {
+            eprintln!("shadowdpd: shutdown compaction failed: {e}");
+            if let Err(e) = store.flush() {
+                eprintln!("shadowdpd: final store flush failed: {e}");
+            }
         }
     }
+    refresh_store_gauges(&store);
     let clean = store.dirty_len() == 0;
     drop(store);
     if clean {
@@ -709,11 +909,27 @@ fn serve(shared: &Shared, conn: u64, stream: UnixStream) -> std::io::Result<()> 
         if line.is_empty() {
             continue;
         }
-        let response = match proto::parse_request(&line) {
+        let parsed = proto::parse_request(&line);
+        // One span per request, labeled by verb. RESULT spans include the
+        // wait for the job's batch — that *is* the client-visible reply
+        // latency on the accept→queue→batch→flush→reply path.
+        let mut request_span = shadowdp_obs::span("daemon.request");
+        if let Ok(req) = &parsed {
+            let verb = match req {
+                Request::Ping => "PING",
+                Request::Status => "STATUS",
+                Request::Metrics => "METRICS",
+                Request::Submit(_) => "SUBMIT",
+                Request::Result(_) => "RESULT",
+                Request::Shutdown => "SHUTDOWN",
+            };
+            request_span.set_label(verb);
+        }
+        let response = match parsed {
             Err(e) => Response::Err(e.to_string()),
             Ok(Request::Ping) => Response::Pong,
             Ok(Request::Status) => {
-                let (queued, running, done, store_hits, journaled) = {
+                let (queued, running, done, store_hits, journaled, last_flush_micros) = {
                     let st = shared.state.lock().unwrap();
                     (
                         st.pending.len() as u64,
@@ -721,9 +937,13 @@ fn serve(shared: &Shared, conn: u64, stream: UnixStream) -> std::io::Result<()> 
                         st.done.len() as u64 + st.delivered.len() as u64,
                         st.store_hits,
                         st.journaled,
+                        st.last_flush_micros,
                     )
                 };
-                let pipeline_store = shared.store.lock().unwrap().pipeline_len() as u64;
+                let (pipeline_store, store_bytes) = {
+                    let store = shared.store.lock().unwrap();
+                    (store.pipeline_len() as u64, store.log_bytes())
+                };
                 Response::Status(StatusInfo {
                     queued,
                     running,
@@ -733,7 +953,21 @@ fn serve(shared: &Shared, conn: u64, stream: UnixStream) -> std::io::Result<()> 
                     store_hits,
                     queue_capacity: shared.config.queue_limit.map_or(0, |n| n as u64),
                     journaled,
+                    store_bytes,
+                    last_flush_micros,
                 })
+            }
+            Ok(Request::Metrics) => {
+                // Refresh point-in-time gauges so an idle daemon's scrape
+                // is current, then render the whole registry.
+                MEMO_ENTRIES.set(shared.memo.len() as u64);
+                {
+                    let st = shared.state.lock().unwrap();
+                    QUEUE_DEPTH.set(st.pending.len() as u64);
+                    JOURNAL_ENTRIES.set(st.journaled);
+                }
+                refresh_store_gauges(&shared.store.lock().unwrap());
+                Response::Metrics(shadowdp_obs::render_prometheus())
             }
             Ok(Request::Submit(spec)) => {
                 let mut st = shared.state.lock().unwrap();
@@ -744,6 +978,7 @@ fn serve(shared: &Shared, conn: u64, stream: UnixStream) -> std::io::Result<()> 
                     .queue_limit
                     .is_some_and(|cap| st.pending.len() >= cap)
                 {
+                    BUSY_REJECTIONS.inc();
                     Response::Busy(BUSY_RETRY_MS)
                 } else {
                     // Journal before acknowledging: once `QUEUED` is on
@@ -760,6 +995,8 @@ fn serve(shared: &Shared, conn: u64, stream: UnixStream) -> std::io::Result<()> 
                     st.next_id += 1;
                     st.pending.push((id, spec));
                     st.owners.insert(id, conn);
+                    QUEUE_DEPTH.set(st.pending.len() as u64);
+                    JOURNAL_ENTRIES.set(st.journaled);
                     shared.cond.notify_all();
                     Response::Queued(id)
                 }

@@ -7,7 +7,7 @@
 //! so a physical line always holds exactly one message. The grammar:
 //!
 //! ```text
-//! request  = "PING" | "STATUS" | "SHUTDOWN"
+//! request  = "PING" | "STATUS" | "METRICS" | "SHUTDOWN"
 //!          | "RESULT" TAB id
 //!          | "SUBMIT" TAB isolated TAB mode TAB engine TAB list_len
 //!                     TAB max_unroll TAB max_rounds
@@ -19,6 +19,8 @@
 //!          | "STATUS" TAB queued TAB running TAB done TAB memo
 //!                     TAB pipeline_store TAB store_hits
 //!                     TAB queue_capacity TAB journaled
+//!                     TAB store_bytes TAB last_flush_us
+//!          | "METRICS" TAB exposition
 //!          | "RESULT" TAB id TAB ok TAB from TAB kind TAB digest
 //!                     TAB checks TAB cache_hits TAB theory_calls
 //!                     TAB assumption_queries TAB assumption_hits TAB verdict
@@ -36,6 +38,10 @@
 //! `completed`/`error`/`crashed`/`exhausted` (see [`OutcomeKind`]).
 //! `BUSY` rejects a `SUBMIT` when the daemon's bounded submission queue
 //! is full; the client should wait roughly `retry_after_ms` and retry.
+//! `METRICS` answers with the daemon's full metrics registry rendered in
+//! Prometheus text exposition format, [`esc`]-escaped onto the one
+//! response line (the exposition is multi-line; the escaping keeps the
+//! protocol strictly line-oriented).
 //! Job ids are owned by the connection that submitted them: `RESULT`
 //! from any other connection is an `ERR`, and a second `RESULT` for an
 //! already-delivered id is too (outcomes are dropped on delivery to
@@ -105,6 +111,8 @@ pub enum Request {
     Ping,
     /// Queue/store counters.
     Status,
+    /// Full metrics registry in Prometheus text exposition format.
+    Metrics,
     /// Queue a verification job; answered immediately with `QUEUED`.
     Submit(JobSpec),
     /// Block until the job is done, then return its outcome.
@@ -137,6 +145,15 @@ pub struct StatusInfo {
     /// (queued + in the running batch); they re-verify on restart if the
     /// daemon crashes before their verdicts are persisted.
     pub journaled: u64,
+    /// On-disk size of the verdict store log in bytes (0 for an
+    /// in-memory daemon). Grows with appended batches, shrinks on
+    /// compaction — the compaction ratio made visible without shell
+    /// access to the store path.
+    pub store_bytes: u64,
+    /// Wall-clock microseconds the most recent store flush took (0
+    /// until the first flush). Pairs with the flush-latency histogram
+    /// in `METRICS` for clients that only speak `STATUS`.
+    pub last_flush_micros: u64,
 }
 
 /// How a job's run ended, beyond the coarse `ok` flag.
@@ -231,6 +248,8 @@ pub enum Response {
     Busy(u64),
     /// Counter snapshot.
     Status(StatusInfo),
+    /// Prometheus text exposition of the daemon's metrics registry.
+    Metrics(String),
     /// Finished job.
     Result(JobOutcome),
     /// The request could not be served (malformed line, unknown id).
@@ -248,6 +267,7 @@ pub fn encode_request(req: &Request) -> String {
     match req {
         Request::Ping => "PING".into(),
         Request::Status => "STATUS".into(),
+        Request::Metrics => "METRICS".into(),
         Request::Shutdown => "SHUTDOWN".into(),
         Request::Result(id) => format!("RESULT\t{id}"),
         Request::Submit(spec) => {
@@ -290,6 +310,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
     match fields[0] {
         "PING" if fields.len() == 1 => Ok(Request::Ping),
         "STATUS" if fields.len() == 1 => Ok(Request::Status),
+        "METRICS" if fields.len() == 1 => Ok(Request::Metrics),
         "SHUTDOWN" if fields.len() == 1 => Ok(Request::Shutdown),
         "RESULT" if fields.len() == 2 => fields[1]
             .parse()
@@ -376,7 +397,7 @@ pub fn encode_response(resp: &Response) -> String {
         Response::Busy(ms) => format!("BUSY\t{ms}"),
         Response::Err(msg) => format!("ERR\t{}", esc(msg)),
         Response::Status(s) => format!(
-            "STATUS\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            "STATUS\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
             s.queued,
             s.running,
             s.done,
@@ -384,8 +405,11 @@ pub fn encode_response(resp: &Response) -> String {
             s.pipeline_store,
             s.store_hits,
             s.queue_capacity,
-            s.journaled
+            s.journaled,
+            s.store_bytes,
+            s.last_flush_micros
         ),
+        Response::Metrics(exposition) => format!("METRICS\t{}", esc(exposition)),
         Response::Result(r) => format!(
             "RESULT\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
             r.id,
@@ -420,7 +444,7 @@ pub fn parse_response(line: &str) -> Result<Response, ProtoError> {
         "QUEUED" if fields.len() == 2 => Ok(Response::Queued(num(fields[1], "job id")?)),
         "BUSY" if fields.len() == 2 => Ok(Response::Busy(num(fields[1], "retry_after_ms")?)),
         "ERR" if fields.len() == 2 => Ok(Response::Err(unesc(fields[1])?)),
-        "STATUS" if fields.len() == 9 => Ok(Response::Status(StatusInfo {
+        "STATUS" if fields.len() == 11 => Ok(Response::Status(StatusInfo {
             queued: num(fields[1], "queued")?,
             running: num(fields[2], "running")?,
             done: num(fields[3], "done")?,
@@ -429,7 +453,10 @@ pub fn parse_response(line: &str) -> Result<Response, ProtoError> {
             store_hits: num(fields[6], "store_hits")?,
             queue_capacity: num(fields[7], "queue_capacity")?,
             journaled: num(fields[8], "journaled")?,
+            store_bytes: num(fields[9], "store_bytes")?,
+            last_flush_micros: num(fields[10], "last_flush_us")?,
         })),
+        "METRICS" if fields.len() == 2 => Ok(Response::Metrics(unesc(fields[1])?)),
         "RESULT" if fields.len() == 12 => Ok(Response::Result(JobOutcome {
             id: num(fields[1], "job id")?,
             ok: match fields[2] {
@@ -493,6 +520,7 @@ mod tests {
         requests.extend([
             Request::Ping,
             Request::Status,
+            Request::Metrics,
             Request::Result(17),
             Request::Shutdown,
         ]);
@@ -520,7 +548,17 @@ mod tests {
                 store_hits: 9,
                 queue_capacity: 64,
                 journaled: 3,
+                store_bytes: 131_072,
+                last_flush_micros: 842,
             }),
+            // A METRICS payload is a multi-line exposition: the escaping
+            // must keep it on one physical line and round-trip exactly.
+            Response::Metrics(
+                "# HELP shadowdp_jobs_done_total Jobs completed\n\
+                 # TYPE shadowdp_jobs_done_total counter\n\
+                 shadowdp_jobs_done_total 18\n"
+                    .into(),
+            ),
             Response::Result(JobOutcome {
                 id: 7,
                 ok: true,
@@ -580,6 +618,10 @@ mod tests {
         // valid: the arity bump is deliberate, not backward-compatible.
         assert!(parse_response("RESULT\t1\tok\tstore\tabc\t0\t0\t0\t0\t0\tproved").is_err());
         assert!(parse_response("STATUS\t1\t2\t3\t4\t5\t6").is_err());
+        // Likewise the pre-observability 9-field STATUS (no store_bytes /
+        // last_flush_us) and a bare METRICS with no payload field.
+        assert!(parse_response("STATUS\t1\t2\t3\t4\t5\t6\t7\t8").is_err());
+        assert!(parse_response("METRICS").is_err());
         assert!(parse_response("RESULT\t1\tok\tstore\tbogus\tabc\t0\t0\t0\t0\t0\tproved").is_err());
         assert!(parse_response("BUSY\tnope").is_err());
         assert!(parse_response("QUEUED\tnope").is_err());

@@ -162,6 +162,11 @@ pub struct VerdictStore {
     /// log, superseded ones included — the denominator of the live/dead
     /// compaction ratio.
     logged_entries: u64,
+    /// Last-served-batch stamps for pipeline-tier entries, keyed like
+    /// `pipeline`. Eviction groundwork: in-memory only (a restart resets
+    /// them — eviction should act on traffic the current process
+    /// observed), surfaced as oldest/newest gauges over `METRICS`.
+    batch_stamps: HashMap<u128, u64>,
     /// The next flush must rewrite the whole log (missing file, v1 image,
     /// damaged header, or an append whose partial write could not be
     /// rolled back).
@@ -179,6 +184,7 @@ impl VerdictStore {
             pipeline: HashMap::new(),
             dirty_solver: Vec::new(),
             dirty_pipeline: Vec::new(),
+            batch_stamps: HashMap::new(),
             log_valid_len: 0,
             logged_entries: 0,
             needs_rewrite: true,
@@ -363,6 +369,30 @@ impl VerdictStore {
         let key = Self::job_key(spec);
         self.pipeline.insert(key, entry);
         self.dirty_pipeline.push(key);
+    }
+
+    /// Stamps a pipeline-tier entry with the batch sequence number that
+    /// last wrote or served it (no-op for an absent entry). The daemon
+    /// calls this at `pipeline_put` time and whenever the store answers
+    /// a resubmission — so the stamp is a last-use mark, the groundwork
+    /// a future LRU-style pipeline-tier eviction policy needs.
+    pub fn stamp_served(&mut self, spec: &JobSpec, batch_seq: u64) {
+        let key = Self::job_key(spec);
+        if self.pipeline.contains_key(&key) {
+            self.batch_stamps.insert(key, batch_seq);
+        }
+    }
+
+    /// The `(oldest, newest)` last-served-batch stamps across the
+    /// pipeline tier, or `None` before any entry is stamped. The spread
+    /// between the two is how stale the coldest entry is, in batches.
+    pub fn pipeline_stamp_range(&self) -> Option<(u64, u64)> {
+        self.batch_stamps.values().fold(None, |range, &seq| {
+            Some(match range {
+                None => (seq, seq),
+                Some((lo, hi)) => (lo.min(seq), hi.max(seq)),
+            })
+        })
     }
 
     /// Re-persists any of `deps` missing from the solver tier, pulling
@@ -1217,6 +1247,32 @@ mod tests {
                 "numer={numer} denom={denom} must drop the record"
             );
         }
+    }
+
+    #[test]
+    fn batch_stamps_track_last_use_in_memory_only() {
+        let mut store = VerdictStore::in_memory();
+        assert_eq!(store.pipeline_stamp_range(), None);
+        let a = JobSpec::new("function A() returns o: num(0,0) { o := 0; }");
+        let b = JobSpec::new("function B() returns o: num(0,0) { o := 0; }");
+        // Stamping an absent entry is a no-op.
+        store.stamp_served(&a, 1);
+        assert_eq!(store.pipeline_stamp_range(), None);
+
+        let entry = PipelineEntry {
+            ok: true,
+            verdict: "proved".into(),
+            digest: "ok\n".into(),
+            deps: Some(vec![]),
+        };
+        store.pipeline_put(&a, entry.clone());
+        store.stamp_served(&a, 1);
+        store.pipeline_put(&b, entry);
+        store.stamp_served(&b, 4);
+        assert_eq!(store.pipeline_stamp_range(), Some((1, 4)));
+        // A later serve moves an entry's stamp: `a` is now the newest.
+        store.stamp_served(&a, 9);
+        assert_eq!(store.pipeline_stamp_range(), Some((4, 9)));
     }
 
     #[test]

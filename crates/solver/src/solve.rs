@@ -33,6 +33,37 @@ use crate::fm::{check_sat, Constraint, FmResult};
 use crate::normalize::{Formula, Normalizer};
 use crate::term::{with_shard, Fingerprint, Symbol, Term, TermArena, TermNode};
 
+/// Armed-only latency histograms for the two query outcomes (memo hit
+/// vs. fresh solve), split as one `path`-labelled family. Disarmed —
+/// the default, and the configuration the bench gate measures — every
+/// query pays exactly one relaxed atomic load
+/// ([`shadowdp_obs::armed`]); the member handles are cached so the
+/// armed path is two clock reads plus three atomic adds, never a map
+/// lookup.
+static QUERY_LATENCY_US: shadowdp_obs::LazyHistogramFamily = shadowdp_obs::LazyHistogramFamily::new(
+    "shadowdp_solver_query_us",
+    "Latency of solver validity queries by memo outcome (microseconds; collected while tracing is armed)",
+    "path",
+);
+
+/// Forces registration of this crate's lazily-declared metrics so a
+/// scrape shows the full schema before the first query runs (a daemon
+/// serving everything from its store never touches the query path).
+pub fn register_metrics() {
+    QUERY_LATENCY_US.get();
+}
+
+fn query_hist(hit: bool) -> &'static shadowdp_obs::Histogram {
+    static HIT: std::sync::OnceLock<&'static shadowdp_obs::Histogram> = std::sync::OnceLock::new();
+    static FRESH: std::sync::OnceLock<&'static shadowdp_obs::Histogram> =
+        std::sync::OnceLock::new();
+    if hit {
+        HIT.get_or_init(|| QUERY_LATENCY_US.with("hit"))
+    } else {
+        FRESH.get_or_init(|| QUERY_LATENCY_US.with("fresh"))
+    }
+}
+
 /// A satisfying assignment.
 ///
 /// Keys are rendered strings (the public, solver-independent surface);
@@ -555,11 +586,15 @@ impl Solver {
         if let Some((_, fp)) = key {
             self.touched.borrow_mut().push(fp);
             if let Some(hit) = self.memo.get(fp) {
+                let us = start.elapsed().as_micros() as u64;
                 let mut stats = self.stats.get();
                 stats.checks += 1;
                 stats.cache_hits += 1;
-                stats.micros += start.elapsed().as_micros() as u64;
+                stats.micros += us;
                 self.stats.set(stats);
+                if shadowdp_obs::armed() {
+                    query_hist(true).observe(us);
+                }
                 return hit;
             }
         }
@@ -575,9 +610,13 @@ impl Solver {
             }
         }
 
+        let us = start.elapsed().as_micros() as u64;
         let mut stats = self.stats.get();
-        stats.micros += start.elapsed().as_micros() as u64;
+        stats.micros += us;
         self.stats.set(stats);
+        if shadowdp_obs::armed() {
+            query_hist(false).observe(us);
+        }
         out
     }
 
@@ -742,6 +781,9 @@ impl Solver {
                     stats.assumption_queries += 1;
                     stats.assumption_hits += 1;
                     self.stats.set(stats);
+                    if shadowdp_obs::armed() {
+                        query_hist(true).observe(start.elapsed().as_micros() as u64);
+                    }
                     return hit;
                 }
             }
@@ -758,6 +800,9 @@ impl Solver {
             let mut stats = self.stats.get();
             stats.assumption_queries += 1;
             self.stats.set(stats);
+            if shadowdp_obs::armed() {
+                query_hist(false).observe(start.elapsed().as_micros() as u64);
+            }
 
             if let Some(fp) = key {
                 // Same discipline as `check_in`: exhausted placeholders

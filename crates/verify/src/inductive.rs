@@ -256,6 +256,7 @@ impl Engine {
                 return Err(format!("resource budget exhausted: {reason}"));
             }
             exec.reset_fresh(fresh_mark);
+            let mut round_span = shadowdp_obs::span("houdini.round");
             let stats_before = solver.stats();
             let mut failed: BTreeSet<usize> = BTreeSet::new();
             for entry in &entry_states {
@@ -315,17 +316,30 @@ impl Engine {
                     }
                 }
             }
-            if let Some(sink) = &opts.profile {
+            if opts.profile.is_some() || shadowdp_obs::armed() {
                 let stats_after = solver.stats();
-                sink.lock()
-                    .expect("profile sink not poisoned")
-                    .push(RoundProfile {
-                        round,
-                        dropped: failed.len(),
-                        queries: stats_after.assumption_queries - stats_before.assumption_queries,
-                        hits: stats_after.assumption_hits - stats_before.assumption_hits,
-                        after_drop: dropped_any,
-                    });
+                let profile = RoundProfile {
+                    round,
+                    dropped: failed.len(),
+                    queries: stats_after.assumption_queries - stats_before.assumption_queries,
+                    hits: stats_after.assumption_hits - stats_before.assumption_hits,
+                    after_drop: dropped_any,
+                };
+                if let Some(sink) = &opts.profile {
+                    sink.lock()
+                        .expect("profile sink not poisoned")
+                        .push(profile);
+                }
+                // The span reuses the same per-round profile the PR 5 sink
+                // collects; the label is only materialized when armed.
+                round_span.set_label(&format!(
+                    "round={} dropped={} queries={} hits={} after_drop={}",
+                    profile.round,
+                    profile.dropped,
+                    profile.queries,
+                    profile.hits,
+                    profile.after_drop
+                ));
             }
             if failed.is_empty() {
                 break;

@@ -171,12 +171,28 @@ pub fn verify_with(
     report
 }
 
+/// Per-phase latency histogram shared with the pipeline's parse /
+/// typecheck / verify observations (the registry dedupes by name).
+static PHASE_US: shadowdp_obs::LazyHistogramFamily = shadowdp_obs::LazyHistogramFamily::new(
+    "shadowdp_phase_us",
+    "Wall-clock latency per pipeline phase (microseconds)",
+    "phase",
+);
+
 fn verify_inner(
     transformed: &Function,
     options: &Options,
     solver: &shadowdp_solver::Solver,
 ) -> Report {
-    let info = match lower_to_target(transformed, options.mode.clone()) {
+    let lower_start = std::time::Instant::now();
+    let lowered = {
+        let _span = shadowdp_obs::span("lower");
+        lower_to_target(transformed, options.mode.clone())
+    };
+    PHASE_US
+        .with("lower")
+        .observe(lower_start.elapsed().as_micros() as u64);
+    let info = match lowered {
         Ok(info) => info,
         Err(e) => {
             return Report {
@@ -195,6 +211,7 @@ fn verify_inner(
     let run_bmc = matches!(options.engine, Engine::Bmc | Engine::InductiveThenBmc);
 
     if run_inductive {
+        let _span = shadowdp_obs::span("inductive");
         match inductive::prove(&info, &options.inductive, solver) {
             InductiveOutcome::Proved { invariants } => {
                 log.push(format!("inductive proof with invariants: {invariants:?}"));
@@ -217,6 +234,7 @@ fn verify_inner(
         }
     }
 
+    let _bmc_span = shadowdp_obs::span("bmc");
     match bmc::check(&info, &options.bmc, solver) {
         BmcOutcome::Verified { bound } => {
             let msg = format!("bounded verification only (all inputs with size <= {bound})");

@@ -1,7 +1,8 @@
 //! Prints per-algorithm solver statistics — query counts, theory calls,
-//! memo-table hit rates, and the per-candidate Houdini consecution hit
+//! memo-table hit rates, the per-candidate Houdini consecution hit
 //! rate (`consec`: assumption-set-keyed entailments answered from the
-//! memo) — for the Table 1 corpus.
+//! memo) — and per-phase wall-clock split (typecheck vs verify, from
+//! tracing spans) for the Table 1 corpus.
 //!
 //! ```text
 //! cargo run --release --example solver_cache_stats
@@ -11,15 +12,37 @@ use shadowdp::corpus;
 use shadowdp::Pipeline;
 use shadowdp_verify::Verdict;
 
+/// Total duration of all spans named `name` in microseconds.
+fn span_total_us(spans: &[shadowdp_obs::SpanRecord], name: &str) -> u64 {
+    spans
+        .iter()
+        .filter(|s| s.name == name)
+        .map(|s| s.dur_us)
+        .sum()
+}
+
 fn main() {
+    // Arm span collection so each run() records parse/typecheck/verify
+    // phase spans; the ring is drained per algorithm below.
+    shadowdp_obs::arm();
     println!(
-        "{:<22} {:>8} {:>8} {:>8} {:>10} {:>8} {:>8} {:>9}",
-        "algorithm", "checks", "proves", "hits", "hit-rate", "consec", "theory", "verdict"
+        "{:<22} {:>8} {:>8} {:>8} {:>10} {:>8} {:>8} {:>9} {:>9} {:>9}",
+        "algorithm",
+        "checks",
+        "proves",
+        "hits",
+        "hit-rate",
+        "consec",
+        "theory",
+        "tc-ms",
+        "verify-ms",
+        "verdict"
     );
     for alg in corpus::table1_algorithms() {
         let report = Pipeline::new()
             .run(alg.source)
             .expect("corpus pipeline runs");
+        let spans = shadowdp_obs::take_spans();
         let s = report.solver_stats;
         let rate = if s.checks > 0 {
             100.0 * s.cache_hits as f64 / s.checks as f64
@@ -31,7 +54,7 @@ fn main() {
             .map(|r| format!("{:.1}%", 100.0 * r))
             .unwrap_or_else(|| "-".into());
         println!(
-            "{:<22} {:>8} {:>8} {:>8} {:>9.1}% {:>8} {:>8} {:>9}",
+            "{:<22} {:>8} {:>8} {:>8} {:>9.1}% {:>8} {:>8} {:>9.1} {:>9.1} {:>9}",
             alg.name,
             s.checks,
             s.proves,
@@ -39,6 +62,8 @@ fn main() {
             rate,
             consec,
             s.theory_calls,
+            span_total_us(&spans, "typecheck") as f64 / 1_000.0,
+            span_total_us(&spans, "verify") as f64 / 1_000.0,
             match report.verdict {
                 Verdict::Proved => "proved",
                 Verdict::Refuted(_) => "refuted",

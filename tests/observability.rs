@@ -1,0 +1,188 @@
+//! Observability acceptance tests: tracing spans account for the wall
+//! clock of a cold Table 1 run, the Chrome trace export is structurally
+//! sound, and the metrics registry is deterministic across identical
+//! cold corpus runs.
+//!
+//! The span ring and the metrics registry are process-global, so the
+//! tests in this binary serialize on one lock and work with snapshot
+//! *deltas*, never absolutes.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use shadowdp::{table1, Pipeline};
+use shadowdp_obs::{SnapValue, SpanRecord};
+
+/// Serializes the tests in this binary: arming spans and diffing global
+/// counters cannot tolerate a concurrent sibling run.
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    // A panicking sibling poisons the lock but leaves the registry
+    // usable (deltas still work), so recover instead of cascading.
+    OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn span_sum_us(spans: &[SpanRecord], name: &str) -> u64 {
+    spans
+        .iter()
+        .filter(|s| s.name == name)
+        .map(|s| s.dur_us)
+        .sum()
+}
+
+/// The acceptance criterion: a cold 18-job Table 1 run at one thread
+/// produces a trace whose per-algorithm `verify` spans sum to within
+/// 10% of the run's wall clock — the trace accounts for where the time
+/// went, it does not invent or lose it.
+#[test]
+fn verify_spans_account_for_table1_wall_clock() {
+    let _guard = lock();
+    shadowdp_obs::arm();
+    let _ = shadowdp_obs::take_spans(); // drop spans from earlier tests
+
+    let jobs = table1::service_jobs();
+    assert_eq!(jobs.len(), 18);
+    let wall_start = Instant::now();
+    let outcome = Pipeline::new().verify_corpus_parallel(&jobs, Some(1));
+    let wall_us = wall_start.elapsed().as_micros() as u64;
+    shadowdp_obs::disarm();
+    assert_eq!(outcome.reports.len(), 18);
+
+    let spans = shadowdp_obs::take_spans();
+    assert_eq!(
+        shadowdp_obs::spans_overwritten(),
+        0,
+        "an 18-job run must fit the ring"
+    );
+
+    // One verify span per job, wrapping that job's whole verification.
+    let verify_spans = spans.iter().filter(|s| s.name == "verify").count();
+    assert_eq!(verify_spans, 18, "one verify span per Table 1 job");
+    // ... each labelled with its algorithm name for trace attribution.
+    assert!(
+        spans
+            .iter()
+            .filter(|s| s.name == "verify")
+            .all(|s| s.label.is_some()),
+        "verify spans carry the algorithm label"
+    );
+
+    let corpus_us = span_sum_us(&spans, "corpus");
+    let verify_us = span_sum_us(&spans, "verify");
+    assert!(corpus_us <= wall_us, "{corpus_us} vs {wall_us}");
+    assert!(
+        10 * corpus_us >= 9 * wall_us,
+        "the corpus span must cover the run's wall clock \
+         ({corpus_us}µs of {wall_us}µs)"
+    );
+    assert!(verify_us <= corpus_us, "{verify_us} vs {corpus_us}");
+    assert!(
+        10 * verify_us >= 9 * wall_us,
+        "verify spans must account for >=90% of the Table 1 wall clock \
+         ({verify_us}µs of {wall_us}µs)"
+    );
+
+    // The Chrome export is structurally sound: one complete event per
+    // span, wrapped in a traceEvents array.
+    let json = shadowdp_obs::chrome_trace_json(&spans);
+    assert!(
+        json.starts_with("{\"traceEvents\":["),
+        "{}",
+        &json[..json.len().min(60)]
+    );
+    assert!(json.trim_end().ends_with("]}"));
+    assert_eq!(json.matches("\"ph\":\"X\"").count(), spans.len());
+    // Labelled spans render as `name [label]`.
+    assert!(json.contains("\"name\":\"corpus [jobs=18 threads=1]\""));
+    assert!(json.contains("\"name\":\"houdini.round"));
+}
+
+/// Counter values and histogram observation counts from one snapshot,
+/// keyed by metric name (family members keep their `name{key="value"}`
+/// key). Gauges are point-in-time and excluded. For histograms only the
+/// *count* is required to be deterministic: the recorded values are
+/// latencies, so sums and per-bucket placement legitimately jitter
+/// across runs — how *often* each series is observed must not.
+fn deterministic_view(snap: &[(String, SnapValue)]) -> BTreeMap<String, Vec<u64>> {
+    let mut view = BTreeMap::new();
+    for (name, value) in snap {
+        match value {
+            SnapValue::Counter(c) => {
+                view.insert(name.clone(), vec![*c]);
+            }
+            SnapValue::Histogram { count, .. } => {
+                view.insert(name.clone(), vec![*count]);
+            }
+            SnapValue::Gauge(_) | SnapValue::Float(_) => {}
+        }
+    }
+    view
+}
+
+/// Element-wise `after - before` (a series absent from `before` counts
+/// from zero — it was registered mid-run).
+fn delta(
+    before: &BTreeMap<String, Vec<u64>>,
+    after: &BTreeMap<String, Vec<u64>>,
+) -> BTreeMap<String, Vec<u64>> {
+    let mut out = BTreeMap::new();
+    for (name, row) in after {
+        let zero = Vec::new();
+        let base = before.get(name).unwrap_or(&zero);
+        out.insert(
+            name.clone(),
+            row.iter()
+                .enumerate()
+                .map(|(i, v)| v - base.get(i).copied().unwrap_or(0))
+                .collect(),
+        );
+    }
+    out
+}
+
+/// Two identical cold corpus runs must move every counter by the same
+/// amount and land the same number of observations in every histogram
+/// bucket — the metric *values* are timing-free, only the latencies
+/// (sums) may differ. The rendered exposition must also validate.
+#[test]
+fn identical_cold_runs_produce_identical_metric_deltas() {
+    let _guard = lock();
+    shadowdp_obs::disarm();
+
+    let jobs = table1::service_jobs();
+    let mut deltas = Vec::new();
+    for _ in 0..2 {
+        let before = deterministic_view(&shadowdp_obs::snapshot());
+        let outcome = Pipeline::new().verify_corpus_parallel(&jobs, Some(1));
+        assert_eq!(outcome.reports.len(), 18);
+        let after = deterministic_view(&shadowdp_obs::snapshot());
+        deltas.push(delta(&before, &after));
+    }
+
+    let (first, second) = (&deltas[0], &deltas[1]);
+    assert_eq!(
+        first.keys().collect::<Vec<_>>(),
+        second.keys().collect::<Vec<_>>(),
+        "both runs touch the same metric series"
+    );
+    for (name, row) in first {
+        assert_eq!(
+            row, &second[name],
+            "metric `{name}` must move identically across identical cold runs"
+        );
+    }
+    // And the runs did real, observable work.
+    assert!(first["shadowdp_solver_queries_total"][0] > 0, "{first:?}");
+    let phase_count = |phase: &str| {
+        let key = format!("shadowdp_phase_us{{phase=\"{phase}\"}}");
+        *first[&key].last().expect("histogram count")
+    };
+    assert_eq!(phase_count("parse"), 18);
+    assert_eq!(phase_count("typecheck"), 18);
+    assert_eq!(phase_count("verify"), 18);
+
+    let exposition = shadowdp_obs::render_prometheus();
+    shadowdp_obs::validate_exposition(&exposition).expect("registry renders a valid exposition");
+}
