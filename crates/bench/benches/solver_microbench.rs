@@ -9,6 +9,13 @@
 //!   memo table off vs. on. The memoized path must be ≥ 2× the uncached
 //!   throughput (it is orders of magnitude in practice — a `u32`-keyed hash
 //!   lookup vs. a full solve);
+//! - `trail/*` — the incremental search core: a fresh solve over a
+//!   64-level disjunction chain (pure decision-level open/conflict/flip
+//!   mechanics) and the Houdini-shaped push/query/pop assumption-frame
+//!   workload; plus the machine-independent **saturation reuse rate**
+//!   published into the `CRITERION_JSON` dump (a percentage in the
+//!   `mean_ns` field) and asserted ≥ 50 % both here and in
+//!   `bench_compare`'s invariant gate;
 //! - `houdini/*` — end-to-end inductive verification of a counter loop
 //!   with a per-round-replaying Houdini fixed point, memoized vs. not;
 //! - `houdini-rekey/*` — the per-candidate assumption keying on a
@@ -100,6 +107,111 @@ fn bench_repeated_query(c: &mut Criterion) {
     });
 
     group.finish();
+}
+
+/// A 64-level disjunction chain in the stack-soak shape: every level's
+/// first disjunct contradicts one shared top-level bound, so a fresh
+/// solve opens a decision level, conflicts, flips, and commits — 64
+/// times. This is the trail engine's bread and butter (open/undo/flip),
+/// with the single shared variable keeping theory cost O(1) so the
+/// timing is pure search mechanics.
+fn disjunction_chain(levels: usize) -> Term {
+    let x = Term::real_var("chain_x");
+    let mut parts: Vec<Term> = Vec::with_capacity(levels + 1);
+    for i in 0..levels {
+        let dead_end = x.le(Term::int(0));
+        let escape = Term::bool_var(format!("chain_q{i}"));
+        parts.push(dead_end.or(escape));
+    }
+    // The bound goes last: `pending` is a LIFO, so it saturates before
+    // any decision level opens and each conflict flips locally.
+    parts.push(Term::int(1).le(x));
+    Term::conj(parts)
+}
+
+/// Runs the Houdini-shaped incremental workload once on `solver`: the
+/// base frame (Ψ bounds and guards) pushed once, then each candidate
+/// pushed, queried, and popped as a narrow delta on top of it.
+fn push_pop_houdini_pass(solver: &Solver, hyps: &[Term], candidates: &[Term], goal: &Term) {
+    solver.push_assumptions(hyps);
+    for cand in candidates {
+        solver.push_assumptions(std::slice::from_ref(cand));
+        assert!(solver.prove_pushed(goal).is_proved());
+        solver.pop_assumptions();
+    }
+    solver.pop_assumptions();
+}
+
+fn bench_trail(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_micro/trail");
+
+    // A fresh solve dominated by decision levels: the cost of opening,
+    // conflicting, and flipping 64 levels on the trail.
+    let chain = disjunction_chain(64);
+    group.bench_function("fresh-solve", |b| {
+        let solver = Solver::without_memo();
+        b.iter(|| assert!(solver.check(std::slice::from_ref(&chain)).is_sat()))
+    });
+
+    // The Houdini consecution shape: base assumptions pushed once per
+    // round, each candidate a push/query/pop delta. Memo off, so every
+    // iteration pays the real incremental search rather than a lookup.
+    let (hyps, goal) = noisy_max_vc();
+    let hq = Term::real_var("hq");
+    let sbq = Term::real_var("sbq");
+    let veps = Term::real_var("v_eps");
+    let candidates = vec![
+        hq.ge(Term::int(-1)),
+        sbq.le(Term::int(1)),
+        veps.ge(Term::int(0)),
+        hq.add(sbq).le(Term::int(2)),
+    ];
+    group.bench_function("push-pop-houdini", |b| {
+        let solver = Solver::without_memo();
+        b.iter(|| push_pop_houdini_pass(&solver, &hyps, &candidates, &goal))
+    });
+    group.finish();
+
+    // The machine-independent half, published the same way as the
+    // houdini-rekey hit rate: the fraction of constraint pushes answered
+    // by extending live saturation state instead of recomputing it from
+    // scratch, over one pass of the incremental workload above. Under
+    // the trail core almost every atom lands on a non-empty tableau, so
+    // this sits near 90 %; a regression back to clone-and-resaturate
+    // per disjunct collapses it toward 0 on any hardware.
+    let solver = Solver::without_memo();
+    push_pop_houdini_pass(&solver, &hyps, &candidates, &goal);
+    assert!(solver.check(std::slice::from_ref(&chain)).is_sat());
+    let stats = solver.stats();
+    let total = stats.saturation_reuses + stats.resaturations;
+    assert!(total > 0, "the trail workload must saturate something");
+    let rate_pct = 100.0 * stats.saturation_reuses as f64 / total as f64;
+    println!(
+        "solver_micro/trail/saturation-reuse-pct    {rate_pct:.1} % \
+         ({}/{total} constraint pushes extended live saturation state)",
+        stats.saturation_reuses
+    );
+    assert!(
+        rate_pct >= 50.0,
+        "saturation reuse rate {rate_pct:.1}% fell below 50% \
+         ({}/{total}): the incremental tableau stopped paying off",
+        stats.saturation_reuses
+    );
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if !path.is_empty() {
+            if let Ok(mut file) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+            {
+                let _ = writeln!(
+                    file,
+                    "{{\"id\": \"solver_micro/trail/saturation-reuse-pct\", \
+                     \"mean_ns\": {rate_pct:.1}, \"stddev_ns\": 0.0, \"samples\": 1}}"
+                );
+            }
+        }
+    }
 }
 
 const COUNTER_LOOP: &str = "function Loop(eps, NN, size: num(0,0), q: list num(*,*))
@@ -242,6 +354,7 @@ criterion_group!(
     bench_construction,
     bench_normalize,
     bench_repeated_query,
+    bench_trail,
     bench_houdini,
     bench_houdini_rekey
 );

@@ -165,7 +165,14 @@ pub enum Comparison {
 ///   assumption set that never mentioned the dropped sibling, so most of
 ///   those queries are memo hits; a regression back to candidate-set-
 ///   sensitive keys shows up as this rate collapsing toward 0 on any
-///   hardware (it is ~80 % in practice on Partial Sum).
+///   hardware (it is ~80 % in practice on Partial Sum);
+/// - the trail engine's **saturation reuse rate**
+///   (`solver_micro/trail/saturation-reuse-pct` — likewise a percentage
+///   in the `mean_ns` field) must stay ≥ 50 %. Under the incremental
+///   trail core nearly every constraint push extends live tableau state
+///   rather than recomputing it, so this sits near 90 % in practice; a
+///   regression back to clone-and-resaturate-per-disjunct search shows
+///   up as the rate collapsing toward 0 on any hardware.
 ///
 /// Returns human-readable violation messages (empty = ok).
 pub fn check_invariants(fresh: &[BenchEntry]) -> Vec<String> {
@@ -241,6 +248,22 @@ pub fn check_invariants(fresh: &[BenchEntry]) -> Vec<String> {
         None => violations.push(
             "fresh dump is missing the houdini-rekey post-drop-hit-rate-pct entry needed for \
              the machine-independent consecution-keying check"
+                .to_string(),
+        ),
+    }
+    match find("solver_micro/trail/saturation-reuse-pct") {
+        Some(rate_pct) => {
+            if rate_pct < 50.0 {
+                violations.push(format!(
+                    "trail saturation reuse rate ({rate_pct:.1} %) fell below 50 %: the \
+                     incremental tableau has stopped extending live state and is recomputing \
+                     saturations from scratch"
+                ));
+            }
+        }
+        None => violations.push(
+            "fresh dump is missing the trail saturation-reuse-pct entry needed for the \
+             machine-independent incremental-saturation check"
                 .to_string(),
         ),
     }
@@ -362,8 +385,9 @@ mod tests {
                 entry("service/warm-vs-cold/cold", 150_000_000.0 * scale),
                 entry("service/flush-incremental/early", 90_000.0 * scale),
                 entry("service/flush-incremental/late", 110_000.0 * scale),
-                // A rate in percent, not a time: deliberately NOT scaled.
+                // Rates in percent, not times: deliberately NOT scaled.
                 entry("solver_micro/houdini-rekey/post-drop-hit-rate-pct", 80.0),
+                entry("solver_micro/trail/saturation-reuse-pct", 90.0),
             ]
         };
         // A healthy ratio passes at any absolute speed (fast or slow box).
@@ -392,7 +416,12 @@ mod tests {
         let mut rekeyed_away = healthy(1.0);
         rekeyed_away[6].mean_ns = 12.0;
         assert_eq!(check_invariants(&rekeyed_away).len(), 1);
+        // A trail core that went back to resaturating from scratch per
+        // disjunct fails regardless of machine speed.
+        let mut resaturating = healthy(1.0);
+        resaturating[7].mean_ns = 8.0;
+        assert_eq!(check_invariants(&resaturating).len(), 1);
         // Missing entries are flagged, not silently skipped.
-        assert_eq!(check_invariants(&[]).len(), 4);
+        assert_eq!(check_invariants(&[]).len(), 5);
     }
 }

@@ -54,6 +54,22 @@ static ASSUMPTION_HITS: shadowdp_obs::LazyCounter = shadowdp_obs::LazyCounter::n
     "shadowdp_solver_assumption_hits_total",
     "Assumption-set-keyed consecution queries answered from the memo",
 );
+static TRAIL_DEPTH: shadowdp_obs::LazyHistogram = shadowdp_obs::LazyHistogram::new(
+    "shadowdp_solver_trail_depth",
+    "Deepest solver decision-level nesting per corpus batch",
+);
+static TRAIL_OPS: shadowdp_obs::LazyCounter = shadowdp_obs::LazyCounter::new(
+    "shadowdp_solver_trail_ops_total",
+    "Reversible search-state operations recorded on solver trails",
+);
+static SATURATION_REUSES: shadowdp_obs::LazyCounter = shadowdp_obs::LazyCounter::new(
+    "shadowdp_saturation_reuse_total",
+    "Constraints absorbed incrementally into an already-saturated set",
+);
+static RESATURATIONS: shadowdp_obs::LazyCounter = shadowdp_obs::LazyCounter::new(
+    "shadowdp_saturation_recompute_total",
+    "Full from-scratch constraint-set saturations",
+);
 
 /// Forces registration of every pipeline-level metric (and the solver's)
 /// so a scrape exposes the full schema even before any job has run a
@@ -67,6 +83,10 @@ pub fn register_metrics() {
     THEORY_CALLS.get();
     ASSUMPTION_QUERIES.get();
     ASSUMPTION_HITS.get();
+    TRAIL_DEPTH.get();
+    TRAIL_OPS.get();
+    SATURATION_REUSES.get();
+    RESATURATIONS.get();
     shadowdp_solver::solve::register_metrics();
 }
 
@@ -437,6 +457,10 @@ impl Pipeline {
                 acc.cache_hits += r.solver_stats.cache_hits;
                 acc.assumption_queries += r.solver_stats.assumption_queries;
                 acc.assumption_hits += r.solver_stats.assumption_hits;
+                acc.trail_ops += r.solver_stats.trail_ops;
+                acc.max_trail_depth = acc.max_trail_depth.max(r.solver_stats.max_trail_depth);
+                acc.saturation_reuses += r.solver_stats.saturation_reuses;
+                acc.resaturations += r.solver_stats.resaturations;
                 acc
             },
         );
@@ -449,6 +473,10 @@ impl Pipeline {
         THEORY_CALLS.add(solver_stats.theory_calls);
         ASSUMPTION_QUERIES.add(solver_stats.assumption_queries);
         ASSUMPTION_HITS.add(solver_stats.assumption_hits);
+        TRAIL_OPS.add(solver_stats.trail_ops);
+        SATURATION_REUSES.add(solver_stats.saturation_reuses);
+        RESATURATIONS.add(solver_stats.resaturations);
+        TRAIL_DEPTH.observe(solver_stats.max_trail_depth);
         if shadowdp_obs::armed() {
             corpus_span.set_label(&format!("jobs={} threads={workers}", jobs.len()));
         }

@@ -365,6 +365,20 @@ mod top {
             hits,
             queries
         );
+        let reuses = value(samples, "shadowdp_saturation_reuse_total");
+        let resats = value(samples, "shadowdp_saturation_recompute_total");
+        let reuse_rate = if reuses + resats > 0.0 {
+            100.0 * reuses / (reuses + resats)
+        } else {
+            0.0
+        };
+        println!(
+            "trail ops {}  saturation reuse {:.1}% ({:.0}/{:.0})",
+            value(samples, "shadowdp_solver_trail_ops_total"),
+            reuse_rate,
+            reuses,
+            reuses + resats
+        );
         println!(
             "queue {}/{}  journal {}  memo {}  pipeline {} (stamps {}..{})  log {}B (ratio {:.2})  \
              last flush {}",
@@ -401,11 +415,15 @@ mod top {
         let daemon: Vec<HistRow> = [
             ("batch jobs", "shadowdp_batch_jobs"),
             ("store flush", "shadowdp_store_flush_us"),
+            ("trail depth", "shadowdp_solver_trail_depth"),
         ]
         .iter()
         .filter_map(|(label, family)| bare_hist_row(samples, label, family))
         .collect();
-        print_table("daemon (batch jobs are counts, not µs)", &daemon);
+        print_table(
+            "daemon (batch jobs and trail depth are counts, not µs)",
+            &daemon,
+        );
     }
 
     /// A label-less histogram as one table row, if it has observations.
@@ -517,7 +535,8 @@ fn main() -> ExitCode {
                 Ok(s) => {
                     println!(
                         "queued={} running={} done={} memo={} pipeline_store={} store_hits={} \
-                         queue_capacity={} journaled={} store_bytes={} last_flush_us={}",
+                         queue_capacity={} journaled={} store_bytes={} last_flush_us={} \
+                         trail_ops={} sat_reuses={}",
                         s.queued,
                         s.running,
                         s.done,
@@ -527,7 +546,9 @@ fn main() -> ExitCode {
                         s.queue_capacity,
                         s.journaled,
                         s.store_bytes,
-                        s.last_flush_micros
+                        s.last_flush_micros,
+                        s.trail_ops,
+                        s.saturation_reuses
                     );
                     Ok(true)
                 }

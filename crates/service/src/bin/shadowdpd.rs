@@ -3,6 +3,7 @@
 //! ```text
 //! shadowdpd --socket <path> [--store <path>] [--threads <n>] [--compact-ratio <r>]
 //!           [--queue-limit <n>] [--io-timeout-ms <ms>]
+//!           [--store-max-pipeline-entries <n>]
 //! ```
 //!
 //! Listens on the Unix socket, schedules submitted jobs in batches, and
@@ -11,7 +12,10 @@
 //! live ones (default 2; `inf` disables ratio-triggered compaction —
 //! clean shutdown still compacts). `--queue-limit` bounds the submission
 //! queue (`SUBMIT` past it answers `BUSY`); `--io-timeout-ms` puts
-//! read/write deadlines on daemon-side connection sockets. See
+//! read/write deadlines on daemon-side connection sockets;
+//! `--store-max-pipeline-entries` caps the pipeline tier of the store,
+//! evicting the least recently served entries past the cap after each
+//! batch. See
 //! `shadowdp_service` for the protocol and formats. Exits on a client
 //! `SHUTDOWN`.
 
@@ -23,7 +27,7 @@ use shadowdp_service::daemon::{self, DaemonConfig, DEFAULT_COMPACT_RATIO};
 fn usage() -> ExitCode {
     eprintln!(
         "usage: shadowdpd --socket <path> [--store <path>] [--threads <n>] [--compact-ratio <r>] \
-         [--queue-limit <n>] [--io-timeout-ms <ms>]"
+         [--queue-limit <n>] [--io-timeout-ms <ms>] [--store-max-pipeline-entries <n>]"
     );
     ExitCode::from(2)
 }
@@ -35,6 +39,7 @@ fn main() -> ExitCode {
     let mut compact_ratio: f64 = DEFAULT_COMPACT_RATIO;
     let mut queue_limit: Option<usize> = None;
     let mut io_timeout: Option<std::time::Duration> = None;
+    let mut max_pipeline_entries: Option<usize> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -49,6 +54,14 @@ fn main() -> ExitCode {
                 Some(n) => queue_limit = Some(n),
                 None => return usage(),
             },
+            // A zero cap would evict every entry after every batch —
+            // a config mistake, not a meaningful bound.
+            "--store-max-pipeline-entries" => {
+                match args.next().and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) if n > 0 => max_pipeline_entries = Some(n),
+                    _ => return usage(),
+                }
+            }
             "--io-timeout-ms" => match args.next().and_then(|v| v.parse::<u64>().ok()) {
                 // A zero socket timeout is an error at `set_read_timeout`
                 // time; catch the config mistake here instead.
@@ -98,6 +111,7 @@ fn main() -> ExitCode {
         compact_ratio,
         queue_limit,
         io_timeout,
+        max_pipeline_entries,
     }) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

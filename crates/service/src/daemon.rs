@@ -126,6 +126,10 @@ static COMPACTIONS: LazyCounter = LazyCounter::new(
     "shadowdp_store_compactions_total",
     "Successful store compaction passes (ratio-triggered and shutdown)",
 );
+static PIPELINE_EVICTIONS: LazyCounter = LazyCounter::new(
+    "shadowdp_pipeline_evictions_total",
+    "Pipeline-tier entries evicted by the --store-max-pipeline-entries LRU cap",
+);
 static BATCHES: LazyCounter = LazyCounter::new(
     "shadowdp_batches_total",
     "Scheduler batches run (store-hit-only batches included)",
@@ -193,6 +197,7 @@ fn register_metrics() {
     BUDGET_EXHAUSTED.get();
     JOURNAL_REPLAYED.get();
     COMPACTIONS.get();
+    PIPELINE_EVICTIONS.get();
     BATCHES.get();
     QUEUE_DEPTH.get();
     QUEUE_CAPACITY.get();
@@ -254,6 +259,13 @@ pub struct DaemonConfig {
     /// (`--io-timeout-ms`). `None` = no deadline. Note this also bounds
     /// how long an *idle* connection may sit between requests.
     pub io_timeout: Option<Duration>,
+    /// Cap on pipeline-tier store entries (`--store-max-pipeline-entries`).
+    /// After each batch's puts and before its flush, the least recently
+    /// *served* entries past the cap are evicted
+    /// ([`VerdictStore::evict_pipeline_lru`]), so a daemon fed an
+    /// unbounded stream of distinct programs keeps a bounded store.
+    /// `None` = unbounded (the pre-eviction behavior).
+    pub max_pipeline_entries: Option<usize>,
 }
 
 impl DaemonConfig {
@@ -269,6 +281,7 @@ impl DaemonConfig {
             compact_ratio: DEFAULT_COMPACT_RATIO,
             queue_limit: None,
             io_timeout: None,
+            max_pipeline_entries: None,
         }
     }
 }
@@ -410,6 +423,14 @@ struct State {
     next_id: u64,
     running: u64,
     store_hits: u64,
+    /// Cumulative solver trail operations across every fresh job this
+    /// daemon has verified (store hits add nothing — no search ran).
+    /// Reported by `STATUS`.
+    trail_ops: u64,
+    /// Cumulative incremental-saturation reuses across fresh jobs,
+    /// reported by `STATUS`. Together with `trail_ops` this makes the
+    /// incremental solver core's work visible without a METRICS scrape.
+    saturation_reuses: u64,
     /// Submissions currently covered by the on-disk journal (reported by
     /// `STATUS`). Incremented per successful append, reset to the
     /// still-outstanding count after each batch's journal rewrite.
@@ -655,6 +676,10 @@ fn schedule(shared: &Shared) {
                         theory_calls: 0,
                         assumption_queries: 0,
                         assumption_hits: 0,
+                        trail_ops: 0,
+                        max_trail_depth: 0,
+                        saturation_reuses: 0,
+                        resaturations: 0,
                         verdict: entry.verdict.clone(),
                     });
                     // Serve-time stamp: this batch is the entry's last use.
@@ -673,6 +698,10 @@ fn schedule(shared: &Shared) {
                             theory_calls: 0,
                             assumption_queries: 0,
                             assumption_hits: 0,
+                            trail_ops: 0,
+                            max_trail_depth: 0,
+                            saturation_reuses: 0,
+                            resaturations: 0,
                             verdict: format!("error: {e}"),
                         }),
                     }
@@ -746,6 +775,10 @@ fn schedule(shared: &Shared) {
                     theory_calls: stats.theory_calls,
                     assumption_queries: stats.assumption_queries,
                     assumption_hits: stats.assumption_hits,
+                    trail_ops: stats.trail_ops,
+                    max_trail_depth: stats.max_trail_depth,
+                    saturation_reuses: stats.saturation_reuses,
+                    resaturations: stats.resaturations,
                     verdict,
                 });
             }
@@ -754,6 +787,16 @@ fn schedule(shared: &Shared) {
             // delta dirty, so the next successful flush (or the shutdown
             // compaction) persists it.
             store.absorb_dirty(&shared.memo);
+            // Enforce the pipeline-tier cap now, after this batch's puts
+            // and before the flush: an eviction forces a full rewrite,
+            // and doing it here folds that rewrite into the flush I/O
+            // below instead of paying for it separately.
+            if let Some(max) = shared.config.max_pipeline_entries {
+                let evicted = store.evict_pipeline_lru(max);
+                if evicted > 0 {
+                    PIPELINE_EVICTIONS.add(evicted as u64);
+                }
+            }
             let flush_start = std::time::Instant::now();
             let flushed = {
                 let _span = shadowdp_obs::span("daemon.flush");
@@ -803,6 +846,10 @@ fn schedule(shared: &Shared) {
 
         let mut st = shared.state.lock().unwrap();
         st.store_hits += hits;
+        for outcome in &outcomes {
+            st.trail_ops += outcome.trail_ops;
+            st.saturation_reuses += outcome.saturation_reuses;
+        }
         if let Some(us) = flush_micros {
             st.last_flush_micros = us;
         }
@@ -929,7 +976,16 @@ fn serve(shared: &Shared, conn: u64, stream: UnixStream) -> std::io::Result<()> 
             Err(e) => Response::Err(e.to_string()),
             Ok(Request::Ping) => Response::Pong,
             Ok(Request::Status) => {
-                let (queued, running, done, store_hits, journaled, last_flush_micros) = {
+                let (
+                    queued,
+                    running,
+                    done,
+                    store_hits,
+                    journaled,
+                    last_flush_micros,
+                    trail_ops,
+                    saturation_reuses,
+                ) = {
                     let st = shared.state.lock().unwrap();
                     (
                         st.pending.len() as u64,
@@ -938,6 +994,8 @@ fn serve(shared: &Shared, conn: u64, stream: UnixStream) -> std::io::Result<()> 
                         st.store_hits,
                         st.journaled,
                         st.last_flush_micros,
+                        st.trail_ops,
+                        st.saturation_reuses,
                     )
                 };
                 let (pipeline_store, store_bytes) = {
@@ -955,6 +1013,8 @@ fn serve(shared: &Shared, conn: u64, stream: UnixStream) -> std::io::Result<()> 
                     journaled,
                     store_bytes,
                     last_flush_micros,
+                    trail_ops,
+                    saturation_reuses,
                 })
             }
             Ok(Request::Metrics) => {

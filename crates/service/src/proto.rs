@@ -20,10 +20,13 @@
 //!                     TAB pipeline_store TAB store_hits
 //!                     TAB queue_capacity TAB journaled
 //!                     TAB store_bytes TAB last_flush_us
+//!                     TAB trail_ops TAB sat_reuses
 //!          | "METRICS" TAB exposition
 //!          | "RESULT" TAB id TAB ok TAB from TAB kind TAB digest
 //!                     TAB checks TAB cache_hits TAB theory_calls
-//!                     TAB assumption_queries TAB assumption_hits TAB verdict
+//!                     TAB assumption_queries TAB assumption_hits
+//!                     TAB trail_ops TAB max_trail_depth
+//!                     TAB sat_reuses TAB resaturations TAB verdict
 //!          | "ERR" TAB message
 //! ```
 //!
@@ -154,6 +157,14 @@ pub struct StatusInfo {
     /// until the first flush). Pairs with the flush-latency histogram
     /// in `METRICS` for clients that only speak `STATUS`.
     pub last_flush_micros: u64,
+    /// Cumulative reversible solver-trail operations across every job
+    /// this daemon has verified (0 for a daemon serving purely from its
+    /// store — trail ops are fresh search work by definition).
+    pub trail_ops: u64,
+    /// Cumulative incremental saturation reuses: constraints absorbed
+    /// into an already-saturated set instead of triggering a
+    /// from-scratch recomputation.
+    pub saturation_reuses: u64,
 }
 
 /// How a job's run ended, beyond the coarse `ok` flag.
@@ -232,6 +243,17 @@ pub struct JobOutcome {
     /// which is the cross-variation transfer the per-candidate keying
     /// exists for.
     pub assumption_hits: u64,
+    /// Reversible trail operations recorded by this job's searches (0
+    /// for store-served or fully warm jobs).
+    pub trail_ops: u64,
+    /// Deepest decision-level nesting any of this job's searches reached.
+    pub max_trail_depth: u64,
+    /// Constraints absorbed incrementally into a live saturation (pushed
+    /// assumption bases and mid-search atoms).
+    pub saturation_reuses: u64,
+    /// Full from-scratch saturations (cold constraint sets and final
+    /// model reconstructions).
+    pub resaturations: u64,
     /// Rendered verdict or error.
     pub verdict: String,
 }
@@ -397,7 +419,7 @@ pub fn encode_response(resp: &Response) -> String {
         Response::Busy(ms) => format!("BUSY\t{ms}"),
         Response::Err(msg) => format!("ERR\t{}", esc(msg)),
         Response::Status(s) => format!(
-            "STATUS\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            "STATUS\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
             s.queued,
             s.running,
             s.done,
@@ -407,11 +429,13 @@ pub fn encode_response(resp: &Response) -> String {
             s.queue_capacity,
             s.journaled,
             s.store_bytes,
-            s.last_flush_micros
+            s.last_flush_micros,
+            s.trail_ops,
+            s.saturation_reuses
         ),
         Response::Metrics(exposition) => format!("METRICS\t{}", esc(exposition)),
         Response::Result(r) => format!(
-            "RESULT\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            "RESULT\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
             r.id,
             if r.ok { "ok" } else { "err" },
             if r.from_store { "store" } else { "fresh" },
@@ -422,6 +446,10 @@ pub fn encode_response(resp: &Response) -> String {
             r.theory_calls,
             r.assumption_queries,
             r.assumption_hits,
+            r.trail_ops,
+            r.max_trail_depth,
+            r.saturation_reuses,
+            r.resaturations,
             esc(&r.verdict)
         ),
     }
@@ -444,7 +472,7 @@ pub fn parse_response(line: &str) -> Result<Response, ProtoError> {
         "QUEUED" if fields.len() == 2 => Ok(Response::Queued(num(fields[1], "job id")?)),
         "BUSY" if fields.len() == 2 => Ok(Response::Busy(num(fields[1], "retry_after_ms")?)),
         "ERR" if fields.len() == 2 => Ok(Response::Err(unesc(fields[1])?)),
-        "STATUS" if fields.len() == 11 => Ok(Response::Status(StatusInfo {
+        "STATUS" if fields.len() == 13 => Ok(Response::Status(StatusInfo {
             queued: num(fields[1], "queued")?,
             running: num(fields[2], "running")?,
             done: num(fields[3], "done")?,
@@ -455,9 +483,11 @@ pub fn parse_response(line: &str) -> Result<Response, ProtoError> {
             journaled: num(fields[8], "journaled")?,
             store_bytes: num(fields[9], "store_bytes")?,
             last_flush_micros: num(fields[10], "last_flush_us")?,
+            trail_ops: num(fields[11], "trail_ops")?,
+            saturation_reuses: num(fields[12], "sat_reuses")?,
         })),
         "METRICS" if fields.len() == 2 => Ok(Response::Metrics(unesc(fields[1])?)),
-        "RESULT" if fields.len() == 12 => Ok(Response::Result(JobOutcome {
+        "RESULT" if fields.len() == 16 => Ok(Response::Result(JobOutcome {
             id: num(fields[1], "job id")?,
             ok: match fields[2] {
                 "ok" => true,
@@ -476,7 +506,11 @@ pub fn parse_response(line: &str) -> Result<Response, ProtoError> {
             theory_calls: num(fields[8], "theory_calls")?,
             assumption_queries: num(fields[9], "assumption_queries")?,
             assumption_hits: num(fields[10], "assumption_hits")?,
-            verdict: unesc(fields[11])?,
+            trail_ops: num(fields[11], "trail_ops")?,
+            max_trail_depth: num(fields[12], "max_trail_depth")?,
+            saturation_reuses: num(fields[13], "sat_reuses")?,
+            resaturations: num(fields[14], "resaturations")?,
+            verdict: unesc(fields[15])?,
         })),
         verb => Err(ProtoError(format!("unknown response `{verb}`"))),
     }
@@ -550,6 +584,8 @@ mod tests {
                 journaled: 3,
                 store_bytes: 131_072,
                 last_flush_micros: 842,
+                trail_ops: 51_200,
+                saturation_reuses: 4_096,
             }),
             // A METRICS payload is a multi-line exposition: the escaping
             // must keep it on one physical line and round-trip exactly.
@@ -570,6 +606,10 @@ mod tests {
                 theory_calls: 0,
                 assumption_queries: 40,
                 assumption_hits: 40,
+                trail_ops: 0,
+                max_trail_depth: 0,
+                saturation_reuses: 0,
+                resaturations: 0,
                 verdict: "refuted: x = 1, size = 3\nsecond line".into(),
             }),
             Response::Result(JobOutcome {
@@ -583,6 +623,10 @@ mod tests {
                 theory_calls: 1,
                 assumption_queries: 0,
                 assumption_hits: 0,
+                trail_ops: 37,
+                max_trail_depth: 4,
+                saturation_reuses: 12,
+                resaturations: 1,
                 verdict: "resource-exhausted: theory-call cap (1) reached".into(),
             }),
         ];
@@ -622,6 +666,12 @@ mod tests {
         // last_flush_us) and a bare METRICS with no payload field.
         assert!(parse_response("STATUS\t1\t2\t3\t4\t5\t6\t7\t8").is_err());
         assert!(parse_response("METRICS").is_err());
+        // And the pre-trail 12-field RESULT / 11-field STATUS (no trail or
+        // saturation counters).
+        assert!(
+            parse_response("RESULT\t1\tok\tstore\tcompleted\tabc\t0\t0\t0\t0\t0\tproved").is_err()
+        );
+        assert!(parse_response("STATUS\t1\t2\t3\t4\t5\t6\t7\t8\t9\t10").is_err());
         assert!(parse_response("RESULT\t1\tok\tstore\tbogus\tabc\t0\t0\t0\t0\t0\tproved").is_err());
         assert!(parse_response("BUSY\tnope").is_err());
         assert!(parse_response("QUEUED\tnope").is_err());

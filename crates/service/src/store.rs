@@ -395,6 +395,34 @@ impl VerdictStore {
         })
     }
 
+    /// Evicts least-recently-used pipeline-tier entries until at most
+    /// `max` remain, returning how many were dropped. Recency is the
+    /// in-memory last-served batch stamp ([`VerdictStore::stamp_served`]);
+    /// entries never served by this process count as stamp 0, i.e.
+    /// coldest, and ties break by key so eviction is deterministic. The
+    /// log format has no tombstones, so any eviction schedules a full
+    /// rewrite — call right before a flush and the rewrite rides the same
+    /// I/O pass. Evicted entries' solver-tier dependencies become
+    /// unreachable and are pruned by the next compaction.
+    pub fn evict_pipeline_lru(&mut self, max: usize) -> usize {
+        if self.pipeline.len() <= max {
+            return 0;
+        }
+        let excess = self.pipeline.len() - max;
+        let mut order: Vec<(u64, u128)> = self
+            .pipeline
+            .keys()
+            .map(|k| (self.batch_stamps.get(k).copied().unwrap_or(0), *k))
+            .collect();
+        order.sort_unstable();
+        for (_, key) in order.into_iter().take(excess) {
+            self.pipeline.remove(&key);
+            self.batch_stamps.remove(&key);
+        }
+        self.needs_rewrite = true;
+        excess
+    }
+
     /// Re-persists any of `deps` missing from the solver tier, pulling
     /// their verdicts from the live memo. Closes a warmth leak in the
     /// compaction design: a job answered entirely by memo *hits* inserts
@@ -1273,6 +1301,77 @@ mod tests {
         // A later serve moves an entry's stamp: `a` is now the newest.
         store.stamp_served(&a, 9);
         assert_eq!(store.pipeline_stamp_range(), Some((4, 9)));
+    }
+
+    #[test]
+    fn lru_eviction_drops_the_coldest_entries_and_survives_reload() {
+        let path = temp_path("evict");
+        let mut store = VerdictStore::load(&path);
+        let specs: Vec<JobSpec> = (0..4)
+            .map(|i| JobSpec::new(format!("function F{i}() returns o: num(0,0) {{ o := 0; }}")))
+            .collect();
+        for (i, spec) in specs.iter().enumerate() {
+            store.solver_put(Fingerprint(i as u128), CheckResult::Unsat);
+            store.pipeline_put(
+                spec,
+                PipelineEntry {
+                    ok: true,
+                    verdict: "proved".into(),
+                    digest: format!("F{i} Proved\n"),
+                    deps: Some(vec![Fingerprint(i as u128)]),
+                },
+            );
+            store.stamp_served(spec, i as u64 + 1);
+        }
+        store.flush().unwrap();
+
+        // Under the cap: a no-op.
+        assert_eq!(store.evict_pipeline_lru(4), 0);
+        assert_eq!(store.pipeline_len(), 4);
+
+        // Re-serve the oldest entry so it is now the hottest; eviction to
+        // 2 must then drop the two *least recently served* (specs[1],
+        // specs[2]), not the lowest-numbered.
+        store.stamp_served(&specs[0], 9);
+        assert_eq!(store.evict_pipeline_lru(2), 2);
+        assert_eq!(store.pipeline_len(), 2);
+        assert!(store.pipeline_get(&specs[0]).is_some());
+        assert!(store.pipeline_get(&specs[1]).is_none());
+        assert!(store.pipeline_get(&specs[2]).is_none());
+        assert!(store.pipeline_get(&specs[3]).is_some());
+        // Stamps follow the entries out.
+        assert_eq!(store.pipeline_stamp_range(), Some((4, 9)));
+
+        // The eviction is durable: the post-eviction flush rewrites the
+        // log, and the evicted entries' solver deps are compaction prey.
+        store.flush().unwrap();
+        let reloaded = VerdictStore::load(&path);
+        assert!(reloaded.load_note().is_none());
+        assert_eq!(reloaded.pipeline_len(), 2);
+        assert!(reloaded.pipeline_get(&specs[3]).is_some());
+        let mut survivor = reloaded;
+        let stats = survivor.compact().unwrap();
+        assert_eq!(stats.dropped_solver, 2, "{stats:?}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn eviction_treats_unstamped_entries_as_coldest() {
+        let mut store = VerdictStore::in_memory();
+        let a = JobSpec::new("function A() returns o: num(0,0) { o := 0; }");
+        let b = JobSpec::new("function B() returns o: num(0,0) { o := 0; }");
+        let entry = PipelineEntry {
+            ok: true,
+            verdict: "proved".into(),
+            digest: "ok\n".into(),
+            deps: Some(vec![]),
+        };
+        store.pipeline_put(&a, entry.clone());
+        store.pipeline_put(&b, entry);
+        store.stamp_served(&b, 1); // `a` never served: stamp 0
+        assert_eq!(store.evict_pipeline_lru(1), 1);
+        assert!(store.pipeline_get(&a).is_none());
+        assert!(store.pipeline_get(&b).is_some());
     }
 
     #[test]

@@ -64,6 +64,7 @@ fn warm_restart_serves_identical_digests_from_store() {
         compact_ratio: shadowdp_service::DEFAULT_COMPACT_RATIO,
         queue_limit: None,
         io_timeout: None,
+        max_pipeline_entries: None,
     };
     let specs = corpus_specs();
 
@@ -75,12 +76,17 @@ fn warm_restart_serves_identical_digests_from_store() {
     assert_eq!(pass1[1].verdict, "proved");
     assert!(!pass1[2].ok, "{:?}", pass1[2]);
     assert!(pass1[0].theory_calls > 0);
+    // Fresh verification runs the trail-based solver core; its counters
+    // travel the wire per job and accumulate in STATUS.
+    assert!(pass1[0].trail_ops > 0, "{:?}", pass1[0]);
+    assert!(pass1[0].max_trail_depth > 0, "{:?}", pass1[0]);
 
     let status = client.status().expect("status");
     assert_eq!(status.done, 3);
     assert!(status.memo_entries > 0);
     assert_eq!(status.pipeline_store, 3);
     assert_eq!(status.store_hits, 0);
+    assert!(status.trail_ops > 0, "{status:?}");
 
     client.shutdown().expect("shutdown");
     handle.join().expect("daemon exits cleanly");
@@ -95,6 +101,7 @@ fn warm_restart_serves_identical_digests_from_store() {
         assert_eq!(a.verdict, b.verdict);
         assert_eq!(b.checks, 0);
         assert_eq!(b.theory_calls, 0);
+        assert_eq!(b.trail_ops, 0, "store hits run no search: {b:?}");
     }
     let status = client.status().expect("status");
     assert_eq!(status.store_hits, 3);
@@ -145,6 +152,7 @@ fn assumption_verdicts_transfer_across_candidate_set_variations() {
         compact_ratio: shadowdp_service::DEFAULT_COMPACT_RATIO,
         queue_limit: None,
         io_timeout: None,
+        max_pipeline_entries: None,
     };
 
     // Pass 1: the plain program, cold. Its Houdini run asks
@@ -192,6 +200,7 @@ fn nonsensical_compact_ratio_is_rejected_up_front() {
             compact_ratio: bad,
             queue_limit: None,
             io_timeout: None,
+            max_pipeline_entries: None,
         })
         .expect_err("ratio {bad} must be rejected");
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput, "{bad}: {err}");
@@ -208,6 +217,7 @@ fn nonsensical_compact_ratio_is_rejected_up_front() {
         compact_ratio: f64::INFINITY,
         queue_limit: None,
         io_timeout: None,
+        max_pipeline_entries: None,
     };
     let (handle, mut client) = start_daemon(config);
     client.shutdown().expect("shutdown");
@@ -230,6 +240,7 @@ fn resubmission_batches_keep_the_log_bounded() {
         compact_ratio: shadowdp_service::DEFAULT_COMPACT_RATIO,
         queue_limit: None,
         io_timeout: None,
+        max_pipeline_entries: None,
     };
     let specs = vec![
         JobSpec::new(corpus::laplace_mechanism().source),
@@ -288,6 +299,56 @@ fn resubmission_batches_keep_the_log_bounded() {
     let _ = std::fs::remove_file(&store);
 }
 
+/// `--store-max-pipeline-entries`: past the cap, the daemon evicts the
+/// least recently *served* pipeline entries after each batch. Survivors
+/// keep answering from the store (across a restart too); an evicted spec
+/// re-verifies fresh and re-enters the store.
+#[test]
+fn pipeline_cap_evicts_lru_and_survivors_stay_warm() {
+    let (socket, store) = temp_paths("evict");
+    let config = DaemonConfig {
+        socket: socket.clone(),
+        store: Some(store.clone()),
+        threads: Some(2),
+        compact_ratio: f64::INFINITY,
+        queue_limit: None,
+        io_timeout: None,
+        max_pipeline_entries: Some(1),
+    };
+    let a = JobSpec::new(corpus::laplace_mechanism().source);
+    let b = JobSpec::new(corpus::partial_sum().source);
+
+    let (handle, mut client) = start_daemon(config.clone());
+    // Batch 1 stores `a`; batch 2 stores `b`, and the cap of 1 evicts
+    // `a` (older serve stamp).
+    let o = client.run_corpus(std::slice::from_ref(&a)).expect("runs");
+    assert!(!o[0].from_store);
+    let o = client.run_corpus(std::slice::from_ref(&b)).expect("runs");
+    assert!(!o[0].from_store);
+    // `b` survived: a resubmission is a store hit (an all-hit batch puts
+    // nothing, so nothing is evicted by it)...
+    let o = client.run_corpus(std::slice::from_ref(&b)).expect("runs");
+    assert!(o[0].from_store, "{:?}", o[0]);
+    // ...while evicted `a` re-verifies fresh — which re-stores it and in
+    // turn evicts `b`.
+    let o = client.run_corpus(std::slice::from_ref(&a)).expect("runs");
+    assert!(!o[0].from_store, "{:?}", o[0]);
+    assert_eq!(o[0].verdict, "proved");
+    client.shutdown().expect("shutdown");
+    handle.join().expect("daemon exits cleanly");
+
+    // The eviction is durable: the restarted store holds exactly the
+    // last survivor (`a`), served warm; `b` is cold again.
+    let (handle, mut client) = start_daemon(config);
+    let o = client.run_corpus(std::slice::from_ref(&a)).expect("runs");
+    assert!(o[0].from_store, "{:?}", o[0]);
+    let o = client.run_corpus(std::slice::from_ref(&b)).expect("runs");
+    assert!(!o[0].from_store, "{:?}", o[0]);
+    client.shutdown().expect("shutdown");
+    handle.join().expect("daemon exits cleanly");
+    let _ = std::fs::remove_file(&store);
+}
+
 /// A corrupted store file must degrade to a cold (but working) daemon.
 #[test]
 fn corrupted_store_degrades_to_cold_run() {
@@ -300,6 +361,7 @@ fn corrupted_store_degrades_to_cold_run() {
         compact_ratio: shadowdp_service::DEFAULT_COMPACT_RATIO,
         queue_limit: None,
         io_timeout: None,
+        max_pipeline_entries: None,
     };
     let (handle, mut client) = start_daemon(config);
     let spec = JobSpec::new(corpus::laplace_mechanism().source);
@@ -332,6 +394,7 @@ fn concurrent_clients_are_batched_and_ordered() {
         compact_ratio: shadowdp_service::DEFAULT_COMPACT_RATIO,
         queue_limit: None,
         io_timeout: None,
+        max_pipeline_entries: None,
     };
     let (handle, mut control) = start_daemon(config);
 
@@ -374,6 +437,7 @@ fn protocol_errors_do_not_kill_the_connection() {
         compact_ratio: shadowdp_service::DEFAULT_COMPACT_RATIO,
         queue_limit: None,
         io_timeout: None,
+        max_pipeline_entries: None,
     };
     let (handle, mut control) = start_daemon(config);
 
@@ -410,6 +474,7 @@ fn results_are_owned_by_the_submitting_connection() {
         compact_ratio: shadowdp_service::DEFAULT_COMPACT_RATIO,
         queue_limit: None,
         io_timeout: None,
+        max_pipeline_entries: None,
     };
     let (handle, mut submitter) = start_daemon(config);
 

@@ -174,6 +174,7 @@ fn daemon_refuses_to_clobber_a_live_socket() {
         compact_ratio: shadowdp_service::DEFAULT_COMPACT_RATIO,
         queue_limit: None,
         io_timeout: None,
+        max_pipeline_entries: None,
     };
     let run_config = config.clone();
     let first = thread::spawn(move || daemon::run(run_config).expect("first daemon runs"));

@@ -347,6 +347,213 @@ fn dedupe(cs: &mut Vec<Constraint>) {
     cs.retain(|c| seen.insert(c.clone()));
 }
 
+/// Incremental Fourier–Motzkin saturation with undo.
+///
+/// [`check_sat`] rebuilds its whole elimination from scratch on every call;
+/// a `Saturation` instead keeps the elimination steps *live* between pushes.
+/// Each step records one eliminated variable and the lower/upper bounds
+/// collected for it; [`Saturation::push`] cascades a new constraint through
+/// the existing steps — converting it into a bound at the first step whose
+/// variable it mentions, combining it with every stored opposite bound, and
+/// recursing on the combinations — so the incremental closure equals the
+/// batch FM closure over the same constraints under the same (dynamically
+/// grown) elimination order. Over the rationals FM is order-insensitive for
+/// satisfiability, so a push reports inconsistency exactly when a fresh
+/// [`check_sat`] over the whole set would.
+///
+/// Every push returns a [`SatUndo`] that [`Saturation::pop`] applies to
+/// restore the pre-push state exactly. Undo tokens must be popped in
+/// reverse push order (stack discipline) — the solver's trail guarantees
+/// this.
+///
+/// Equalities are split into two weak inequalities (`lin == 0` becomes
+/// `lin <= 0 ∧ -lin <= 0`), which is exact over ℚ; the Gaussian
+/// substitution phase of [`check_sat`] exists only to speed up model
+/// reconstruction, which a saturation never performs (the solver runs one
+/// final [`check_sat`] to extract a model once the boolean search
+/// succeeds).
+#[derive(Debug, Default)]
+pub struct Saturation {
+    steps: Vec<SatStep>,
+    unsat: bool,
+}
+
+/// One live elimination step: the variable and its collected bounds.
+/// Stored bound expressions mention only variables whose step comes later
+/// (or that have no step yet) — the invariant that makes cascading from
+/// `step + 1` complete.
+#[derive(Debug)]
+struct SatStep {
+    var: Symbol,
+    lowers: Vec<(LinExpr, bool)>, // (bound, strict): var >(=) bound
+    uppers: Vec<(LinExpr, bool)>, // (bound, strict): var <(=) bound
+}
+
+/// Undo token for one [`Saturation::push`].
+#[derive(Debug)]
+pub struct SatUndo {
+    /// Step count before the push; later steps are dropped wholesale.
+    steps_mark: usize,
+    /// Bounds appended to pre-existing steps: `(step index, is_lower)`,
+    /// popped in reverse.
+    added: Vec<(usize, bool)>,
+    /// Whether this push flipped the saturation to inconsistent.
+    tripped: bool,
+}
+
+impl Saturation {
+    /// An empty (trivially consistent) saturation.
+    pub fn new() -> Saturation {
+        Saturation::default()
+    }
+
+    /// Whether no constraints have been absorbed.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty() && !self.unsat
+    }
+
+    /// Whether the absorbed conjunction is still satisfiable.
+    pub fn is_consistent(&self) -> bool {
+        !self.unsat
+    }
+
+    /// Absorbs one constraint; returns whether the conjunction is still
+    /// satisfiable, plus the token that undoes this push. Pushing onto an
+    /// already-inconsistent saturation is a no-op that reports `false`.
+    pub fn push(&mut self, c: &Constraint) -> (bool, SatUndo) {
+        let mut undo = SatUndo {
+            steps_mark: self.steps.len(),
+            added: Vec::new(),
+            tripped: false,
+        };
+        if self.unsat {
+            return (false, undo);
+        }
+        // Worklist of inequalities `lin ⊙ 0` still to cascade, each tagged
+        // with the first step index it may interact with.
+        let mut queue: Vec<(LinExpr, bool, usize)> = Vec::new();
+        match c.rel {
+            Rel::Le => queue.push((c.lin.clone(), false, 0)),
+            Rel::Lt => queue.push((c.lin.clone(), true, 0)),
+            Rel::Eq => {
+                queue.push((c.lin.clone(), false, 0));
+                queue.push((-c.lin.clone(), false, 0));
+            }
+        }
+        while let Some((lin, strict, from)) = queue.pop() {
+            if !self.absorb(lin, strict, from, &mut undo, &mut queue) {
+                self.unsat = true;
+                undo.tripped = true;
+                return (false, undo);
+            }
+        }
+        (true, undo)
+    }
+
+    /// Rolls back one push. Tokens must be popped in reverse push order.
+    pub fn pop(&mut self, undo: SatUndo) {
+        if undo.tripped {
+            self.unsat = false;
+        }
+        for &(i, is_lower) in undo.added.iter().rev() {
+            let step = &mut self.steps[i];
+            if is_lower {
+                step.lowers.pop();
+            } else {
+                step.uppers.pop();
+            }
+        }
+        self.steps.truncate(undo.steps_mark);
+    }
+
+    /// Cascades one inequality `lin ⊙ 0` (strict iff `strict`) through the
+    /// steps starting at `from`: ground inequalities evaluate (a violation
+    /// is the unsat signal), others become a bound at the first relevant
+    /// step — queuing one FM combination per stored opposite bound — or
+    /// open a new step when no existing one mentions their variables.
+    fn absorb(
+        &mut self,
+        lin: LinExpr,
+        strict: bool,
+        from: usize,
+        undo: &mut SatUndo,
+        queue: &mut Vec<(LinExpr, bool, usize)>,
+    ) -> bool {
+        if lin.is_constant() {
+            let c = lin.constant_part();
+            return if strict {
+                c < Rat::ZERO
+            } else {
+                c <= Rat::ZERO
+            };
+        }
+        let mut hit = None;
+        for i in from..self.steps.len() {
+            if !lin.coeff(self.steps[i].var).is_zero() {
+                hit = Some(i);
+                break;
+            }
+        }
+        let Some(i) = hit else {
+            // No step mentions any of its variables: open a new step for
+            // its first variable (empty opposite side, so no combinations).
+            // The new step's index is past `steps_mark`, so undo handles it
+            // by truncation alone.
+            let (var, k) = lin.terms().next().expect("non-ground expression");
+            let mut r = lin.clone();
+            r.add_term(var, -k);
+            let bound = r.scale(-Rat::ONE / k);
+            let (lowers, uppers) = if k.is_positive() {
+                (Vec::new(), vec![(bound, strict)])
+            } else {
+                (vec![(bound, strict)], Vec::new())
+            };
+            self.steps.push(SatStep {
+                var,
+                lowers,
+                uppers,
+            });
+            return true;
+        };
+        let var = self.steps[i].var;
+        let k = lin.coeff(var);
+        let mut r = lin;
+        r.add_term(var, -k);
+        let bound = r.scale(-Rat::ONE / k);
+        let is_lower = !k.is_positive(); // k < 0: var >= bound
+        let step = &self.steps[i];
+        let side = if is_lower { &step.lowers } else { &step.uppers };
+        if side.iter().any(|(b, s)| *s == strict && *b == bound) {
+            // Exact duplicate of a live bound: it adds nothing and its
+            // combinations already exist. Skipping keeps repeated
+            // assumptions (Houdini re-pushes the same path atoms per
+            // query) from inflating the closure quadratically.
+            return true;
+        }
+        let opposite = if is_lower { &step.uppers } else { &step.lowers };
+        for (other, other_strict) in opposite {
+            // lower - upper ⊙ 0, strict if either side is.
+            let (lo, hi) = if is_lower {
+                (&bound, other)
+            } else {
+                (other, &bound)
+            };
+            queue.push((lo.clone() - hi.clone(), strict || *other_strict, i + 1));
+        }
+        let step = &mut self.steps[i];
+        let side = if is_lower {
+            &mut step.lowers
+        } else {
+            &mut step.uppers
+        };
+        side.push((bound, strict));
+        if i < undo.steps_mark {
+            undo.added.push((i, is_lower));
+        }
+        true
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -468,5 +675,84 @@ mod tests {
             FmResult::Sat(m) => assert!(cs.iter().all(|c| c.eval(&m)), "{m:?}"),
             FmResult::Unsat => panic!("should be sat"),
         }
+    }
+
+    #[test]
+    fn saturation_tracks_batch_fm_verdicts_incrementally() {
+        // Pushing one constraint at a time must agree with batch FM over
+        // every prefix — the completeness invariant the trail core rests on.
+        let cs = [
+            le(k(1) - x()),                    // x >= 1
+            le(x() - k(8)),                    // x <= 8
+            le(k(2) - y()),                    // y >= 2
+            le(x() + y() - k(20)),             // x + y <= 20
+            Constraint::lt0(k(9) - x() - y()), // x + y > 9
+        ];
+        let mut sat = Saturation::new();
+        let mut undos = Vec::new();
+        for i in 0..cs.len() {
+            let (ok, u) = sat.push(&cs[i]);
+            undos.push(u);
+            let batch = check_sat(&cs[..=i]).is_sat();
+            assert_eq!(ok, batch, "prefix {i}");
+            assert_eq!(sat.is_consistent(), batch, "prefix {i}");
+        }
+        // Unwind completely: back to the pristine empty saturation.
+        for u in undos.into_iter().rev() {
+            sat.pop(u);
+        }
+        assert!(sat.is_empty());
+        assert!(sat.is_consistent());
+    }
+
+    #[test]
+    fn saturation_pop_recovers_from_inconsistency() {
+        let mut sat = Saturation::new();
+        let (ok, _base) = sat.push(&le(k(1) - x())); // x >= 1
+        assert!(ok);
+        let (ok, bad) = sat.push(&le(x() + k(5))); // x <= -5: contradiction
+        assert!(!ok);
+        assert!(!sat.is_consistent());
+        // Rolling back the offending push restores the consistent base…
+        sat.pop(bad);
+        assert!(sat.is_consistent());
+        // …which still constrains: x <= 0 contradicts it again.
+        let (ok, _u) = sat.push(&le(x()));
+        assert!(!ok);
+    }
+
+    #[test]
+    fn saturation_dedups_repeated_pushes() {
+        // The Houdini base re-pushes identical path atoms across frames;
+        // repeats are consumed without growing the bound lists, and the
+        // stack discipline keeps the undo of the duplicate a no-op.
+        let mut sat = Saturation::new();
+        let c = le(k(1) - x());
+        let (_, first) = sat.push(&c);
+        let (ok, dup) = sat.push(&c);
+        assert!(ok);
+        sat.pop(dup);
+        // The original bound survived the duplicate's pop.
+        let (ok, _u) = sat.push(&le(x())); // x <= 0 vs x >= 1
+        assert!(!ok, "bound lost when the duplicate was popped");
+        sat.pop(_u);
+        sat.pop(first);
+        assert!(sat.is_empty());
+    }
+
+    #[test]
+    fn saturation_splits_equalities() {
+        // x == 2 pushed incrementally behaves as both x <= 2 and x >= 2.
+        let mut sat = Saturation::new();
+        let (ok, _u) = sat.push(&Constraint::eq0(x() - k(2)));
+        assert!(ok);
+        let (ok, u) = sat.push(&le(k(3) - x())); // x >= 3
+        assert!(!ok);
+        sat.pop(u);
+        let (ok, u) = sat.push(&le(x() - k(1))); // x <= 1
+        assert!(!ok);
+        sat.pop(u);
+        let (ok, _u) = sat.push(&le(k(2) - x())); // x >= 2: tight but fine
+        assert!(ok);
     }
 }

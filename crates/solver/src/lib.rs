@@ -24,10 +24,14 @@
 //!   elimination), NNF, and *sound abstraction* of non-linear atoms by
 //!   fresh boolean symbols (the abstraction cache keys on `(TermId, Rel)` —
 //!   an integer pair, not an owned subtree);
-//! - [`fm`] — Fourier–Motzkin elimination with model reconstruction;
-//! - [`solve`] — a tableau-style search over the boolean structure with
-//!   eager theory pruning, the query **memo table**, and the public
-//!   [`Solver`] API.
+//! - [`fm`] — Fourier–Motzkin elimination with model reconstruction, plus
+//!   the incremental [`fm::Saturation`] the trail core extends and rolls
+//!   back one constraint at a time;
+//! - [`trail`] — the reversible-op trail + decision levels backing the
+//!   iterative search (no recursion, no worklist cloning);
+//! - [`solve`] — an iterative trail-backed tableau search over the boolean
+//!   structure with eager theory pruning, the query **memo table**,
+//!   push/pop assumption frames, and the public [`Solver`] API.
 //!
 //! # Cache-keying discipline
 //!
@@ -82,6 +86,7 @@ pub mod linear;
 pub mod normalize;
 pub mod solve;
 pub mod term;
+pub mod trail;
 
 pub use fm::{Constraint, Rel};
 pub use linear::LinExpr;

@@ -216,7 +216,14 @@ impl Normalizer {
                 // symbol, and polarity is preserved through it.
                 let key = (diff, rel);
                 let name = match self.cache.get(&key) {
-                    Some(n) => *n,
+                    Some(n) => {
+                        // A cached abstraction still makes the output
+                        // formula abstract — a long-lived normalizer (the
+                        // solver's pushed-assumption context) resets the
+                        // flag per query, so a hit must re-taint it.
+                        self.abstracted = true;
+                        *n
+                    }
                     None => {
                         self.fresh += 1;
                         self.abstracted = true;

@@ -29,9 +29,10 @@ use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use shadowdp_num::Rat;
 
-use crate::fm::{check_sat, Constraint, FmResult};
+use crate::fm::{check_sat, Constraint, FmResult, SatUndo, Saturation};
 use crate::normalize::{Formula, Normalizer};
 use crate::term::{with_shard, Fingerprint, Symbol, Term, TermArena, TermNode};
+use crate::trail::{Trail, TrailOp};
 
 /// Armed-only latency histograms for the two query outcomes (memo hit
 /// vs. fresh solve), split as one `path`-labelled family. Disarmed —
@@ -182,6 +183,19 @@ pub struct SolverStats {
     pub assumption_queries: u64,
     /// Assumption-set-keyed entailment queries answered from the memo.
     pub assumption_hits: u64,
+    /// Reversible ops recorded on search trails (worklist pops/pushes,
+    /// boolean binds, incremental constraint saturations). A measure of
+    /// raw search volume, independent of theory cost.
+    pub trail_ops: u64,
+    /// Deepest decision-level (disjunction) nesting any single search
+    /// reached.
+    pub max_trail_depth: u64,
+    /// Theory steps served by *extending* an already-populated incremental
+    /// saturation — the re-saturation work the trail core avoids.
+    pub saturation_reuses: u64,
+    /// Full from-scratch Fourier–Motzkin saturations (one per successful
+    /// search, for model extraction).
+    pub resaturations: u64,
 }
 
 impl SolverStats {
@@ -193,6 +207,20 @@ impl SolverStats {
             None
         } else {
             Some(self.assumption_hits as f64 / self.assumption_queries as f64)
+        }
+    }
+
+    /// Fraction of saturation work served incrementally — pushes onto a
+    /// live saturation over all saturation events (`None` before any
+    /// theory work). The bench gate's Houdini narrow-check invariant reads
+    /// this: a pushed-assumption round should extend its shared base far
+    /// more often than it re-saturates.
+    pub fn saturation_reuse_rate(&self) -> Option<f64> {
+        let total = self.saturation_reuses + self.resaturations;
+        if total == 0 {
+            None
+        } else {
+            Some(self.saturation_reuses as f64 / total as f64)
         }
     }
 }
@@ -437,6 +465,15 @@ pub struct Solver {
     /// every fresh solve short-circuits to a possibly-spurious `Sat` and
     /// nothing is memoized.
     exhausted: RefCell<Option<String>>,
+    /// Open assumption frames ([`Solver::push_assumptions`]), innermost
+    /// last. Terms are recorded eagerly but normalized and absorbed into
+    /// the shared saturation lazily, on the first pushed query that misses
+    /// the memo — a fully warm run never pays theory work for its bases.
+    frames: RefCell<Vec<AssumptionFrame>>,
+    /// The shared incremental context pushed queries run against: `None`
+    /// until a query materializes a frame, dropped when the last frame is
+    /// popped.
+    actx: RefCell<Option<AssumptionCtx>>,
 }
 
 impl Default for Solver {
@@ -461,6 +498,8 @@ impl Solver {
             touched: RefCell::new(Vec::new()),
             budget: RefCell::new(None),
             exhausted: RefCell::new(None),
+            frames: RefCell::new(Vec::new()),
+            actx: RefCell::new(None),
         }
     }
 
@@ -677,44 +716,51 @@ impl Solver {
             Some(state) => (state.deadline, state.calls_left),
             None => (None, None),
         };
-        let mut search = Search {
-            theory_calls: 0,
+        let mut bools = BoolModel::new();
+        let mut constraints = Vec::new();
+        let mut sat = Saturation::new();
+        let mut search = TrailSearch::new(
+            formulas.iter().collect(),
+            &mut bools,
+            &mut constraints,
+            &mut sat,
             deadline,
             calls_left,
-            exhausted_reason: None,
-        };
-        let result = search.solve(formulas, &mut Vec::new(), &mut BTreeMap::new());
+        );
+        let outcome = search.run();
+        let spent = search.theory_calls;
+        let counters = search.counters();
 
         // Charge this search's theory work against the budget.
         if let Some(state) = self.budget.borrow_mut().as_mut() {
             if let Some(left) = state.calls_left.as_mut() {
-                *left = left.saturating_sub(search.theory_calls);
+                *left = left.saturating_sub(spent);
             }
         }
 
         let mut stats = self.stats.get();
         stats.checks += 1;
-        stats.theory_calls += search.theory_calls;
+        stats.theory_calls += spent;
+        counters.fold_into(&mut stats);
         self.stats.set(stats);
 
-        if let Some(reason) = search.exhausted_reason {
-            self.mark_exhausted(reason);
-            return exhausted_placeholder();
-        }
-
-        match result {
-            Some((reals, bools)) => CheckResult::Sat(Model {
+        match outcome {
+            SearchOutcome::Exhausted(reason) => {
+                self.mark_exhausted(reason);
+                exhausted_placeholder()
+            }
+            SearchOutcome::Sat(reals, model_bools) => CheckResult::Sat(Model {
                 reals: reals
                     .into_iter()
                     .map(|(k, v)| (k.as_str().to_string(), v))
                     .collect(),
-                bools: bools
+                bools: model_bools
                     .into_iter()
                     .map(|(k, v)| (k.as_str().to_string(), v))
                     .collect(),
                 possibly_spurious: abstracted,
             }),
-            None => CheckResult::Unsat,
+            SearchOutcome::Unsat => CheckResult::Unsat,
         }
     }
 
@@ -835,6 +881,438 @@ impl Solver {
     pub fn equivalent(&self, assumptions: &[Term], a: &Term, b: &Term) -> bool {
         self.entails(assumptions, &(*a).iff(*b))
     }
+
+    /// Opens an assumption frame: every subsequent [`Solver::prove_pushed`]
+    /// / [`Solver::entails_pushed`] query runs under the conjunction of all
+    /// open frames, until the matching [`Solver::pop_assumptions`]. Frames
+    /// nest (strictly LIFO).
+    ///
+    /// Recording is free: terms are normalized and absorbed into the
+    /// shared incremental saturation only when a pushed query actually
+    /// misses the memo, so warm workloads — every consecution verdict
+    /// already persisted — never pay any theory work for their bases.
+    ///
+    /// The Houdini engine is the motivating caller: it pushes one frame
+    /// with the candidate-independent slice of a path condition, then per
+    /// candidate pushes the narrow Δ, queries, and pops — the shared base
+    /// is saturated once per round instead of re-proved inside every
+    /// query.
+    pub fn push_assumptions(&self, terms: &[Term]) {
+        self.frames.borrow_mut().push(AssumptionFrame {
+            terms: terms.to_vec(),
+            materialized: None,
+        });
+    }
+
+    /// Closes the innermost assumption frame, rolling its materialized
+    /// state (bool bindings, constraints, saturation steps, disjunctive
+    /// seeds) back out of the shared context.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no frame is open.
+    pub fn pop_assumptions(&self) {
+        let frame = self
+            .frames
+            .borrow_mut()
+            .pop()
+            .expect("pop_assumptions without an open frame");
+        if let Some(undo) = frame.materialized {
+            let mut actx = self.actx.borrow_mut();
+            let ctx = actx
+                .as_mut()
+                .expect("a materialized frame implies a live context");
+            strip_frame(ctx, undo);
+        }
+        if self.frames.borrow().is_empty() {
+            // Dropping the context with the last frame also drops the
+            // shared normalizer, so abstraction symbols cannot accumulate
+            // across unrelated assumption scopes.
+            *self.actx.borrow_mut() = None;
+        }
+    }
+
+    /// [`Solver::prove_assuming`] against the **pushed assumption
+    /// frames**: attempts to prove `frames ⊢ goal` where `frames` is the
+    /// conjunction of every open frame.
+    ///
+    /// Memo-keyed identically to [`Solver::prove_assuming`] over the
+    /// flattened multiset of all open frames' terms, so verdicts transfer
+    /// freely between the two entry points — and through the persisted
+    /// verdict store, whose keys this preserves byte for byte. The
+    /// difference is the miss path: instead of re-normalizing and
+    /// re-saturating every assumption per query, the frames' conjunctive
+    /// parts live in one shared incremental saturation; only the negated
+    /// goal (plus any disjunctive assumption residue) is searched per
+    /// query, and the trail unwinds the shared state back to the base
+    /// afterwards.
+    pub fn prove_pushed(&self, goal: &Term) -> ProveResult {
+        let start = Instant::now();
+        let r = with_shard(|arena| self.check_pushed(arena, goal, start));
+        let mut stats = self.stats.get();
+        stats.proves += 1;
+        stats.micros += start.elapsed().as_micros() as u64;
+        self.stats.set(stats);
+        match r {
+            CheckResult::Unsat => ProveResult::Proved,
+            CheckResult::Sat(m) => ProveResult::Refuted(m),
+        }
+    }
+
+    /// Convenience: whether the pushed assumption frames entail `goal`.
+    pub fn entails_pushed(&self, goal: &Term) -> bool {
+        self.prove_pushed(goal).is_proved()
+    }
+
+    /// The refutation check behind [`Solver::prove_pushed`], with the same
+    /// stats and degradation choreography as the `prove_assuming` miss
+    /// path (sticky exhaustion, the `solver.step` fault site, no
+    /// memoization of placeholders).
+    fn check_pushed(&self, arena: &mut TermArena, goal: &Term, start: Instant) -> CheckResult {
+        let key = if self.memo_enabled.get() {
+            let frames = self.frames.borrow();
+            let flat: Vec<Term> = frames
+                .iter()
+                .flat_map(|f| f.terms.iter().copied())
+                .collect();
+            Some(assumption_set_key(arena, &flat, *goal))
+        } else {
+            None
+        };
+
+        if let Some(fp) = key {
+            self.touched.borrow_mut().push(fp);
+            if let Some(hit) = self.memo.get(fp) {
+                let mut stats = self.stats.get();
+                stats.checks += 1;
+                stats.cache_hits += 1;
+                stats.assumption_queries += 1;
+                stats.assumption_hits += 1;
+                self.stats.set(stats);
+                if shadowdp_obs::armed() {
+                    query_hist(true).observe(start.elapsed().as_micros() as u64);
+                }
+                return hit;
+            }
+        }
+
+        let out = 'miss: {
+            // Sticky exhaustion answers immediately, exactly like
+            // `solve_terms`.
+            if self.exhausted.borrow().is_some() {
+                let mut stats = self.stats.get();
+                stats.checks += 1;
+                stats.assumption_queries += 1;
+                self.stats.set(stats);
+                break 'miss exhausted_placeholder();
+            }
+            match shadowdp_fault::check("solver.step") {
+                None => {}
+                Some(shadowdp_fault::FaultKind::Panic) => panic!("injected panic at solver.step"),
+                Some(shadowdp_fault::FaultKind::Delay { millis }) => {
+                    std::thread::sleep(Duration::from_millis(millis));
+                }
+                Some(_) => {
+                    self.mark_exhausted("injected solver fault".to_string());
+                    let mut stats = self.stats.get();
+                    stats.checks += 1;
+                    stats.assumption_queries += 1;
+                    self.stats.set(stats);
+                    break 'miss exhausted_placeholder();
+                }
+            }
+
+            // Bring every open frame into the shared context. Frame atoms
+            // are theory work like any other and charge the budget.
+            let mut frame_spent: u64 = 0;
+            let mut frame_reuses: u64 = 0;
+            let materialized = self.materialize_frames(arena, &mut frame_spent, &mut frame_reuses);
+            if let Some(state) = self.budget.borrow_mut().as_mut() {
+                if let Some(left) = state.calls_left.as_mut() {
+                    *left = left.saturating_sub(frame_spent);
+                }
+            }
+            if let Err(reason) = materialized {
+                self.mark_exhausted(reason);
+                let mut stats = self.stats.get();
+                stats.checks += 1;
+                stats.theory_calls += frame_spent;
+                stats.saturation_reuses += frame_reuses;
+                stats.assumption_queries += 1;
+                self.stats.set(stats);
+                break 'miss exhausted_placeholder();
+            }
+
+            let (frames_abstracted, frames_inconsistent) = {
+                let frames = self.frames.borrow();
+                (
+                    frames
+                        .iter()
+                        .filter_map(|f| f.materialized.as_ref())
+                        .any(|u| u.abstracted),
+                    frames
+                        .iter()
+                        .filter_map(|f| f.materialized.as_ref())
+                        .any(|u| u.inconsistent),
+                )
+            };
+            if frames_inconsistent {
+                // Contradictory assumptions entail everything: the
+                // conjunction `frames ∧ ¬goal` is unsat before the goal is
+                // even looked at.
+                let mut stats = self.stats.get();
+                stats.checks += 1;
+                stats.theory_calls += frame_spent;
+                stats.saturation_reuses += frame_reuses;
+                stats.assumption_queries += 1;
+                self.stats.set(stats);
+                break 'miss CheckResult::Unsat;
+            }
+
+            let (deadline, calls_left) = match *self.budget.borrow() {
+                Some(state) => (state.deadline, state.calls_left),
+                None => (None, None),
+            };
+            let mut actx = self.actx.borrow_mut();
+            let ctx = actx
+                .as_mut()
+                .expect("materialize_frames installs the context");
+            ctx.norm.abstracted = false;
+            let neg = arena.not(*goal);
+            let goal_f = ctx.norm.normalize(arena, neg, true);
+            let abstracted = frames_abstracted || ctx.norm.abstracted;
+            let AssumptionCtx {
+                bools,
+                constraints,
+                sat,
+                or_seeds,
+                ..
+            } = ctx;
+            // The negated goal is searched first (it pops last-in), then
+            // the assumptions' disjunctive residues — the same relative
+            // order the monolithic path processes `[assumptions…, ¬goal]`.
+            let mut pending: Vec<&Formula> = or_seeds.iter().collect();
+            pending.push(&goal_f);
+            let mut search =
+                TrailSearch::new(pending, bools, constraints, sat, deadline, calls_left);
+            let outcome = search.run();
+            // Whatever happened — model, unsat, budget trip — the shared
+            // base must survive for the next query under these frames.
+            search.unwind_all();
+            let search_spent = search.theory_calls;
+            let counters = search.counters();
+            drop(actx);
+
+            if let Some(state) = self.budget.borrow_mut().as_mut() {
+                if let Some(left) = state.calls_left.as_mut() {
+                    *left = left.saturating_sub(search_spent);
+                }
+            }
+            let mut stats = self.stats.get();
+            stats.checks += 1;
+            stats.theory_calls += frame_spent + search_spent;
+            stats.saturation_reuses += frame_reuses;
+            counters.fold_into(&mut stats);
+            stats.assumption_queries += 1;
+            self.stats.set(stats);
+
+            match outcome {
+                SearchOutcome::Exhausted(reason) => {
+                    self.mark_exhausted(reason);
+                    exhausted_placeholder()
+                }
+                SearchOutcome::Sat(reals, model_bools) => CheckResult::Sat(Model {
+                    reals: reals
+                        .into_iter()
+                        .map(|(k, v)| (k.as_str().to_string(), v))
+                        .collect(),
+                    bools: model_bools
+                        .into_iter()
+                        .map(|(k, v)| (k.as_str().to_string(), v))
+                        .collect(),
+                    possibly_spurious: abstracted,
+                }),
+                SearchOutcome::Unsat => CheckResult::Unsat,
+            }
+        };
+
+        if shadowdp_obs::armed() {
+            query_hist(false).observe(start.elapsed().as_micros() as u64);
+        }
+        if let Some(fp) = key {
+            if self.exhausted.borrow().is_none() {
+                self.memo.insert(fp, out.clone());
+            }
+        }
+        out
+    }
+
+    /// Ensures every open frame is materialized into the shared context,
+    /// accumulating theory calls into `spent` (and incremental pushes onto
+    /// a live saturation into `reuses`) for the caller to charge.
+    ///
+    /// # Errors
+    ///
+    /// Returns the budget-trip reason if the budget runs out mid-frame;
+    /// the partially materialized frame is rolled back and left
+    /// unmaterialized, so a later query under a reset budget retries it
+    /// cleanly.
+    fn materialize_frames(
+        &self,
+        arena: &mut TermArena,
+        spent: &mut u64,
+        reuses: &mut u64,
+    ) -> Result<(), String> {
+        let mut frames = self.frames.borrow_mut();
+        let mut actx = self.actx.borrow_mut();
+        let ctx = actx.get_or_insert_with(AssumptionCtx::default);
+        for frame in frames.iter_mut() {
+            if frame.materialized.is_some() {
+                continue;
+            }
+            let mut undo = FrameUndo::default();
+            let mut tripped = None;
+            'frame: for t in &frame.terms {
+                ctx.norm.abstracted = false;
+                let f = ctx.norm.normalize(arena, *t, true);
+                undo.abstracted |= ctx.norm.abstracted;
+                // Absorb the conjunctive skeleton; disjunctive residue is
+                // seeded into every query's search instead (only
+                // conjunctive facts may enter the shared saturation).
+                let mut stack = vec![f];
+                while let Some(f) = stack.pop() {
+                    match f {
+                        Formula::Const(true) => {}
+                        Formula::Const(false) => {
+                            undo.inconsistent = true;
+                            break 'frame;
+                        }
+                        Formula::And(xs) => stack.extend(xs),
+                        Formula::BLit(name, val) => match ctx.bools.get(&name) {
+                            Some(existing) if *existing != val => {
+                                undo.inconsistent = true;
+                                break 'frame;
+                            }
+                            Some(_) => {}
+                            None => {
+                                ctx.bools.insert(name, val);
+                                undo.bound.push(name);
+                            }
+                        },
+                        Formula::Atom(c) => {
+                            if let Some(reason) = self.budget_tripped(*spent) {
+                                tripped = Some(reason);
+                                break 'frame;
+                            }
+                            *spent += 1;
+                            if !ctx.sat.is_empty() {
+                                *reuses += 1;
+                            }
+                            let (ok, u) = ctx.sat.push(&c);
+                            ctx.constraints.push(c);
+                            undo.sat_undos.push(u);
+                            undo.constraints_added += 1;
+                            if !ok {
+                                undo.inconsistent = true;
+                                break 'frame;
+                            }
+                        }
+                        or @ Formula::Or(_) => {
+                            ctx.or_seeds.push(or);
+                            undo.seeds_added += 1;
+                        }
+                    }
+                }
+            }
+            if let Some(reason) = tripped {
+                strip_frame(ctx, undo);
+                return Err(reason);
+            }
+            frame.materialized = Some(undo);
+        }
+        Ok(())
+    }
+
+    /// Whether the installed budget would refuse one more theory call
+    /// after `already_spent` calls in the current operation — the
+    /// out-of-search twin of [`TrailSearch::out_of_budget`], used while
+    /// materializing assumption frames.
+    fn budget_tripped(&self, already_spent: u64) -> Option<String> {
+        let budget = self.budget.borrow();
+        let state = budget.as_ref()?;
+        if let Some(cap) = state.calls_left {
+            if already_spent >= cap {
+                return Some(format!("theory-call budget exhausted (cap {cap})"));
+            }
+        }
+        if let Some(deadline) = state.deadline {
+            if Instant::now() >= deadline {
+                return Some("deadline exceeded".to_string());
+            }
+        }
+        None
+    }
+}
+
+/// One [`Solver::push_assumptions`] frame: the recorded terms, plus the
+/// undo record once the frame has been materialized into the shared
+/// [`AssumptionCtx`].
+#[derive(Debug)]
+struct AssumptionFrame {
+    terms: Vec<Term>,
+    materialized: Option<FrameUndo>,
+}
+
+/// Everything needed to strip one materialized frame back out of the
+/// shared context.
+#[derive(Debug, Default)]
+struct FrameUndo {
+    /// Booleans this frame bound (undo removes them).
+    bound: Vec<Symbol>,
+    /// Saturation undo tokens, popped in reverse push order.
+    sat_undos: Vec<SatUndo>,
+    /// Constraints this frame appended (undo truncates).
+    constraints_added: usize,
+    /// Disjunctive residues this frame contributed to the context's
+    /// `or_seeds`.
+    seeds_added: usize,
+    /// Whether normalizing this frame abstracted a non-linear atom; taints
+    /// every refutation model found under it as possibly spurious.
+    abstracted: bool,
+    /// Whether the frame's conjunctive part is itself inconsistent: every
+    /// goal under it is vacuously entailed.
+    inconsistent: bool,
+}
+
+/// The shared incremental state pushed queries run against: one normalizer
+/// (abstraction symbols stay canonical across the base and every goal),
+/// the base bool bindings, the base constraint stack with its live
+/// saturation, and the disjunctive residues of the assumptions, which must
+/// re-enter each query's search — only conjunctive structure can live in
+/// the shared saturation.
+#[derive(Debug, Default)]
+struct AssumptionCtx {
+    norm: Normalizer,
+    bools: BoolModel,
+    constraints: Vec<Constraint>,
+    sat: Saturation,
+    or_seeds: Vec<Formula>,
+}
+
+/// Rolls one frame's materialized state back out of the context (LIFO:
+/// the frame being stripped must be the most recently materialized one
+/// still present).
+fn strip_frame(ctx: &mut AssumptionCtx, undo: FrameUndo) {
+    for u in undo.sat_undos.into_iter().rev() {
+        ctx.sat.pop(u);
+    }
+    let keep = ctx.constraints.len() - undo.constraints_added;
+    ctx.constraints.truncate(keep);
+    for name in &undo.bound {
+        ctx.bools.remove(name);
+    }
+    let keep = ctx.or_seeds.len() - undo.seeds_added;
+    ctx.or_seeds.truncate(keep);
 }
 
 /// Domain-separation tag for assumption-set memo keys: structural
@@ -895,111 +1373,361 @@ fn exhausted_placeholder() -> CheckResult {
     })
 }
 
-/// The recursive tableau search.
-struct Search {
-    theory_calls: u64,
-    /// Absolute deadline from the solver's budget, if any.
-    deadline: Option<Instant>,
-    /// Theory calls this search may still spend (the budget's remaining
-    /// allowance at search start), if capped.
-    calls_left: Option<u64>,
-    /// Set on the first budget trip; the search unwinds immediately after.
-    exhausted_reason: Option<String>,
-}
-
 type RealModel = BTreeMap<Symbol, Rat>;
 type BoolModel = BTreeMap<Symbol, bool>;
 
-impl Search {
-    /// Checks the budget at a theory step; once it trips, the search stops
-    /// doing theory work and unwinds with a placeholder model.
-    fn out_of_budget(&mut self) -> bool {
-        if self.exhausted_reason.is_some() {
-            return true;
+/// Outcome of one iterative tableau search.
+#[derive(Debug)]
+enum SearchOutcome {
+    /// A model: the final full saturation's real assignment plus the bound
+    /// booleans.
+    Sat(RealModel, BoolModel),
+    /// No branch satisfies the formula.
+    Unsat,
+    /// The budget tripped mid-search. A first-class outcome, never
+    /// conflated with a model: the old recursive engine unwound a trip as
+    /// `Some(empty model)` through every branch point, which only stayed
+    /// sound because one caller knew to replace it — now the type makes
+    /// the distinction.
+    Exhausted(String),
+}
+
+/// Trail/saturation counters one search contributes to [`SolverStats`].
+#[derive(Clone, Copy, Debug)]
+struct SearchCounters {
+    trail_ops: u64,
+    max_trail_depth: u64,
+    saturation_reuses: u64,
+    resaturations: u64,
+}
+
+impl SearchCounters {
+    fn fold_into(self, stats: &mut SolverStats) {
+        stats.trail_ops += self.trail_ops;
+        stats.max_trail_depth = stats.max_trail_depth.max(self.max_trail_depth);
+        stats.saturation_reuses += self.saturation_reuses;
+        stats.resaturations += self.resaturations;
+    }
+}
+
+/// The iterative trail-backed tableau search.
+///
+/// Replaces the seed's recursive clone-per-disjunct engine (kept verbatim
+/// as [`reference`] for differential testing): the pending worklist,
+/// boolean model, constraint stack, and incremental [`Saturation`] are
+/// mutated in place; every mutation is recorded on the [`Trail`]; and a
+/// disjunction opens a decision level instead of cloning `pending`.
+/// Backtracking undoes ops to the level mark — proportional to the failed
+/// branch, with no allocation — and the loop never recurses, so formula
+/// depth is bounded by the heap, not the thread stack.
+///
+/// Exploration order, theory-call counts, and the final model are all
+/// byte-identical to the recursive engine: atoms run one incremental
+/// cascade each (where the old engine re-saturated the whole constraint
+/// stack), and the single full saturation at the end reconstructs the
+/// model from the same constraint vector in the same order.
+///
+/// The mutable state is borrowed, not owned, so one engine serves both the
+/// monolithic path (fresh local state per query) and the pushed-assumption
+/// path (shared base under [`Solver::push_assumptions`] frames, fully
+/// unwound by [`TrailSearch::unwind_all`] after each query).
+struct TrailSearch<'f, 'a> {
+    pending: Vec<&'f Formula>,
+    bools: &'a mut BoolModel,
+    constraints: &'a mut Vec<Constraint>,
+    sat: &'a mut Saturation,
+    trail: Trail<'f>,
+    decisions: Vec<Decision<'f>>,
+    theory_calls: u64,
+    saturation_reuses: u64,
+    resaturations: u64,
+    deadline: Option<Instant>,
+    calls_left: Option<u64>,
+}
+
+/// One open disjunction: its alternatives and the next one to try.
+struct Decision<'f> {
+    alts: &'f [Formula],
+    next: usize,
+}
+
+impl<'f, 'a> TrailSearch<'f, 'a> {
+    fn new(
+        pending: Vec<&'f Formula>,
+        bools: &'a mut BoolModel,
+        constraints: &'a mut Vec<Constraint>,
+        sat: &'a mut Saturation,
+        deadline: Option<Instant>,
+        calls_left: Option<u64>,
+    ) -> TrailSearch<'f, 'a> {
+        TrailSearch {
+            pending,
+            bools,
+            constraints,
+            sat,
+            trail: Trail::new(),
+            decisions: Vec::new(),
+            theory_calls: 0,
+            saturation_reuses: 0,
+            resaturations: 0,
+            deadline,
+            calls_left,
         }
+    }
+
+    /// The counters this search feeds into [`SolverStats`].
+    fn counters(&self) -> SearchCounters {
+        SearchCounters {
+            trail_ops: self.trail.ops_total(),
+            max_trail_depth: self.trail.max_depth(),
+            saturation_reuses: self.saturation_reuses,
+            resaturations: self.resaturations,
+        }
+    }
+
+    /// Whether the budget has run out, checked before every theory step
+    /// (same points and same order as the recursive engine, so trip
+    /// timing — and therefore every budget-pinning test — is preserved).
+    fn out_of_budget(&self) -> Option<String> {
         if let Some(cap) = self.calls_left {
             if self.theory_calls >= cap {
-                self.exhausted_reason = Some(format!("theory-call budget exhausted (cap {cap})"));
-                return true;
+                return Some(format!("theory-call budget exhausted (cap {cap})"));
             }
         }
         if let Some(deadline) = self.deadline {
             if Instant::now() >= deadline {
-                self.exhausted_reason = Some("deadline exceeded".to_string());
-                return true;
+                return Some("deadline exceeded".to_string());
             }
         }
-        false
+        None
     }
-    /// Tries to satisfy `pending ∧ constraints ∧ bools`; returns a model on
-    /// success.
-    fn solve(
-        &mut self,
-        mut pending: Vec<Formula>,
-        constraints: &mut Vec<Constraint>,
-        bools: &mut BoolModel,
-    ) -> Option<(RealModel, BoolModel)> {
-        // Process deterministic formulas first.
-        while let Some(f) = pending.pop() {
+
+    /// Runs the search to completion.
+    fn run(&mut self) -> SearchOutcome {
+        loop {
+            let Some(f) = self.pending.pop() else {
+                // All boolean structure satisfied. The incremental cascade
+                // already proved the conjunction consistent; one full
+                // saturation over the (order-preserved) constraint stack
+                // reconstructs the model exactly as the recursive engine's
+                // final check did.
+                if let Some(reason) = self.out_of_budget() {
+                    return SearchOutcome::Exhausted(reason);
+                }
+                self.theory_calls += 1;
+                self.resaturations += 1;
+                match check_sat(self.constraints) {
+                    FmResult::Sat(reals) => {
+                        return SearchOutcome::Sat(reals, self.bools.clone());
+                    }
+                    // Unreachable while the incremental cascade is
+                    // complete; treated as a conflict defensively rather
+                    // than trusting an inconsistent model.
+                    FmResult::Unsat => {
+                        if !self.backtrack() {
+                            return SearchOutcome::Unsat;
+                        }
+                        continue;
+                    }
+                }
+            };
+            self.trail.record(TrailOp::PopPending(f));
             match f {
                 Formula::Const(true) => {}
-                Formula::Const(false) => return None,
-                Formula::And(xs) => pending.extend(xs),
-                Formula::BLit(name, val) => match bools.get(&name) {
-                    Some(existing) if *existing != val => return None,
+                Formula::Const(false) => {
+                    if !self.backtrack() {
+                        return SearchOutcome::Unsat;
+                    }
+                }
+                Formula::And(xs) => {
+                    for x in xs {
+                        self.pending.push(x);
+                    }
+                    self.trail.record(TrailOp::PushPending(xs.len()));
+                }
+                Formula::BLit(name, val) => match self.bools.get(name) {
+                    Some(existing) if existing != val => {
+                        if !self.backtrack() {
+                            return SearchOutcome::Unsat;
+                        }
+                    }
                     Some(_) => {}
                     None => {
-                        bools.insert(name, val);
-                        // This function owns its mutations only on the
-                        // success path, so restore on failure.
-                        let result = self.solve(pending, constraints, bools);
-                        if result.is_none() {
-                            bools.remove(&name);
-                        }
-                        return result;
+                        self.bools.insert(*name, *val);
+                        self.trail.record(TrailOp::BindBool(*name));
                     }
                 },
                 Formula::Atom(c) => {
-                    if self.out_of_budget() {
-                        // Unwind with a placeholder: `Some` short-circuits
-                        // every enclosing branch point, and the caller
-                        // replaces the model with the spurious marker.
-                        return Some((RealModel::new(), bools.clone()));
+                    if let Some(reason) = self.out_of_budget() {
+                        return SearchOutcome::Exhausted(reason);
                     }
-                    constraints.push(c);
                     self.theory_calls += 1;
-                    if let FmResult::Unsat = check_sat(constraints) {
-                        constraints.pop();
-                        return None;
+                    if !self.sat.is_empty() {
+                        self.saturation_reuses += 1;
                     }
-                    let result = self.solve(pending, constraints, bools);
-                    if result.is_none() {
-                        constraints.pop();
+                    let (ok, undo) = self.sat.push(c);
+                    self.constraints.push(c.clone());
+                    self.trail.record(TrailOp::PushConstraint(undo));
+                    if !ok && !self.backtrack() {
+                        return SearchOutcome::Unsat;
                     }
-                    return result;
                 }
                 Formula::Or(xs) => {
-                    // Branch point: try each disjunct.
-                    for x in xs {
-                        let mut branch_pending = pending.clone();
-                        branch_pending.push(x);
-                        if let Some(model) = self.solve(branch_pending, constraints, bools) {
-                            return Some(model);
+                    if xs.is_empty() {
+                        // The normalizer never emits an empty Or, but a
+                        // hand-built one is an empty disjunction: false.
+                        if !self.backtrack() {
+                            return SearchOutcome::Unsat;
                         }
+                        continue;
                     }
-                    return None;
+                    // The PopPending above sits *below* the level mark, so
+                    // unwinding an enclosing decision restores the whole
+                    // disjunction to pending for re-exploration — the same
+                    // state the recursive engine's pending clone carried.
+                    self.trail.push_level();
+                    self.decisions.push(Decision { alts: xs, next: 1 });
+                    self.pending.push(&xs[0]);
+                    self.trail.record(TrailOp::PushPending(1));
                 }
             }
         }
-        // All boolean structure satisfied; final theory check yields values.
-        if self.out_of_budget() {
-            return Some((RealModel::new(), bools.clone()));
+    }
+
+    /// Unwinds to the innermost decision with an untried alternative and
+    /// enters it; `false` when every branch is exhausted (the query is
+    /// unsat).
+    fn backtrack(&mut self) -> bool {
+        loop {
+            if self.decisions.is_empty() {
+                return false;
+            }
+            let mark = self.trail.pop_level();
+            while self.trail.len() > mark {
+                let op = self.trail.pop_op().expect("ops above the level mark");
+                self.undo(op);
+            }
+            let d = self.decisions.last_mut().expect("a decision per level");
+            if d.next < d.alts.len() {
+                let alt = &d.alts[d.next];
+                d.next += 1;
+                self.trail.push_level();
+                self.pending.push(alt);
+                self.trail.record(TrailOp::PushPending(1));
+                return true;
+            }
+            self.decisions.pop();
         }
-        self.theory_calls += 1;
-        match check_sat(constraints) {
-            FmResult::Sat(reals) => Some((reals, bools.clone())),
-            FmResult::Unsat => None,
+    }
+
+    /// Applies one op's inverse.
+    fn undo(&mut self, op: TrailOp<'f>) {
+        match op {
+            TrailOp::PopPending(f) => self.pending.push(f),
+            TrailOp::PushPending(n) => {
+                let keep = self.pending.len() - n;
+                self.pending.truncate(keep);
+            }
+            TrailOp::BindBool(name) => {
+                self.bools.remove(&name);
+            }
+            TrailOp::PushConstraint(undo) => {
+                self.constraints.pop();
+                self.sat.pop(undo);
+            }
         }
+    }
+
+    /// Undoes everything — every open level, then every remaining op —
+    /// restoring the borrowed state to exactly what it was at
+    /// construction. The pushed-assumption path runs this after every
+    /// query so the shared base survives intact.
+    fn unwind_all(&mut self) {
+        while self.trail.depth() > 0 {
+            self.trail.pop_level();
+        }
+        while let Some(op) = self.trail.pop_op() {
+            self.undo(op);
+        }
+        self.decisions.clear();
+    }
+}
+
+/// The seed's recursive clone-per-disjunct tableau engine, kept verbatim
+/// (minus the budget plumbing, which the differential tests do not
+/// exercise) as the oracle for the trail core: identical verdicts, and the
+/// trail engine may never do *more* theory work.
+#[cfg(test)]
+pub(crate) mod reference {
+    use super::*;
+
+    struct Search {
+        theory_calls: u64,
+    }
+
+    impl Search {
+        fn solve(
+            &mut self,
+            mut pending: Vec<Formula>,
+            constraints: &mut Vec<Constraint>,
+            bools: &mut BoolModel,
+        ) -> Option<(RealModel, BoolModel)> {
+            while let Some(f) = pending.pop() {
+                match f {
+                    Formula::Const(true) => {}
+                    Formula::Const(false) => return None,
+                    Formula::And(xs) => pending.extend(xs),
+                    Formula::BLit(name, val) => match bools.get(&name) {
+                        Some(existing) if *existing != val => return None,
+                        Some(_) => {}
+                        None => {
+                            bools.insert(name, val);
+                            let result = self.solve(pending, constraints, bools);
+                            if result.is_none() {
+                                bools.remove(&name);
+                            }
+                            return result;
+                        }
+                    },
+                    Formula::Atom(c) => {
+                        constraints.push(c);
+                        self.theory_calls += 1;
+                        if let FmResult::Unsat = check_sat(constraints) {
+                            constraints.pop();
+                            return None;
+                        }
+                        let result = self.solve(pending, constraints, bools);
+                        if result.is_none() {
+                            constraints.pop();
+                        }
+                        return result;
+                    }
+                    Formula::Or(xs) => {
+                        for x in xs {
+                            let mut branch_pending = pending.clone();
+                            branch_pending.push(x);
+                            if let Some(model) = self.solve(branch_pending, constraints, bools) {
+                                return Some(model);
+                            }
+                        }
+                        return None;
+                    }
+                }
+            }
+            self.theory_calls += 1;
+            match check_sat(constraints) {
+                FmResult::Sat(reals) => Some((reals, bools.clone())),
+                FmResult::Unsat => None,
+            }
+        }
+    }
+
+    /// Solves normalized formulas with the recursive engine; returns the
+    /// model (if any) and the theory-call count.
+    pub(crate) fn solve_formulas(formulas: Vec<Formula>) -> (Option<(RealModel, BoolModel)>, u64) {
+        let mut search = Search { theory_calls: 0 };
+        let result = search.solve(formulas, &mut Vec::new(), &mut BTreeMap::new());
+        (result, search.theory_calls)
     }
 }
 
@@ -1552,5 +2280,248 @@ mod tests {
         // Repeats are deduplicated.
         let _ = hitter.check(&[x().le(Term::int(2))]);
         assert_eq!(hitter.touched_fingerprints().len(), 2);
+    }
+
+    #[test]
+    fn budget_trip_mid_disjunction_is_exhausted_not_a_model() {
+        // Regression for the seed engine's placeholder unwind: a budget
+        // trip inside a disjunct bubbled up as `Some(empty model)` through
+        // every branch point, indistinguishable from a genuine model until
+        // one caller patched it over. The query below is genuinely Unsat,
+        // and the budget trips on the *second* disjunct — after one branch
+        // already failed — so any placeholder confusion would surface as
+        // Unsat (unsound: the budget means we never finished looking) or
+        // as a non-spurious model.
+        let s = Solver::new();
+        s.set_budget(Budget::with_theory_calls(2));
+        let q = [
+            x().ge(Term::int(1)).or(x().ge(Term::int(2))),
+            x().le(Term::int(0)),
+        ];
+        match s.check(&q) {
+            CheckResult::Sat(m) => {
+                assert!(m.possibly_spurious, "exhausted placeholder is spurious");
+                assert!(m.reals.is_empty() && m.bools.is_empty());
+            }
+            CheckResult::Unsat => panic!("a mid-disjunction trip must never claim Unsat"),
+        }
+        assert!(s.exhausted().unwrap().contains("theory-call"));
+        assert_eq!(s.memo().len(), 0, "placeholders are never memoized");
+        // With the budget lifted the same query resolves for real.
+        s.clear_budget();
+        assert_eq!(s.check(&q), CheckResult::Unsat);
+    }
+
+    #[test]
+    fn trail_counters_accumulate() {
+        let s = Solver::new();
+        assert_eq!(s.stats().saturation_reuse_rate(), None, "no work yet");
+        // One failing branch, one succeeding branch: the search opens a
+        // decision level, backtracks through the trail, and retries.
+        let q = [
+            x().ge(Term::int(1)).or(x().le(Term::int(-1))),
+            x().le(Term::int(-3)),
+        ];
+        assert!(s.check(&q).is_sat());
+        let st = s.stats();
+        assert!(st.trail_ops > 0, "{st:?}");
+        assert_eq!(st.max_trail_depth, 1, "one disjunction deep: {st:?}");
+        // x <= -3 starts the saturation; both disjuncts extend it live.
+        assert_eq!(st.saturation_reuses, 2, "{st:?}");
+        assert_eq!(st.resaturations, 1, "one full model reconstruction");
+        let rate = st.saturation_reuse_rate().unwrap();
+        assert!((rate - 2.0 / 3.0).abs() < 1e-9, "{rate}");
+    }
+
+    #[test]
+    fn pushed_queries_agree_and_share_keys_with_entails_assuming() {
+        let s = Solver::new();
+        let a = x().ge(Term::int(1));
+        let b = y().le(Term::int(5));
+        let goal = x().sub(y()).ge(Term::int(-4));
+        // A fresh pushed query (frames [a] and [b]) solves and memoizes.
+        s.push_assumptions(&[a]);
+        s.push_assumptions(&[b]);
+        assert!(s.entails_pushed(&goal));
+        let st = s.stats();
+        assert_eq!(st.assumption_queries, 1);
+        assert_eq!(st.assumption_hits, 0, "{st:?}");
+        // The same obligation through the monolithic entry point is a hit:
+        // keys are computed over the flattened frame multiset, insensitive
+        // to frame grouping and order.
+        assert!(s.entails_assuming(&[b, a], &goal));
+        assert_eq!(s.stats().assumption_hits, 1, "{:?}", s.stats());
+        s.pop_assumptions();
+        s.pop_assumptions();
+        // And back again under a different grouping of the same multiset.
+        s.push_assumptions(&[b, a]);
+        assert!(s.entails_pushed(&goal));
+        assert_eq!(s.stats().assumption_hits, 2, "{:?}", s.stats());
+        s.pop_assumptions();
+    }
+
+    #[test]
+    fn warm_pushed_queries_do_no_theory_work() {
+        // The warm-restart contract extends to the pushed path: frames are
+        // materialized lazily, so a query answered from a persisted verdict
+        // never normalizes or saturates its assumption base at all.
+        let warm = Solver::new();
+        let a = x().ge(Term::int(1));
+        let b = y().le(Term::int(5));
+        let goal = x().sub(y()).ge(Term::int(-4));
+        assert!(warm.entails_assuming(&[a, b], &goal));
+        let snap = warm.memo().snapshot();
+
+        let cold = Solver::new();
+        cold.memo().absorb(snap);
+        cold.push_assumptions(&[a]);
+        cold.push_assumptions(&[b]);
+        assert!(cold.entails_pushed(&goal));
+        let st = cold.stats();
+        assert_eq!(st.assumption_hits, 1, "{st:?}");
+        assert_eq!(st.theory_calls, 0, "{st:?}");
+        cold.pop_assumptions();
+        cold.pop_assumptions();
+    }
+
+    #[test]
+    fn push_pop_restores_the_base_exactly() {
+        let s = Solver::new();
+        // An empty frame behaves like the empty assumption set: tautologies
+        // and nothing else.
+        s.push_assumptions(&[]);
+        assert!(s.entails_pushed(&x().le(x())));
+        assert!(!s.entails_pushed(&x().ge(Term::int(0))));
+        s.pop_assumptions();
+
+        s.push_assumptions(&[x().ge(Term::int(1))]);
+        assert!(s.entails_pushed(&x().gt(Term::int(0))));
+        assert!(!s.entails_pushed(&y().ge(Term::int(0))));
+        // Narrow-Δ cycling, the Houdini pattern: push, query, pop — over
+        // one shared saturated base.
+        for k in 0..4 {
+            s.push_assumptions(&[y().ge(Term::int(k))]);
+            assert!(s.entails_pushed(&x().add(y()).ge(Term::int(k + 1))));
+            s.pop_assumptions();
+        }
+        // The base still answers fresh queries correctly after cycling.
+        assert!(s.entails_pushed(&Term::int(2).mul(x()).ge(Term::int(2))));
+        // An inconsistent frame entails everything — and pops away clean.
+        s.push_assumptions(&[x().le(Term::int(-5))]);
+        assert!(s.entails_pushed(&y().eq_num(Term::int(42))));
+        s.pop_assumptions();
+        assert!(!s.entails_pushed(&y().eq_num(Term::int(42))));
+        s.pop_assumptions();
+    }
+
+    #[test]
+    #[should_panic(expected = "pop_assumptions without an open frame")]
+    fn pop_without_frame_panics() {
+        Solver::new().pop_assumptions();
+    }
+
+    #[test]
+    fn exhausted_pushed_queries_are_not_memoized_and_frames_recover() {
+        let s = Solver::new();
+        s.push_assumptions(&[x().ge(Term::int(1))]);
+        s.set_budget(Budget::with_theory_calls(0));
+        // The zero budget trips while materializing the frame itself; the
+        // partially built frame must be rolled back, not left half-in.
+        match s.prove_pushed(&x().ge(Term::int(0))) {
+            ProveResult::Proved => panic!("exhausted solver must never prove"),
+            ProveResult::Refuted(m) => assert!(m.possibly_spurious),
+        }
+        assert!(s.exhausted().unwrap().contains("theory-call"));
+        assert_eq!(s.memo().len(), 0);
+        // Lifting the budget re-materializes cleanly and proves for real.
+        s.clear_budget();
+        assert!(s.entails_pushed(&x().ge(Term::int(0))));
+        assert_eq!(s.memo().len(), 1);
+        s.pop_assumptions();
+    }
+
+    /// Differential harness: the trail engine against the seed recursive
+    /// engine (kept as [`reference`]) on random formula trees. Verdicts
+    /// must be identical — models too, since exploration order is pinned —
+    /// and the trail engine may never spend more theory calls.
+    mod differential {
+        use proptest::prelude::*;
+
+        use super::super::{reference, BoolModel, SearchOutcome, TrailSearch};
+        use crate::fm::{Constraint, Saturation};
+        use crate::linear::LinExpr;
+        use crate::normalize::Formula;
+        use crate::term::Symbol;
+        use shadowdp_num::Rat;
+
+        fn arb_atom() -> impl Strategy<Value = Formula> {
+            (-3i128..=3, -3i128..=3, -3i128..=3, 0u8..3).prop_map(|(a, b, c, k)| {
+                let mut lin = LinExpr::constant(Rat::int(c));
+                lin.add_term(Symbol::intern("dx"), Rat::int(a));
+                lin.add_term(Symbol::intern("dy"), Rat::int(b));
+                Formula::Atom(match k {
+                    0 => Constraint::le0(lin),
+                    1 => Constraint::lt0(lin),
+                    _ => Constraint::eq0(lin),
+                })
+            })
+        }
+
+        fn arb_formula() -> impl Strategy<Value = Formula> {
+            let leaf = prop_oneof![
+                (0u8..2).prop_map(|b| Formula::Const(b == 1)),
+                (0usize..2, 0u8..2)
+                    .prop_map(|(i, v)| { Formula::BLit(Symbol::intern(["dp", "dq"][i]), v == 1) }),
+                arb_atom(),
+            ];
+            leaf.prop_recursive(8, 64, 4, |inner| {
+                prop_oneof![
+                    proptest::collection::vec(inner.clone(), 0..4).prop_map(Formula::And),
+                    proptest::collection::vec(inner, 0..4).prop_map(Formula::Or),
+                ]
+            })
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            #[test]
+            fn trail_and_reference_engines_agree(
+                fs in proptest::collection::vec(arb_formula(), 0..4)
+            ) {
+                let (want, ref_calls) = reference::solve_formulas(fs.clone());
+
+                let mut bools = BoolModel::new();
+                let mut constraints = Vec::new();
+                let mut sat = Saturation::new();
+                let mut search = TrailSearch::new(
+                    fs.iter().collect(),
+                    &mut bools,
+                    &mut constraints,
+                    &mut sat,
+                    None,
+                    None,
+                );
+                let outcome = search.run();
+                let trail_calls = search.theory_calls;
+
+                match (&outcome, &want) {
+                    (SearchOutcome::Sat(reals, bs), Some((ref_reals, ref_bools))) => {
+                        prop_assert_eq!(reals, ref_reals, "models diverge on {:?}", fs);
+                        prop_assert_eq!(bs, ref_bools, "bool models diverge on {:?}", fs);
+                    }
+                    (SearchOutcome::Unsat, None) => {}
+                    (got, want) => {
+                        prop_assert!(false, "verdicts diverge on {:?}: trail {:?} vs reference {:?}",
+                            fs, got, want);
+                    }
+                }
+                prop_assert!(
+                    trail_calls <= ref_calls,
+                    "trail engine did more theory work on {:?}: {} vs {}",
+                    fs, trail_calls, ref_calls
+                );
+            }
+        }
     }
 }

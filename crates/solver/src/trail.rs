@@ -1,0 +1,154 @@
+//! The reversible-operation trail backing the iterative solver core.
+//!
+//! The tableau search in [`crate::solve`] used to clone its whole pending
+//! worklist at every disjunction and re-run Fourier–Motzkin from scratch at
+//! every atom. The trail replaces both: every mutation of the search state
+//! (worklist pops/pushes, boolean bindings, incremental constraint
+//! saturations) is recorded as a [`TrailOp`], and a disjunction opens a
+//! [`DecisionLevel`] — a mark into the op stack. Backtracking pops ops back
+//! to the mark and applies each op's inverse, restoring the exact state at
+//! the branch point with no cloning and no recursion.
+//!
+//! The trail itself is policy-free: it stores ops and level marks and hands
+//! ops back in reverse order; the search engine owns the state being undone
+//! (the pending worklist, bool model, constraint stack, and
+//! [`crate::fm::Saturation`]) and interprets each op.
+
+use crate::fm::SatUndo;
+use crate::normalize::Formula;
+use crate::term::Symbol;
+
+/// One reversible step of the iterative tableau search.
+#[derive(Debug)]
+pub enum TrailOp<'f> {
+    /// A formula was popped off the pending worklist; undo pushes it back.
+    PopPending(&'f Formula),
+    /// `n` formulas were pushed onto the pending worklist; undo truncates
+    /// them off again.
+    PushPending(usize),
+    /// A boolean variable was bound; undo removes the binding.
+    BindBool(Symbol),
+    /// A constraint was pushed into the incremental saturation; undo pops
+    /// the constraint stack and rolls the saturation back via the stored
+    /// [`SatUndo`].
+    PushConstraint(SatUndo),
+}
+
+/// A mark into the op stack, opened at a disjunction branch point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DecisionLevel(pub usize);
+
+/// The op stack plus its decision-level marks and lifetime counters.
+#[derive(Debug, Default)]
+pub struct Trail<'f> {
+    ops: Vec<TrailOp<'f>>,
+    levels: Vec<usize>,
+    ops_total: u64,
+    max_depth: u64,
+}
+
+impl<'f> Trail<'f> {
+    /// An empty trail.
+    pub fn new() -> Trail<'f> {
+        Trail::default()
+    }
+
+    /// Records one reversible op.
+    pub fn record(&mut self, op: TrailOp<'f>) {
+        self.ops_total += 1;
+        self.ops.push(op);
+    }
+
+    /// Opens a decision level at the current op-stack height.
+    pub fn push_level(&mut self) -> DecisionLevel {
+        self.levels.push(self.ops.len());
+        if self.levels.len() as u64 > self.max_depth {
+            self.max_depth = self.levels.len() as u64;
+        }
+        DecisionLevel(self.levels.len() - 1)
+    }
+
+    /// Closes the innermost decision level, returning its op-stack mark.
+    /// The caller pops ops down to the mark (via [`Trail::pop_op`]) and
+    /// applies their inverses.
+    pub fn pop_level(&mut self) -> usize {
+        self.levels.pop().expect("pop_level without an open level")
+    }
+
+    /// Number of currently open decision levels.
+    pub fn depth(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Current op-stack height (compare against a mark while unwinding).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether no ops are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Pops the most recent op for the caller to invert.
+    pub fn pop_op(&mut self) -> Option<TrailOp<'f>> {
+        self.ops.pop()
+    }
+
+    /// Total ops recorded over this trail's lifetime (monotone; survives
+    /// pops).
+    pub fn ops_total(&self) -> u64 {
+        self.ops_total
+    }
+
+    /// Deepest decision-level nesting reached over this trail's lifetime.
+    pub fn max_depth(&self) -> u64 {
+        self.max_depth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_mark_op_heights() {
+        let mut t = Trail::new();
+        t.record(TrailOp::PushPending(1));
+        let l0 = t.push_level();
+        assert_eq!(l0, DecisionLevel(0));
+        t.record(TrailOp::BindBool(Symbol::intern("p")));
+        t.record(TrailOp::PushPending(2));
+        assert_eq!(t.depth(), 1);
+        let mark = t.pop_level();
+        assert_eq!(mark, 1);
+        assert_eq!(t.len(), 3);
+        assert!(matches!(t.pop_op(), Some(TrailOp::PushPending(2))));
+        assert!(matches!(t.pop_op(), Some(TrailOp::BindBool(_))));
+        assert_eq!(t.len(), mark);
+        assert_eq!(t.depth(), 0);
+    }
+
+    #[test]
+    fn counters_are_lifetime_monotone() {
+        let mut t = Trail::new();
+        for _ in 0..3 {
+            t.push_level();
+        }
+        assert_eq!(t.max_depth(), 3);
+        t.pop_level();
+        t.pop_level();
+        t.push_level();
+        assert_eq!(t.max_depth(), 3, "max depth survives pops");
+        t.record(TrailOp::PushPending(1));
+        let _ = t.pop_op();
+        t.record(TrailOp::PushPending(1));
+        assert_eq!(t.ops_total(), 2, "ops_total counts records, not height");
+    }
+
+    #[test]
+    #[should_panic(expected = "pop_level without an open level")]
+    fn pop_without_level_panics() {
+        Trail::new().pop_level();
+    }
+}

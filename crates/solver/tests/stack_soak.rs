@@ -1,0 +1,134 @@
+//! Stack-depth soak: the trail-based search is *iterative*, so a
+//! disjunction chain thousands of decision levels deep solves inside a
+//! deliberately tiny thread stack. The seed engine recursed once per
+//! disjunct choice (cloning its pending set and constraint state into
+//! every frame), so a chain like this overflowed long before reaching
+//! the budget checks; the worklist loop keeps the whole search at O(1)
+//! stack regardless of how deep the trail grows.
+//!
+//! The CI faults job also runs the deadline variant below, which trips a
+//! 1 ms budget mid-chain and must unwind the deep trail cleanly instead
+//! of crashing or leaking decision levels.
+
+use std::time::Duration;
+
+use shadowdp_solver::{Budget, Solver, Term, TermId};
+
+/// Decision levels in the chain — two bool literals per level, so the
+/// formula holds ~10k literals.
+const CHAIN: usize = 5_000;
+
+/// A deep-but-tractable chain: every level's *first* disjunct
+/// contradicts one shared top-level bound, so the search opens a level,
+/// saturates into the conflict, backtracks, and commits the second
+/// disjunct — 5 000 times. `x >= 1 ∧ (x <= 0 ∨ q{i})` per level; the
+/// single shared `x` keeps every theory step (and the final model
+/// reconstruction) O(1), so the chain's cost is pure search depth.
+///
+/// Ordering matters: `pending` is a LIFO, so the disjunctions go in
+/// first and the bound last — the search then saturates the bound
+/// *before* opening any decision level, and each dead-end disjunct
+/// conflicts at its own (innermost) level and flips locally. The other
+/// order would make each conflict chronologically backtrack through all
+/// the unrelated inner decisions — exponential in both engines, and not
+/// what this soak is measuring.
+fn deep_chain() -> TermId {
+    let x = Term::real_var("x");
+    let mut parts: Vec<TermId> = Vec::with_capacity(CHAIN + 1);
+    for i in 0..CHAIN {
+        let dead_end = x.le(Term::int(0));
+        let escape = Term::bool_var(format!("q{i}"));
+        parts.push(dead_end.or(escape));
+    }
+    parts.push(Term::int(1).le(x));
+    Term::conj(parts)
+}
+
+/// Runs `f` in a thread with a 1 MiB stack — small enough that one
+/// recursive frame per decision level would overflow within a few
+/// hundred levels, generous enough for the iterative engine plus test
+/// scaffolding.
+fn in_small_stack<R: Send + 'static>(f: impl FnOnce() -> R + Send + 'static) -> R {
+    std::thread::Builder::new()
+        .name("stack-soak".into())
+        .stack_size(1 << 20)
+        .spawn(f)
+        .expect("spawn soak thread")
+        .join()
+        .expect("soak thread must not overflow its stack")
+}
+
+#[test]
+fn deep_disjunction_chain_solves_in_a_one_megabyte_stack() {
+    in_small_stack(|| {
+        let solver = Solver::without_memo();
+        let goal = deep_chain();
+        let result = solver.check(std::slice::from_ref(&goal));
+        assert!(result.is_sat(), "every level's second disjunct escapes");
+        assert!(solver.exhausted().is_none());
+
+        let stats = solver.stats();
+        assert!(
+            stats.max_trail_depth >= CHAIN as u64,
+            "the chain must actually open {CHAIN} decision levels \
+             (saw {})",
+            stats.max_trail_depth
+        );
+        // Every level's dead-end disjunct re-pushes an already-saturated
+        // bound's variable, so the incremental saturation reuse shows up
+        // at scale, not just in unit tests.
+        assert!(
+            stats.saturation_reuses > 0,
+            "backtracking across {CHAIN} levels must reuse saturation state: {stats:?}"
+        );
+    });
+}
+
+/// The 1 ms deadline variant the CI faults job runs: tripping the budget
+/// thousands of levels deep must unwind the whole trail cleanly (no
+/// overflow, no poisoned solver) and leave the solver able to finish the
+/// same query once the budget is lifted.
+#[test]
+fn deadline_trip_mid_chain_unwinds_cleanly_and_recovers() {
+    in_small_stack(|| {
+        let solver = Solver::without_memo();
+        let goal = deep_chain();
+
+        solver.set_budget(Budget::with_deadline(Duration::from_millis(1)));
+        let strangled = solver.check(std::slice::from_ref(&goal));
+        if let Some(reason) = solver.exhausted() {
+            // The expected path: the deadline tripped mid-chain. The
+            // placeholder answer must be flagged spurious, never usable
+            // as a real model.
+            match &strangled {
+                shadowdp_solver::CheckResult::Sat(m) => {
+                    assert!(m.possibly_spurious, "exhaustion must taint the model")
+                }
+                shadowdp_solver::CheckResult::Unsat => {
+                    panic!("exhaustion ({reason}) must not masquerade as Unsat")
+                }
+            }
+        }
+
+        // Deterministic exhaustion regardless of machine speed: a
+        // theory-call budget far below the chain length always trips.
+        solver.clear_budget();
+        solver.set_budget(Budget::with_theory_calls(100));
+        let strangled = solver.check(std::slice::from_ref(&goal));
+        assert!(
+            solver.exhausted().is_some(),
+            "100 theory calls cannot cover a {CHAIN}-level chain"
+        );
+        match strangled {
+            shadowdp_solver::CheckResult::Sat(m) => assert!(m.possibly_spurious),
+            shadowdp_solver::CheckResult::Unsat => panic!("exhaustion must not claim Unsat"),
+        }
+
+        // A clean unwind leaves nothing behind: lifting the budget and
+        // re-asking solves the full chain in the same solver.
+        solver.clear_budget();
+        let recovered = solver.check(std::slice::from_ref(&goal));
+        assert!(recovered.is_sat(), "recovery after exhaustion");
+        assert!(solver.exhausted().is_none());
+    });
+}

@@ -51,6 +51,14 @@ pub struct RoundProfile {
     /// Whether any previous round of this loop dropped a candidate (the
     /// post-drop rounds are the ones the per-candidate keying speeds up).
     pub after_drop: bool,
+    /// Incremental saturation extensions this round: atoms absorbed into
+    /// an already-saturated constraint set (a pushed base reused across
+    /// queries, or a later atom of one search) instead of triggering a
+    /// from-scratch recomputation.
+    pub sat_reuses: u64,
+    /// Full from-scratch saturations this round (cold constraint sets and
+    /// final model reconstructions).
+    pub resats: u64,
 }
 
 /// Shared sink for [`RoundProfile`]s: the engine appends one entry per
@@ -285,35 +293,69 @@ impl Engine {
                 exec.obligations.truncate(saved_obligations);
 
                 let cand_pos_set: BTreeSet<usize> = cand_pos.iter().copied().collect();
-                for (i, c) in candidates.iter().enumerate() {
-                    if failed.contains(&i) {
-                        continue;
-                    }
-                    for end in &ends {
-                        let mut probe = end.clone();
-                        // An evaluation failure here is a semantics or
-                        // lowering bug (the same candidate evaluated fine
-                        // on the head state), not a weak candidate:
-                        // surface it instead of masking it as a benign
-                        // drop.
-                        let t = exec.eval_bool(c, &mut probe).map_err(|e| {
-                            format!("candidate `{}` consecution eval: {e}", pretty_expr(c))
-                        })?;
-                        let narrow: Vec<Term> = probe
-                            .path
-                            .iter()
-                            .enumerate()
-                            .filter(|(k, _)| !cand_pos_set.contains(k) || *k == cand_pos[i])
-                            .map(|(_, t)| *t)
-                            .collect();
-                        if narrow.len() < probe.path.len() && solver.entails_assuming(&narrow, &t) {
-                            continue;
+                // The candidate-independent slice of each end path — entry
+                // facts, guard, and body terms, but no candidate's own
+                // assumption — is pushed once per end state and shared by
+                // every candidate's checks below: the solver saturates the
+                // base a single time and each query only pushes (and pops)
+                // its narrow delta on top.
+                for end in &ends {
+                    let base: Vec<Term> = end
+                        .path
+                        .iter()
+                        .enumerate()
+                        .filter(|(k, _)| !cand_pos_set.contains(k))
+                        .map(|(_, t)| *t)
+                        .collect();
+                    solver.push_assumptions(&base);
+                    let r = (|| -> Result<(), String> {
+                        for (i, c) in candidates.iter().enumerate() {
+                            if failed.contains(&i) {
+                                continue;
+                            }
+                            let mut probe = end.clone();
+                            // An evaluation failure here is a semantics or
+                            // lowering bug (the same candidate evaluated
+                            // fine on the head state), not a weak
+                            // candidate: surface it instead of masking it
+                            // as a benign drop.
+                            let t = exec.eval_bool(c, &mut probe).map_err(|e| {
+                                format!("candidate `{}` consecution eval: {e}", pretty_expr(c))
+                            })?;
+                            let tail = &probe.path[end.path.len()..];
+                            // Narrow first: the base plus only this
+                            // candidate's own assumption. Same multiset —
+                            // and therefore the same memo key — as the
+                            // sibling-filtered assumption set described
+                            // above, insensitive to which siblings have
+                            // dropped.
+                            if candidates.len() > 1 {
+                                let mut delta = vec![end.path[cand_pos[i]]];
+                                delta.extend_from_slice(tail);
+                                solver.push_assumptions(&delta);
+                                let narrow_ok = solver.entails_pushed(&t);
+                                solver.pop_assumptions();
+                                if narrow_ok {
+                                    continue;
+                                }
+                            }
+                            // Full fallback: every candidate's assumption —
+                            // exactly the monolithic obligation, and the
+                            // only check that may drop a candidate.
+                            let mut delta: Vec<Term> =
+                                cand_pos.iter().map(|&k| end.path[k]).collect();
+                            delta.extend_from_slice(tail);
+                            solver.push_assumptions(&delta);
+                            let full_ok = solver.entails_pushed(&t);
+                            solver.pop_assumptions();
+                            if !full_ok {
+                                failed.insert(i);
+                            }
                         }
-                        if !solver.entails_assuming(&probe.path, &t) {
-                            failed.insert(i);
-                            break;
-                        }
-                    }
+                        Ok(())
+                    })();
+                    solver.pop_assumptions();
+                    r?;
                 }
             }
             if opts.profile.is_some() || shadowdp_obs::armed() {
@@ -324,6 +366,8 @@ impl Engine {
                     queries: stats_after.assumption_queries - stats_before.assumption_queries,
                     hits: stats_after.assumption_hits - stats_before.assumption_hits,
                     after_drop: dropped_any,
+                    sat_reuses: stats_after.saturation_reuses - stats_before.saturation_reuses,
+                    resats: stats_after.resaturations - stats_before.resaturations,
                 };
                 if let Some(sink) = &opts.profile {
                     sink.lock()
@@ -333,12 +377,14 @@ impl Engine {
                 // The span reuses the same per-round profile the PR 5 sink
                 // collects; the label is only materialized when armed.
                 round_span.set_label(&format!(
-                    "round={} dropped={} queries={} hits={} after_drop={}",
+                    "round={} dropped={} queries={} hits={} after_drop={} sat_reuses={} resats={}",
                     profile.round,
                     profile.dropped,
                     profile.queries,
                     profile.hits,
-                    profile.after_drop
+                    profile.after_drop,
+                    profile.sat_reuses,
+                    profile.resats
                 ));
             }
             if failed.is_empty() {

@@ -1,7 +1,10 @@
 //! Prints per-algorithm solver statistics — query counts, theory calls,
 //! memo-table hit rates, the per-candidate Houdini consecution hit
 //! rate (`consec`: assumption-set-keyed entailments answered from the
-//! memo) — and per-phase wall-clock split (typecheck vs verify, from
+//! memo), the trail engine's search volume (`trail`: reversible ops
+//! recorded, `depth`: deepest decision level, `sat-reuse`: constraint
+//! pushes that extended live saturation state instead of recomputing
+//! it) — and per-phase wall-clock split (typecheck vs verify, from
 //! tracing spans) for the Table 1 corpus.
 //!
 //! ```text
@@ -26,7 +29,7 @@ fn main() {
     // phase spans; the ring is drained per algorithm below.
     shadowdp_obs::arm();
     println!(
-        "{:<22} {:>8} {:>8} {:>8} {:>10} {:>8} {:>8} {:>9} {:>9} {:>9}",
+        "{:<22} {:>8} {:>8} {:>8} {:>10} {:>8} {:>8} {:>8} {:>6} {:>10} {:>9} {:>9} {:>9}",
         "algorithm",
         "checks",
         "proves",
@@ -34,6 +37,9 @@ fn main() {
         "hit-rate",
         "consec",
         "theory",
+        "trail",
+        "depth",
+        "sat-reuse",
         "tc-ms",
         "verify-ms",
         "verdict"
@@ -53,8 +59,17 @@ fn main() {
             .assumption_hit_rate()
             .map(|r| format!("{:.1}%", 100.0 * r))
             .unwrap_or_else(|| "-".into());
+        let saturations = s.saturation_reuses + s.resaturations;
+        let sat_reuse = if saturations > 0 {
+            format!(
+                "{:.1}%",
+                100.0 * s.saturation_reuses as f64 / saturations as f64
+            )
+        } else {
+            "-".into()
+        };
         println!(
-            "{:<22} {:>8} {:>8} {:>8} {:>9.1}% {:>8} {:>8} {:>9.1} {:>9.1} {:>9}",
+            "{:<22} {:>8} {:>8} {:>8} {:>9.1}% {:>8} {:>8} {:>8} {:>6} {:>10} {:>9.1} {:>9.1} {:>9}",
             alg.name,
             s.checks,
             s.proves,
@@ -62,6 +77,9 @@ fn main() {
             rate,
             consec,
             s.theory_calls,
+            s.trail_ops,
+            s.max_trail_depth,
+            sat_reuse,
             span_total_us(&spans, "typecheck") as f64 / 1_000.0,
             span_total_us(&spans, "verify") as f64 / 1_000.0,
             match report.verdict {

@@ -78,10 +78,19 @@ fn verify_spans_account_for_table1_wall_clock() {
          ({corpus_us}µs of {wall_us}µs)"
     );
     assert!(verify_us <= corpus_us, "{verify_us} vs {corpus_us}");
+    // The per-phase spans must jointly account for the wall clock. (The
+    // pin used to be on `verify` alone, which worked while verification
+    // dominated the run; the trail-based solver core cut verification far
+    // enough that the fixed parse/typecheck cost is no longer noise, so
+    // the accounting is checked over all phases.)
+    let phases_us = verify_us
+        + span_sum_us(&spans, "parse")
+        + span_sum_us(&spans, "typecheck")
+        + span_sum_us(&spans, "lower");
     assert!(
-        10 * verify_us >= 9 * wall_us,
-        "verify spans must account for >=90% of the Table 1 wall clock \
-         ({verify_us}µs of {wall_us}µs)"
+        10 * phases_us >= 9 * wall_us,
+        "phase spans must account for >=90% of the Table 1 wall clock \
+         ({phases_us}µs of {wall_us}µs, {verify_us}µs in verify)"
     );
 
     // The Chrome export is structurally sound: one complete event per
