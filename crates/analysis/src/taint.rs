@@ -1,0 +1,254 @@
+//! SD01 — taint tracking: values derived from the sensitive input must
+//! pass through a noise sample before reaching the output or steering a
+//! branch.
+//!
+//! A forward dataflow analysis over the classes `Public < Noisy <
+//! Tainted` per plain variable. Expressions classify as *Noisy* when
+//! they mention any noisy variable (fresh Laplace noise sanitizes a
+//! mixture — that is the whole point of the mechanisms), otherwise
+//! *Tainted* when they mention tainted data, otherwise *Public*. Loops
+//! run to a fixpoint over monotonically growing entry environments;
+//! diagnostics are emitted in a final pass over the stable environments
+//! so transient intermediate states never produce findings.
+
+use std::collections::BTreeMap;
+
+use shadowdp_syntax::{Cmd, CmdKind, Distance, Expr, Function, Span, Ty};
+
+use crate::diag::{Code, Diagnostic, Severity};
+
+/// The taint class of a value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum Class {
+    /// Derived only from non-private inputs.
+    Public,
+    /// Carries fresh Laplace noise (sanitized).
+    Noisy,
+    /// Derived from the sensitive input with no noise on any path.
+    Tainted,
+}
+
+type Env = BTreeMap<String, Class>;
+
+/// What the taint pass learned, for reuse by the other passes.
+pub(crate) struct TaintInfo {
+    /// Join of each plain variable's class over every program point.
+    pub summary: Env,
+    /// SD01 findings.
+    pub diags: Vec<Diagnostic>,
+}
+
+/// Whether a declared distance is statically nonzero (i.e. the
+/// parameter is sensitive: it differs between adjacent databases).
+fn distance_sensitive(d: &Distance) -> bool {
+    match d {
+        Distance::D(e) => !e.is_zero_lit(),
+        Distance::Star => true,
+        Distance::Any => false,
+    }
+}
+
+/// Whether a parameter type marks the sensitive input.
+fn ty_sensitive(ty: &Ty) -> bool {
+    match ty {
+        Ty::Num(aligned, _) => distance_sensitive(aligned),
+        Ty::Bool => false,
+        Ty::List(inner) => ty_sensitive(inner),
+    }
+}
+
+fn join_env(into: &mut Env, other: &Env) -> bool {
+    let mut changed = false;
+    for (k, v) in other {
+        let e = into.entry(k.clone()).or_insert(Class::Public);
+        if *v > *e {
+            *e = *v;
+            changed = true;
+        }
+    }
+    changed
+}
+
+struct Walker<'a> {
+    src: &'a str,
+    ret_name: &'a str,
+    /// Stable loop-entry environments, keyed by the `while` span.
+    loop_entries: BTreeMap<(usize, usize), Env>,
+    /// Join over all program points (fed by every `transfer` step).
+    summary: Env,
+    changed: bool,
+    emit: bool,
+    diags: Vec<Diagnostic>,
+}
+
+impl Walker<'_> {
+    fn class_of(&self, e: &Expr, env: &Env) -> Class {
+        let mut cls = Class::Public;
+        let mut saw_noisy = false;
+        for name in e.vars() {
+            if name.is_hat() {
+                continue; // instrumentation variables are not data flow
+            }
+            match env.get(&name.base).copied().unwrap_or(Class::Public) {
+                Class::Noisy => saw_noisy = true,
+                c => cls = cls.max(c),
+            }
+        }
+        if saw_noisy {
+            Class::Noisy
+        } else {
+            cls
+        }
+    }
+
+    fn record(&mut self, env: &Env) {
+        join_env(&mut self.summary, env);
+    }
+
+    fn diag(&mut self, code: Code, sev: Severity, span: Span, msg: String, hint: &str) {
+        if self.emit {
+            self.diags
+                .push(Diagnostic::new(code, sev, span, self.src, msg).with_hint(hint));
+        }
+    }
+
+    fn walk(&mut self, cmds: &[Cmd], env: &mut Env) {
+        for c in cmds {
+            self.record(env);
+            match &c.kind {
+                CmdKind::Skip | CmdKind::Assert(_) | CmdKind::Assume(_) | CmdKind::Havoc(_) => {}
+                CmdKind::Assign(n, e) => {
+                    let cls = self.class_of(e, env);
+                    if !n.is_hat() {
+                        if n.base == self.ret_name && cls == Class::Tainted {
+                            self.diag(
+                                Code::Sd01,
+                                Severity::Error,
+                                c.span,
+                                format!(
+                                    "sensitive data flows into output `{}` without passing \
+                                     through a noise sample",
+                                    n.base
+                                ),
+                                "add Laplace noise to the released value",
+                            );
+                        }
+                        env.insert(n.base.clone(), cls);
+                    }
+                }
+                CmdKind::Sample { var, dist, .. } => {
+                    if self.class_of(dist.scale(), env) == Class::Tainted {
+                        self.diag(
+                            Code::Sd01,
+                            Severity::Error,
+                            c.span,
+                            "Laplace scale depends on sensitive data".to_string(),
+                            "scales must be public expressions (e.g. constants over eps)",
+                        );
+                    }
+                    if !var.is_hat() {
+                        env.insert(var.base.clone(), Class::Noisy);
+                    }
+                }
+                CmdKind::If(cond, then_cmds, else_cmds) => {
+                    if self.class_of(cond, env) == Class::Tainted {
+                        self.diag(
+                            Code::Sd01,
+                            Severity::Warning,
+                            c.span,
+                            "branch condition depends on sensitive data without noise".to_string(),
+                            "compare against a noised quantity instead",
+                        );
+                    }
+                    let mut then_env = env.clone();
+                    self.walk(then_cmds, &mut then_env);
+                    self.walk(else_cmds, env);
+                    join_env(env, &then_env);
+                }
+                CmdKind::While { cond, body, .. } => {
+                    let key = (c.span.start, c.span.end);
+                    let entry = self.loop_entries.entry(key).or_default();
+                    let mut stable = entry.clone();
+                    if join_env(&mut stable, env) {
+                        self.changed = true;
+                    }
+                    self.loop_entries.insert(key, stable.clone());
+                    if self.class_of(cond, &stable) == Class::Tainted {
+                        self.diag(
+                            Code::Sd01,
+                            Severity::Warning,
+                            c.span,
+                            "loop condition depends on sensitive data without noise".to_string(),
+                            "compare against a noised quantity instead",
+                        );
+                    }
+                    let mut body_env = stable.clone();
+                    self.walk(body, &mut body_env);
+                    // The body exit feeds the next entry via the next
+                    // fixpoint round; the loop's own exit sees both.
+                    *env = stable;
+                    join_env(env, &body_env);
+                }
+                CmdKind::Return(e) => {
+                    // The parser's synthesized `return out` (zero span)
+                    // re-reads the output variable; the tainted
+                    // *assignment* to it was already flagged at its own
+                    // site, so only explicit returns report here.
+                    if c.span != Span::ZERO && self.class_of(e, env) == Class::Tainted {
+                        self.diag(
+                            Code::Sd01,
+                            Severity::Error,
+                            c.span,
+                            "sensitive data is returned without passing through a noise sample"
+                                .to_string(),
+                            "add Laplace noise to the released value",
+                        );
+                    }
+                }
+            }
+        }
+        self.record(env);
+    }
+}
+
+/// Runs the taint pass, returning the SD01 findings and the per-var
+/// class summary.
+pub(crate) fn analyze(f: &Function, src: &str) -> TaintInfo {
+    let mut seed = Env::new();
+    for p in &f.params {
+        let cls = if ty_sensitive(&p.ty) {
+            Class::Tainted
+        } else {
+            Class::Public
+        };
+        seed.insert(p.name.clone(), cls);
+    }
+    let mut w = Walker {
+        src,
+        ret_name: &f.ret.name,
+        loop_entries: BTreeMap::new(),
+        summary: Env::new(),
+        changed: false,
+        emit: false,
+        diags: Vec::new(),
+    };
+    // Kleene iteration to stabilize loop-entry environments (the class
+    // lattice has height 2, so this converges in a handful of rounds;
+    // the cap is a belt against pathological inputs).
+    for _ in 0..16 {
+        w.changed = false;
+        let mut env = seed.clone();
+        w.walk(&f.body, &mut env);
+        if !w.changed {
+            break;
+        }
+    }
+    // Final emitting pass over the stable environments.
+    w.emit = true;
+    let mut env = seed;
+    w.walk(&f.body, &mut env);
+    TaintInfo {
+        summary: w.summary,
+        diags: w.diags,
+    }
+}

@@ -21,7 +21,7 @@ fn bench_synthesis(c: &mut Criterion) {
             let r = synthesize(std::hint::black_box(&laplace), &SynthOptions::default());
             assert!(r.annotations.is_some());
             r.attempts
-        })
+        });
     });
 
     let svt1 = parsed(&corpus::svt_n1());
@@ -31,7 +31,7 @@ fn bench_synthesis(c: &mut Criterion) {
             let r = synthesize(std::hint::black_box(&svt1), &SynthOptions::default());
             assert!(r.annotations.is_some());
             r.attempts
-        })
+        });
     });
 
     group.finish();

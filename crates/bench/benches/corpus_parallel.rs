@@ -45,10 +45,10 @@ fn bench_corpus_drivers(c: &mut Criterion) {
     let mut group = c.benchmark_group("table1/verify-parallel");
     group.sample_size(10);
     group.bench_function("sequential", |b| {
-        b.iter(|| pipeline.verify_corpus(std::hint::black_box(&jobs)))
+        b.iter(|| pipeline.verify_corpus(std::hint::black_box(&jobs)));
     });
     group.bench_function("parallel", |b| {
-        b.iter(|| pipeline.verify_corpus_parallel(std::hint::black_box(&jobs), None))
+        b.iter(|| pipeline.verify_corpus_parallel(std::hint::black_box(&jobs), None));
     });
     group.finish();
 }

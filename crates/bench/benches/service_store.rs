@@ -46,7 +46,7 @@ fn bench_warm_vs_cold(c: &mut Criterion) {
     group.bench_function("cold", |b| {
         b.iter(|| {
             pipeline.verify_corpus_parallel_with_memo(&jobs, None, &Arc::new(QueryMemo::default()))
-        })
+        });
     });
 
     // Build the warm store exactly the way a daemon restart does: cold
@@ -77,7 +77,7 @@ fn bench_warm_vs_cold(c: &mut Criterion) {
             assert_eq!(stats.cache_hits, stats.checks, "{stats:?}");
             assert_eq!(warm.digest(), cold_digest, "warm run diverged from cold");
             warm
-        })
+        });
     });
 
     group.finish();
@@ -162,7 +162,7 @@ fn bench_flush_incremental(c: &mut Criterion) {
                 }
                 store.flush().expect("delta flush");
                 store.log_bytes()
-            })
+            });
         });
         let _ = std::fs::remove_file(&path);
     }

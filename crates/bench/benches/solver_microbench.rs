@@ -69,13 +69,13 @@ fn bench_construction(c: &mut Criterion) {
         b.iter(|| {
             let (hyps, goal) = noisy_max_vc();
             std::hint::black_box((hyps, goal))
-        })
+        });
     });
     group.bench_function("conj-64-atoms", |b| {
         b.iter(|| {
             let atoms = (0..64).map(|k| Term::real_var(format!("x{k}")).le(Term::int(k)));
             std::hint::black_box(Term::conj(atoms))
-        })
+        });
     });
     group.finish();
 }
@@ -85,7 +85,7 @@ fn bench_normalize(c: &mut Criterion) {
     let (hyps, goal) = noisy_max_vc();
     group.bench_function("noisy-max-vc-uncached", |b| {
         let solver = Solver::without_memo();
-        b.iter(|| assert!(solver.prove(&hyps, &goal).is_proved()))
+        b.iter(|| assert!(solver.prove(&hyps, &goal).is_proved()));
     });
     group.finish();
 }
@@ -96,14 +96,14 @@ fn bench_repeated_query(c: &mut Criterion) {
 
     group.bench_function("uncached", |b| {
         let solver = Solver::without_memo();
-        b.iter(|| assert!(solver.prove(&hyps, &goal).is_proved()))
+        b.iter(|| assert!(solver.prove(&hyps, &goal).is_proved()));
     });
 
     group.bench_function("memoized", |b| {
         let solver = Solver::new();
         // Warm the single entry, then measure steady-state hits.
         assert!(solver.prove(&hyps, &goal).is_proved());
-        b.iter(|| assert!(solver.prove(&hyps, &goal).is_proved()))
+        b.iter(|| assert!(solver.prove(&hyps, &goal).is_proved()));
     });
 
     group.finish();
@@ -150,7 +150,7 @@ fn bench_trail(c: &mut Criterion) {
     let chain = disjunction_chain(64);
     group.bench_function("fresh-solve", |b| {
         let solver = Solver::without_memo();
-        b.iter(|| assert!(solver.check(std::slice::from_ref(&chain)).is_sat()))
+        b.iter(|| assert!(solver.check(std::slice::from_ref(&chain)).is_sat()));
     });
 
     // The Houdini consecution shape: base assumptions pushed once per
@@ -168,7 +168,7 @@ fn bench_trail(c: &mut Criterion) {
     ];
     group.bench_function("push-pop-houdini", |b| {
         let solver = Solver::without_memo();
-        b.iter(|| push_pop_houdini_pass(&solver, &hyps, &candidates, &goal))
+        b.iter(|| push_pop_houdini_pass(&solver, &hyps, &candidates, &goal));
     });
     group.finish();
 
@@ -246,7 +246,7 @@ fn bench_houdini(c: &mut Criterion) {
                 out,
                 shadowdp_verify::InductiveOutcome::Proved { .. }
             ));
-        })
+        });
     });
 
     group.bench_function("counter-loop-memoized", |b| {
@@ -259,7 +259,7 @@ fn bench_houdini(c: &mut Criterion) {
                 out,
                 shadowdp_verify::InductiveOutcome::Proved { .. }
             ));
-        })
+        });
     });
 
     group.finish();
@@ -288,7 +288,7 @@ fn bench_houdini_rekey(c: &mut Criterion) {
                 out,
                 shadowdp_verify::InductiveOutcome::Proved { .. }
             ));
-        })
+        });
     });
     group.finish();
 

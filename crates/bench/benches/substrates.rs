@@ -29,7 +29,7 @@ fn bench_solver(c: &mut Criterion) {
         b.iter(|| {
             assert!(solver
                 .prove(std::hint::black_box(&hyps), std::hint::black_box(&goal))
-                .is_proved())
+                .is_proved());
         });
     });
 
@@ -74,7 +74,7 @@ fn bench_interpreter(c: &mut Criterion) {
                 )
                 .unwrap()
                 .output
-        })
+        });
     });
     group.finish();
 }

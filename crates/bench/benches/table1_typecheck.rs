@@ -14,7 +14,7 @@ fn bench_typecheck(c: &mut Criterion) {
             b.iter(|| {
                 let f = parse_function(std::hint::black_box(alg.source)).unwrap();
                 check_function(&f).unwrap()
-            })
+            });
         });
     }
     group.finish();

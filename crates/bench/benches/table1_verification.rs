@@ -40,7 +40,7 @@ fn bench_mode(c: &mut Criterion, label: &str, mode: VerifyMode) {
             alg.name
         );
         group.bench_function(alg.name, |b| {
-            b.iter(|| verify(std::hint::black_box(&t), &opts))
+            b.iter(|| verify(std::hint::black_box(&t), &opts));
         });
     }
     group.finish();

@@ -101,7 +101,7 @@ fn main() -> ExitCode {
             "{:<55} {:>12} {:>12} {:>9}  {}",
             id,
             fmt_ns(*base),
-            fresh_mean.map(fmt_ns).unwrap_or_else(|| "-".into()),
+            fresh_mean.map_or_else(|| "-".into(), fmt_ns),
             delta_s,
             verdict_s
         );

@@ -222,9 +222,7 @@ impl JobSpec {
                 field("list_len", &o.list_len.to_string());
                 field(
                     "max_unroll",
-                    &o.max_unroll
-                        .map(|n| n.to_string())
-                        .unwrap_or_else(|| "-".into()),
+                    &o.max_unroll.map_or_else(|| "-".into(), |n| n.to_string()),
                 );
                 field("max_rounds", &o.max_rounds.to_string());
                 // Budget fields are emitted only when set, so specs

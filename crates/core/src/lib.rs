@@ -10,7 +10,7 @@
 //!
 //! This crate is the user-facing entry point:
 //!
-//! - [`Pipeline`] — parse → type-check/transform → lower → verify, with
+//! - [`Pipeline`] — parse → lint → type-check/transform → lower → verify, with
 //!   wall-clock timings per phase (the measurements behind the paper's
 //!   Table 1), plus the sequential and work-stealing **corpus drivers**
 //!   ([`Pipeline::verify_corpus`],
@@ -40,5 +40,9 @@ pub mod table1;
 
 pub use corpus::{Algorithm, Expected};
 pub use jobspec::{JobSpec, JobSpecError, OptionsSpec};
-pub use pipeline::{CorpusJob, CorpusOutcome, Phase, Pipeline, PipelineError, PipelineReport};
+pub use pipeline::{
+    lint_source, lint_timed, CorpusJob, CorpusOutcome, Phase, Pipeline, PipelineError,
+    PipelineReport,
+};
+pub use shadowdp_analysis::{render_human, render_json_lines, Code, Diagnostic, Severity};
 pub use table1::{run_table1, run_table1_parallel, Table1Row};

@@ -11,6 +11,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
+use shadowdp_analysis::Diagnostic;
 use shadowdp_solver::{Fingerprint, QueryMemo, Solver, SolverStats};
 use shadowdp_syntax::{parse_function, pretty_function, Function, ParseError};
 use shadowdp_typing::{check_function_with, TypeError};
@@ -70,6 +71,11 @@ static RESATURATIONS: shadowdp_obs::LazyCounter = shadowdp_obs::LazyCounter::new
     "shadowdp_saturation_recompute_total",
     "Full from-scratch constraint-set saturations",
 );
+static LINT_DIAGS: shadowdp_obs::LazyCounterFamily = shadowdp_obs::LazyCounterFamily::new(
+    "shadowdp_lint_diagnostics_total",
+    "Static-analysis diagnostics emitted, by stable SD code",
+    "code",
+);
 
 /// Forces registration of every pipeline-level metric (and the solver's)
 /// so a scrape exposes the full schema even before any job has run a
@@ -87,6 +93,7 @@ pub fn register_metrics() {
     TRAIL_OPS.get();
     SATURATION_REUSES.get();
     RESATURATIONS.get();
+    LINT_DIAGS.get();
     shadowdp_solver::solve::register_metrics();
 }
 
@@ -102,6 +109,42 @@ fn parse_timed(source: &str) -> Result<Function, PipelineError> {
         .with("parse")
         .observe(start.elapsed().as_micros() as u64);
     parsed.map_err(PipelineError::Parse)
+}
+
+/// Lints a parsed function as the pipeline's pre-verification phase:
+/// its own span, a `lint` entry in the phase histogram, and per-code
+/// `shadowdp_lint_diagnostics_total` counters. Diagnostics never gate
+/// the pipeline — they are advisory, and verification output (and
+/// therefore every corpus digest) is byte-identical with or without
+/// them.
+pub fn lint_timed(f: &Function, source: &str) -> Vec<Diagnostic> {
+    let start = Instant::now();
+    let diags = {
+        let _span = shadowdp_obs::span_labeled("lint", &f.name);
+        shadowdp_analysis::lint_function(f, source)
+    };
+    PHASE_US
+        .with("lint")
+        .observe(start.elapsed().as_micros() as u64);
+    for d in &diags {
+        LINT_DIAGS.with(d.code.as_str()).inc();
+    }
+    diags
+}
+
+/// Parses and lints source text without typechecking or verifying —
+/// the cheap diagnostics tier (`shadowdp lint`, the daemon's `LINT`
+/// verb) that front-ends call before paying for a proof.
+///
+/// # Errors
+///
+/// The parse error if the program does not parse.
+pub fn lint_source(source: &str) -> Result<Vec<Diagnostic>, ParseError> {
+    match parse_timed(source) {
+        Ok(f) => Ok(lint_timed(&f, source)),
+        Err(PipelineError::Parse(e)) => Err(e),
+        Err(other) => unreachable!("parse_timed only fails with Parse errors: {other}"),
+    }
 }
 
 /// Which phase produced an error.
@@ -136,6 +179,18 @@ impl PipelineError {
             PipelineError::Parse(_) => Phase::Parse,
             PipelineError::Type(_) => Phase::TypeCheck,
             PipelineError::Crashed(_) => Phase::Crash,
+        }
+    }
+
+    /// Renders the error with `line:col` resolved against the source
+    /// the job ran on — what interactive front-ends (`shadowdp check`)
+    /// show. `Display` stays location-free because its text is embedded
+    /// in corpus report digests, which are pinned byte-for-byte.
+    pub fn render_located(&self, source: &str) -> String {
+        match self {
+            PipelineError::Parse(e) => e.render(source),
+            PipelineError::Type(e) => e.render(source),
+            PipelineError::Crashed(msg) => format!("job panicked: {msg}"),
         }
     }
 }
@@ -232,6 +287,9 @@ impl Pipeline {
     /// [`PipelineReport::verdict`], not as errors.
     pub fn run(&self, source: &str) -> Result<PipelineReport, PipelineError> {
         let f = parse_timed(source)?;
+        // Advisory pre-verification lint phase: feeds the span log and
+        // the per-code counters, never the report.
+        let _ = lint_timed(&f, source);
         self.run_parsed(&f)
     }
 
@@ -250,6 +308,7 @@ impl Pipeline {
         memo: &Arc<QueryMemo>,
     ) -> Result<PipelineReport, PipelineError> {
         let f = parse_timed(source)?;
+        let _ = lint_timed(&f, source);
         self.run_parsed_with(&f, &Solver::with_memo(memo.clone()))
     }
 
@@ -391,9 +450,7 @@ impl Pipeline {
         let memo = memo.clone();
         let workers = threads
             .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|n| n.get())
-                    .unwrap_or(1)
+                std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
             })
             .clamp(1, jobs.len().max(1));
 

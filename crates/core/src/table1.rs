@@ -179,10 +179,9 @@ pub fn render(rows: &[Table1Row]) -> String {
     let _ = writeln!(out, "{}", "-".repeat(120));
     for r in rows {
         let fmt_d = |d: Option<Duration>| {
-            d.map(|d| format!("{:.3}", d.as_secs_f64()))
-                .unwrap_or_else(|| "-".into())
+            d.map_or_else(|| "-".into(), |d| format!("{:.3}", d.as_secs_f64()))
         };
-        let fmt_f = |f: Option<f64>| f.map(|f| format!("{f}")).unwrap_or_else(|| "-".into());
+        let fmt_f = |f: Option<f64>| f.map_or_else(|| "-".into(), |f| format!("{f}"));
         let _ = writeln!(
             out,
             "{:<42} {:>10.3} {:>12} {:>12} {:>8} {:>10} {:>10} {:>10}",

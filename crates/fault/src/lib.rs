@@ -195,9 +195,11 @@ impl FaultPlan {
         let lock = TEST_LOCK
             .get_or_init(|| Mutex::new(()))
             .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         {
-            let mut active = active_slot().lock().unwrap_or_else(|p| p.into_inner());
+            let mut active = active_slot()
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
             *active = Some(Active {
                 plan: self,
                 hits: HashMap::new(),
@@ -216,7 +218,9 @@ pub struct PlanGuard {
 impl Drop for PlanGuard {
     fn drop(&mut self) {
         ARMED.store(false, Ordering::Release);
-        let mut active = active_slot().lock().unwrap_or_else(|p| p.into_inner());
+        let mut active = active_slot()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         *active = None;
     }
 }
@@ -244,7 +248,9 @@ fn env_init() {
         if let Ok(spec) = std::env::var("SHADOWDP_FAULTS") {
             match FaultPlan::parse(&spec) {
                 Ok(plan) if !plan.is_empty() => {
-                    let mut active = active_slot().lock().unwrap_or_else(|p| p.into_inner());
+                    let mut active = active_slot()
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
                     *active = Some(Active {
                         plan,
                         hits: HashMap::new(),
@@ -266,7 +272,9 @@ pub fn check(site: &str) -> Option<FaultKind> {
     if !ARMED.load(Ordering::Relaxed) {
         return None;
     }
-    let mut active = active_slot().lock().unwrap_or_else(|p| p.into_inner());
+    let mut active = active_slot()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     let active = active.as_mut()?;
     let any_at_site = active.plan.faults.iter().any(|f| f.site == site);
     if !any_at_site {

@@ -49,7 +49,7 @@ pub fn render_prometheus() -> String {
     let mut out = String::new();
     for entry in registry().iter() {
         let (type_name, name) = match entry.handle {
-            Handle::Counter(_) => ("counter", entry.name),
+            Handle::Counter(_) | Handle::CounterFamily(_) => ("counter", entry.name),
             Handle::Gauge(_) | Handle::FloatGauge(_) => ("gauge", entry.name),
             Handle::Histogram(_) | Handle::Family(_) => ("histogram", entry.name),
         };
@@ -64,6 +64,16 @@ pub fn render_prometheus() -> String {
                 for (label, h) in f.members() {
                     let labels = format!("{}=\"{}\"", f.label_key(), escape_label(&label));
                     render_histogram(&mut out, name, &labels, h);
+                }
+            }
+            Handle::CounterFamily(f) => {
+                for (label, c) in f.members() {
+                    out.push_str(&format!(
+                        "{name}{{{}=\"{}\"}} {}\n",
+                        f.label_key(),
+                        escape_label(&label),
+                        c.get()
+                    ));
                 }
             }
         }
@@ -382,6 +392,9 @@ mod tests {
         metrics::histogram_family("expo_test_phase_us", "per-phase", "phase")
             .with("verify")
             .observe(1000);
+        metrics::counter_family("expo_test_diags_total", "per-code", "code")
+            .with("SD01")
+            .add(4);
         let text = render_prometheus();
         validate_exposition(&text).expect("rendered exposition validates");
         let samples = parse_exposition(&text).expect("rendered exposition parses");
@@ -410,6 +423,11 @@ mod tests {
             })
             .expect("phase bucket");
         assert_eq!(phase_bucket.value, 1.0);
+        let code_sample = samples
+            .iter()
+            .find(|s| s.name == "expo_test_diags_total" && s.label("code") == Some("SD01"))
+            .expect("counter-family member");
+        assert_eq!(code_sample.value, 4.0);
     }
 
     #[test]

@@ -53,8 +53,9 @@ pub mod spans;
 
 pub use expo::{parse_exposition, render_prometheus, validate_exposition, Sample};
 pub use metrics::{
-    snapshot, Counter, FloatGauge, Gauge, Histogram, HistogramFamily, LazyCounter, LazyFloatGauge,
-    LazyGauge, LazyHistogram, LazyHistogramFamily, SnapValue, HIST_BUCKETS,
+    snapshot, Counter, CounterFamily, FloatGauge, Gauge, Histogram, HistogramFamily, LazyCounter,
+    LazyCounterFamily, LazyFloatGauge, LazyGauge, LazyHistogram, LazyHistogramFamily, SnapValue,
+    HIST_BUCKETS,
 };
 pub use spans::{
     arm, arm_from_env, armed, chrome_trace_json, disarm, span, span_labeled, spans_overwritten,

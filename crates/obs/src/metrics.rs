@@ -214,7 +214,10 @@ impl HistogramFamily {
     /// use). Takes the family lock — cache the returned handle when
     /// observing in a loop.
     pub fn with(&self, label_value: &str) -> &'static Histogram {
-        let mut members = self.members.lock().unwrap_or_else(|p| p.into_inner());
+        let mut members = self
+            .members
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(h) = members.get(label_value) {
             return h;
         }
@@ -227,7 +230,56 @@ impl HistogramFamily {
     pub fn members(&self) -> Vec<(String, &'static Histogram)> {
         self.members
             .lock()
-            .unwrap_or_else(|p| p.into_inner())
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .map(|(k, &v)| (k.clone(), v))
+            .collect()
+    }
+}
+
+/// A counter family keyed by one label dimension (e.g. `code` or
+/// `verb`). Members are created on first use and render as
+/// `name{<key>="<value>"}` series.
+#[derive(Debug)]
+pub struct CounterFamily {
+    label_key: &'static str,
+    members: Mutex<BTreeMap<String, &'static Counter>>,
+}
+
+impl CounterFamily {
+    fn new(label_key: &'static str) -> CounterFamily {
+        CounterFamily {
+            label_key,
+            members: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The label key this family is split by.
+    pub fn label_key(&self) -> &'static str {
+        self.label_key
+    }
+
+    /// The member counter for `label_value` (created zeroed on first
+    /// use). Takes the family lock — cache the returned handle when
+    /// bumping in a loop.
+    pub fn with(&self, label_value: &str) -> &'static Counter {
+        let mut members = self
+            .members
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(c) = members.get(label_value) {
+            return c;
+        }
+        let c: &'static Counter = Box::leak(Box::new(Counter::new()));
+        members.insert(label_value.to_string(), c);
+        c
+    }
+
+    /// Snapshot of `(label_value, counter)` members, sorted by label.
+    pub fn members(&self) -> Vec<(String, &'static Counter)> {
+        self.members
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .map(|(k, &v)| (k.clone(), v))
             .collect()
@@ -245,6 +297,7 @@ pub(crate) enum Handle {
     FloatGauge(&'static FloatGauge),
     Histogram(&'static Histogram),
     Family(&'static HistogramFamily),
+    CounterFamily(&'static CounterFamily),
 }
 
 pub(crate) struct Entry {
@@ -258,7 +311,7 @@ pub(crate) fn registry() -> MutexGuard<'static, Vec<Entry>> {
     REGISTRY
         .get_or_init(|| Mutex::new(Vec::new()))
         .lock()
-        .unwrap_or_else(|p| p.into_inner())
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 fn register(name: &'static str, help: &'static str, make: impl FnOnce() -> Handle) -> Handle {
@@ -342,6 +395,25 @@ pub fn histogram_family(
         Handle::Family(Box::leak(Box::new(HistogramFamily::new(label_key))))
     }) {
         Handle::Family(f) => f,
+        _ => panic!("metric `{name}` already registered with a different type"),
+    }
+}
+
+/// Registers (or fetches) the counter family `name` split by
+/// `label_key`.
+///
+/// # Panics
+///
+/// If `name` was already registered as a different metric type.
+pub fn counter_family(
+    name: &'static str,
+    help: &'static str,
+    label_key: &'static str,
+) -> &'static CounterFamily {
+    match register(name, help, || {
+        Handle::CounterFamily(Box::leak(Box::new(CounterFamily::new(label_key))))
+    }) {
+        Handle::CounterFamily(f) => f,
         _ => panic!("metric `{name}` already registered with a different type"),
     }
 }
@@ -473,6 +545,42 @@ impl LazyHistogramFamily {
     }
 }
 
+/// A lazily registered [`CounterFamily`].
+pub struct LazyCounterFamily {
+    name: &'static str,
+    help: &'static str,
+    label_key: &'static str,
+    cell: OnceLock<&'static CounterFamily>,
+}
+
+impl LazyCounterFamily {
+    /// Const constructor for `static` declarations.
+    pub const fn new(
+        name: &'static str,
+        help: &'static str,
+        label_key: &'static str,
+    ) -> LazyCounterFamily {
+        LazyCounterFamily {
+            name,
+            help,
+            label_key,
+            cell: OnceLock::new(),
+        }
+    }
+
+    /// The registered family handle.
+    pub fn get(&self) -> &'static CounterFamily {
+        self.cell
+            .get_or_init(|| counter_family(self.name, self.help, self.label_key))
+    }
+
+    /// The member counter for `label_value`.
+    #[inline]
+    pub fn with(&self, label_value: &str) -> &'static Counter {
+        self.get().with(label_value)
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Snapshots (determinism tests, deltas)
 // ---------------------------------------------------------------------------
@@ -525,6 +633,14 @@ pub fn snapshot() -> Vec<(String, SnapValue)> {
                             count: h.count(),
                             sum: h.sum(),
                         },
+                    ));
+                }
+            }
+            Handle::CounterFamily(f) => {
+                for (label, c) in f.members() {
+                    out.push((
+                        format!("{}{{{}=\"{}\"}}", entry.name, f.label_key(), label),
+                        SnapValue::Counter(c.get()),
                     ));
                 }
             }
@@ -604,6 +720,23 @@ mod tests {
     fn type_confusion_panics() {
         counter("obs_test_confused", "a counter");
         gauge("obs_test_confused", "now a gauge");
+    }
+
+    #[test]
+    fn counter_family_members_render_into_snapshot() {
+        let fam = counter_family("obs_test_diags_total", "per-code", "code");
+        fam.with("SD01").add(3);
+        fam.with("SD02").inc();
+        let snap = snapshot();
+        let get = |name: &str| match snap.iter().find(|(n, _)| n == name).map(|(_, v)| v.clone()) {
+            Some(SnapValue::Counter(v)) => v,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(get("obs_test_diags_total{code=\"SD01\"}"), 3);
+        assert_eq!(get("obs_test_diags_total{code=\"SD02\"}"), 1);
+        // Repeated `with` returns the same member.
+        assert!(std::ptr::eq(fam.with("SD01"), fam.with("SD01")));
+        assert_eq!(fam.members().len(), 2);
     }
 
     #[test]

@@ -170,7 +170,9 @@ impl Drop for SpanGuard {
             start_us: active.start_us,
             dur_us,
         };
-        let mut ring = ring().lock().unwrap_or_else(|p| p.into_inner());
+        let mut ring = ring()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if ring.len() >= RING_CAPACITY {
             ring.pop_front();
             OVERWRITTEN.fetch_add(1, Ordering::Relaxed);
@@ -201,7 +203,9 @@ pub fn span_labeled(name: &'static str, label: &str) -> SpanGuard {
 /// Drains the ring buffer, returning every recorded span ordered by
 /// start time.
 pub fn take_spans() -> Vec<SpanRecord> {
-    let mut ring = ring().lock().unwrap_or_else(|p| p.into_inner());
+    let mut ring = ring()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     let mut spans: Vec<SpanRecord> = ring.drain(..).collect();
     spans.sort_by_key(|s| (s.start_us, s.id));
     spans
@@ -270,7 +274,8 @@ mod tests {
     // them (metrics tests are unaffected — the registry is append-only).
     fn lock() -> std::sync::MutexGuard<'static, ()> {
         static LOCK: Mutex<()> = Mutex::new(());
-        LOCK.lock().unwrap_or_else(|p| p.into_inner())
+        LOCK.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     #[test]

@@ -230,7 +230,7 @@ mod tests {
             &[("eps", Value::num(0.5)), ("x", Value::num(0.0))],
             &[("eps", Value::num(0.5)), ("x", Value::num(1.0))],
             &config(2_000),
-            |v| v.event_key(),
+            super::super::value::Value::event_key,
         );
         assert!(
             !est.consistent_with(0.5, 0.5),

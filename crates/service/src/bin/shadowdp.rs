@@ -4,6 +4,7 @@
 //! ```text
 //! shadowdp check <file>... [--fixeps <n>/<d>] [--trace-out <path>]
 //!                [--socket <path> [--spawn]]
+//! shadowdp lint (<file>... | --table1) [--json] [--socket <path> [--spawn]]
 //! shadowdp table1 [--trace-out <path>] [--socket <path> [--spawn]]
 //!                 [--store <path>] [--threads <n>]
 //! shadowdp status --socket <path>
@@ -16,6 +17,13 @@
 //!   pipeline runs in this process; with it, jobs go over the wire
 //!   (`--spawn` starts `shadowdpd` automatically if nothing is
 //!   listening).
+//! - `lint` runs the static-analysis passes only (SD01–SD04) — no
+//!   typechecking, no verification — and prints located diagnostics,
+//!   human-readable by default or as deterministic JSON-lines with
+//!   `--json`. `--table1` lints the paper's nine Table 1 algorithms
+//!   instead of files (they must come back clean). With `--socket` the
+//!   daemon lints via the `LINT` verb and the output is always the wire
+//!   JSON. Exit code: 0 iff no diagnostics.
 //! - `table1` submits the paper's 18-job Table 1 corpus (both
 //!   verification modes of all nine algorithms, shared-memo service
 //!   variant) and prints one line per job with verdict, digest, and
@@ -37,7 +45,9 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use shadowdp::jobspec::OptionsSpec;
-use shadowdp::{corpus, table1, CorpusJob, JobSpec, Pipeline};
+use shadowdp::{
+    corpus, table1, CorpusJob, JobSpec, Phase, Pipeline, PipelineError, PipelineReport,
+};
 use shadowdp_num::Rat;
 use shadowdp_service::daemon::{render_verdict, wire_digest};
 use shadowdp_service::Client;
@@ -54,12 +64,15 @@ struct Args {
     trace_out: Option<PathBuf>,
     interval_ms: u64,
     iterations: Option<u64>,
+    json: bool,
+    table1: bool,
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: shadowdp check <file>... [--fixeps <n>/<d>] [--trace-out <path>] \
          [--socket <path> [--spawn]]\n\
+         \x20      shadowdp lint (<file>... | --table1) [--json] [--socket <path> [--spawn]]\n\
          \x20      shadowdp table1 [--trace-out <path>] [--socket <path> [--spawn]] \
          [--store <path>] [--threads <n>]\n\
          \x20      shadowdp status --socket <path>\n\
@@ -84,6 +97,8 @@ fn parse_args() -> Option<Args> {
         trace_out: None,
         interval_ms: 1000,
         iterations: None,
+        json: false,
+        table1: false,
     };
     while let Some(arg) = raw.next() {
         match arg.as_str() {
@@ -94,6 +109,8 @@ fn parse_args() -> Option<Args> {
             "--trace-out" => args.trace_out = Some(PathBuf::from(raw.next()?)),
             "--interval-ms" => args.interval_ms = raw.next()?.parse().ok()?,
             "--iterations" => args.iterations = Some(raw.next()?.parse().ok()?),
+            "--json" => args.json = true,
+            "--table1" => args.table1 = true,
             "--fixeps" => {
                 let value = raw.next()?;
                 let (n, d) = value.split_once('/').unwrap_or((value.as_str(), "1"));
@@ -135,6 +152,19 @@ fn print_outcome(label: &str, from: &str, digest: &str, verdict: &str) -> bool {
     verdict == "proved"
 }
 
+/// Like [`render_verdict`], but parse/type failures carry `line:col`
+/// resolved against the job's source. Only the terminal output renders
+/// this way — digests embed the location-free `Display` text and stay
+/// pinned.
+fn render_verdict_located(report: &Result<PipelineReport, PipelineError>, source: &str) -> String {
+    match report {
+        Err(e) if e.phase() != Phase::Crash => {
+            format!("error in {:?}: {}", e.phase(), e.render_located(source))
+        }
+        _ => render_verdict(report),
+    }
+}
+
 fn run_specs_local(specs: &[(String, JobSpec)], threads: Option<usize>) -> Result<bool, ExitCode> {
     let jobs = specs
         .iter()
@@ -147,8 +177,8 @@ fn run_specs_local(specs: &[(String, JobSpec)], threads: Option<usize>) -> Resul
         .collect::<Result<Vec<CorpusJob>, ExitCode>>()?;
     let outcome = Pipeline::new().verify_corpus_parallel(&jobs, threads);
     let mut all_proved = true;
-    for (i, (label, _)) in specs.iter().enumerate() {
-        let verdict = render_verdict(&outcome.reports[i]);
+    for (i, (label, spec)) in specs.iter().enumerate() {
+        let verdict = render_verdict_located(&outcome.reports[i], &spec.source);
         let digest = wire_digest(&outcome.report_digest(i));
         all_proved &= print_outcome(label, "local", &digest, &verdict);
     }
@@ -198,6 +228,60 @@ fn check(args: &Args) -> Result<bool, ExitCode> {
     } else {
         run_specs_local(&specs, args.threads)
     }
+}
+
+/// The `lint` subcommand: static analysis only, located diagnostics,
+/// exit 0 iff everything came back clean.
+fn lint(args: &Args) -> Result<bool, ExitCode> {
+    let mut sources: Vec<(String, String)> = Vec::new();
+    if args.table1 {
+        for alg in corpus::table1_algorithms() {
+            sources.push((alg.name.to_string(), alg.source.to_string()));
+        }
+    } else {
+        if args.files.is_empty() {
+            eprintln!("shadowdp lint: no input files (pass files or --table1)");
+            return Err(ExitCode::from(2));
+        }
+        for file in &args.files {
+            let source = std::fs::read_to_string(file).map_err(|e| {
+                eprintln!("shadowdp: cannot read {}: {e}", file.display());
+                ExitCode::from(2)
+            })?;
+            sources.push((file.display().to_string(), source));
+        }
+    }
+    let mut client = if args.socket.is_some() {
+        Some(connect(args)?)
+    } else {
+        None
+    };
+    let mut clean = true;
+    for (label, source) in &sources {
+        if let Some(client) = client.as_mut() {
+            // Over the wire the daemon renders; the payload is already
+            // the canonical JSON-lines text, byte-identical to a local
+            // `--json` run on the same source.
+            let diags = client.lint(source).map_err(|e| {
+                eprintln!("shadowdp: {label}: {e}");
+                ExitCode::FAILURE
+            })?;
+            clean &= diags.is_empty();
+            print!("{diags}");
+        } else {
+            let diags = shadowdp::lint_source(source).map_err(|e| {
+                eprintln!("shadowdp: {label}: {}", e.render(source));
+                ExitCode::from(2)
+            })?;
+            clean &= diags.is_empty();
+            if args.json {
+                print!("{}", shadowdp::render_json_lines(&diags));
+            } else {
+                print!("{}", shadowdp::render_human(&diags, Some(label)));
+            }
+        }
+    }
+    Ok(clean)
 }
 
 /// [`table1::service_jobs`] as labelled wire specs.
@@ -521,6 +605,7 @@ fn main() -> ExitCode {
     }
     let result = match args.command.as_str() {
         "check" => check(&args),
+        "lint" => lint(&args),
         "table1" => {
             let specs = table1_specs();
             if args.socket.is_some() {

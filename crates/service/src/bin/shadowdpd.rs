@@ -101,8 +101,7 @@ fn main() -> ExitCode {
         socket.display(),
         store
             .as_ref()
-            .map(|p| p.display().to_string())
-            .unwrap_or_else(|| "in-memory".into())
+            .map_or_else(|| "in-memory".into(), |p| p.display().to_string())
     );
     match daemon::run(DaemonConfig {
         socket,

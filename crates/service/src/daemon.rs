@@ -966,6 +966,7 @@ fn serve(shared: &Shared, conn: u64, stream: UnixStream) -> std::io::Result<()> 
                 Request::Ping => "PING",
                 Request::Status => "STATUS",
                 Request::Metrics => "METRICS",
+                Request::Lint(_) => "LINT",
                 Request::Submit(_) => "SUBMIT",
                 Request::Result(_) => "RESULT",
                 Request::Shutdown => "SHUTDOWN",
@@ -1028,6 +1029,15 @@ fn serve(shared: &Shared, conn: u64, stream: UnixStream) -> std::io::Result<()> 
                 }
                 refresh_store_gauges(&shared.store.lock().unwrap());
                 Response::Metrics(shadowdp_obs::render_prometheus())
+            }
+            Ok(Request::Lint(source)) => {
+                // Linting is synchronous and cheap (milliseconds for the
+                // whole corpus): it runs on the connection thread, never
+                // touching the scheduler, the queue, or the store.
+                match shadowdp::lint_source(&source) {
+                    Ok(diags) => Response::Lint(shadowdp::render_json_lines(&diags)),
+                    Err(e) => Response::Err(e.to_string()),
+                }
             }
             Ok(Request::Submit(spec)) => {
                 let mut st = shared.state.lock().unwrap();

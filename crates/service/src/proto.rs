@@ -8,12 +8,14 @@
 //!
 //! ```text
 //! request  = "PING" | "STATUS" | "METRICS" | "SHUTDOWN"
+//!          | "LINT" TAB source
 //!          | "RESULT" TAB id
 //!          | "SUBMIT" TAB isolated TAB mode TAB engine TAB list_len
 //!                     TAB max_unroll TAB max_rounds
 //!                     TAB budget_ms TAB budget_calls TAB n
 //!                     {TAB assumption}*n TAB source
 //! response = "PONG" | "BYE"
+//!          | "LINT" TAB diagnostics
 //!          | "QUEUED" TAB id
 //!          | "BUSY" TAB retry_after_ms
 //!          | "STATUS" TAB queued TAB running TAB done TAB memo
@@ -45,6 +47,10 @@
 //! Prometheus text exposition format, [`esc`]-escaped onto the one
 //! response line (the exposition is multi-line; the escaping keeps the
 //! protocol strictly line-oriented).
+//! `LINT` runs the static-analysis passes on the (escaped) source and
+//! answers synchronously — no queueing, no job id — with the JSON-lines
+//! diagnostics rendering, [`esc`]-escaped onto one line (empty payload =
+//! no findings). A source that does not parse is an `ERR`.
 //! Job ids are owned by the connection that submitted them: `RESULT`
 //! from any other connection is an `ERR`, and a second `RESULT` for an
 //! already-delivered id is too (outcomes are dropped on delivery to
@@ -116,6 +122,9 @@ pub enum Request {
     Status,
     /// Full metrics registry in Prometheus text exposition format.
     Metrics,
+    /// Lint a source program synchronously (no queueing); answered with
+    /// `LINT` diagnostics or `ERR` on a parse failure.
+    Lint(String),
     /// Queue a verification job; answered immediately with `QUEUED`.
     Submit(JobSpec),
     /// Block until the job is done, then return its outcome.
@@ -272,6 +281,8 @@ pub enum Response {
     Status(StatusInfo),
     /// Prometheus text exposition of the daemon's metrics registry.
     Metrics(String),
+    /// JSON-lines lint diagnostics (empty = the program lints clean).
+    Lint(String),
     /// Finished job.
     Result(JobOutcome),
     /// The request could not be served (malformed line, unknown id).
@@ -291,24 +302,21 @@ pub fn encode_request(req: &Request) -> String {
         Request::Status => "STATUS".into(),
         Request::Metrics => "METRICS".into(),
         Request::Shutdown => "SHUTDOWN".into(),
+        Request::Lint(source) => format!("LINT\t{}", esc(source)),
         Request::Result(id) => format!("RESULT\t{id}"),
         Request::Submit(spec) => {
             let mut fields: Vec<String> = vec![
                 "SUBMIT".into(),
                 if spec.isolated_memo { "1" } else { "0" }.into(),
             ];
-            let opt_u64 = |v: Option<u64>| v.map(|n| n.to_string()).unwrap_or_else(|| "-".into());
+            let opt_u64 = |v: Option<u64>| v.map_or_else(|| "-".into(), |n| n.to_string());
             match &spec.options {
                 None => fields.extend(["-", "-", "-", "-", "-", "-", "-", "0"].map(String::from)),
                 Some(o) => {
                     fields.push(esc(&o.mode));
                     fields.push(esc(&o.engine));
                     fields.push(o.list_len.to_string());
-                    fields.push(
-                        o.max_unroll
-                            .map(|n| n.to_string())
-                            .unwrap_or_else(|| "-".into()),
-                    );
+                    fields.push(o.max_unroll.map_or_else(|| "-".into(), |n| n.to_string()));
                     fields.push(o.max_rounds.to_string());
                     fields.push(opt_u64(o.budget_millis));
                     fields.push(opt_u64(o.budget_theory_calls));
@@ -334,6 +342,7 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
         "STATUS" if fields.len() == 1 => Ok(Request::Status),
         "METRICS" if fields.len() == 1 => Ok(Request::Metrics),
         "SHUTDOWN" if fields.len() == 1 => Ok(Request::Shutdown),
+        "LINT" if fields.len() == 2 => Ok(Request::Lint(unesc(fields[1])?)),
         "RESULT" if fields.len() == 2 => fields[1]
             .parse()
             .map(Request::Result)
@@ -434,6 +443,7 @@ pub fn encode_response(resp: &Response) -> String {
             s.saturation_reuses
         ),
         Response::Metrics(exposition) => format!("METRICS\t{}", esc(exposition)),
+        Response::Lint(diags) => format!("LINT\t{}", esc(diags)),
         Response::Result(r) => format!(
             "RESULT\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
             r.id,
@@ -487,6 +497,7 @@ pub fn parse_response(line: &str) -> Result<Response, ProtoError> {
             saturation_reuses: num(fields[12], "sat_reuses")?,
         })),
         "METRICS" if fields.len() == 2 => Ok(Response::Metrics(unesc(fields[1])?)),
+        "LINT" if fields.len() == 2 => Ok(Response::Lint(unesc(fields[1])?)),
         "RESULT" if fields.len() == 16 => Ok(Response::Result(JobOutcome {
             id: num(fields[1], "job id")?,
             ok: match fields[2] {
@@ -556,6 +567,8 @@ mod tests {
             Request::Status,
             Request::Metrics,
             Request::Result(17),
+            Request::Lint("function F() returns o: num(0,0)\n{ o := 0; }".into()),
+            Request::Lint(String::new()),
             Request::Shutdown,
         ]);
         for req in requests {
@@ -612,6 +625,15 @@ mod tests {
                 resaturations: 0,
                 verdict: "refuted: x = 1, size = 3\nsecond line".into(),
             }),
+            // A LINT payload is multi-line JSON-lines; like METRICS it
+            // must ride one physical line and round-trip exactly. The
+            // empty payload (a clean program) is a valid message too.
+            Response::Lint(
+                "{\"code\":\"SD01\",\"severity\":\"error\",\"start\":120,\"end\":132,\
+                 \"line\":6,\"col\":3,\"message\":\"sensitive data flows into output\"}\n"
+                    .into(),
+            ),
+            Response::Lint(String::new()),
             Response::Result(JobOutcome {
                 id: 8,
                 ok: true,
@@ -675,5 +697,12 @@ mod tests {
         assert!(parse_response("RESULT\t1\tok\tstore\tbogus\tabc\t0\t0\t0\t0\t0\tproved").is_err());
         assert!(parse_response("BUSY\tnope").is_err());
         assert!(parse_response("QUEUED\tnope").is_err());
+        // LINT is arity 2 in both directions: a bare verb (no payload
+        // field) and any extra field are rejected, never coerced.
+        assert!(parse_request("LINT").is_err());
+        assert!(parse_request("LINT\tsrc\textra").is_err());
+        assert!(parse_request("LINT\tbad\\escape").is_err());
+        assert!(parse_response("LINT").is_err());
+        assert!(parse_response("LINT\tpayload\textra").is_err());
     }
 }

@@ -207,9 +207,8 @@ impl VerdictStore {
     pub fn load(path: impl Into<PathBuf>) -> VerdictStore {
         let path = path.into();
         let mut store = VerdictStore::empty(Some(path.clone()));
-        let bytes = match std::fs::read(&path) {
-            Err(_) => return store, // missing (or unreadable): cold start
-            Ok(bytes) => bytes,
+        let Ok(bytes) = std::fs::read(&path) else {
+            return store; // missing (or unreadable): cold start
         };
         if bytes.starts_with(MAGIC_V1) {
             // v1 whole-image format: all-or-nothing checksum, no deps.
@@ -505,10 +504,9 @@ impl VerdictStore {
             }
             all_known.then_some(set)
         };
-        let dropped_solver = reachable
-            .as_ref()
-            .map(|keep| self.solver.keys().filter(|k| !keep.contains(k)).count())
-            .unwrap_or(0);
+        let dropped_solver = reachable.as_ref().map_or(0, |keep| {
+            self.solver.keys().filter(|k| !keep.contains(k)).count()
+        });
         self.rewrite(reachable.as_ref())?;
         Ok(CompactStats {
             logged_before,

@@ -185,6 +185,48 @@ fn assumption_verdicts_transfer_across_candidate_set_variations() {
     let _ = std::fs::remove_file(&store);
 }
 
+/// The `LINT` verb answers synchronously with exactly the bytes a local
+/// render of the same source produces — the wire adds transport, not
+/// variance — and a parse failure is an `ERR` the connection survives.
+#[test]
+fn lint_verb_matches_local_rendering_byte_for_byte() {
+    let (socket, _store) = temp_paths("lint");
+    let config = DaemonConfig {
+        socket: socket.clone(),
+        store: None,
+        threads: Some(1),
+        compact_ratio: shadowdp_service::DEFAULT_COMPACT_RATIO,
+        queue_limit: None,
+        io_timeout: None,
+        max_pipeline_entries: None,
+    };
+    let (handle, mut client) = start_daemon(config);
+
+    let clean = corpus::laplace_mechanism();
+    let buggy = corpus::buggy_algorithms()
+        .into_iter()
+        .find(|a| a.name == "Buggy SVT (unbounded answers)")
+        .expect("corpus has the over-budget SVT");
+    for source in [clean.source, buggy.source] {
+        let local =
+            shadowdp::render_json_lines(&shadowdp::lint_source(source).expect("corpus parses"));
+        let wire_first = client.lint(source).expect("LINT answers");
+        let wire_second = client.lint(source).expect("LINT answers again");
+        assert_eq!(wire_first, local, "wire and local renderings must agree");
+        assert_eq!(wire_first, wire_second, "LINT must be deterministic");
+    }
+    // A clean program is the empty payload, a flagged one is not.
+    assert_eq!(client.lint(clean.source).expect("LINT"), "");
+    assert!(!client.lint(buggy.source).expect("LINT").is_empty());
+
+    // Parse failures are per-request errors, not connection killers.
+    assert!(client.lint("function {").is_err());
+    client.ping().expect("connection survives a LINT error");
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("daemon exits cleanly");
+}
+
 /// `DaemonConfig::compact_ratio` is validated before anything is touched:
 /// a sub-1 ratio would compact after every batch and NaN would never
 /// compact at all, so both are errors — and the socket/store must not

@@ -655,10 +655,13 @@ fn budget_exhaustion_reported_never_persisted_and_rerun_proves() {
     assert!(hit.from_store, "completed verdicts do persist");
     assert_eq!(hit.verdict, "proved");
 
-    // A wall-clock deadline trips the same way.
+    // A wall-clock deadline trips the same way. Zero milliseconds: the
+    // deadline is already expired when the solver arms it, so the first
+    // budget check trips no matter how fast the machine is (a 1 ms
+    // deadline raced real solve time and lost on fast hardware).
     let mut deadline_opts = starved_opts.clone();
     deadline_opts.budget_theory_calls = None;
-    deadline_opts.budget_millis = Some(1);
+    deadline_opts.budget_millis = Some(0);
     // Isolated memo: the roomy run above warmed the daemon's shared memo,
     // and a fully-cached run legitimately finishes inside any deadline.
     let deadline_spec = JobSpec {

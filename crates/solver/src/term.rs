@@ -81,7 +81,9 @@ fn interner() -> &'static Mutex<Interner> {
 impl Symbol {
     /// Interns a name.
     pub fn intern(name: &str) -> Symbol {
-        let mut t = interner().lock().unwrap_or_else(|p| p.into_inner());
+        let mut t = interner()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(&id) = t.ids.get(name) {
             return Symbol(id);
         }
@@ -94,7 +96,9 @@ impl Symbol {
 
     /// The interned string.
     pub fn as_str(self) -> &'static str {
-        let t = interner().lock().unwrap_or_else(|p| p.into_inner());
+        let t = interner()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         t.names[self.0 as usize]
     }
 }

@@ -68,8 +68,8 @@ fn real_term() -> impl Strategy<Value = Term> {
             (inner.clone(), inner.clone()).prop_map(|(a, b)| a.add(b)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| a.sub(b)),
             ((-4i128..=4), inner.clone()).prop_map(|(k, t)| Term::int(k).mul(t)),
-            inner.clone().prop_map(|t| t.abs()),
-            inner.prop_map(|t| t.neg()),
+            inner.clone().prop_map(shadowdp_solver::TermId::abs),
+            inner.prop_map(shadowdp_solver::TermId::neg),
         ]
     })
 }
@@ -86,7 +86,7 @@ fn bool_term() -> impl Strategy<Value = Term> {
             (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| a.implies(b)),
-            inner.prop_map(|t| t.not()),
+            inner.prop_map(shadowdp_solver::TermId::not),
         ]
     })
 }

@@ -102,7 +102,7 @@ fn deadline_trip_mid_chain_unwinds_cleanly_and_recovers() {
             // as a real model.
             match &strangled {
                 shadowdp_solver::CheckResult::Sat(m) => {
-                    assert!(m.possibly_spurious, "exhaustion must taint the model")
+                    assert!(m.possibly_spurious, "exhaustion must taint the model");
                 }
                 shadowdp_solver::CheckResult::Unsat => {
                     panic!("exhaustion ({reason}) must not masquerade as Unsat")

@@ -694,8 +694,7 @@ impl Function {
                     }
                     CmdKind::Assign(n, e) if (n.is_hat() || e.vars().iter().any(Name::is_hat)) => {
                         return Err(format!(
-                            "hat variables are not allowed in source programs (in `{} := ...`)",
-                            n
+                            "hat variables are not allowed in source programs (in `{n} := ...`)"
                         ));
                     }
                     CmdKind::If(_, c1, c2) => {

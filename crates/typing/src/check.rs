@@ -31,6 +31,19 @@ impl TypeError {
             span,
         }
     }
+
+    /// Renders the error with 1-based line/column resolved against
+    /// `src` (mirrors `ParseError::render`). Function-level errors
+    /// carry `Span::ZERO` and render without a location. `Display`
+    /// deliberately stays location-free: its text is embedded in
+    /// corpus report digests, which are pinned byte-for-byte.
+    pub fn render(&self, src: &str) -> String {
+        if self.span == Span::ZERO {
+            return format!("type error: {}", self.message);
+        }
+        let (line, col) = self.span.line_col(src);
+        format!("type error at {line}:{col}: {}", self.message)
+    }
 }
 
 impl fmt::Display for TypeError {

@@ -523,7 +523,7 @@ fn havoc_state(entry: &SymState, assigned: &BTreeSet<Name>, exec: &mut SymExec<'
     for name in assigned {
         let fresh = exec.fresh_symbol(&name.to_string());
         match st.vars.get(name) {
-            Some(SymVal::Concrete(_)) | Some(SymVal::Opaque) => {
+            Some(SymVal::Concrete(_) | SymVal::Opaque) => {
                 st.vars.insert(name.clone(), SymVal::Opaque);
             }
             _ => {

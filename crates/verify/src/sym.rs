@@ -174,7 +174,7 @@ impl AdjacencySpec {
             match p {
                 Precondition::Plain(e) => spec.plain.push(e.clone()),
                 Precondition::Forall { var, body } => {
-                    spec.foralls.push((var.clone(), body.clone()))
+                    spec.foralls.push((var.clone(), body.clone()));
                 }
                 Precondition::AtMostOne(q) => spec.at_most_one.push(q.clone()),
             }
@@ -463,7 +463,7 @@ impl<'a> SymExec<'a> {
                             return Err(err(format!("bad index {r} into `{n}`")));
                         }
                         let k = r.numer() as usize;
-                        xs.get(k).cloned().map(SymVal::Scalar).ok_or_else(|| {
+                        xs.get(k).copied().map(SymVal::Scalar).ok_or_else(|| {
                             err(format!(
                                 "index {k} out of bounds for `{n}` (len {})",
                                 xs.len()
@@ -535,7 +535,7 @@ impl<'a> SymExec<'a> {
             let ghost = AdjacencySpec::ghost_name(list);
             let g = st
                 .scalar(&ghost)
-                .cloned()
+                .copied()
                 .ok_or_else(|| err(format!("ghost `{ghost}` not initialized")))?;
             let nonzero = elem.hat_aligned.ne_num(Term::int(0));
             st.path.push(nonzero.implies(g.eq_num(Term::int(0))));

@@ -71,7 +71,7 @@ fn main() {
             trials: 40_000,
             ..DpTestConfig::default()
         },
-        |v| v.event_key(),
+        shadowdp_semantics::Value::event_key,
     );
     println!(
         "worst observed log-ratio: {:.3} vs. claimed eps = {eps} \

@@ -57,8 +57,7 @@ fn main() {
         };
         let consec = s
             .assumption_hit_rate()
-            .map(|r| format!("{:.1}%", 100.0 * r))
-            .unwrap_or_else(|| "-".into());
+            .map_or_else(|| "-".into(), |r| format!("{:.1}%", 100.0 * r));
         let saturations = s.saturation_reuses + s.resaturations;
         let sat_reuse = if saturations > 0 {
             format!(

@@ -32,7 +32,13 @@ fn noisy_max_is_empirically_private() {
             ("q", Value::num_list(q)),
         ]
     };
-    let est = estimate_privacy_loss(&f, &mk(q1), &mk(q2), &config(), |v| v.event_key());
+    let est = estimate_privacy_loss(
+        &f,
+        &mk(q1),
+        &mk(q2),
+        &config(),
+        shadowdp_semantics::Value::event_key,
+    );
     assert!(
         est.consistent_with(EPS, 0.25),
         "NoisyMax empirical loss {} > eps {}",
@@ -54,7 +60,13 @@ fn svt_is_empirically_private() {
             ("q", Value::num_list(q)),
         ]
     };
-    let est = estimate_privacy_loss(&f, &mk(q1), &mk(q2), &config(), |v| v.event_key());
+    let est = estimate_privacy_loss(
+        &f,
+        &mk(q1),
+        &mk(q2),
+        &config(),
+        shadowdp_semantics::Value::event_key,
+    );
     assert!(
         est.consistent_with(EPS, 0.25),
         "SVT empirical loss {} > eps {}",
@@ -86,7 +98,13 @@ fn buggy_svt_without_threshold_noise_violates_dp() {
         trials: 40_000,
         ..config()
     };
-    let est = estimate_privacy_loss(&f, &mk(q1), &mk(q2), &cfg, |v| v.event_key());
+    let est = estimate_privacy_loss(
+        &f,
+        &mk(q1),
+        &mk(q2),
+        &cfg,
+        shadowdp_semantics::Value::event_key,
+    );
     assert!(
         !est.consistent_with(eps, 0.4),
         "buggy SVT not flagged: loss {} (event {})",

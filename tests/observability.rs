@@ -21,7 +21,9 @@ static OBS_LOCK: Mutex<()> = Mutex::new(());
 fn lock() -> std::sync::MutexGuard<'static, ()> {
     // A panicking sibling poisons the lock but leaves the registry
     // usable (deltas still work), so recover instead of cascading.
-    OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    OBS_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 fn span_sum_us(spans: &[SpanRecord], name: &str) -> u64 {
@@ -85,6 +87,7 @@ fn verify_spans_account_for_table1_wall_clock() {
     // the accounting is checked over all phases.)
     let phases_us = verify_us
         + span_sum_us(&spans, "parse")
+        + span_sum_us(&spans, "lint")
         + span_sum_us(&spans, "typecheck")
         + span_sum_us(&spans, "lower");
     assert!(
@@ -189,6 +192,7 @@ fn identical_cold_runs_produce_identical_metric_deltas() {
         *first[&key].last().expect("histogram count")
     };
     assert_eq!(phase_count("parse"), 18);
+    assert_eq!(phase_count("lint"), 18);
     assert_eq!(phase_count("typecheck"), 18);
     assert_eq!(phase_count("verify"), 18);
 
